@@ -1,0 +1,51 @@
+//! Ablation: the analytical cache model vs always-hit / always-miss
+//! assumptions, scored by Figure-3b prediction error.
+
+use clara_core::WorkloadProfile;
+
+fn main() {
+    // The real model's error:
+    let full = clara_bench::mean_error(&clara_bench::fig3b_series());
+
+    // Degenerate models: force every cache estimate to hit / miss by
+    // editing the extracted parameters.
+    let mut always_hit = clara_bench::clara().params().clone();
+    for m in &mut always_hit.mems {
+        if let Some(c) = &mut m.cache {
+            c.capacity = f64::INFINITY;
+        }
+    }
+    let mut always_miss = clara_bench::clara().params().clone();
+    for m in &mut always_miss.mems {
+        m.cache = None;
+    }
+
+    let module = clara_bench::clara()
+        .analyze(&clara_core::nfs::vnf::source(
+            clara_core::nfs::vnf::AUTOMATON_ENTRIES,
+            clara_core::nfs::vnf::STAT_BUCKETS,
+        ))
+        .unwrap()
+        .module;
+    let program = clara_core::nfs::vnf::ported();
+    let mut errs = vec![0.0f64; 2];
+    let mut n = 0;
+    for i in 1..=7 {
+        let payload = 200.0 * i as f64;
+        let wl = WorkloadProfile {
+            avg_payload: payload,
+            max_payload: payload as usize,
+            ..WorkloadProfile::paper_default()
+        };
+        let actual = clara_bench::actual_cycles(&program, &wl, 1_000);
+        for (j, params) in [&always_hit, &always_miss].into_iter().enumerate() {
+            let p = clara_predict::predict(&module, params, &wl).unwrap();
+            errs[j] += ((p.avg_latency_cycles - actual) / actual).abs();
+        }
+        n += 1;
+    }
+    println!("Figure-3b mean prediction error by cache model:");
+    println!("  analytical (occupancy) : {:>6.1}%", full * 100.0);
+    println!("  always-hit             : {:>6.1}%", errs[0] / n as f64 * 100.0);
+    println!("  always-miss            : {:>6.1}%", errs[1] / n as f64 * 100.0);
+}

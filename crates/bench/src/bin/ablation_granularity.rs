@@ -1,0 +1,53 @@
+//! Ablation: pattern-matched dataflow nodes vs raw basic blocks. Counts
+//! how much the coarsening shrinks the ILP and whether accelerator
+//! eligibility survives (raw basic blocks of a straight-line NF would
+//! fuse parse/checksum/lookup into one unmappable unit).
+
+use clara_dataflow::NodeKind;
+
+fn main() {
+    let corpus: Vec<(&str, String)> = vec![
+        ("nat", clara_core::nfs::nat::source()),
+        ("dpi", clara_core::nfs::dpi::source(65_536)),
+        ("fw", clara_core::nfs::firewall::source(65_536)),
+        ("lpm", clara_core::nfs::lpm::source(10_000)),
+        ("hh", clara_core::nfs::heavy_hitter::source(4_096)),
+        ("vnf", clara_core::nfs::vnf::source(1 << 20, 4_096)),
+    ];
+    println!(
+        "{:<6} {:>8} {:>8} {:>10} {:>22}",
+        "NF", "blocks", "nodes", "ILP vars*", "accel-eligible nodes"
+    );
+    for (name, src) in corpus {
+        let analysis = clara_bench::clara().analyze(&src).expect("compiles");
+        let blocks = analysis.module.handle.blocks.len();
+        let nodes = analysis.graph.nodes.len();
+        let eligible = analysis
+            .graph
+            .nodes
+            .iter()
+            .filter(|n| {
+                matches!(
+                    n.kind,
+                    NodeKind::Checksum
+                        | NodeKind::Crypto
+                        | NodeKind::TableLookup(_)
+                        | NodeKind::LpmLookup(_)
+                )
+            })
+            .count();
+        // x-vars scale with units per node (~3); block-granular mapping
+        // would use blocks x units instead.
+        println!(
+            "{:<6} {:>8} {:>8} {:>4} vs {:>3} {:>22}",
+            name,
+            blocks,
+            nodes,
+            nodes * 3,
+            blocks * 3,
+            eligible
+        );
+    }
+    println!("*approximate: nodes x mean unit options; raw-block mapping also loses");
+    println!(" anchor separation (a straight-line block holds parse+lookup+rewrite).");
+}

@@ -1,0 +1,24 @@
+//! §1/§6 extension: "identify suitable SmartNIC models for her
+//! workloads" — one NF predicted across all built-in LNIC profiles.
+
+use clara_core::{Clara, WorkloadProfile};
+
+fn main() {
+    let src = clara_core::nfs::nat::source();
+    let wl = WorkloadProfile::paper_default();
+    println!("NAT @ 60 kpps, 300B payloads — which NIC?");
+    println!("{:<24} {:>12} {:>12} {:>14}", "NIC", "latency", "throughput", "energy/pkt");
+    for nic in clara_core::profiles::all_profiles() {
+        let clara = Clara::new(&nic);
+        match clara.predict(&src, &wl) {
+            Ok(p) => println!(
+                "{:<24} {:>9.2} µs {:>9.2} Mpps {:>11.1} nJ",
+                nic.name,
+                p.avg_latency_ns / 1000.0,
+                p.throughput_pps / 1e6,
+                p.energy_nj_per_packet
+            ),
+            Err(e) => println!("{:<24} unsuitable: {e}", nic.name),
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! §6 extension: partial offloading. Every prefix cut of the DPI chain
+//! priced across NIC / PCIe / host.
+
+use clara_core::{HostParams, WorkloadProfile};
+
+fn main() {
+    let clara = clara_bench::clara();
+    let src = clara_core::nfs::dpi::source(1 << 20);
+    let module = clara.analyze(&src).expect("dpi compiles").module;
+    let wl = WorkloadProfile {
+        avg_payload: 1400.0,
+        max_payload: 1400,
+        ..WorkloadProfile::paper_default()
+    };
+    let plans =
+        clara_core::predict_partial(&module, clara.params(), &wl, HostParams::default())
+            .expect("plans");
+    println!("partial-offload plans for DPI (1M-state automaton, 1400B payloads):");
+    println!("{:>5} {:>14} {:>8}", "cut", "latency", "PCIe?");
+    let best = plans
+        .iter()
+        .min_by(|a, b| a.latency_ns.partial_cmp(&b.latency_ns).unwrap())
+        .unwrap()
+        .cut;
+    for p in &plans {
+        println!(
+            "{:>5} {:>11.2} µs {:>8}{}",
+            p.cut,
+            p.latency_ns / 1000.0,
+            if p.crosses_pcie { "yes" } else { "no" },
+            if p.cut == best { "   <- best" } else { "" }
+        );
+    }
+    println!("(cut = number of dataflow nodes kept on the NIC; the rest run on the host)");
+}

@@ -1,0 +1,42 @@
+//! §6 extension: throughput prediction. Clara's idealized sustainable
+//! rate (from utilization bounds) vs the simulator's achieved rate as
+//! offered load sweeps past saturation.
+
+use clara_core::sim::simulate;
+use clara_core::WorkloadProfile;
+
+fn main() {
+    let clara = clara_bench::clara();
+    let nic = clara_bench::netronome();
+    // A compute-heavy NF so saturation is reachable at sane rates: DPI
+    // over 1400-byte payloads.
+    let src = clara_core::nfs::dpi::source(65_536);
+    let program = clara_core::nfs::dpi::ported(65_536, "emem");
+
+    let base = WorkloadProfile {
+        avg_payload: 1400.0,
+        max_payload: 1400,
+        flows: 50_000,
+        ..WorkloadProfile::paper_default()
+    };
+    let predicted = clara.predict(&src, &base).expect("prediction");
+    println!(
+        "predicted sustainable throughput: {:.2} Mpps (bottleneck: {})",
+        predicted.throughput_pps / 1e6,
+        predicted.bottleneck
+    );
+    println!("{:>12} {:>14} {:>10}", "offered", "achieved", "drops");
+    for mult in [0.25, 0.5, 0.75, 1.0, 1.5, 2.0] {
+        let rate = predicted.throughput_pps * mult;
+        let wl = WorkloadProfile { rate_pps: rate, ..base.clone() };
+        let trace = wl.to_trace(8_000, 21);
+        let r = simulate(nic, &program, &trace).expect("simulates");
+        println!(
+            "{:>9.2} Mpps {:>11.2} Mpps {:>9}",
+            rate / 1e6,
+            r.achieved_pps / 1e6,
+            r.dropped
+        );
+    }
+    println!("(achieved should track offered below the prediction and flatten above it)");
+}

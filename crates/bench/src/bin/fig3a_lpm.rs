@@ -1,0 +1,19 @@
+//! Figure 3a: LPM latency vs number of table entries (predicted vs
+//! actual on the simulator substrate).
+
+fn main() {
+    let points = clara_bench::fig3a_series();
+    let kcycles: Vec<_> = points
+        .iter()
+        .map(|p| clara_bench::Point { x: p.x, predicted: p.predicted / 1000.0, actual: p.actual / 1000.0 })
+        .collect();
+    print!(
+        "{}",
+        clara_bench::render_series(
+            "Figure 3a — LPM: latency vs table entries (K cycles)",
+            "entries",
+            "Kcyc",
+            &kcycles
+        )
+    );
+}

@@ -1,0 +1,19 @@
+//! Figure 3b: VNF chain (DPI + metering + header mods + flow stats)
+//! latency vs payload size (predicted vs actual).
+
+fn main() {
+    let points = clara_bench::fig3b_series();
+    let kcycles: Vec<_> = points
+        .iter()
+        .map(|p| clara_bench::Point { x: p.x, predicted: p.predicted / 1000.0, actual: p.actual / 1000.0 })
+        .collect();
+    print!(
+        "{}",
+        clara_bench::render_series(
+            "Figure 3b — VNF: latency vs packet payload size (K cycles)",
+            "payload (B)",
+            "Kcyc",
+            &kcycles
+        )
+    );
+}

@@ -1,0 +1,14 @@
+//! Figure 3c: NAT latency vs payload size (predicted vs actual).
+
+fn main() {
+    let points = clara_bench::fig3c_series();
+    print!(
+        "{}",
+        clara_bench::render_series(
+            "Figure 3c — NAT: latency vs packet payload size (cycles)",
+            "payload (B)",
+            "cyc",
+            &points
+        )
+    );
+}

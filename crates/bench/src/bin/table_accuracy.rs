@@ -1,0 +1,13 @@
+//! §4 accuracy table: mean prediction inaccuracy per NF
+//! (paper: LPM 12%, VNF 3%, NAT 7%).
+
+fn main() {
+    println!("Prediction inaccuracy (mean abs. relative error, §4)");
+    println!("{:<6} {:>10} {:>10}", "NF", "this repo", "paper");
+    let lpm = clara_bench::mean_error(&clara_bench::fig3a_series());
+    println!("{:<6} {:>9.1}% {:>10}", "LPM", lpm * 100.0, "12%");
+    let vnf = clara_bench::mean_error(&clara_bench::fig3b_series());
+    println!("{:<6} {:>9.1}% {:>10}", "VNF", vnf * 100.0, "3%");
+    let nat = clara_bench::mean_error(&clara_bench::fig3c_series());
+    println!("{:<6} {:>9.1}% {:>10}", "NAT", nat * 100.0, "7%");
+}

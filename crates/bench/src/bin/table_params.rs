@@ -1,0 +1,43 @@
+//! §3.2 / §2.1 parameter tables: what the microbenchmark suite extracted
+//! vs the values the paper reports for the Netronome Agilio.
+
+use clara_lnic::AccelKind;
+
+fn main() {
+    let p = clara_bench::clara().params();
+    println!("Extracted NIC parameters for {} (paper values in parentheses)", p.nic_name);
+    println!("-- compute (§3.2) --");
+    println!("  header parse        {:>8.1} cycles   (≈150)", p.parse_header);
+    println!("  metadata mod        {:>8.1} cycles   (2-5)", p.metadata_mod);
+    println!("  flow hash           {:>8.1} cycles", p.hash);
+    println!("  float (emulated)    {:>8.1} cycles", p.float_op);
+    println!("  threads             {:>8}          (8 per NPU)", p.total_threads);
+    println!("-- memory (§3.2) --");
+    for m in &p.mems {
+        let cache = m
+            .cache
+            .as_ref()
+            .map(|c| format!("cache ≈{:.1} MB @ {:.0} cyc", c.capacity / 1e6, c.hit_latency))
+            .unwrap_or_else(|| "no cache".into());
+        println!(
+            "  {:<16} {:>8.1} cycles, {:>6.2} cyc/B bulk, {}",
+            m.name, m.latency, m.bulk_per_byte, cache
+        );
+    }
+    println!("  (paper: LMEM 1-3, CTM 50, IMEM ≤250, EMEM ≤500 + 3 MB cache)");
+    println!("-- flow cache (§2.1) --");
+    println!("  hit cost            {:>8.1} cycles", p.flow_cache_hit);
+    println!("  capacity estimate   {:>8.0} entries", p.flow_cache_entries);
+    println!("-- checksum (§2.1: 1000 B ≈ 300 cycles at ingress; +1700 on NPU) --");
+    if let Some(a) = p.accels.get(&AccelKind::Checksum) {
+        println!("  accelerator @1000B  {:>8.1} cycles", a.base + a.per_byte * 1000.0);
+    }
+    println!(
+        "  software   @1000B  {:>8.1} cycles",
+        p.checksum_sw.base + p.checksum_sw.per_byte * 1040.0
+    );
+    println!("-- accelerator service curves --");
+    for (kind, a) in &p.accels {
+        println!("  {:<12} base {:>6.1} + {:>5.3} cyc/B", kind.to_string(), a.base, a.per_byte);
+    }
+}

@@ -1,0 +1,180 @@
+//! Benchmark harnesses regenerating every table and figure of the Clara
+//! paper.
+//!
+//! Each figure/table has a binary under `src/bin/` that prints the same
+//! rows/series the paper reports; this library holds the shared
+//! experiment drivers so the binaries and the integration tests agree on
+//! exactly what is measured.
+//!
+//! | artifact | binary |
+//! |---|---|
+//! | Figure 1 (variability) | `fig1_variability` |
+//! | Figure 3a (LPM)        | `fig3a_lpm` |
+//! | Figure 3b (VNF)        | `fig3b_vnf` |
+//! | Figure 3c (NAT)        | `fig3c_nat` |
+//! | §4 accuracy (12/3/7 %) | `table_accuracy` |
+//! | §3.2 parameter table   | `table_params` |
+//! | §6 throughput ext.     | `ext_throughput` |
+//! | §3.5 interference ext. | `ext_interference` |
+//! | §6 partial offload ext.| `ext_partial_offload` |
+//! | NIC selection ext.     | `ext_nic_selection` |
+//! | ablations              | `ablation_*` |
+
+use clara_core::nfs;
+use clara_core::sim::{simulate, NicProgram};
+use clara_core::{Clara, Lnic, WorkloadProfile};
+use clara_predict::{predict_with_options, PredictOptions};
+use std::sync::OnceLock;
+
+/// Packets per simulated point (the paper averages over 1M packets on
+/// hardware; the simulator converges much sooner).
+pub const SIM_PACKETS: usize = 4_000;
+
+/// The Netronome profile (built once).
+pub fn netronome() -> &'static Lnic {
+    static NIC: OnceLock<Lnic> = OnceLock::new();
+    NIC.get_or_init(clara_core::profiles::netronome_agilio_cx40)
+}
+
+/// Clara with extracted parameters (built once — the paper's "one-time
+/// effort per SmartNIC").
+pub fn clara() -> &'static Clara {
+    static C: OnceLock<Clara> = OnceLock::new();
+    C.get_or_init(|| Clara::new(netronome()))
+}
+
+/// One predicted-vs-actual point of a Figure-3 sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Point {
+    /// The sweep variable (table entries or payload bytes).
+    pub x: f64,
+    /// Clara's prediction, cycles.
+    pub predicted: f64,
+    /// Simulator ("hardware") measurement, cycles.
+    pub actual: f64,
+}
+
+impl Point {
+    /// Relative error of the prediction.
+    pub fn rel_error(&self) -> f64 {
+        (self.predicted - self.actual).abs() / self.actual
+    }
+}
+
+/// Mean absolute relative error over a series (the §4 inaccuracy metric).
+pub fn mean_error(points: &[Point]) -> f64 {
+    points.iter().map(Point::rel_error).sum::<f64>() / points.len().max(1) as f64
+}
+
+/// Steady-state mean simulated latency of a ported program.
+pub fn actual_cycles(program: &NicProgram, workload: &WorkloadProfile, packets: usize) -> f64 {
+    let trace = workload.to_trace(packets, 42);
+    let result = simulate(netronome(), program, &trace).expect("port must simulate");
+    // Steady state: discard the cold-start half, as the paper's 1M-packet
+    // averages do implicitly.
+    let tail = &result.latencies[result.latencies.len() / 2..];
+    tail.iter().sum::<u64>() as f64 / tail.len().max(1) as f64
+}
+
+/// Figure 3a: LPM latency vs number of table entries, predicted vs
+/// actual. The ported strategy is the software match/action scan (no
+/// flow cache), as in the paper's sweep.
+pub fn fig3a_series() -> Vec<Point> {
+    let workload = WorkloadProfile::paper_default();
+    (1..=6)
+        .map(|i| {
+            let entries = i * 5_000u64;
+            let module = clara()
+                .analyze(&nfs::lpm::source(entries))
+                .expect("LPM source compiles")
+                .module;
+            let predicted = predict_with_options(
+                &module,
+                clara().params(),
+                &workload,
+                PredictOptions {
+                    software_only: true,
+                    // The paper's sweep keeps the match/action rules in
+                    // DRAM; pin the same placement the port uses.
+                    pin_state: vec![("routes".into(), "emem".into())],
+                },
+            )
+            .expect("prediction succeeds")
+            .avg_latency_cycles;
+            let actual = actual_cycles(&nfs::lpm::ported_scan(entries), &workload, 1_500);
+            Point { x: entries as f64, predicted, actual }
+        })
+        .collect()
+}
+
+/// Figure 3b: VNF chain latency vs payload size, predicted vs actual.
+pub fn fig3b_series() -> Vec<Point> {
+    let module = clara()
+        .analyze(&nfs::vnf::source(
+            nfs::vnf::AUTOMATON_ENTRIES,
+            nfs::vnf::STAT_BUCKETS,
+        ))
+        .expect("VNF source compiles")
+        .module;
+    let program = nfs::vnf::ported();
+    (1..=7)
+        .map(|i| {
+            let payload = 200.0 * i as f64;
+            let workload = WorkloadProfile {
+                avg_payload: payload,
+                max_payload: payload as usize,
+                ..WorkloadProfile::paper_default()
+            };
+            let predicted = clara()
+                .predict_module(&module, &workload)
+                .expect("prediction succeeds")
+                .avg_latency_cycles;
+            let actual = actual_cycles(&program, &workload, 2_000);
+            Point { x: payload, predicted, actual }
+        })
+        .collect()
+}
+
+/// Figure 3c: NAT latency vs payload size, predicted vs actual.
+pub fn fig3c_series() -> Vec<Point> {
+    let module = clara()
+        .analyze(&nfs::nat::source())
+        .expect("NAT source compiles")
+        .module;
+    let program = nfs::nat::ported();
+    (1..=7)
+        .map(|i| {
+            let payload = 200.0 * i as f64;
+            let workload = WorkloadProfile {
+                avg_payload: payload,
+                max_payload: payload as usize,
+                ..WorkloadProfile::paper_default()
+            };
+            let predicted = clara()
+                .predict_module(&module, &workload)
+                .expect("prediction succeeds")
+                .avg_latency_cycles;
+            let actual = actual_cycles(&program, &workload, SIM_PACKETS);
+            Point { x: payload, predicted, actual }
+        })
+        .collect()
+}
+
+/// Render a predicted/actual series as an aligned text table.
+pub fn render_series(title: &str, x_label: &str, unit: &str, points: &[Point]) -> String {
+    let mut out = format!(
+        "{title}\n{:>12}  {:>16}  {:>16}  {:>7}\n",
+        x_label, "Predicted", "Actual", "err"
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{:>12}  {:>14.1} {unit}  {:>14.1} {unit}  {:>6.1}%\n",
+            p.x,
+            p.predicted,
+            p.actual,
+            p.rel_error() * 100.0
+        ));
+    }
+    out.push_str(&format!("mean abs. error: {:.1}%\n", mean_error(points) * 100.0));
+    out
+}

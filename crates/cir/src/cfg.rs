@@ -1,0 +1,300 @@
+//! CFG analyses over CIR functions: successors/predecessors,
+//! reachability, dominators, and natural-loop detection.
+//!
+//! The dataflow extraction (`clara-dataflow`) uses loops to recognize
+//! byte-scanning patterns and dominators to group blocks into coherent
+//! dataflow nodes.
+
+use crate::ir::{BlockId, CirFunction, Terminator};
+
+/// Successor block ids of a block.
+pub fn successors(f: &CirFunction, b: BlockId) -> Vec<BlockId> {
+    match &f.block(b).term {
+        Terminator::Jump(t) => vec![*t],
+        Terminator::Branch { then_bb, else_bb, .. } => {
+            if then_bb == else_bb {
+                vec![*then_bb]
+            } else {
+                vec![*then_bb, *else_bb]
+            }
+        }
+        Terminator::Return(_) => vec![],
+    }
+}
+
+/// Predecessor lists for every block.
+pub fn predecessors(f: &CirFunction) -> Vec<Vec<BlockId>> {
+    let mut preds = vec![Vec::new(); f.blocks.len()];
+    for i in 0..f.blocks.len() {
+        let b = BlockId(i as u32);
+        for s in successors(f, b) {
+            preds[s.0 as usize].push(b);
+        }
+    }
+    preds
+}
+
+/// Immediate dominators (entry dominates itself), via the classic
+/// iterative Cooper–Harvey–Kennedy algorithm over a reverse-postorder.
+pub fn dominators(f: &CirFunction) -> Vec<BlockId> {
+    let n = f.blocks.len();
+    let rpo = reverse_postorder(f);
+    let mut rpo_index = vec![usize::MAX; n];
+    for (i, &b) in rpo.iter().enumerate() {
+        rpo_index[b.0 as usize] = i;
+    }
+    let preds = predecessors(f);
+    let mut idom: Vec<Option<BlockId>> = vec![None; n];
+    idom[0] = Some(BlockId(0));
+
+    let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+        while a != b {
+            while rpo_index[a.0 as usize] > rpo_index[b.0 as usize] {
+                a = idom[a.0 as usize].expect("processed");
+            }
+            while rpo_index[b.0 as usize] > rpo_index[a.0 as usize] {
+                b = idom[b.0 as usize].expect("processed");
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom: Option<BlockId> = None;
+            for &p in &preds[b.0 as usize] {
+                if idom[p.0 as usize].is_some() {
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+            }
+            if let Some(ni) = new_idom {
+                if idom[b.0 as usize] != Some(ni) {
+                    idom[b.0 as usize] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom.into_iter()
+        .map(|d| d.unwrap_or(BlockId(0)))
+        .collect()
+}
+
+/// Whether `a` dominates `b` (reflexive).
+pub fn dominates(idom: &[BlockId], a: BlockId, b: BlockId) -> bool {
+    let mut cur = b;
+    loop {
+        if cur == a {
+            return true;
+        }
+        let next = idom[cur.0 as usize];
+        if next == cur {
+            return false; // reached entry
+        }
+        cur = next;
+    }
+}
+
+/// A natural loop: its header and member blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header (target of the back edge).
+    pub header: BlockId,
+    /// All blocks in the loop body, including the header.
+    pub blocks: Vec<BlockId>,
+}
+
+impl NaturalLoop {
+    /// Whether the loop contains a block.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.contains(&b)
+    }
+}
+
+/// Detect natural loops from back edges (`tail → header` where `header`
+/// dominates `tail`). Loops sharing a header are merged.
+pub fn natural_loops(f: &CirFunction) -> Vec<NaturalLoop> {
+    let idom = dominators(f);
+    let preds = predecessors(f);
+    let mut loops: Vec<NaturalLoop> = Vec::new();
+
+    for i in 0..f.blocks.len() {
+        let tail = BlockId(i as u32);
+        for header in successors(f, tail) {
+            if !dominates(&idom, header, tail) {
+                continue;
+            }
+            // Collect the loop body: header plus everything that reaches
+            // tail without passing through header.
+            let mut body = vec![header];
+            let mut stack = vec![tail];
+            while let Some(b) = stack.pop() {
+                if body.contains(&b) {
+                    continue;
+                }
+                body.push(b);
+                for &p in &preds[b.0 as usize] {
+                    stack.push(p);
+                }
+            }
+            body.sort();
+            match loops.iter_mut().find(|l| l.header == header) {
+                Some(existing) => {
+                    for b in body {
+                        if !existing.blocks.contains(&b) {
+                            existing.blocks.push(b);
+                        }
+                    }
+                    existing.blocks.sort();
+                }
+                None => loops.push(NaturalLoop { header, blocks: body }),
+            }
+        }
+    }
+    loops.sort_by_key(|l| l.header);
+    loops
+}
+
+/// Blocks in reverse postorder from the entry.
+pub fn reverse_postorder(f: &CirFunction) -> Vec<BlockId> {
+    let n = f.blocks.len();
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    // Iterative DFS with an explicit "exit" marker.
+    let mut stack: Vec<(BlockId, bool)> = vec![(BlockId(0), false)];
+    while let Some((b, processed)) = stack.pop() {
+        if processed {
+            post.push(b);
+            continue;
+        }
+        if visited[b.0 as usize] {
+            continue;
+        }
+        visited[b.0 as usize] = true;
+        stack.push((b, true));
+        for s in successors(f, b).into_iter().rev() {
+            if !visited[s.0 as usize] {
+                stack.push((s, false));
+            }
+        }
+    }
+    post.reverse();
+    post
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use clara_lang::frontend;
+
+    fn func(src: &str) -> CirFunction {
+        lower(&frontend(src).unwrap()).unwrap().handle
+    }
+
+    fn diamond() -> CirFunction {
+        func(
+            "nf t { fn handle(pkt: packet) -> action {
+                let x: u64 = 0;
+                if (pkt.is_tcp) { x = 1; } else { x = 2; }
+                if (x == 1) { return forward; }
+                return drop; } }",
+        )
+    }
+
+    fn looped() -> CirFunction {
+        func(
+            "nf t { fn handle(pkt: packet) -> action {
+                let i: u64 = 0;
+                while (i < pkt.payload_len) { i = i + 1; }
+                return forward; } }",
+        )
+    }
+
+    #[test]
+    fn successors_and_predecessors_agree() {
+        let f = diamond();
+        let preds = predecessors(&f);
+        for i in 0..f.blocks.len() {
+            for s in successors(&f, BlockId(i as u32)) {
+                assert!(preds[s.0 as usize].contains(&BlockId(i as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn entry_dominates_everything() {
+        let f = diamond();
+        let idom = dominators(&f);
+        for i in 0..f.blocks.len() {
+            assert!(dominates(&idom, BlockId(0), BlockId(i as u32)));
+        }
+    }
+
+    #[test]
+    fn branch_arms_do_not_dominate_join() {
+        let f = diamond();
+        let idom = dominators(&f);
+        // Find the branch in the entry block and its join: the arms are
+        // blocks 1 and 2, the join follows. Arms must not dominate the
+        // block their branch rejoins into.
+        let Terminator::Branch { then_bb, else_bb, .. } = &f.blocks[0].term else {
+            panic!("entry should branch");
+        };
+        let join = successors(&f, *then_bb)[0];
+        assert!(!dominates(&idom, *then_bb, join));
+        assert!(!dominates(&idom, *else_bb, join));
+        assert_eq!(idom[join.0 as usize], BlockId(0));
+    }
+
+    #[test]
+    fn while_loop_detected() {
+        let f = looped();
+        let loops = natural_loops(&f);
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        // Header and body block are both inside the loop.
+        assert!(l.blocks.len() >= 2);
+        assert!(l.contains(l.header));
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let f = func("nf t { fn handle(pkt: packet) -> action { return drop; } }");
+        assert!(natural_loops(&f).is_empty());
+    }
+
+    #[test]
+    fn nested_loops_detected() {
+        let f = func(
+            "nf t { fn handle(pkt: packet) -> action {
+                let i: u64 = 0;
+                while (i < 4) {
+                    let j: u64 = 0;
+                    while (j < 4) { j = j + 1; }
+                    i = i + 1;
+                }
+                return forward; } }",
+        );
+        let loops = natural_loops(&f);
+        assert_eq!(loops.len(), 2);
+        // The outer loop contains the inner loop's header.
+        let outer = loops.iter().max_by_key(|l| l.blocks.len()).unwrap();
+        let inner = loops.iter().min_by_key(|l| l.blocks.len()).unwrap();
+        assert!(outer.contains(inner.header));
+        assert!(!inner.contains(outer.header));
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_all() {
+        let f = diamond();
+        let rpo = reverse_postorder(&f);
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo.len(), f.blocks.len());
+    }
+}

@@ -1,0 +1,437 @@
+//! CIR data types.
+
+use clara_lang::StateKind;
+use core::fmt;
+
+/// A virtual register (local value slot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u32);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// A basic block index within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// Index of a state table within the module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub u32);
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// A register.
+    Reg(Reg),
+    /// An immediate constant.
+    Imm(u64),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Arithmetic / logical operations (booleans are 0/1 integers at this
+/// level; short-circuit operators were lowered to control flow).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Wrapping add.
+    Add,
+    /// Wrapping subtract.
+    Sub,
+    /// Wrapping multiply.
+    Mul,
+    /// Unsigned divide (x/0 = 0, matching NIC datapath semantics).
+    Div,
+    /// Unsigned remainder (x%0 = x).
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left (by rhs & 63).
+    Shl,
+    /// Logical shift right (by rhs & 63).
+    Shr,
+    /// Equality, producing 0/1.
+    Eq,
+    /// Inequality, producing 0/1.
+    Ne,
+    /// Unsigned less-than, producing 0/1.
+    Lt,
+    /// Unsigned less-or-equal, producing 0/1.
+    Le,
+    /// Unsigned greater-than, producing 0/1.
+    Gt,
+    /// Unsigned greater-or-equal, producing 0/1.
+    Ge,
+}
+
+impl Op {
+    /// Evaluate the operation on concrete values.
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        match self {
+            Op::Add => a.wrapping_add(b),
+            Op::Sub => a.wrapping_sub(b),
+            Op::Mul => a.wrapping_mul(b),
+            Op::Div => a.checked_div(b).unwrap_or(0),
+            Op::Rem => a.checked_rem(b).unwrap_or(a),
+            Op::And => a & b,
+            Op::Or => a | b,
+            Op::Xor => a ^ b,
+            Op::Shl => a.wrapping_shl(b as u32 & 63),
+            Op::Shr => a.wrapping_shr(b as u32 & 63),
+            Op::Eq => (a == b) as u64,
+            Op::Ne => (a != b) as u64,
+            Op::Lt => (a < b) as u64,
+            Op::Le => (a <= b) as u64,
+            Op::Gt => (a > b) as u64,
+            Op::Ge => (a >= b) as u64,
+        }
+    }
+
+    /// Whether this is a multiply.
+    pub fn is_mul(self) -> bool {
+        matches!(self, Op::Mul)
+    }
+
+    /// Whether this is a divide or remainder.
+    pub fn is_div(self) -> bool {
+        matches!(self, Op::Div | Op::Rem)
+    }
+}
+
+/// Packet header / metadata fields addressable from CIR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketField {
+    /// IPv4 source address.
+    SrcIp,
+    /// IPv4 destination address.
+    DstIp,
+    /// Transport source port.
+    SrcPort,
+    /// Transport destination port.
+    DstPort,
+    /// IP protocol number.
+    Proto,
+    /// Time-to-live.
+    Ttl,
+    /// TCP flag byte (0 for UDP).
+    TcpFlags,
+    /// Transport payload length.
+    PayloadLen,
+    /// IP total length.
+    TotalLen,
+    /// 1 if TCP.
+    IsTcp,
+    /// 1 if UDP.
+    IsUdp,
+    /// 1 if TCP SYN.
+    IsSyn,
+}
+
+impl PacketField {
+    /// Parse a source-level field name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "src_ip" => PacketField::SrcIp,
+            "dst_ip" => PacketField::DstIp,
+            "src_port" => PacketField::SrcPort,
+            "dst_port" => PacketField::DstPort,
+            "proto" => PacketField::Proto,
+            "ttl" => PacketField::Ttl,
+            "tcp_flags" => PacketField::TcpFlags,
+            "payload_len" => PacketField::PayloadLen,
+            "total_len" => PacketField::TotalLen,
+            "is_tcp" => PacketField::IsTcp,
+            "is_udp" => PacketField::IsUdp,
+            "is_syn" => PacketField::IsSyn,
+            _ => return None,
+        })
+    }
+}
+
+/// Virtual calls: framework/builtin operations named by their SmartNIC
+/// semantics. Vcall substitution is the heart of §3.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VCall {
+    /// Parse packet headers (`vcall_get_hdr` in the paper's example).
+    ParseHeader,
+    /// Full checksum over header + payload.
+    ChecksumFull,
+    /// Incremental checksum fix-up after header rewrites.
+    ChecksumIncr,
+    /// Encrypt/decrypt the payload.
+    Crypto,
+    /// Byte-wise payload scan against a signature set (the DPI loop).
+    PayloadScan,
+    /// Hash the integer arguments into a 64-bit key.
+    Hash,
+    /// Exact-match lookup in a state table.
+    TableLookup(StateId),
+    /// Insert/update in a state table.
+    TableWrite(StateId),
+    /// Longest-prefix match against a rule table.
+    LpmLookup(StateId),
+    /// Counter/sketch increment.
+    CounterAdd(StateId),
+    /// Counter/sketch read.
+    CounterRead(StateId),
+    /// Dense array read.
+    ArrayRead(StateId),
+    /// Dense array write.
+    ArrayWrite(StateId),
+    /// Read a packet header/metadata field.
+    MetadataRead(PacketField),
+    /// Write a packet header/metadata field.
+    MetadataWrite(PacketField),
+    /// Read one payload byte.
+    PayloadByte,
+    /// Token-bucket metering decision.
+    Meter,
+    /// Floating-point helper (exercises FPU emulation).
+    FloatOp,
+    /// Logging (free on the datapath).
+    Log,
+}
+
+impl VCall {
+    /// The state table this vcall touches, if any.
+    pub fn state(self) -> Option<StateId> {
+        match self {
+            VCall::TableLookup(s)
+            | VCall::TableWrite(s)
+            | VCall::LpmLookup(s)
+            | VCall::CounterAdd(s)
+            | VCall::CounterRead(s)
+            | VCall::ArrayRead(s)
+            | VCall::ArrayWrite(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether the cost of this vcall scales with payload size.
+    pub fn is_payload_sized(self) -> bool {
+        matches!(self, VCall::ChecksumFull | VCall::Crypto | VCall::PayloadScan)
+    }
+}
+
+impl fmt::Display for VCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VCall::ParseHeader => write!(f, "vcall_get_hdr"),
+            VCall::ChecksumFull => write!(f, "vcall_cksum"),
+            VCall::ChecksumIncr => write!(f, "vcall_cksum_incr"),
+            VCall::Crypto => write!(f, "vcall_crypto"),
+            VCall::PayloadScan => write!(f, "vcall_scan"),
+            VCall::Hash => write!(f, "vcall_hash"),
+            VCall::TableLookup(s) => write!(f, "vcall_tbl_lookup[{}]", s.0),
+            VCall::TableWrite(s) => write!(f, "vcall_tbl_write[{}]", s.0),
+            VCall::LpmLookup(s) => write!(f, "vcall_lpm[{}]", s.0),
+            VCall::CounterAdd(s) => write!(f, "vcall_ctr_add[{}]", s.0),
+            VCall::CounterRead(s) => write!(f, "vcall_ctr_read[{}]", s.0),
+            VCall::ArrayRead(s) => write!(f, "vcall_arr_read[{}]", s.0),
+            VCall::ArrayWrite(s) => write!(f, "vcall_arr_write[{}]", s.0),
+            VCall::MetadataRead(field) => write!(f, "vcall_md_read[{field:?}]"),
+            VCall::MetadataWrite(field) => write!(f, "vcall_md_write[{field:?}]"),
+            VCall::PayloadByte => write!(f, "vcall_payload_byte"),
+            VCall::Meter => write!(f, "vcall_meter"),
+            VCall::FloatOp => write!(f, "vcall_float"),
+            VCall::Log => write!(f, "vcall_log"),
+        }
+    }
+}
+
+/// A CIR instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// `dst = imm`
+    Const {
+        /// Destination register.
+        dst: Reg,
+        /// Constant value.
+        value: u64,
+    },
+    /// `dst = src` (register copy).
+    Copy {
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dst = op(lhs, rhs)`
+    Binary {
+        /// Destination register.
+        dst: Reg,
+        /// The operation.
+        op: Op,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `dst? = vcall(args...)`
+    VCall {
+        /// Destination register (None for void vcalls).
+        dst: Option<Reg>,
+        /// Which virtual call.
+        call: VCall,
+        /// Arguments.
+        args: Vec<Operand>,
+    },
+}
+
+/// How a basic block ends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on a 0/1 condition.
+    Branch {
+        /// Condition operand (non-zero = taken).
+        cond: Operand,
+        /// Target when the condition is non-zero.
+        then_bb: BlockId,
+        /// Target when the condition is zero.
+        else_bb: BlockId,
+    },
+    /// Return the NF verdict (non-zero = forward, zero = drop).
+    Return(Operand),
+}
+
+/// A basic block: straight-line instructions plus a terminator. LLVM's
+/// definition applies: "a sequence of bytecode instructions without
+/// branches or jumps — they are always executed as a whole" (§3.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasicBlock {
+    /// Instructions in order.
+    pub instrs: Vec<Instr>,
+    /// How the block exits.
+    pub term: Terminator,
+}
+
+/// A lowered function (only `handle` survives lowering; helpers are
+/// inlined).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CirFunction {
+    /// Basic blocks; `BlockId(0)` is the entry.
+    pub blocks: Vec<BasicBlock>,
+    /// Number of virtual registers used.
+    pub num_regs: u32,
+}
+
+impl CirFunction {
+    /// The block behind an id.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Total instruction count across all blocks.
+    pub fn num_instrs(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrs.len()).sum()
+    }
+
+    /// Iterate over all vcalls with their block ids.
+    pub fn vcalls(&self) -> impl Iterator<Item = (BlockId, &VCall)> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(i, b)| {
+            b.instrs.iter().filter_map(move |instr| match instr {
+                Instr::VCall { call, .. } => Some((BlockId(i as u32), call)),
+                _ => None,
+            })
+        })
+    }
+}
+
+/// State-table metadata carried into the IR.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateInfo {
+    /// Source-level name.
+    pub name: String,
+    /// Table kind.
+    pub kind: StateKind,
+    /// Capacity (entries / rules / buckets).
+    pub capacity: u64,
+    /// Approximate footprint in bytes.
+    pub size_bytes: usize,
+}
+
+/// A lowered NF module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CirModule {
+    /// NF name.
+    pub name: String,
+    /// State tables, indexed by [`StateId`].
+    pub states: Vec<StateInfo>,
+    /// The lowered packet handler.
+    pub handle: CirFunction,
+}
+
+impl CirModule {
+    /// State info behind an id.
+    pub fn state(&self, id: StateId) -> &StateInfo {
+        &self.states[id.0 as usize]
+    }
+
+    /// Find a state by source name.
+    pub fn state_named(&self, name: &str) -> Option<StateId> {
+        self.states
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| StateId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_eval_semantics() {
+        assert_eq!(Op::Add.eval(u64::MAX, 1), 0); // wrapping
+        assert_eq!(Op::Div.eval(10, 0), 0);
+        assert_eq!(Op::Rem.eval(10, 0), 10);
+        assert_eq!(Op::Shl.eval(1, 65), 2); // shift amount masked
+        assert_eq!(Op::Lt.eval(1, 2), 1);
+        assert_eq!(Op::Ge.eval(1, 2), 0);
+        assert_eq!(Op::Xor.eval(0b1100, 0b1010), 0b0110);
+    }
+
+    #[test]
+    fn vcall_state_extraction() {
+        assert_eq!(VCall::TableLookup(StateId(3)).state(), Some(StateId(3)));
+        assert_eq!(VCall::Hash.state(), None);
+        assert!(VCall::ChecksumFull.is_payload_sized());
+        assert!(!VCall::TableLookup(StateId(0)).is_payload_sized());
+    }
+
+    #[test]
+    fn packet_field_names() {
+        assert_eq!(PacketField::from_name("src_ip"), Some(PacketField::SrcIp));
+        assert_eq!(PacketField::from_name("is_syn"), Some(PacketField::IsSyn));
+        assert_eq!(PacketField::from_name("nope"), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg(4).to_string(), "%4");
+        assert_eq!(BlockId(2).to_string(), "bb2");
+        assert_eq!(VCall::ParseHeader.to_string(), "vcall_get_hdr");
+        assert_eq!(VCall::TableLookup(StateId(1)).to_string(), "vcall_tbl_lookup[1]");
+    }
+}

@@ -1,0 +1,877 @@
+//! AST → CIR lowering.
+//!
+//! User functions are inlined at call sites, short-circuit boolean
+//! operators become control flow, `pkt.decrement_ttl()` style helpers
+//! expand to read-modify-write vcall sequences, and every builtin /
+//! framework call is substituted with its [`VCall`]. Unreachable blocks
+//! produced by lowering (e.g. join points after both arms return) are
+//! pruned before the module is returned.
+
+use crate::ir::*;
+use clara_lang::builtins::{lookup_builtin, lookup_method, Receiver};
+use clara_lang::{
+    BinOp, Block, BuiltinClass, Expr, ExprKind, FnDecl, NfProgram, Stmt, StmtKind, UnOp,
+};
+use std::collections::HashMap;
+
+/// Errors from lowering. The type checker rules these out for checked
+/// programs; they surface only when lowering unchecked ASTs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowerError {
+    /// The program has no `handle` function.
+    MissingHandle,
+    /// A name did not resolve (variable, function, state, or method).
+    Unresolved(String),
+    /// `pkt.decrement_ttl`-style expansion hit an unsupported shape.
+    Unsupported(String),
+}
+
+impl core::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LowerError::MissingHandle => write!(f, "program has no `handle` function"),
+            LowerError::Unresolved(n) => write!(f, "unresolved name `{n}`"),
+            LowerError::Unsupported(m) => write!(f, "unsupported construct: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Lower a checked NF program to CIR.
+pub fn lower(program: &NfProgram) -> Result<CirModule, LowerError> {
+    let handle = program.handle_fn().ok_or(LowerError::MissingHandle)?;
+    let states: Vec<StateInfo> = program
+        .states
+        .iter()
+        .map(|s| StateInfo {
+            name: s.name.clone(),
+            kind: s.kind.clone(),
+            capacity: s.capacity,
+            size_bytes: s.size_bytes(),
+        })
+        .collect();
+
+    let mut ctx = Lowering {
+        program,
+        blocks: vec![PendingBlock::new()],
+        current: BlockId(0),
+        next_reg: 0,
+        vars: HashMap::new(),
+        inline_stack: Vec::new(),
+    };
+    // Bind the packet parameter name (its value is implicit; reads go
+    // through MetadataRead vcalls, so no register is needed).
+    ctx.vars.insert(handle.params[0].name.clone(), Binding::Packet);
+    for c in &program.consts {
+        ctx.vars.insert(c.name.clone(), Binding::Const(c.value));
+    }
+    ctx.lower_block(&handle.body)?;
+    // The checker guarantees all paths return; any still-open block is
+    // unreachable. Terminate it so the IR is well-formed, then prune.
+    ctx.terminate_open_blocks();
+
+    let handle = prune_unreachable(CirFunction {
+        blocks: ctx
+            .blocks
+            .into_iter()
+            .map(|b| BasicBlock {
+                instrs: b.instrs,
+                term: b.term.expect("all blocks terminated"),
+            })
+            .collect(),
+        num_regs: ctx.next_reg,
+    });
+
+    Ok(CirModule { name: program.name.clone(), states, handle })
+}
+
+#[derive(Debug, Clone)]
+enum Binding {
+    Reg(Reg),
+    Const(u64),
+    Packet,
+}
+
+struct PendingBlock {
+    instrs: Vec<Instr>,
+    term: Option<Terminator>,
+}
+
+impl PendingBlock {
+    fn new() -> Self {
+        PendingBlock { instrs: Vec::new(), term: None }
+    }
+}
+
+struct InlineFrame {
+    ret_reg: Reg,
+    cont_bb: BlockId,
+}
+
+struct Lowering<'a> {
+    program: &'a NfProgram,
+    blocks: Vec<PendingBlock>,
+    current: BlockId,
+    next_reg: u32,
+    vars: HashMap<String, Binding>,
+    inline_stack: Vec<InlineFrame>,
+}
+
+impl<'a> Lowering<'a> {
+    fn fresh(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        self.blocks.push(PendingBlock::new());
+        BlockId((self.blocks.len() - 1) as u32)
+    }
+
+    fn emit(&mut self, instr: Instr) {
+        let b = &mut self.blocks[self.current.0 as usize];
+        if b.term.is_none() {
+            b.instrs.push(instr);
+        }
+        // Instructions after a terminator are unreachable; drop them.
+    }
+
+    fn set_term(&mut self, term: Terminator) {
+        let b = &mut self.blocks[self.current.0 as usize];
+        if b.term.is_none() {
+            b.term = Some(term);
+        }
+    }
+
+    fn terminate_open_blocks(&mut self) {
+        for b in &mut self.blocks {
+            if b.term.is_none() {
+                b.term = Some(Terminator::Return(Operand::Imm(1)));
+            }
+        }
+    }
+
+    fn lower_block(&mut self, block: &Block) -> Result<(), LowerError> {
+        let saved = self.vars.clone();
+        for stmt in &block.stmts {
+            self.lower_stmt(stmt)?;
+        }
+        self.vars = saved;
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) -> Result<(), LowerError> {
+        match &stmt.kind {
+            StmtKind::Let { name, value, .. } => {
+                let v = self.lower_expr(value)?;
+                let dst = self.fresh();
+                self.emit(Instr::Copy { dst, src: v });
+                self.vars.insert(name.clone(), Binding::Reg(dst));
+                Ok(())
+            }
+            StmtKind::Assign { name, value } => {
+                let v = self.lower_expr(value)?;
+                match self.vars.get(name) {
+                    Some(Binding::Reg(dst)) => {
+                        let dst = *dst;
+                        self.emit(Instr::Copy { dst, src: v });
+                        Ok(())
+                    }
+                    _ => Err(LowerError::Unresolved(name.clone())),
+                }
+            }
+            StmtKind::If { cond, then_block, else_block } => {
+                let c = self.lower_expr(cond)?;
+                let then_bb = self.new_block();
+                let else_bb = self.new_block();
+                let end_bb = self.new_block();
+                self.set_term(Terminator::Branch { cond: c, then_bb, else_bb });
+
+                self.current = then_bb;
+                self.lower_block(then_block)?;
+                self.set_term(Terminator::Jump(end_bb));
+
+                self.current = else_bb;
+                if let Some(e) = else_block {
+                    self.lower_block(e)?;
+                }
+                self.set_term(Terminator::Jump(end_bb));
+
+                self.current = end_bb;
+                Ok(())
+            }
+            StmtKind::While { cond, body } => {
+                let head = self.new_block();
+                let body_bb = self.new_block();
+                let end_bb = self.new_block();
+                self.set_term(Terminator::Jump(head));
+
+                self.current = head;
+                let c = self.lower_expr(cond)?;
+                self.set_term(Terminator::Branch { cond: c, then_bb: body_bb, else_bb: end_bb });
+
+                self.current = body_bb;
+                self.lower_block(body)?;
+                self.set_term(Terminator::Jump(head));
+
+                self.current = end_bb;
+                Ok(())
+            }
+            StmtKind::For { var, lo, hi, body } => {
+                let lo_v = self.lower_expr(lo)?;
+                let hi_v = self.lower_expr(hi)?;
+                let i = self.fresh();
+                self.emit(Instr::Copy { dst: i, src: lo_v });
+                // Pin the bound into a register so re-evaluation is cheap.
+                let bound = self.fresh();
+                self.emit(Instr::Copy { dst: bound, src: hi_v });
+
+                let head = self.new_block();
+                let body_bb = self.new_block();
+                let end_bb = self.new_block();
+                self.set_term(Terminator::Jump(head));
+
+                self.current = head;
+                let c = self.fresh();
+                self.emit(Instr::Binary {
+                    dst: c,
+                    op: Op::Lt,
+                    lhs: Operand::Reg(i),
+                    rhs: Operand::Reg(bound),
+                });
+                self.set_term(Terminator::Branch {
+                    cond: Operand::Reg(c),
+                    then_bb: body_bb,
+                    else_bb: end_bb,
+                });
+
+                self.current = body_bb;
+                let saved = self.vars.clone();
+                self.vars.insert(var.clone(), Binding::Reg(i));
+                self.lower_block(body)?;
+                self.vars = saved;
+                self.emit(Instr::Binary {
+                    dst: i,
+                    op: Op::Add,
+                    lhs: Operand::Reg(i),
+                    rhs: Operand::Imm(1),
+                });
+                self.set_term(Terminator::Jump(head));
+
+                self.current = end_bb;
+                Ok(())
+            }
+            StmtKind::Return(value) => {
+                let v = match value {
+                    Some(e) => self.lower_expr(e)?,
+                    None => Operand::Imm(0),
+                };
+                if let Some(frame) = self.inline_stack.last() {
+                    let (ret_reg, cont_bb) = (frame.ret_reg, frame.cont_bb);
+                    self.emit(Instr::Copy { dst: ret_reg, src: v });
+                    self.set_term(Terminator::Jump(cont_bb));
+                    // Continue lowering any dead statements into a fresh
+                    // unreachable block.
+                    let dead = self.new_block();
+                    self.current = dead;
+                } else {
+                    self.set_term(Terminator::Return(v));
+                    let dead = self.new_block();
+                    self.current = dead;
+                }
+                Ok(())
+            }
+            StmtKind::Expr(e) => {
+                self.lower_expr(e)?;
+                Ok(())
+            }
+        }
+    }
+
+    fn lower_expr(&mut self, expr: &Expr) -> Result<Operand, LowerError> {
+        match &expr.kind {
+            ExprKind::Int(v) => Ok(Operand::Imm(*v)),
+            ExprKind::Bool(b) => Ok(Operand::Imm(*b as u64)),
+            ExprKind::ActionLit(forward) => Ok(Operand::Imm(*forward as u64)),
+            ExprKind::Ident(name) => match self.vars.get(name) {
+                Some(Binding::Reg(r)) => Ok(Operand::Reg(*r)),
+                Some(Binding::Const(v)) => Ok(Operand::Imm(*v)),
+                Some(Binding::Packet) => Err(LowerError::Unsupported(
+                    "packet used as a value".into(),
+                )),
+                None => Err(LowerError::Unresolved(name.clone())),
+            },
+            ExprKind::Unary(op, inner) => {
+                let v = self.lower_expr(inner)?;
+                let dst = self.fresh();
+                match op {
+                    UnOp::Not => self.emit(Instr::Binary {
+                        dst,
+                        op: Op::Eq,
+                        lhs: v,
+                        rhs: Operand::Imm(0),
+                    }),
+                    UnOp::Neg => self.emit(Instr::Binary {
+                        dst,
+                        op: Op::Sub,
+                        lhs: Operand::Imm(0),
+                        rhs: v,
+                    }),
+                }
+                Ok(Operand::Reg(dst))
+            }
+            ExprKind::Binary(BinOp::LogicalAnd, lhs, rhs) => {
+                self.lower_short_circuit(lhs, rhs, true)
+            }
+            ExprKind::Binary(BinOp::LogicalOr, lhs, rhs) => {
+                self.lower_short_circuit(lhs, rhs, false)
+            }
+            ExprKind::Binary(op, lhs, rhs) => {
+                let l = self.lower_expr(lhs)?;
+                let r = self.lower_expr(rhs)?;
+                let dst = self.fresh();
+                // Strength reduction (Clara mimics a compiler, and NPU
+                // cores have no divide unit): x % 2^k -> x & (2^k - 1),
+                // x / 2^k -> x >> k, x * 2^k -> x << k.
+                let (op, r) = match (map_binop(*op), r) {
+                    (Op::Rem, Operand::Imm(c)) if c.is_power_of_two() => {
+                        (Op::And, Operand::Imm(c - 1))
+                    }
+                    (Op::Div, Operand::Imm(c)) if c.is_power_of_two() => {
+                        (Op::Shr, Operand::Imm(c.trailing_zeros() as u64))
+                    }
+                    (Op::Mul, Operand::Imm(c)) if c.is_power_of_two() => {
+                        (Op::Shl, Operand::Imm(c.trailing_zeros() as u64))
+                    }
+                    (op, r) => (op, r),
+                };
+                self.emit(Instr::Binary { dst, op, lhs: l, rhs: r });
+                Ok(Operand::Reg(dst))
+            }
+            ExprKind::Call { name, args } => {
+                if let Some(builtin) = lookup_builtin(name) {
+                    return self.lower_vcall(builtin.class, None, args, builtin.ret);
+                }
+                if let Some(f) = self.program.function(name) {
+                    let f = f.clone();
+                    return self.inline_call(&f, args);
+                }
+                Err(LowerError::Unresolved(name.clone()))
+            }
+            ExprKind::MethodCall { recv, method, args } => {
+                // Packet helper with read-modify-write expansion.
+                if matches!(self.vars.get(recv), Some(Binding::Packet))
+                    && method == "decrement_ttl"
+                {
+                    let ttl = self.fresh();
+                    self.emit(Instr::VCall {
+                        dst: Some(ttl),
+                        call: VCall::MetadataRead(PacketField::Ttl),
+                        args: vec![],
+                    });
+                    let dec = self.fresh();
+                    self.emit(Instr::Binary {
+                        dst: dec,
+                        op: Op::Sub,
+                        lhs: Operand::Reg(ttl),
+                        rhs: Operand::Imm(1),
+                    });
+                    self.emit(Instr::VCall {
+                        dst: None,
+                        call: VCall::MetadataWrite(PacketField::Ttl),
+                        args: vec![Operand::Reg(dec)],
+                    });
+                    return Ok(Operand::Imm(0));
+                }
+
+                let (builtin, state) = self.resolve_method(recv, method)?;
+                // Packet metadata writes name the field via the method.
+                if builtin.class == BuiltinClass::MetadataWrite {
+                    let field = method
+                        .strip_prefix("set_")
+                        .and_then(PacketField::from_name)
+                        .ok_or_else(|| {
+                            LowerError::Unsupported(format!("metadata write `{method}`"))
+                        })?;
+                    let mut lowered = Vec::new();
+                    for a in args {
+                        lowered.push(self.lower_expr(a)?);
+                    }
+                    self.emit(Instr::VCall {
+                        dst: None,
+                        call: VCall::MetadataWrite(field),
+                        args: lowered,
+                    });
+                    return Ok(Operand::Imm(0));
+                }
+                self.lower_vcall_with_state(builtin.class, state, args, builtin.ret)
+            }
+            ExprKind::Field { recv, field } => {
+                if !matches!(self.vars.get(recv), Some(Binding::Packet)) {
+                    return Err(LowerError::Unresolved(recv.clone()));
+                }
+                let pf = PacketField::from_name(field)
+                    .ok_or_else(|| LowerError::Unresolved(format!("{recv}.{field}")))?;
+                let dst = self.fresh();
+                self.emit(Instr::VCall {
+                    dst: Some(dst),
+                    call: VCall::MetadataRead(pf),
+                    args: vec![],
+                });
+                Ok(Operand::Reg(dst))
+            }
+        }
+    }
+
+    fn resolve_method(
+        &self,
+        recv: &str,
+        method: &str,
+    ) -> Result<(clara_lang::Builtin, Option<StateId>), LowerError> {
+        if let Some(id) = self
+            .program
+            .states
+            .iter()
+            .position(|s| s.name == recv)
+        {
+            let kind = &self.program.states[id].kind;
+            let b = lookup_method(Receiver::State(kind), method)
+                .ok_or_else(|| LowerError::Unresolved(format!("{recv}.{method}")))?;
+            return Ok((b, Some(StateId(id as u32))));
+        }
+        if clara_lang::builtins::is_namespace(recv) {
+            let ns = match recv {
+                "dpdk" => "dpdk",
+                "click" => "click",
+                _ => "bpf",
+            };
+            let b = lookup_method(Receiver::Namespace(ns), method)
+                .ok_or_else(|| LowerError::Unresolved(format!("{recv}.{method}")))?;
+            return Ok((b, None));
+        }
+        if matches!(self.vars.get(recv), Some(Binding::Packet)) {
+            let b = lookup_method(Receiver::Packet, method)
+                .ok_or_else(|| LowerError::Unresolved(format!("{recv}.{method}")))?;
+            return Ok((b, None));
+        }
+        Err(LowerError::Unresolved(recv.to_string()))
+    }
+
+    fn lower_vcall(
+        &mut self,
+        class: BuiltinClass,
+        state: Option<StateId>,
+        args: &[Expr],
+        ret: clara_lang::Type,
+    ) -> Result<Operand, LowerError> {
+        self.lower_vcall_with_state(class, state, args, ret)
+    }
+
+    fn lower_vcall_with_state(
+        &mut self,
+        class: BuiltinClass,
+        state: Option<StateId>,
+        args: &[Expr],
+        ret: clara_lang::Type,
+    ) -> Result<Operand, LowerError> {
+        let call = vcall_for(class, state)?;
+        let mut lowered = Vec::new();
+        for a in args {
+            // Packet arguments are implicit at the IR level.
+            if matches!(&a.kind, ExprKind::Ident(n) if matches!(self.vars.get(n), Some(Binding::Packet)))
+            {
+                continue;
+            }
+            lowered.push(self.lower_expr(a)?);
+        }
+        let dst = if ret == clara_lang::Type::Void { None } else { Some(self.fresh()) };
+        self.emit(Instr::VCall { dst, call, args: lowered });
+        Ok(dst.map(Operand::Reg).unwrap_or(Operand::Imm(0)))
+    }
+
+    fn lower_short_circuit(
+        &mut self,
+        lhs: &Expr,
+        rhs: &Expr,
+        is_and: bool,
+    ) -> Result<Operand, LowerError> {
+        let result = self.fresh();
+        // Default value if we short-circuit: 0 for &&, 1 for ||.
+        self.emit(Instr::Const { dst: result, value: if is_and { 0 } else { 1 } });
+        let l = self.lower_expr(lhs)?;
+        let rhs_bb = self.new_block();
+        let end_bb = self.new_block();
+        if is_and {
+            self.set_term(Terminator::Branch { cond: l, then_bb: rhs_bb, else_bb: end_bb });
+        } else {
+            self.set_term(Terminator::Branch { cond: l, then_bb: end_bb, else_bb: rhs_bb });
+        }
+        self.current = rhs_bb;
+        let r = self.lower_expr(rhs)?;
+        // Normalize to 0/1.
+        self.emit(Instr::Binary { dst: result, op: Op::Ne, lhs: r, rhs: Operand::Imm(0) });
+        self.set_term(Terminator::Jump(end_bb));
+        self.current = end_bb;
+        Ok(Operand::Reg(result))
+    }
+
+    fn inline_call(&mut self, f: &FnDecl, args: &[Expr]) -> Result<Operand, LowerError> {
+        // Evaluate arguments in the caller's scope.
+        let mut arg_vals = Vec::new();
+        for (a, p) in args.iter().zip(&f.params) {
+            if p.ty == clara_lang::Type::Packet {
+                arg_vals.push(None);
+            } else {
+                arg_vals.push(Some(self.lower_expr(a)?));
+            }
+        }
+        let ret_reg = self.fresh();
+        let cont_bb = self.new_block();
+
+        let saved_vars = self.vars.clone();
+        // Callee scope: constants remain visible, parameters bound fresh.
+        let mut callee_vars: HashMap<String, Binding> = HashMap::new();
+        for c in &self.program.consts {
+            callee_vars.insert(c.name.clone(), Binding::Const(c.value));
+        }
+        for (p, v) in f.params.iter().zip(arg_vals) {
+            match v {
+                Some(op) => {
+                    let r = self.fresh();
+                    self.emit(Instr::Copy { dst: r, src: op });
+                    callee_vars.insert(p.name.clone(), Binding::Reg(r));
+                }
+                None => {
+                    callee_vars.insert(p.name.clone(), Binding::Packet);
+                }
+            }
+        }
+        self.vars = callee_vars;
+        self.inline_stack.push(InlineFrame { ret_reg, cont_bb });
+        self.lower_block(&f.body)?;
+        // Void functions can fall off the end.
+        self.set_term(Terminator::Jump(cont_bb));
+        self.inline_stack.pop();
+        self.vars = saved_vars;
+        self.current = cont_bb;
+        Ok(Operand::Reg(ret_reg))
+    }
+}
+
+fn map_binop(op: BinOp) -> Op {
+    match op {
+        BinOp::Add => Op::Add,
+        BinOp::Sub => Op::Sub,
+        BinOp::Mul => Op::Mul,
+        BinOp::Div => Op::Div,
+        BinOp::Rem => Op::Rem,
+        BinOp::And => Op::And,
+        BinOp::Or => Op::Or,
+        BinOp::Xor => Op::Xor,
+        BinOp::Shl => Op::Shl,
+        BinOp::Shr => Op::Shr,
+        BinOp::Eq => Op::Eq,
+        BinOp::Ne => Op::Ne,
+        BinOp::Lt => Op::Lt,
+        BinOp::Le => Op::Le,
+        BinOp::Gt => Op::Gt,
+        BinOp::Ge => Op::Ge,
+        BinOp::LogicalAnd | BinOp::LogicalOr => {
+            unreachable!("short-circuit ops lowered to control flow")
+        }
+    }
+}
+
+fn vcall_for(class: BuiltinClass, state: Option<StateId>) -> Result<VCall, LowerError> {
+    use BuiltinClass as C;
+    let need_state = || {
+        state.ok_or_else(|| LowerError::Unsupported("table vcall without a state".into()))
+    };
+    Ok(match class {
+        C::ParseHeader => VCall::ParseHeader,
+        C::ChecksumFull => VCall::ChecksumFull,
+        C::ChecksumIncr => VCall::ChecksumIncr,
+        C::Crypto => VCall::Crypto,
+        C::PayloadScan => VCall::PayloadScan,
+        C::HashCompute => VCall::Hash,
+        C::TableLookup => VCall::TableLookup(need_state()?),
+        C::TableWrite => VCall::TableWrite(need_state()?),
+        C::LpmLookup => VCall::LpmLookup(need_state()?),
+        C::CounterAdd => VCall::CounterAdd(need_state()?),
+        C::CounterRead => VCall::CounterRead(need_state()?),
+        C::ArrayRead => VCall::ArrayRead(need_state()?),
+        C::ArrayWrite => VCall::ArrayWrite(need_state()?),
+        C::MetadataRead => {
+            return Err(LowerError::Unsupported(
+                "bare metadata-read builtin (reads go through fields)".into(),
+            ))
+        }
+        C::MetadataWrite => {
+            return Err(LowerError::Unsupported(
+                "metadata writes are lowered at the call site".into(),
+            ))
+        }
+        C::PayloadByte => VCall::PayloadByte,
+        C::Meter => VCall::Meter,
+        C::FloatOp => VCall::FloatOp,
+        C::Log => VCall::Log,
+    })
+}
+
+/// Remove unreachable blocks and remap ids.
+fn prune_unreachable(f: CirFunction) -> CirFunction {
+    let n = f.blocks.len();
+    let mut reachable = vec![false; n];
+    let mut stack = vec![0usize];
+    while let Some(i) = stack.pop() {
+        if reachable[i] {
+            continue;
+        }
+        reachable[i] = true;
+        match &f.blocks[i].term {
+            Terminator::Jump(t) => stack.push(t.0 as usize),
+            Terminator::Branch { then_bb, else_bb, .. } => {
+                stack.push(then_bb.0 as usize);
+                stack.push(else_bb.0 as usize);
+            }
+            Terminator::Return(_) => {}
+        }
+    }
+    let mut remap = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for i in 0..n {
+        if reachable[i] {
+            remap[i] = next;
+            next += 1;
+        }
+    }
+    let blocks = f
+        .blocks
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| reachable[*i])
+        .map(|(_, mut b)| {
+            b.term = match b.term {
+                Terminator::Jump(t) => Terminator::Jump(BlockId(remap[t.0 as usize])),
+                Terminator::Branch { cond, then_bb, else_bb } => Terminator::Branch {
+                    cond,
+                    then_bb: BlockId(remap[then_bb.0 as usize]),
+                    else_bb: BlockId(remap[else_bb.0 as usize]),
+                },
+                r @ Terminator::Return(_) => r,
+            };
+            b
+        })
+        .collect();
+    CirFunction { blocks, num_regs: f.num_regs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clara_lang::frontend;
+
+    fn module(src: &str) -> CirModule {
+        lower(&frontend(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn straight_line_lowering() {
+        let m = module(
+            "nf t { fn handle(pkt: packet) -> action { let a: u64 = 1 + 2; return forward; } }",
+        );
+        assert_eq!(m.handle.blocks.len(), 1);
+        let b = &m.handle.blocks[0];
+        assert!(matches!(b.term, Terminator::Return(Operand::Imm(1))));
+        assert!(b
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Binary { op: Op::Add, .. })));
+    }
+
+    #[test]
+    fn vcall_substitution_for_frameworks() {
+        // The §3.3 example: Click's network_header becomes vcall_get_hdr.
+        let m = module(
+            "nf t { fn handle(pkt: packet) -> action { click.network_header(pkt); return drop; } }",
+        );
+        let calls: Vec<_> = m.handle.vcalls().map(|(_, c)| *c).collect();
+        assert_eq!(calls, vec![VCall::ParseHeader]);
+    }
+
+    #[test]
+    fn table_vcalls_reference_states() {
+        let m = module(
+            "nf t { state tbl: map<u64, u64>[128]; state r: lpm[100];
+              fn handle(pkt: packet) -> action {
+                let a: u64 = tbl.lookup(1);
+                let b: u64 = r.lookup(pkt.dst_ip);
+                tbl.insert(1, a + b);
+                return forward; } }",
+        );
+        let calls: Vec<_> = m.handle.vcalls().map(|(_, c)| *c).collect();
+        assert!(calls.contains(&VCall::TableLookup(StateId(0))));
+        assert!(calls.contains(&VCall::LpmLookup(StateId(1))));
+        assert!(calls.contains(&VCall::TableWrite(StateId(0))));
+        assert_eq!(m.state(StateId(1)).capacity, 100);
+    }
+
+    #[test]
+    fn if_else_produces_diamond() {
+        let m = module(
+            "nf t { fn handle(pkt: packet) -> action {
+                if (pkt.is_tcp) { return forward; } else { return drop; } } }",
+        );
+        // entry + then + else (join pruned as unreachable).
+        assert_eq!(m.handle.blocks.len(), 3);
+        let terms: Vec<_> = m.handle.blocks.iter().map(|b| &b.term).collect();
+        assert!(matches!(terms[0], Terminator::Branch { .. }));
+    }
+
+    #[test]
+    fn while_loop_structure() {
+        let m = module(
+            "nf t { fn handle(pkt: packet) -> action {
+                let i: u64 = 0;
+                while (i < 10) { i = i + 1; }
+                return forward; } }",
+        );
+        // entry, head, body, end.
+        assert_eq!(m.handle.blocks.len(), 4);
+        // The body must jump back to the head (a back edge).
+        let has_back_edge = m.handle.blocks.iter().enumerate().any(|(i, b)| {
+            matches!(&b.term, Terminator::Jump(t) if (t.0 as usize) < i)
+        });
+        assert!(has_back_edge);
+    }
+
+    #[test]
+    fn for_loop_desugars_to_while_shape() {
+        let m = module(
+            "nf t { state c: counter[16];
+              fn handle(pkt: packet) -> action {
+                for i in 0..4 { c.add(i, 1); }
+                return forward; } }",
+        );
+        assert_eq!(m.handle.blocks.len(), 4);
+        assert!(m
+            .handle
+            .vcalls()
+            .any(|(_, c)| matches!(c, VCall::CounterAdd(_))));
+    }
+
+    #[test]
+    fn user_function_inlined() {
+        let m = module(
+            "nf t {
+              fn triple(x: u64) -> u64 { return x * 3; }
+              fn handle(pkt: packet) -> action {
+                let y: u64 = triple(14);
+                if (y == 42) { return forward; }
+                return drop; } }",
+        );
+        // No call instruction kind exists; the multiply must appear inline.
+        assert!(m
+            .handle
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .any(|i| matches!(i, Instr::Binary { op: Op::Mul, .. })));
+    }
+
+    #[test]
+    fn short_circuit_becomes_branches() {
+        let m = module(
+            "nf t { fn handle(pkt: packet) -> action {
+                if (pkt.is_tcp && pkt.is_syn) { return drop; }
+                return forward; } }",
+        );
+        let branch_count = m
+            .handle
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.term, Terminator::Branch { .. }))
+            .count();
+        assert!(branch_count >= 2, "expected >=2 branches, got {branch_count}");
+    }
+
+    #[test]
+    fn decrement_ttl_expands_to_rmw() {
+        let m = module(
+            "nf t { fn handle(pkt: packet) -> action { pkt.decrement_ttl(); return forward; } }",
+        );
+        let calls: Vec<_> = m.handle.vcalls().map(|(_, c)| *c).collect();
+        assert_eq!(
+            calls,
+            vec![
+                VCall::MetadataRead(PacketField::Ttl),
+                VCall::MetadataWrite(PacketField::Ttl)
+            ]
+        );
+    }
+
+    #[test]
+    fn metadata_writes_name_fields() {
+        let m = module(
+            "nf t { fn handle(pkt: packet) -> action { pkt.set_dst_port(8080); return forward; } }",
+        );
+        assert!(m
+            .handle
+            .vcalls()
+            .any(|(_, c)| *c == VCall::MetadataWrite(PacketField::DstPort)));
+    }
+
+    #[test]
+    fn strength_reduction_on_power_of_two() {
+        let m = module(
+            "nf t { fn handle(pkt: packet) -> action {
+                let a: u64 = pkt.src_ip % 4096;
+                let b: u64 = a / 8;
+                let c: u64 = b * 16;
+                if (c == 0) { return drop; }
+                return forward; } }",
+        );
+        let ops: Vec<Op> = m
+            .handle
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter_map(|i| match i {
+                Instr::Binary { op, .. } => Some(*op),
+                _ => None,
+            })
+            .collect();
+        assert!(ops.contains(&Op::And), "{ops:?}");
+        assert!(ops.contains(&Op::Shr), "{ops:?}");
+        assert!(ops.contains(&Op::Shl), "{ops:?}");
+        assert!(!ops.contains(&Op::Rem) && !ops.contains(&Op::Div) && !ops.contains(&Op::Mul));
+    }
+
+    #[test]
+    fn unreachable_blocks_pruned() {
+        let m = module(
+            "nf t { fn handle(pkt: packet) -> action { return forward; } }",
+        );
+        assert_eq!(m.handle.blocks.len(), 1);
+    }
+
+    #[test]
+    fn packet_arg_implicit_in_vcalls() {
+        let m = module(
+            "nf t { fn handle(pkt: packet) -> action {
+                let c: u16 = checksum(pkt); return forward; } }",
+        );
+        let vcall_args = m
+            .handle
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .find_map(|i| match i {
+                Instr::VCall { call: VCall::ChecksumFull, args, .. } => Some(args.len()),
+                _ => None,
+            });
+        assert_eq!(vcall_args, Some(0));
+    }
+}

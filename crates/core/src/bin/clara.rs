@@ -1,0 +1,208 @@
+//! The `clara` command-line tool.
+//!
+//! ```text
+//! clara extract --nic netronome -o nic.params     # one-time per NIC
+//! clara analyze nf.nfc                            # IR + dataflow dump
+//! clara predict nf.nfc --params nic.params --rate 60000 --payload 300
+//! clara hints   nf.nfc --nic netronome
+//! ```
+//!
+//! Argument parsing is hand-rolled (no CLI crates) and every failure
+//! path prints usage.
+
+use clara_core::{Clara, WorkloadProfile};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+clara — performance clarity for SmartNIC offloading
+
+USAGE:
+  clara extract --nic <profile> [-o <file>]
+  clara analyze <nf.nfc>
+  clara predict <nf.nfc> (--nic <profile> | --params <file>) [workload flags]
+  clara hints   <nf.nfc> (--nic <profile> | --params <file>) [workload flags]
+
+NIC PROFILES:
+  netronome | soc | asic        (built-in LNIC models)
+
+WORKLOAD FLAGS (defaults = the paper's 60 kpps / 300 B / 1k flows):
+  --rate <pps>        offered load in packets per second
+  --payload <bytes>   mean transport payload
+  --flows <n>         concurrent flows
+  --tcp <0..1>        TCP share of packets
+  --syn <0..1>        SYN share of TCP packets
+  --zipf <alpha>      flow-popularity skew (0 = uniform)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("no command given".into());
+    };
+    match cmd.as_str() {
+        "extract" => extract(&args[1..]),
+        "analyze" => analyze(&args[1..]),
+        "predict" => predict(&args[1..], false),
+        "hints" => predict(&args[1..], true),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn nic_by_name(name: &str) -> Result<clara_core::Lnic, String> {
+    Ok(match name {
+        "netronome" => clara_core::profiles::netronome_agilio_cx40(),
+        "soc" => clara_core::profiles::soc_armada(),
+        "asic" => clara_core::profiles::pipeline_asic(),
+        other => return Err(format!("unknown NIC profile `{other}`")),
+    })
+}
+
+fn build_clara(args: &[String]) -> Result<Clara, String> {
+    if let Some(path) = flag_value(args, "--params") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let params = clara_microbench::from_text(&text)
+            .map_err(|e| format!("bad parameter file `{path}`: {e}"))?;
+        return Ok(Clara::with_params(params));
+    }
+    let nic_name = flag_value(args, "--nic").ok_or("need --nic <profile> or --params <file>")?;
+    eprintln!("extracting parameters for `{nic_name}` (one-time per NIC; use `clara extract` to cache)...");
+    Ok(Clara::new(&nic_by_name(nic_name)?))
+}
+
+fn workload(args: &[String]) -> Result<WorkloadProfile, String> {
+    let mut wl = WorkloadProfile::paper_default();
+    let parse = |v: &str, what: &str| -> Result<f64, String> {
+        v.parse().map_err(|_| format!("bad {what} `{v}`"))
+    };
+    if let Some(v) = flag_value(args, "--rate") {
+        wl.rate_pps = parse(v, "--rate")?;
+    }
+    if let Some(v) = flag_value(args, "--payload") {
+        wl.avg_payload = parse(v, "--payload")?;
+        wl.max_payload = wl.avg_payload as usize;
+    }
+    if let Some(v) = flag_value(args, "--flows") {
+        wl.flows = parse(v, "--flows")? as usize;
+    }
+    if let Some(v) = flag_value(args, "--tcp") {
+        wl.tcp_share = parse(v, "--tcp")?;
+    }
+    if let Some(v) = flag_value(args, "--syn") {
+        wl.syn_share = parse(v, "--syn")?;
+    }
+    if let Some(v) = flag_value(args, "--zipf") {
+        wl.zipf_alpha = parse(v, "--zipf")?;
+    }
+    Ok(wl)
+}
+
+fn read_source(args: &[String]) -> Result<String, String> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--") && a.ends_with(".nfc"))
+        .ok_or("need an NF source file (.nfc)")?;
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+fn extract(args: &[String]) -> Result<(), String> {
+    let nic_name = flag_value(args, "--nic").ok_or("need --nic <profile>")?;
+    let nic = nic_by_name(nic_name)?;
+    eprintln!("running the microbenchmark suite against `{}`...", nic.name);
+    let params = clara_core::extract_parameters(&nic);
+    let text = clara_microbench::to_text(&params);
+    match flag_value(args, "-o") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn analyze(args: &[String]) -> Result<(), String> {
+    let source = read_source(args)?;
+    // Analysis needs no NIC parameters.
+    let analysis = clara_core::analyze_source(&source).map_err(|e| e.to_string())?;
+    println!("nf `{}`:", analysis.module.name);
+    println!(
+        "  {} basic blocks, {} instructions, {} state table(s), {} B of state",
+        analysis.module.handle.blocks.len(),
+        analysis.module.handle.num_instrs(),
+        analysis.module.states.len(),
+        analysis.module.states.iter().map(|s| s.size_bytes).sum::<usize>(),
+    );
+    println!("  dataflow graph ({} nodes):", analysis.graph.nodes.len());
+    for node in &analysis.graph.nodes {
+        let loop_note = match node.loop_bound {
+            Some(b) => format!("  [loop: {b:?}]"),
+            None => String::new(),
+        };
+        println!(
+            "    {:>2}  {:<18} {:>3} ops{}",
+            node.id.0,
+            node.kind.to_string(),
+            node.ops.total(),
+            loop_note
+        );
+    }
+    for (a, b) in &analysis.graph.edges {
+        println!("    edge {} -> {}", a.0, b.0);
+    }
+    Ok(())
+}
+
+fn predict(args: &[String], hints: bool) -> Result<(), String> {
+    let source = read_source(args)?;
+    let clara = build_clara(args)?;
+    let wl = workload(args)?;
+    if hints {
+        let text = clara.porting_hints(&source, &wl).map_err(|e| e.to_string())?;
+        println!("{text}");
+        return Ok(());
+    }
+    let p = clara.predict(&source, &wl).map_err(|e| e.to_string())?;
+    println!("predicted on {}:", clara.params().nic_name);
+    println!(
+        "  avg latency : {:.0} cycles ({:.2} µs)",
+        p.avg_latency_cycles,
+        p.avg_latency_ns / 1000.0
+    );
+    for c in &p.per_class {
+        println!(
+            "    {:<8} {:>5.1}%  {:.0} cycles",
+            c.name,
+            c.share * 100.0,
+            c.latency_cycles
+        );
+    }
+    println!(
+        "  throughput  : {:.2} Mpps (bottleneck: {})",
+        p.throughput_pps / 1e6,
+        p.bottleneck
+    );
+    println!("  energy      : {:.0} nJ/packet", p.energy_nj_per_packet);
+    Ok(())
+}

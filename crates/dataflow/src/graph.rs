@@ -1,0 +1,274 @@
+//! Dataflow graph types.
+
+use clara_cir::{BlockId, StateId, VCall};
+use core::fmt;
+
+/// Index of a node within a [`DataflowGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Semantic classification of a dataflow node — what NIC resource class
+/// the node wants. This drives accelerator eligibility in the mapping ILP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Header parsing (match/action engine eligible).
+    Parse,
+    /// Full checksum (checksum accelerator eligible).
+    Checksum,
+    /// Payload encryption/decryption (crypto accelerator eligible).
+    Crypto,
+    /// Byte-wise payload scanning (DPI inner loop).
+    PayloadScan,
+    /// Exact-match table lookup (flow-cache engine eligible).
+    TableLookup(StateId),
+    /// Table insert/update.
+    TableWrite(StateId),
+    /// Longest-prefix match (LPM engine / flow cache eligible).
+    LpmLookup(StateId),
+    /// Counter/sketch operations.
+    CounterOp(StateId),
+    /// Dense array operations.
+    ArrayOp(StateId),
+    /// Header/metadata rewriting (incl. incremental checksum fix-ups).
+    HeaderRewrite,
+    /// Metering / policing.
+    Meter,
+    /// Anything else: generic computation on a core.
+    Compute,
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeKind::Parse => write!(f, "parse"),
+            NodeKind::Checksum => write!(f, "checksum"),
+            NodeKind::Crypto => write!(f, "crypto"),
+            NodeKind::PayloadScan => write!(f, "payload-scan"),
+            NodeKind::TableLookup(s) => write!(f, "table-lookup[{}]", s.0),
+            NodeKind::TableWrite(s) => write!(f, "table-write[{}]", s.0),
+            NodeKind::LpmLookup(s) => write!(f, "lpm-lookup[{}]", s.0),
+            NodeKind::CounterOp(s) => write!(f, "counter[{}]", s.0),
+            NodeKind::ArrayOp(s) => write!(f, "array[{}]", s.0),
+            NodeKind::HeaderRewrite => write!(f, "header-rewrite"),
+            NodeKind::Meter => write!(f, "meter"),
+            NodeKind::Compute => write!(f, "compute"),
+        }
+    }
+}
+
+impl NodeKind {
+    /// The state table this node operates on, if any.
+    pub fn state(self) -> Option<StateId> {
+        match self {
+            NodeKind::TableLookup(s)
+            | NodeKind::TableWrite(s)
+            | NodeKind::LpmLookup(s)
+            | NodeKind::CounterOp(s)
+            | NodeKind::ArrayOp(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Static per-execution operation counts of a node's blocks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Simple ALU operations (incl. copies and constants).
+    pub alu: u64,
+    /// Multiplications.
+    pub mul: u64,
+    /// Divisions / remainders.
+    pub div: u64,
+    /// Conditional branches.
+    pub branch: u64,
+    /// Hash computations.
+    pub hash: u64,
+    /// Metadata / header field reads.
+    pub metadata_reads: u64,
+    /// Metadata / header field writes.
+    pub metadata_writes: u64,
+    /// Single payload byte reads.
+    pub payload_bytes: u64,
+    /// Floating-point operations (FPU-emulation candidates, §3.4).
+    pub float: u64,
+}
+
+impl OpCounts {
+    /// Component-wise sum.
+    pub fn add(&mut self, other: &OpCounts) {
+        self.alu += other.alu;
+        self.mul += other.mul;
+        self.div += other.div;
+        self.branch += other.branch;
+        self.hash += other.hash;
+        self.metadata_reads += other.metadata_reads;
+        self.metadata_writes += other.metadata_writes;
+        self.payload_bytes += other.payload_bytes;
+        self.float += other.float;
+    }
+
+    /// Total operation count (used as a tie-breaking weight).
+    pub fn total(&self) -> u64 {
+        self.alu
+            + self.mul
+            + self.div
+            + self.branch
+            + self.hash
+            + self.metadata_reads
+            + self.metadata_writes
+            + self.payload_bytes
+            + self.float
+    }
+}
+
+/// How often a loop node iterates per packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoopBound {
+    /// Once per payload byte (DPI-style scans).
+    PerPayloadByte,
+    /// A constant trip count recovered from the loop bound.
+    Constant(u64),
+    /// Unknown; the extractor's fallback estimate.
+    Unknown(u64),
+}
+
+impl LoopBound {
+    /// Expected iterations for a given payload size.
+    pub fn iterations(&self, payload_len: f64) -> f64 {
+        match self {
+            LoopBound::PerPayloadByte => payload_len,
+            LoopBound::Constant(n) => *n as f64,
+            LoopBound::Unknown(n) => *n as f64,
+        }
+    }
+}
+
+/// A dataflow node: a group of basic blocks with one semantic identity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DfNode {
+    /// Node id.
+    pub id: NodeId,
+    /// Semantic kind.
+    pub kind: NodeKind,
+    /// Member blocks (sorted).
+    pub blocks: Vec<BlockId>,
+    /// Static op counts summed over member blocks (one execution each).
+    pub ops: OpCounts,
+    /// Vcalls issued by this node with their static occurrence counts.
+    pub vcalls: Vec<(VCall, u64)>,
+    /// Loop bound if the node's blocks form a loop body.
+    pub loop_bound: Option<LoopBound>,
+    /// Mean executions of this node per packet, annotated from path
+    /// profiles (1.0 until annotated).
+    pub weight: f64,
+    /// Whether this node executes after a header rewrite on some path —
+    /// ingress-side accelerators (the checksum engine) saw the original
+    /// bytes and cannot serve it.
+    pub after_rewrite: bool,
+}
+
+impl DfNode {
+    /// Whether this node issues a given vcall.
+    pub fn has_vcall(&self, call: &VCall) -> bool {
+        self.vcalls.iter().any(|(c, _)| c == call)
+    }
+
+    /// Distinct state tables this node accesses (via any vcall — a
+    /// payload-scan loop touches its automaton even though the node's
+    /// kind carries no state).
+    pub fn touched_states(&self) -> Vec<StateId> {
+        let mut out: Vec<StateId> = self
+            .vcalls
+            .iter()
+            .filter_map(|(c, _)| c.state())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// The extracted dataflow graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataflowGraph {
+    /// Nodes, topologically ordered by first block id.
+    pub nodes: Vec<DfNode>,
+    /// Directed edges following the traffic direction (deduplicated).
+    pub edges: Vec<(NodeId, NodeId)>,
+    /// Mapping from basic block index to owning node.
+    pub block_node: Vec<NodeId>,
+}
+
+impl DataflowGraph {
+    /// The node behind an id.
+    pub fn node(&self, id: NodeId) -> &DfNode {
+        &self.nodes[id.0]
+    }
+
+    /// Successor node ids of a node.
+    pub fn successors(&self, id: NodeId) -> Vec<NodeId> {
+        self.edges
+            .iter()
+            .filter(|(from, _)| *from == id)
+            .map(|(_, to)| *to)
+            .collect()
+    }
+
+    /// Nodes of a given kind.
+    pub fn nodes_of_kind(&self, kind: NodeKind) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == kind)
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Annotate node weights (mean executions per packet) from aggregated
+    /// per-block execution counts over `packets` packets.
+    pub fn annotate_weights(&mut self, block_counts: &[u64], packets: u64) {
+        if packets == 0 {
+            return;
+        }
+        for node in &mut self.nodes {
+            // A node executes when its entry block does; use the mean over
+            // member blocks' max to be robust to partial groups.
+            let max = node
+                .blocks
+                .iter()
+                .map(|b| block_counts.get(b.0 as usize).copied().unwrap_or(0))
+                .max()
+                .unwrap_or(0);
+            node.weight = max as f64 / packets as f64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_counts_sum() {
+        let mut a = OpCounts { alu: 1, mul: 2, ..OpCounts::default() };
+        let b = OpCounts { alu: 10, branch: 3, ..OpCounts::default() };
+        a.add(&b);
+        assert_eq!(a.alu, 11);
+        assert_eq!(a.mul, 2);
+        assert_eq!(a.branch, 3);
+        assert_eq!(a.total(), 16);
+    }
+
+    #[test]
+    fn loop_bound_iterations() {
+        assert_eq!(LoopBound::PerPayloadByte.iterations(300.0), 300.0);
+        assert_eq!(LoopBound::Constant(5).iterations(300.0), 5.0);
+        assert_eq!(LoopBound::Unknown(8).iterations(1.0), 8.0);
+    }
+
+    #[test]
+    fn node_kind_state() {
+        assert_eq!(NodeKind::TableLookup(StateId(2)).state(), Some(StateId(2)));
+        assert_eq!(NodeKind::Parse.state(), None);
+        assert_eq!(NodeKind::Compute.to_string(), "compute");
+    }
+}

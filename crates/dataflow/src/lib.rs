@@ -1,0 +1,49 @@
+//! Dataflow-graph extraction from CIR — the coarsening step of §3.3.
+//!
+//! LLVM-style basic blocks are often too fine-grained: "sometimes semantic
+//! information may be better captured at a coarser granularity — e.g.,
+//! header parsing might require multiple branches". This crate implements
+//! Clara's *pattern matching*: it walks the CIR control-flow graph and
+//! coalesces basic blocks into semantic **dataflow nodes** (header parse,
+//! checksum, table lookup, payload scan, header rewrite, generic
+//! compute), connected by edges that follow the traffic direction.
+//!
+//! Each node carries the static operation counts of its blocks
+//! ([`OpCounts`]) and its semantic [`NodeKind`] — the hook the ILP mapper
+//! uses to decide accelerator eligibility — plus loop information
+//! (payload-proportional loops are how DPI-style scans are recognized).
+//!
+//! # Example
+//!
+//! ```
+//! use clara_dataflow::{extract, NodeKind};
+//!
+//! let src = r#"
+//!     nf demo {
+//!         state t: map<u64, u64>[256];
+//!         fn handle(pkt: packet) -> action {
+//!             dpdk.parse_headers(pkt);
+//!             let v: u64 = t.lookup(hash(pkt.src_ip));
+//!             let i: u64 = 0;
+//!             let acc: u64 = 0;
+//!             while (i < pkt.payload_len) {
+//!                 acc = acc + pkt.payload_byte(i);
+//!                 i = i + 1;
+//!             }
+//!             if (acc == v) { return drop; }
+//!             return forward;
+//!         }
+//!     }
+//! "#;
+//! let module = clara_cir::lower(&clara_lang::frontend(src).unwrap()).unwrap();
+//! let graph = extract(&module);
+//! assert!(graph.nodes.iter().any(|n| n.kind == NodeKind::Parse));
+//! assert!(graph.nodes.iter().any(|n| matches!(n.kind, NodeKind::TableLookup(_))));
+//! assert!(graph.nodes.iter().any(|n| n.kind == NodeKind::PayloadScan));
+//! ```
+
+pub mod extract;
+pub mod graph;
+
+pub use extract::extract;
+pub use graph::{DataflowGraph, DfNode, LoopBound, NodeId, NodeKind, OpCounts};

@@ -1,0 +1,287 @@
+//! Linear expressions over model variables.
+//!
+//! Supports natural arithmetic: `2.0 * x + y - 3.0`, `expr += x`, sums of
+//! iterators, etc. Coefficients for a repeated variable are merged.
+
+use core::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A variable handle issued by [`crate::Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub(crate) usize);
+
+impl Var {
+    /// The variable's index within its model.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A linear expression: `Σ coeff·var + constant`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinExpr {
+    /// `(variable index, coefficient)` pairs; kept merged and sorted.
+    pub(crate) terms: Vec<(usize, f64)>,
+    /// Constant offset.
+    pub(crate) constant: f64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        LinExpr::default()
+    }
+
+    /// A constant expression.
+    pub fn constant(value: f64) -> Self {
+        LinExpr { terms: Vec::new(), constant: value }
+    }
+
+    /// A single term `coeff * var`.
+    pub fn term(var: Var, coeff: f64) -> Self {
+        LinExpr { terms: vec![(var.0, coeff)], constant: 0.0 }
+    }
+
+    /// The coefficient of `var` (0 if absent).
+    pub fn coeff(&self, var: Var) -> f64 {
+        self.terms
+            .iter()
+            .find(|(i, _)| *i == var.0)
+            .map(|(_, c)| *c)
+            .unwrap_or(0.0)
+    }
+
+    /// The constant offset.
+    pub fn constant_part(&self) -> f64 {
+        self.constant
+    }
+
+    /// Non-zero terms as `(Var, coeff)`.
+    pub fn terms(&self) -> impl Iterator<Item = (Var, f64)> + '_ {
+        self.terms.iter().map(|&(i, c)| (Var(i), c))
+    }
+
+    /// Merge duplicate variables and drop zero coefficients.
+    pub(crate) fn normalize(&mut self) {
+        self.terms.sort_by_key(|&(i, _)| i);
+        let mut merged: Vec<(usize, f64)> = Vec::with_capacity(self.terms.len());
+        for &(i, c) in &self.terms {
+            match merged.last_mut() {
+                Some((j, acc)) if *j == i => *acc += c,
+                _ => merged.push((i, c)),
+            }
+        }
+        merged.retain(|&(_, c)| c != 0.0);
+        self.terms = merged;
+    }
+
+    /// Sum an iterator of expressions.
+    pub fn sum<I: IntoIterator<Item = LinExpr>>(items: I) -> Self {
+        let mut acc = LinExpr::zero();
+        for e in items {
+            acc += e;
+        }
+        acc
+    }
+
+    /// Evaluate the expression given a dense assignment indexed by
+    /// variable index.
+    pub fn eval(&self, assignment: &[f64]) -> f64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|&(i, c)| c * assignment[i])
+                .sum::<f64>()
+    }
+}
+
+impl From<Var> for LinExpr {
+    fn from(v: Var) -> Self {
+        LinExpr::term(v, 1.0)
+    }
+}
+
+impl From<f64> for LinExpr {
+    fn from(c: f64) -> Self {
+        LinExpr::constant(c)
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        self.terms.extend(rhs.terms);
+        self.constant += rhs.constant;
+        self.normalize();
+        self
+    }
+}
+
+impl AddAssign for LinExpr {
+    fn add_assign(&mut self, rhs: LinExpr) {
+        self.terms.extend(rhs.terms);
+        self.constant += rhs.constant;
+        self.normalize();
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        self + (-rhs)
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(mut self) -> LinExpr {
+        for (_, c) in &mut self.terms {
+            *c = -*c;
+        }
+        self.constant = -self.constant;
+        self
+    }
+}
+
+impl Mul<LinExpr> for f64 {
+    type Output = LinExpr;
+    fn mul(self, mut rhs: LinExpr) -> LinExpr {
+        for (_, c) in &mut rhs.terms {
+            *c *= self;
+        }
+        rhs.constant *= self;
+        rhs.normalize();
+        rhs
+    }
+}
+
+impl Mul<Var> for f64 {
+    type Output = LinExpr;
+    fn mul(self, rhs: Var) -> LinExpr {
+        LinExpr::term(rhs, self)
+    }
+}
+
+impl Add<Var> for LinExpr {
+    type Output = LinExpr;
+    fn add(self, rhs: Var) -> LinExpr {
+        self + LinExpr::from(rhs)
+    }
+}
+
+impl Add<LinExpr> for Var {
+    type Output = LinExpr;
+    fn add(self, rhs: LinExpr) -> LinExpr {
+        LinExpr::from(self) + rhs
+    }
+}
+
+impl Add<Var> for Var {
+    type Output = LinExpr;
+    fn add(self, rhs: Var) -> LinExpr {
+        LinExpr::from(self) + LinExpr::from(rhs)
+    }
+}
+
+impl Add<f64> for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: f64) -> LinExpr {
+        self.constant += rhs;
+        self
+    }
+}
+
+impl Sub<f64> for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, rhs: f64) -> LinExpr {
+        self.constant -= rhs;
+        self
+    }
+}
+
+impl Sub<Var> for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: Var) -> LinExpr {
+        self - LinExpr::from(rhs)
+    }
+}
+
+impl Sub<Var> for Var {
+    type Output = LinExpr;
+    fn sub(self, rhs: Var) -> LinExpr {
+        LinExpr::from(self) - LinExpr::from(rhs)
+    }
+}
+
+impl Add<f64> for Var {
+    type Output = LinExpr;
+    fn add(self, rhs: f64) -> LinExpr {
+        LinExpr::from(self) + rhs
+    }
+}
+
+impl Sub<f64> for Var {
+    type Output = LinExpr;
+    fn sub(self, rhs: f64) -> LinExpr {
+        LinExpr::from(self) - rhs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_merges_terms() {
+        let x = Var(0);
+        let y = Var(1);
+        let e = 2.0 * x + y + 3.0 * x - 1.5;
+        assert_eq!(e.coeff(x), 5.0);
+        assert_eq!(e.coeff(y), 1.0);
+        assert_eq!(e.constant_part(), -1.5);
+    }
+
+    #[test]
+    fn zero_coefficients_drop_out() {
+        let x = Var(0);
+        let e = 2.0 * x - 2.0 * x;
+        assert_eq!(e.terms().count(), 0);
+    }
+
+    #[test]
+    fn negation_and_subtraction() {
+        let x = Var(0);
+        let y = Var(1);
+        let e = x - y;
+        assert_eq!(e.coeff(x), 1.0);
+        assert_eq!(e.coeff(y), -1.0);
+        let n = -(2.0 * x + 1.0);
+        assert_eq!(n.coeff(x), -2.0);
+        assert_eq!(n.constant_part(), -1.0);
+    }
+
+    #[test]
+    fn scaling() {
+        let x = Var(0);
+        let e = 3.0 * (2.0 * x + 4.0);
+        assert_eq!(e.coeff(x), 6.0);
+        assert_eq!(e.constant_part(), 12.0);
+    }
+
+    #[test]
+    fn sum_of_exprs() {
+        let vars: Vec<Var> = (0..4).map(Var).collect();
+        let e = LinExpr::sum(vars.iter().map(|&v| LinExpr::from(v)));
+        for &v in &vars {
+            assert_eq!(e.coeff(v), 1.0);
+        }
+    }
+
+    #[test]
+    fn eval_with_assignment() {
+        let x = Var(0);
+        let y = Var(1);
+        let e = 2.0 * x + 3.0 * y + 1.0;
+        assert_eq!(e.eval(&[10.0, 100.0]), 321.0);
+    }
+}

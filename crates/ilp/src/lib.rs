@@ -1,0 +1,43 @@
+//! A from-scratch (integer) linear programming solver for Clara.
+//!
+//! Clara estimates the best NF-to-NIC mapping "by encoding a set of ILP
+//! constraints ... and invoking a solver to find an optimal solution that
+//! maximizes performance" (§3.4). This crate is that solver:
+//!
+//! * [`Model`] — a small modelling layer: named continuous / integer /
+//!   binary variables, linear constraints, and a linear objective.
+//! * A dense **two-phase simplex** for LP (relaxations), with Bland's rule
+//!   to guarantee termination.
+//! * **Branch-and-bound** over the integer variables: best-first on the
+//!   relaxation bound, branching on the most fractional variable.
+//!
+//! The mapping problems Clara produces are small (tens of binary
+//! variables), so a dense tableau is the right engineering trade-off:
+//! simple, auditable, and fast enough by orders of magnitude.
+//!
+//! # Example: a 0/1 knapsack
+//!
+//! ```
+//! use clara_ilp::{Model, Rel};
+//!
+//! let mut m = Model::maximize();
+//! let a = m.binary("a");
+//! let b = m.binary("b");
+//! let c = m.binary("c");
+//! // weights 3, 4, 5; capacity 7; values 4, 5, 6
+//! m.constraint(3.0 * a + 4.0 * b + 5.0 * c, Rel::Le, 7.0);
+//! m.objective(4.0 * a + 5.0 * b + 6.0 * c);
+//! let sol = m.solve().unwrap();
+//! assert_eq!(sol.objective().round(), 9.0); // take a and b
+//! assert_eq!(sol.value(a).round(), 1.0);
+//! assert_eq!(sol.value(c).round(), 0.0);
+//! ```
+
+pub mod expr;
+pub mod model;
+pub mod simplex;
+
+mod branch;
+
+pub use expr::{LinExpr, Var};
+pub use model::{Model, Rel, SolveError, Solution};

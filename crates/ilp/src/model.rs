@@ -1,0 +1,399 @@
+//! The modelling layer: variables, constraints, objective, and solve
+//! entry point.
+
+use crate::branch;
+use crate::expr::{LinExpr, Var};
+use crate::simplex::{self, LpResult, Row};
+use core::fmt;
+
+/// Relation between a linear expression and its right-hand side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rel {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr ≥ rhs`
+    Ge,
+    /// `expr = rhs`
+    Eq,
+}
+
+/// Objective sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Sense {
+    Minimize,
+    Maximize,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct VarDef {
+    pub name: String,
+    pub lo: f64,
+    pub hi: f64,
+    pub integer: bool,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Constraint {
+    pub expr: LinExpr,
+    pub rel: Rel,
+    pub rhs: f64,
+}
+
+/// Errors from solving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The constraints admit no (integer-)feasible point.
+    Infeasible,
+    /// The objective is unbounded.
+    Unbounded,
+    /// Branch-and-bound node or simplex iteration limits were exceeded.
+    Limit,
+    /// A variable was declared with inconsistent bounds (`lo > hi`) or a
+    /// non-finite bound where one is required.
+    BadBounds(String),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "problem is infeasible"),
+            SolveError::Unbounded => write!(f, "objective is unbounded"),
+            SolveError::Limit => write!(f, "solver limits exceeded"),
+            SolveError::BadBounds(v) => write!(f, "bad bounds on variable {v}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// A solved assignment.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    values: Vec<f64>,
+    objective: f64,
+}
+
+impl Solution {
+    /// The value of a variable.
+    pub fn value(&self, var: Var) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// The value of a variable rounded to the nearest integer (convenient
+    /// for binaries).
+    pub fn int_value(&self, var: Var) -> i64 {
+        self.values[var.index()].round() as i64
+    }
+
+    /// Evaluate an arbitrary expression under this solution.
+    pub fn eval(&self, expr: &LinExpr) -> f64 {
+        expr.eval(&self.values)
+    }
+
+    /// The objective value (in the model's declared sense).
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    pub(crate) fn new(values: Vec<f64>, objective: f64) -> Self {
+        Solution { values, objective }
+    }
+}
+
+/// An (integer) linear program under construction.
+///
+/// See the crate-level example. Variables are created through
+/// [`Model::binary`], [`Model::int_var`], and [`Model::num_var`];
+/// constraints through [`Model::constraint`]; the objective through
+/// [`Model::objective`]; then [`Model::solve`].
+#[derive(Debug, Clone)]
+pub struct Model {
+    pub(crate) vars: Vec<VarDef>,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) objective: LinExpr,
+    pub(crate) sense: Sense,
+}
+
+impl Model {
+    /// A model that minimizes its objective.
+    pub fn minimize() -> Self {
+        Model {
+            vars: Vec::new(),
+            constraints: Vec::new(),
+            objective: LinExpr::zero(),
+            sense: Sense::Minimize,
+        }
+    }
+
+    /// A model that maximizes its objective.
+    pub fn maximize() -> Self {
+        Model { sense: Sense::Maximize, ..Model::minimize() }
+    }
+
+    /// A 0/1 integer variable.
+    pub fn binary(&mut self, name: impl Into<String>) -> Var {
+        self.add_var(name.into(), 0.0, 1.0, true)
+    }
+
+    /// An integer variable with inclusive bounds.
+    pub fn int_var(&mut self, name: impl Into<String>, lo: i64, hi: i64) -> Var {
+        self.add_var(name.into(), lo as f64, hi as f64, true)
+    }
+
+    /// A continuous variable with bounds (`hi` may be `f64::INFINITY`).
+    pub fn num_var(&mut self, name: impl Into<String>, lo: f64, hi: f64) -> Var {
+        self.add_var(name.into(), lo, hi, false)
+    }
+
+    fn add_var(&mut self, name: String, lo: f64, hi: f64, integer: bool) -> Var {
+        self.vars.push(VarDef { name, lo, hi, integer });
+        Var(self.vars.len() - 1)
+    }
+
+    /// Number of variables declared so far.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Add `expr rel rhs`.
+    pub fn constraint(&mut self, expr: impl Into<LinExpr>, rel: Rel, rhs: f64) {
+        let mut expr = expr.into();
+        // Fold the expression's constant into the rhs.
+        let constant = expr.constant_part();
+        let rhs = rhs - constant;
+        expr = expr - LinExpr::constant(constant);
+        self.constraints.push(Constraint { expr, rel, rhs });
+    }
+
+    /// Set the objective expression.
+    pub fn objective(&mut self, expr: impl Into<LinExpr>) {
+        self.objective = expr.into();
+    }
+
+    /// Solve the model: LP directly if no integer variables, otherwise
+    /// branch-and-bound over the LP relaxation.
+    pub fn solve(&self) -> Result<Solution, SolveError> {
+        for v in &self.vars {
+            if v.lo > v.hi || v.lo.is_nan() || v.hi.is_nan() || v.lo == f64::INFINITY {
+                return Err(SolveError::BadBounds(v.name.clone()));
+            }
+            if v.integer && (!v.lo.is_finite() || !v.hi.is_finite()) {
+                return Err(SolveError::BadBounds(format!(
+                    "{} (integer variables need finite bounds)",
+                    v.name
+                )));
+            }
+        }
+        if self.vars.iter().any(|v| v.integer) {
+            branch::solve_ilp(self)
+        } else {
+            let bounds: Vec<(f64, f64)> = self.vars.iter().map(|v| (v.lo, v.hi)).collect();
+            self.solve_relaxation(&bounds).map(|(values, objective)| {
+                Solution::new(values, objective)
+            })
+        }
+    }
+
+    /// Solve the LP relaxation under explicit per-variable bounds,
+    /// returning values in original variable space and the objective in
+    /// the model's sense.
+    pub(crate) fn solve_relaxation(
+        &self,
+        bounds: &[(f64, f64)],
+    ) -> Result<(Vec<f64>, f64), SolveError> {
+        let n = self.vars.len();
+        // Shift: x = lo + x', x' >= 0. Lower bounds of -inf are split as
+        // x = x_plus - x_minus.
+        let mut col_of: Vec<(usize, Option<usize>)> = Vec::with_capacity(n); // (plus, minus)
+        let mut num_cols = 0usize;
+        for &(lo, _) in bounds {
+            if lo.is_finite() {
+                col_of.push((num_cols, None));
+                num_cols += 1;
+            } else {
+                col_of.push((num_cols, Some(num_cols + 1)));
+                num_cols += 2;
+            }
+        }
+
+        let project = |expr: &LinExpr, rows_rhs: &mut f64, coeffs: &mut Vec<f64>| {
+            for (var, c) in expr.terms() {
+                let (lo, _) = bounds[var.index()];
+                let (plus, minus) = col_of[var.index()];
+                coeffs[plus] += c;
+                if let Some(mi) = minus {
+                    coeffs[mi] -= c;
+                } else {
+                    *rows_rhs -= c * lo;
+                }
+            }
+        };
+
+        let mut rows: Vec<Row> = Vec::with_capacity(self.constraints.len() + n);
+        for con in &self.constraints {
+            let mut coeffs = vec![0.0; num_cols];
+            let mut rhs = con.rhs;
+            project(&con.expr, &mut rhs, &mut coeffs);
+            rows.push(Row { coeffs, rel: con.rel, rhs });
+        }
+        // Upper bounds as rows: x' <= hi - lo (finite hi only).
+        for (i, &(lo, hi)) in bounds.iter().enumerate() {
+            if hi.is_finite() {
+                let mut coeffs = vec![0.0; num_cols];
+                let (plus, minus) = col_of[i];
+                coeffs[plus] = 1.0;
+                if let Some(mi) = minus {
+                    coeffs[mi] = -1.0;
+                    rows.push(Row { coeffs, rel: Rel::Le, rhs: hi });
+                } else {
+                    rows.push(Row { coeffs, rel: Rel::Le, rhs: hi - lo });
+                }
+            }
+        }
+
+        // Objective in shifted space (constant tracked separately).
+        let mut obj = vec![0.0; num_cols];
+        let mut obj_const = self.objective.constant_part();
+        for (var, c) in self.objective.terms() {
+            let (lo, _) = bounds[var.index()];
+            let (plus, minus) = col_of[var.index()];
+            let sign = if self.sense == Sense::Maximize { -c } else { c };
+            obj[plus] += sign;
+            if let Some(mi) = minus {
+                obj[mi] -= sign;
+            } else {
+                obj_const += c * lo;
+            }
+        }
+
+        match simplex::solve_lp(num_cols, &rows, &obj) {
+            LpResult::Optimal { x, .. } => {
+                let mut values = vec![0.0; n];
+                for i in 0..n {
+                    let (lo, _) = bounds[i];
+                    let (plus, minus) = col_of[i];
+                    values[i] = match minus {
+                        Some(mi) => x[plus] - x[mi],
+                        None => lo + x[plus],
+                    };
+                }
+                let objective = self.objective.eval(&values);
+                let _ = obj_const;
+                Ok((values, objective))
+            }
+            LpResult::Infeasible => Err(SolveError::Infeasible),
+            LpResult::Unbounded => Err(SolveError::Unbounded),
+            LpResult::IterationLimit => Err(SolveError::Limit),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_lp_with_bounds() {
+        // min 2x + 3y s.t. x + y >= 10, 1 <= x <= 8, 0 <= y <= 20.
+        let mut m = Model::minimize();
+        let x = m.num_var("x", 1.0, 8.0);
+        let y = m.num_var("y", 0.0, 20.0);
+        m.constraint(x + y, Rel::Ge, 10.0);
+        m.objective(2.0 * x + 3.0 * y);
+        let s = m.solve().unwrap();
+        // Cheapest: push x to its max 8, y = 2 -> 16 + 6 = 22.
+        assert!((s.value(x) - 8.0).abs() < 1e-6);
+        assert!((s.value(y) - 2.0).abs() < 1e-6);
+        assert!((s.objective() - 22.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn maximize_sense() {
+        let mut m = Model::maximize();
+        let x = m.num_var("x", 0.0, 5.0);
+        m.objective(3.0 * x + 1.0);
+        let s = m.solve().unwrap();
+        assert!((s.objective() - 16.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nonzero_lower_bounds_shift_correctly() {
+        // min x + y, x >= 3, y >= 4, x + y >= 10.
+        let mut m = Model::minimize();
+        let x = m.num_var("x", 3.0, f64::INFINITY);
+        let y = m.num_var("y", 4.0, f64::INFINITY);
+        m.constraint(x + y, Rel::Ge, 10.0);
+        m.objective(x + y);
+        let s = m.solve().unwrap();
+        assert!((s.objective() - 10.0).abs() < 1e-6);
+        assert!(s.value(x) >= 3.0 - 1e-9);
+        assert!(s.value(y) >= 4.0 - 1e-9);
+    }
+
+    #[test]
+    fn free_variable_split() {
+        // min |style| problem: x free, x >= -7 via constraint; min x -> -7.
+        let mut m = Model::minimize();
+        let x = m.num_var("x", f64::NEG_INFINITY, f64::INFINITY);
+        m.constraint(x, Rel::Ge, -7.0);
+        m.objective(x);
+        let s = m.solve().unwrap();
+        assert!((s.value(x) + 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_in_constraint_folds_into_rhs() {
+        // (x + 5) <= 8  =>  x <= 3.
+        let mut m = Model::maximize();
+        let x = m.num_var("x", 0.0, 100.0);
+        m.constraint(x + 5.0, Rel::Le, 8.0);
+        m.objective(LinExpr::from(x));
+        let s = m.solve().unwrap();
+        assert!((s.value(x) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bad_bounds_rejected() {
+        let mut m = Model::minimize();
+        let _x = m.num_var("x", 5.0, 1.0);
+        assert!(matches!(m.solve().unwrap_err(), SolveError::BadBounds(_)));
+
+        let mut m = Model::minimize();
+        let _y = m.int_var("y", 0, 10);
+        m.vars[0].hi = f64::INFINITY;
+        assert!(matches!(m.solve().unwrap_err(), SolveError::BadBounds(_)));
+    }
+
+    #[test]
+    fn infeasible_lp_reported() {
+        let mut m = Model::minimize();
+        let x = m.num_var("x", 0.0, 1.0);
+        m.constraint(LinExpr::from(x), Rel::Ge, 2.0);
+        m.objective(LinExpr::from(x));
+        assert_eq!(m.solve().unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_lp_reported() {
+        let mut m = Model::maximize();
+        let x = m.num_var("x", 0.0, f64::INFINITY);
+        m.objective(LinExpr::from(x));
+        assert_eq!(m.solve().unwrap_err(), SolveError::Unbounded);
+    }
+
+    #[test]
+    fn solution_eval_arbitrary_expression() {
+        let mut m = Model::minimize();
+        let x = m.num_var("x", 2.0, 2.0);
+        let y = m.num_var("y", 3.0, 3.0);
+        m.objective(x + y);
+        let s = m.solve().unwrap();
+        let e = 10.0 * x + y + 1.0;
+        assert!((s.eval(&e) - 24.0).abs() < 1e-6);
+    }
+}

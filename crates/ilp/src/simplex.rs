@@ -1,0 +1,386 @@
+//! Dense two-phase simplex.
+//!
+//! Solves `min c·x` subject to linear constraints and `x ≥ 0`. The
+//! [`crate::Model`] layer is responsible for shifting general lower
+//! bounds to zero and expressing upper bounds as constraint rows, so this
+//! module only handles the canonical non-negative form.
+//!
+//! Pivoting uses Bland's rule (smallest-index entering column, smallest
+//! basis-index ratio tie-break), which guarantees termination even on
+//! degenerate problems at a modest performance cost — the right choice
+//! for the small mapping ILPs Clara generates.
+
+use crate::model::Rel;
+
+/// Numerical tolerance for feasibility and optimality tests.
+pub const TOL: f64 = 1e-9;
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpResult {
+    /// An optimal solution: variable values and objective.
+    Optimal {
+        /// Values of the structural variables.
+        x: Vec<f64>,
+        /// Objective value.
+        objective: f64,
+    },
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+    /// The iteration cap was exceeded (should not happen with Bland's
+    /// rule; kept as a defensive backstop).
+    IterationLimit,
+}
+
+/// One constraint row: dense coefficients over the structural variables,
+/// a relation, and a right-hand side.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Dense coefficients, one per structural variable.
+    pub coeffs: Vec<f64>,
+    /// Relation between `coeffs · x` and `rhs`.
+    pub rel: Rel,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// Solve `min objective·x` s.t. `rows`, `x ≥ 0`.
+pub fn solve_lp(num_vars: usize, rows: &[Row], objective: &[f64]) -> LpResult {
+    assert_eq!(objective.len(), num_vars);
+    Tableau::new(num_vars, rows).solve(objective)
+}
+
+struct Tableau {
+    /// `tab[i]` is row i: n structural + slack/surplus + artificial
+    /// columns, then the rhs in the last position.
+    tab: Vec<Vec<f64>>,
+    basis: Vec<usize>,
+    num_vars: usize,
+    /// Total columns excluding rhs.
+    width: usize,
+    /// Column indices of artificial variables.
+    artificial: Vec<usize>,
+}
+
+impl Tableau {
+    fn new(num_vars: usize, rows: &[Row]) -> Self {
+        // Normalize rhs >= 0.
+        let mut norm: Vec<Row> = rows.to_vec();
+        for r in &mut norm {
+            if r.rhs < 0.0 {
+                for c in &mut r.coeffs {
+                    *c = -*c;
+                }
+                r.rhs = -r.rhs;
+                r.rel = match r.rel {
+                    Rel::Le => Rel::Ge,
+                    Rel::Ge => Rel::Le,
+                    Rel::Eq => Rel::Eq,
+                };
+            }
+        }
+        let m = norm.len();
+        let n_slack = norm.iter().filter(|r| r.rel != Rel::Eq).count();
+        // Artificials are needed for Ge and Eq rows.
+        let n_art = norm.iter().filter(|r| r.rel != Rel::Le).count();
+        let width = num_vars + n_slack + n_art;
+
+        let mut tab = vec![vec![0.0; width + 1]; m];
+        let mut basis = vec![0usize; m];
+        let mut artificial = Vec::with_capacity(n_art);
+        let mut slack_col = num_vars;
+        let mut art_col = num_vars + n_slack;
+
+        for (i, r) in norm.iter().enumerate() {
+            assert_eq!(r.coeffs.len(), num_vars, "row width mismatch");
+            tab[i][..num_vars].copy_from_slice(&r.coeffs);
+            tab[i][width] = r.rhs;
+            match r.rel {
+                Rel::Le => {
+                    tab[i][slack_col] = 1.0;
+                    basis[i] = slack_col;
+                    slack_col += 1;
+                }
+                Rel::Ge => {
+                    tab[i][slack_col] = -1.0; // surplus
+                    slack_col += 1;
+                    tab[i][art_col] = 1.0;
+                    basis[i] = art_col;
+                    artificial.push(art_col);
+                    art_col += 1;
+                }
+                Rel::Eq => {
+                    tab[i][art_col] = 1.0;
+                    basis[i] = art_col;
+                    artificial.push(art_col);
+                    art_col += 1;
+                }
+            }
+        }
+        Tableau { tab, basis, num_vars, width, artificial }
+    }
+
+    fn solve(mut self, objective: &[f64]) -> LpResult {
+        // Phase 1: minimize the sum of artificial variables.
+        if !self.artificial.is_empty() {
+            let mut phase1 = vec![0.0; self.width];
+            for &a in &self.artificial {
+                phase1[a] = 1.0;
+            }
+            match self.optimize(&phase1, &[]) {
+                Status::Optimal => {}
+                Status::Unbounded => return LpResult::Infeasible, // cannot happen, defensive
+                Status::IterationLimit => return LpResult::IterationLimit,
+            }
+            let phase1_obj = self.current_objective(&phase1);
+            if phase1_obj > 1e-7 {
+                return LpResult::Infeasible;
+            }
+            self.evict_artificials();
+        }
+
+        // Phase 2: original objective, artificials barred from entering.
+        let mut full_obj = vec![0.0; self.width];
+        full_obj[..self.num_vars].copy_from_slice(objective);
+        let barred = self.artificial.clone();
+        match self.optimize(&full_obj, &barred) {
+            Status::Optimal => {}
+            Status::Unbounded => return LpResult::Unbounded,
+            Status::IterationLimit => return LpResult::IterationLimit,
+        }
+
+        let mut x = vec![0.0; self.num_vars];
+        for (i, &b) in self.basis.iter().enumerate() {
+            if b < self.num_vars {
+                x[b] = self.tab[i][self.width];
+            }
+        }
+        let objective_value = objective
+            .iter()
+            .zip(&x)
+            .map(|(c, v)| c * v)
+            .sum::<f64>();
+        LpResult::Optimal { x, objective: objective_value }
+    }
+
+    /// Objective value of the current basic solution under `costs`.
+    fn current_objective(&self, costs: &[f64]) -> f64 {
+        self.basis
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| costs[b] * self.tab[i][self.width])
+            .sum()
+    }
+
+    /// Pivot basic artificial variables out where possible; drop redundant
+    /// rows where not.
+    fn evict_artificials(&mut self) {
+        let art_set: std::collections::HashSet<usize> =
+            self.artificial.iter().copied().collect();
+        let mut row = 0;
+        while row < self.tab.len() {
+            if art_set.contains(&self.basis[row]) {
+                // Find a non-artificial column with a non-zero entry.
+                let col = (0..self.width)
+                    .find(|j| !art_set.contains(j) && self.tab[row][*j].abs() > TOL);
+                match col {
+                    Some(j) => self.pivot(row, j),
+                    None => {
+                        // Row is 0 = 0: redundant constraint.
+                        self.tab.remove(row);
+                        self.basis.remove(row);
+                        continue;
+                    }
+                }
+            }
+            row += 1;
+        }
+    }
+
+    /// Run simplex iterations under `costs` until optimal/unbounded.
+    /// Columns in `barred` may never enter the basis.
+    fn optimize(&mut self, costs: &[f64], barred: &[usize]) -> Status {
+        let barred: std::collections::HashSet<usize> = barred.iter().copied().collect();
+        let max_iters = 20_000 + 200 * (self.width + self.tab.len());
+        for _ in 0..max_iters {
+            // Reduced costs: rc_j = c_j - c_B · column_j (tableau form).
+            let entering = (0..self.width)
+                .filter(|j| !barred.contains(j))
+                .find(|&j| {
+                    let rc = costs[j]
+                        - self
+                            .basis
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &b)| costs[b] * self.tab[i][j])
+                            .sum::<f64>();
+                    rc < -TOL
+                });
+            let Some(j) = entering else { return Status::Optimal };
+
+            // Ratio test with Bland tie-break.
+            let mut pivot_row: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for i in 0..self.tab.len() {
+                let a = self.tab[i][j];
+                if a > TOL {
+                    let ratio = self.tab[i][self.width] / a;
+                    let better = ratio < best_ratio - TOL
+                        || (ratio < best_ratio + TOL
+                            && pivot_row
+                                .map(|r| self.basis[i] < self.basis[r])
+                                .unwrap_or(true));
+                    if better {
+                        best_ratio = ratio;
+                        pivot_row = Some(i);
+                    }
+                }
+            }
+            let Some(r) = pivot_row else { return Status::Unbounded };
+            self.pivot(r, j);
+        }
+        Status::IterationLimit
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot = self.tab[row][col];
+        debug_assert!(pivot.abs() > TOL, "pivot on (near-)zero element");
+        for v in &mut self.tab[row] {
+            *v /= pivot;
+        }
+        for i in 0..self.tab.len() {
+            if i == row {
+                continue;
+            }
+            let factor = self.tab[i][col];
+            if factor.abs() <= TOL {
+                continue;
+            }
+            for j in 0..=self.width {
+                self.tab[i][j] -= factor * self.tab[row][j];
+            }
+        }
+        self.basis[row] = col;
+    }
+}
+
+enum Status {
+    Optimal,
+    Unbounded,
+    IterationLimit,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(coeffs: Vec<f64>, rel: Rel, rhs: f64) -> Row {
+        Row { coeffs, rel, rhs }
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (as min of -obj).
+        let rows = vec![
+            row(vec![1.0, 0.0], Rel::Le, 4.0),
+            row(vec![0.0, 2.0], Rel::Le, 12.0),
+            row(vec![3.0, 2.0], Rel::Le, 18.0),
+        ];
+        match solve_lp(2, &rows, &[-3.0, -5.0]) {
+            LpResult::Optimal { x, objective } => {
+                assert!((x[0] - 2.0).abs() < 1e-6, "x = {x:?}");
+                assert!((x[1] - 6.0).abs() < 1e-6);
+                assert!((objective + 36.0).abs() < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_and_ge_need_phase1() {
+        // min x + y s.t. x + y = 10, x >= 3, y >= 2.
+        let rows = vec![
+            row(vec![1.0, 1.0], Rel::Eq, 10.0),
+            row(vec![1.0, 0.0], Rel::Ge, 3.0),
+            row(vec![0.0, 1.0], Rel::Ge, 2.0),
+        ];
+        match solve_lp(2, &rows, &[1.0, 1.0]) {
+            LpResult::Optimal { objective, .. } => assert!((objective - 10.0).abs() < 1e-6),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        // x <= 1 and x >= 2.
+        let rows = vec![
+            row(vec![1.0], Rel::Le, 1.0),
+            row(vec![1.0], Rel::Ge, 2.0),
+        ];
+        assert_eq!(solve_lp(1, &rows, &[1.0]), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        // min -x s.t. x >= 1 (x can grow forever).
+        let rows = vec![row(vec![1.0], Rel::Ge, 1.0)];
+        assert_eq!(solve_lp(1, &rows, &[-1.0]), LpResult::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // -x <= -5  <=>  x >= 5; min x -> 5.
+        let rows = vec![row(vec![-1.0], Rel::Le, -5.0)];
+        match solve_lp(1, &rows, &[1.0]) {
+            LpResult::Optimal { x, objective } => {
+                assert!((x[0] - 5.0).abs() < 1e-6);
+                assert!((objective - 5.0).abs() < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy: several redundant constraints through the
+        // same vertex.
+        let rows = vec![
+            row(vec![1.0, 1.0], Rel::Le, 1.0),
+            row(vec![2.0, 2.0], Rel::Le, 2.0),
+            row(vec![1.0, 0.0], Rel::Le, 1.0),
+            row(vec![0.0, 1.0], Rel::Le, 1.0),
+        ];
+        match solve_lp(2, &rows, &[-1.0, -1.0]) {
+            LpResult::Optimal { objective, .. } => assert!((objective + 1.0).abs() < 1e-6),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn redundant_equalities_handled() {
+        // x + y = 4 stated twice; min x s.t. y <= 3 -> x = 1.
+        let rows = vec![
+            row(vec![1.0, 1.0], Rel::Eq, 4.0),
+            row(vec![1.0, 1.0], Rel::Eq, 4.0),
+            row(vec![0.0, 1.0], Rel::Le, 3.0),
+        ];
+        match solve_lp(2, &rows, &[1.0, 0.0]) {
+            LpResult::Optimal { x, .. } => assert!((x[0] - 1.0).abs() < 1e-6, "{x:?}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_constraint_problem() {
+        // min x with no constraints -> x = 0.
+        match solve_lp(1, &[], &[1.0]) {
+            LpResult::Optimal { x, objective } => {
+                assert_eq!(x[0], 0.0);
+                assert_eq!(objective, 0.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

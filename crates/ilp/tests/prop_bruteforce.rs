@@ -1,0 +1,107 @@
+//! Property test: on small random 0/1 ILPs, branch-and-bound must agree
+//! with exhaustive enumeration.
+
+use clara_ilp::{LinExpr, Model, Rel, SolveError};
+use proptest::prelude::*;
+
+/// A small random 0/1 problem: n vars, m "≤" constraints with small
+/// integer coefficients, and an integer objective.
+#[derive(Debug, Clone)]
+struct Problem {
+    n: usize,
+    cons: Vec<(Vec<i8>, i16)>,
+    obj: Vec<i8>,
+    maximize: bool,
+}
+
+fn arb_problem() -> impl Strategy<Value = Problem> {
+    (2usize..6, 1usize..5).prop_flat_map(|(n, m)| {
+        (
+            proptest::collection::vec(
+                (
+                    proptest::collection::vec(-4i8..5, n),
+                    -6i16..20,
+                ),
+                m,
+            ),
+            proptest::collection::vec(-5i8..6, n),
+            any::<bool>(),
+        )
+            .prop_map(move |(cons, obj, maximize)| Problem { n, cons, obj, maximize })
+    })
+}
+
+fn brute_force(p: &Problem) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    for mask in 0u32..(1 << p.n) {
+        let x: Vec<f64> = (0..p.n)
+            .map(|i| if mask & (1 << i) != 0 { 1.0 } else { 0.0 })
+            .collect();
+        let feasible = p.cons.iter().all(|(coeffs, rhs)| {
+            let lhs: f64 = coeffs.iter().zip(&x).map(|(&c, v)| c as f64 * v).sum();
+            lhs <= *rhs as f64 + 1e-9
+        });
+        if !feasible {
+            continue;
+        }
+        let val: f64 = p.obj.iter().zip(&x).map(|(&c, v)| c as f64 * v).sum();
+        best = Some(match best {
+            None => val,
+            Some(b) => {
+                if p.maximize {
+                    b.max(val)
+                } else {
+                    b.min(val)
+                }
+            }
+        });
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn bnb_matches_bruteforce(p in arb_problem()) {
+        let mut m = if p.maximize { Model::maximize() } else { Model::minimize() };
+        let vars: Vec<_> = (0..p.n).map(|i| m.binary(format!("x{i}"))).collect();
+        for (coeffs, rhs) in &p.cons {
+            let expr = LinExpr::sum(
+                coeffs.iter().zip(&vars).map(|(&c, &v)| c as f64 * v),
+            );
+            m.constraint(expr, Rel::Le, *rhs as f64);
+        }
+        m.objective(LinExpr::sum(
+            p.obj.iter().zip(&vars).map(|(&c, &v)| c as f64 * v),
+        ));
+
+        match (m.solve(), brute_force(&p)) {
+            (Ok(sol), Some(expected)) => {
+                prop_assert!(
+                    (sol.objective() - expected).abs() < 1e-6,
+                    "solver {} vs brute force {}", sol.objective(), expected
+                );
+                // The reported assignment must itself be feasible.
+                for (coeffs, rhs) in &p.cons {
+                    let lhs: f64 = coeffs
+                        .iter()
+                        .zip(&vars)
+                        .map(|(&c, &v)| c as f64 * sol.value(v))
+                        .sum();
+                    prop_assert!(lhs <= *rhs as f64 + 1e-6);
+                }
+                for &v in &vars {
+                    let val = sol.value(v);
+                    prop_assert!((val - val.round()).abs() < 1e-6);
+                }
+            }
+            (Err(SolveError::Infeasible), None) => {}
+            (got, expected) => {
+                return Err(TestCaseError::fail(format!(
+                    "solver {got:?} vs brute force {expected:?}"
+                )));
+            }
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! Abstract syntax tree for NFC programs.
+
+use crate::tokens::Span;
+use core::fmt;
+
+/// Scalar and special types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 8-bit unsigned integer.
+    U8,
+    /// 16-bit unsigned integer.
+    U16,
+    /// 32-bit unsigned integer.
+    U32,
+    /// 64-bit unsigned integer.
+    U64,
+    /// Boolean.
+    Bool,
+    /// The packet being processed.
+    Packet,
+    /// The verdict type returned by `handle` (forward/drop).
+    Action,
+    /// No value.
+    Void,
+}
+
+impl Type {
+    /// Whether this is one of the integer types.
+    pub fn is_int(self) -> bool {
+        matches!(self, Type::U8 | Type::U16 | Type::U32 | Type::U64)
+    }
+
+    /// Width in bits for integer types.
+    pub fn bits(self) -> u32 {
+        match self {
+            Type::U8 => 8,
+            Type::U16 => 16,
+            Type::U32 => 32,
+            Type::U64 => 64,
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Type::U8 => "u8",
+            Type::U16 => "u16",
+            Type::U32 => "u32",
+            Type::U64 => "u64",
+            Type::Bool => "bool",
+            Type::Packet => "packet",
+            Type::Action => "action",
+            Type::Void => "void",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    LogicalAnd,
+    /// `||`
+    LogicalOr,
+}
+
+impl BinOp {
+    /// Whether the operator yields a boolean.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// Whether the operator takes boolean operands.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::LogicalAnd | BinOp::LogicalOr)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `!`
+    Not,
+    /// `-` (wrapping negation on unsigned values, as in C).
+    Neg,
+}
+
+/// An expression with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The expression itself.
+    pub kind: ExprKind,
+    /// Source position.
+    pub span: Span,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(u64),
+    /// Boolean literal.
+    Bool(bool),
+    /// `forward` / `drop` action literal (true = forward).
+    ActionLit(bool),
+    /// Variable, parameter, or constant reference.
+    Ident(String),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Free-function call, e.g. `hash(a, b)`.
+    Call {
+        /// Function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Method-style call, e.g. `pkt.set_src_ip(x)`, `table.lookup(k)`,
+    /// or a namespaced framework call like `dpdk.parse_headers(pkt)`.
+    MethodCall {
+        /// Receiver identifier (packet, table, or framework namespace).
+        recv: String,
+        /// Method name.
+        method: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Field read, e.g. `pkt.src_ip`.
+    Field {
+        /// Receiver identifier.
+        recv: String,
+        /// Field name.
+        field: String,
+    },
+}
+
+/// A statement with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// The statement itself.
+    pub kind: StmtKind,
+    /// Source position.
+    pub span: Span,
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `let name: ty = expr;` (type optional, inferred).
+    Let {
+        /// Variable name.
+        name: String,
+        /// Declared type, if written.
+        ty: Option<Type>,
+        /// Initializer.
+        value: Expr,
+    },
+    /// `name = expr;`
+    Assign {
+        /// Target variable.
+        name: String,
+        /// New value.
+        value: Expr,
+    },
+    /// `if (cond) { .. } else { .. }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then_block: Block,
+        /// Else-branch, if present.
+        else_block: Option<Block>,
+    },
+    /// `while (cond) { .. }`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Body.
+        body: Block,
+    },
+    /// `for i in lo..hi { .. }`
+    For {
+        /// Induction variable.
+        var: String,
+        /// Inclusive lower bound expression.
+        lo: Expr,
+        /// Exclusive upper bound expression.
+        hi: Expr,
+        /// Body.
+        body: Block,
+    },
+    /// `return expr?;`
+    Return(Option<Expr>),
+    /// A bare expression statement (usually a call).
+    Expr(Expr),
+}
+
+/// A `{ ... }` block.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: Type,
+}
+
+/// A function declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnDecl {
+    /// Name (`handle` is the packet entry point).
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Return type (`Void` if omitted).
+    pub ret: Type,
+    /// Body.
+    pub body: Block,
+    /// Source position.
+    pub span: Span,
+}
+
+/// State (table) kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateKind {
+    /// `map<K, V>[capacity]`: exact-match table.
+    Map {
+        /// Key type.
+        key: Type,
+        /// Value type.
+        value: Type,
+    },
+    /// `array<T>[len]`: dense array.
+    Array {
+        /// Element type.
+        elem: Type,
+    },
+    /// `lpm[rules]`: longest-prefix-match table over IPv4 destinations.
+    Lpm,
+    /// `counter[buckets]`: counting sketch / per-bucket counters.
+    Counter,
+}
+
+/// A state declaration: named NF state with a capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateDecl {
+    /// Name.
+    pub name: String,
+    /// Kind (map/array/lpm/counter).
+    pub kind: StateKind,
+    /// Capacity: map entries, array length, LPM rules, or counter buckets.
+    pub capacity: u64,
+    /// Source position.
+    pub span: Span,
+}
+
+impl StateDecl {
+    /// Approximate size in bytes of this state, for memory placement.
+    pub fn size_bytes(&self) -> usize {
+        let entry = match &self.kind {
+            // key + value + bucket overhead
+            StateKind::Map { key, value } => {
+                (key.bits() as usize + value.bits() as usize) / 8 + 8
+            }
+            StateKind::Array { elem } => (elem.bits() as usize) / 8,
+            // prefix + mask + next hop + priority
+            StateKind::Lpm => 16,
+            StateKind::Counter => 8,
+        };
+        entry.max(1) * self.capacity as usize
+    }
+}
+
+/// A named compile-time constant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstDecl {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: Type,
+    /// Value.
+    pub value: u64,
+    /// Source position.
+    pub span: Span,
+}
+
+/// A complete NF program: one `nf name { ... }` unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NfProgram {
+    /// NF name.
+    pub name: String,
+    /// Constants.
+    pub consts: Vec<ConstDecl>,
+    /// State declarations.
+    pub states: Vec<StateDecl>,
+    /// Functions (`handle` must be among them).
+    pub functions: Vec<FnDecl>,
+}
+
+impl NfProgram {
+    /// The packet entry point.
+    pub fn handle_fn(&self) -> Option<&FnDecl> {
+        self.functions.iter().find(|f| f.name == "handle")
+    }
+
+    /// Look up a state declaration by name.
+    pub fn state(&self, name: &str) -> Option<&StateDecl> {
+        self.states.iter().find(|s| s.name == name)
+    }
+
+    /// Look up a function by name.
+    pub fn function(&self, name: &str) -> Option<&FnDecl> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Look up a constant by name.
+    pub fn constant(&self, name: &str) -> Option<&ConstDecl> {
+        self.consts.iter().find(|c| c.name == name)
+    }
+
+    /// Total declared state footprint in bytes.
+    pub fn state_bytes(&self) -> usize {
+        self.states.iter().map(|s| s.size_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_predicates() {
+        assert!(Type::U8.is_int() && Type::U64.is_int());
+        assert!(!Type::Bool.is_int() && !Type::Packet.is_int());
+        assert_eq!(Type::U16.bits(), 16);
+        assert_eq!(Type::Bool.bits(), 0);
+    }
+
+    #[test]
+    fn binop_predicates() {
+        assert!(BinOp::Eq.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::LogicalAnd.is_logical());
+        assert!(!BinOp::And.is_logical());
+    }
+
+    #[test]
+    fn state_size_estimates() {
+        let map = StateDecl {
+            name: "t".into(),
+            kind: StateKind::Map { key: Type::U64, value: Type::U64 },
+            capacity: 1000,
+            span: Span::default(),
+        };
+        assert_eq!(map.size_bytes(), 24 * 1000);
+        let lpm = StateDecl {
+            name: "r".into(),
+            kind: StateKind::Lpm,
+            capacity: 30_000,
+            span: Span::default(),
+        };
+        assert_eq!(lpm.size_bytes(), 16 * 30_000);
+    }
+
+    #[test]
+    fn program_lookups() {
+        let p = NfProgram {
+            name: "x".into(),
+            consts: vec![],
+            states: vec![StateDecl {
+                name: "tbl".into(),
+                kind: StateKind::Counter,
+                capacity: 64,
+                span: Span::default(),
+            }],
+            functions: vec![FnDecl {
+                name: "handle".into(),
+                params: vec![],
+                ret: Type::Action,
+                body: Block::default(),
+                span: Span::default(),
+            }],
+        };
+        assert!(p.handle_fn().is_some());
+        assert!(p.state("tbl").is_some());
+        assert!(p.state("nope").is_none());
+        assert_eq!(p.state_bytes(), 8 * 64);
+    }
+}

@@ -1,0 +1,267 @@
+//! The framework/builtin API registry.
+//!
+//! NFC programs call framework-style APIs: free functions (`hash`,
+//! `checksum_update`), namespaced framework calls (`dpdk.parse_headers`,
+//! `click.network_header`, `bpf.csum_diff`), packet methods
+//! (`pkt.set_src_ip`), and state-table methods (`t.lookup`). Each resolves
+//! to a [`Builtin`] carrying its *semantic class* — the information Clara
+//! uses to substitute the call with a *vcall* in the IR (§3.3) and later
+//! bind it to a SmartNIC component (match/action engine, checksum unit,
+//! crypto accelerator, ...).
+
+use crate::ast::{StateKind, Type};
+
+/// The semantic class of a builtin — what NIC resource it exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BuiltinClass {
+    /// Header parsing (maps to a match/action engine or an NPU parse
+    /// routine; the paper's `vcall_get_hdr` example).
+    ParseHeader,
+    /// Full checksum over the packet (size-dependent; accelerator-eligible).
+    ChecksumFull,
+    /// Incremental checksum update after a header rewrite (cheap).
+    ChecksumIncr,
+    /// Crypto over the payload (accelerator-eligible).
+    Crypto,
+    /// Byte-wise payload scan — the DPI inner loop (size-dependent).
+    PayloadScan,
+    /// Flow/key hash computation.
+    HashCompute,
+    /// Exact-match table lookup.
+    TableLookup,
+    /// Exact-match table insert/update.
+    TableWrite,
+    /// Longest-prefix-match lookup (flow-cache / LPM-engine eligible).
+    LpmLookup,
+    /// Counter/sketch increment.
+    CounterAdd,
+    /// Counter/sketch read.
+    CounterRead,
+    /// Dense array read.
+    ArrayRead,
+    /// Dense array write.
+    ArrayWrite,
+    /// Packet metadata/header field read.
+    MetadataRead,
+    /// Packet metadata/header field write.
+    MetadataWrite,
+    /// Single payload byte read.
+    PayloadByte,
+    /// Token-bucket metering.
+    Meter,
+    /// Floating-point arithmetic helper (exercises FPU emulation, §3.4).
+    FloatOp,
+    /// Diagnostic logging (free at NIC level; kept for source fidelity).
+    Log,
+}
+
+/// Loose parameter types for builtin signatures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamTy {
+    /// Any integer type.
+    Int,
+    /// The packet.
+    Packet,
+}
+
+/// A resolved builtin: its class and signature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Builtin {
+    /// Semantic class.
+    pub class: BuiltinClass,
+    /// Expected parameters. For variadic builtins (`hash`), this is the
+    /// minimum prefix and extra `Int` arguments are allowed.
+    pub params: Vec<ParamTy>,
+    /// Whether extra integer arguments are allowed beyond `params`.
+    pub variadic: bool,
+    /// Return type.
+    pub ret: Type,
+}
+
+impl Builtin {
+    fn new(class: BuiltinClass, params: Vec<ParamTy>, ret: Type) -> Self {
+        Builtin { class, params, variadic: false, ret }
+    }
+
+    fn variadic(class: BuiltinClass, params: Vec<ParamTy>, ret: Type) -> Self {
+        Builtin { class, params, variadic: true, ret }
+    }
+}
+
+/// Resolve a free-function builtin by name.
+pub fn lookup_builtin(name: &str) -> Option<Builtin> {
+    use BuiltinClass as C;
+    use ParamTy::*;
+    Some(match name {
+        "hash" => Builtin::variadic(C::HashCompute, vec![Int], Type::U64),
+        "checksum" => Builtin::new(C::ChecksumFull, vec![Packet], Type::U16),
+        "checksum_update" => Builtin::new(C::ChecksumIncr, vec![Packet], Type::Void),
+        "aes_encrypt" => Builtin::new(C::Crypto, vec![Packet], Type::Void),
+        "aes_decrypt" => Builtin::new(C::Crypto, vec![Packet], Type::Void),
+        "payload_scan" => Builtin::new(C::PayloadScan, vec![Packet, Int], Type::U64),
+        "meter" => Builtin::new(C::Meter, vec![Int, Int], Type::Bool),
+        "ewma" => Builtin::new(C::FloatOp, vec![Int, Int], Type::U64),
+        "log" => Builtin::variadic(C::Log, vec![], Type::Void),
+        _ => return None,
+    })
+}
+
+/// Receiver kinds for method-style calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Receiver<'a> {
+    /// The `packet` parameter.
+    Packet,
+    /// A declared state table.
+    State(&'a StateKind),
+    /// A framework namespace (`dpdk`, `click`, `bpf`).
+    Namespace(&'a str),
+}
+
+/// Resolve a method or namespaced framework call.
+pub fn lookup_method(recv: Receiver<'_>, method: &str) -> Option<Builtin> {
+    use BuiltinClass as C;
+    use ParamTy::*;
+    match recv {
+        Receiver::Packet => Some(match method {
+            "parse" => Builtin::new(C::ParseHeader, vec![], Type::Void),
+            "set_src_ip" | "set_dst_ip" => {
+                Builtin::new(C::MetadataWrite, vec![Int], Type::Void)
+            }
+            "set_src_port" | "set_dst_port" => {
+                Builtin::new(C::MetadataWrite, vec![Int], Type::Void)
+            }
+            "set_ttl" => Builtin::new(C::MetadataWrite, vec![Int], Type::Void),
+            "decrement_ttl" => Builtin::new(C::MetadataWrite, vec![], Type::Void),
+            "payload_byte" => Builtin::new(C::PayloadByte, vec![Int], Type::U8),
+            _ => return None,
+        }),
+        Receiver::Namespace(ns) => {
+            let b = match (ns, method) {
+                // DPDK-style APIs.
+                ("dpdk", "parse_headers") => Builtin::new(C::ParseHeader, vec![Packet], Type::Void),
+                ("dpdk", "l3_checksum") => Builtin::new(C::ChecksumFull, vec![Packet], Type::U16),
+                ("dpdk", "hash_crc") => Builtin::variadic(C::HashCompute, vec![Int], Type::U64),
+                // Click-style APIs (the paper's `network_header` example).
+                ("click", "network_header") => {
+                    Builtin::new(C::ParseHeader, vec![Packet], Type::Void)
+                }
+                ("click", "ip_checksum") => Builtin::new(C::ChecksumFull, vec![Packet], Type::U16),
+                // eBPF-style APIs.
+                ("bpf", "parse") => Builtin::new(C::ParseHeader, vec![Packet], Type::Void),
+                ("bpf", "csum_diff") => Builtin::new(C::ChecksumIncr, vec![Packet], Type::Void),
+                _ => return None,
+            };
+            Some(b)
+        }
+        Receiver::State(kind) => {
+            let b = match (kind, method) {
+                (StateKind::Map { value, .. }, "lookup") => {
+                    Builtin::new(C::TableLookup, vec![Int], *value)
+                }
+                (StateKind::Map { .. }, "contains") => {
+                    Builtin::new(C::TableLookup, vec![Int], Type::Bool)
+                }
+                (StateKind::Map { .. }, "insert") | (StateKind::Map { .. }, "update") => {
+                    Builtin::new(C::TableWrite, vec![Int, Int], Type::Void)
+                }
+                (StateKind::Map { .. }, "remove") => {
+                    Builtin::new(C::TableWrite, vec![Int], Type::Void)
+                }
+                (StateKind::Lpm, "lookup") => Builtin::new(C::LpmLookup, vec![Int], Type::U64),
+                (StateKind::Counter, "add") => {
+                    Builtin::new(C::CounterAdd, vec![Int, Int], Type::Void)
+                }
+                (StateKind::Counter, "read") => {
+                    Builtin::new(C::CounterRead, vec![Int], Type::U64)
+                }
+                (StateKind::Array { elem }, "get") => {
+                    Builtin::new(C::ArrayRead, vec![Int], *elem)
+                }
+                (StateKind::Array { .. }, "set") => {
+                    Builtin::new(C::ArrayWrite, vec![Int, Int], Type::Void)
+                }
+                _ => return None,
+            };
+            Some(b)
+        }
+    }
+}
+
+/// Packet fields readable via `pkt.<field>`, with their types.
+pub fn packet_field(field: &str) -> Option<Type> {
+    Some(match field {
+        "src_ip" | "dst_ip" => Type::U32,
+        "src_port" | "dst_port" => Type::U16,
+        "proto" | "ttl" | "tcp_flags" => Type::U8,
+        "payload_len" | "total_len" => Type::U16,
+        "is_tcp" | "is_udp" | "is_syn" => Type::Bool,
+        _ => return None,
+    })
+}
+
+/// The framework namespaces recognized as call receivers.
+pub fn is_namespace(name: &str) -> bool {
+    matches!(name, "dpdk" | "click" | "bpf")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_builtins_resolve() {
+        assert_eq!(lookup_builtin("hash").unwrap().class, BuiltinClass::HashCompute);
+        assert!(lookup_builtin("hash").unwrap().variadic);
+        assert_eq!(lookup_builtin("checksum").unwrap().ret, Type::U16);
+        assert!(lookup_builtin("no_such_thing").is_none());
+    }
+
+    #[test]
+    fn framework_namespaces_resolve_to_same_classes() {
+        // The paper's point: different frameworks, same semantic class.
+        let dpdk = lookup_method(Receiver::Namespace("dpdk"), "parse_headers").unwrap();
+        let click = lookup_method(Receiver::Namespace("click"), "network_header").unwrap();
+        let bpf = lookup_method(Receiver::Namespace("bpf"), "parse").unwrap();
+        assert_eq!(dpdk.class, BuiltinClass::ParseHeader);
+        assert_eq!(click.class, BuiltinClass::ParseHeader);
+        assert_eq!(bpf.class, BuiltinClass::ParseHeader);
+    }
+
+    #[test]
+    fn table_methods_typed_by_state_kind() {
+        let map = StateKind::Map { key: Type::U64, value: Type::U32 };
+        let lk = lookup_method(Receiver::State(&map), "lookup").unwrap();
+        assert_eq!(lk.class, BuiltinClass::TableLookup);
+        assert_eq!(lk.ret, Type::U32);
+
+        let lpm = StateKind::Lpm;
+        assert_eq!(
+            lookup_method(Receiver::State(&lpm), "lookup").unwrap().class,
+            BuiltinClass::LpmLookup
+        );
+        // Maps don't have `add`; counters do.
+        assert!(lookup_method(Receiver::State(&map), "add").is_none());
+        let ctr = StateKind::Counter;
+        assert_eq!(
+            lookup_method(Receiver::State(&ctr), "add").unwrap().class,
+            BuiltinClass::CounterAdd
+        );
+    }
+
+    #[test]
+    fn packet_methods_and_fields() {
+        assert_eq!(
+            lookup_method(Receiver::Packet, "set_src_ip").unwrap().class,
+            BuiltinClass::MetadataWrite
+        );
+        assert_eq!(packet_field("src_ip"), Some(Type::U32));
+        assert_eq!(packet_field("is_tcp"), Some(Type::Bool));
+        assert_eq!(packet_field("bogus"), None);
+    }
+
+    #[test]
+    fn namespace_predicate() {
+        assert!(is_namespace("dpdk") && is_namespace("click") && is_namespace("bpf"));
+        assert!(!is_namespace("pkt"));
+    }
+}

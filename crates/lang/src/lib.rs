@@ -1,0 +1,119 @@
+//! The NF source language frontend for Clara.
+//!
+//! Clara analyzes *unported* network functions. The original Clara uses
+//! LLVM to lower C/DPDK programs; this reproduction instead defines a
+//! compact C-like NF language ("NFC") with framework-style builtins
+//! (Click-, eBPF-, and DPDK-flavoured API calls) and implements the full
+//! frontend from scratch: lexer → recursive-descent parser → AST → type
+//! checker. `clara-cir` lowers the checked AST to the Clara IR.
+//!
+//! # The language in one example
+//!
+//! ```text
+//! nf nat {
+//!     state flow_table: map<u64, u64>[65536];
+//!
+//!     fn handle(pkt: packet) -> action {
+//!         dpdk.parse_headers(pkt);
+//!         let key: u64 = hash(pkt.src_ip, pkt.src_port);
+//!         let entry: u64 = flow_table.lookup(key);
+//!         if (entry == 0) {
+//!             entry = key & 0xffff;
+//!             flow_table.insert(key, entry);
+//!         }
+//!         pkt.set_src_ip(entry);
+//!         checksum_update(pkt);
+//!         return forward;
+//!     }
+//! }
+//! ```
+//!
+//! Framework calls (`dpdk.parse_headers`, `click.network_header`,
+//! `bpf.map_lookup`, plain `hash`/`checksum_update`) are recognized by the
+//! [`builtins`] registry and later substituted with *vcalls* in the IR
+//! (§3.3 of the paper).
+
+pub mod ast;
+pub mod builtins;
+pub mod parser;
+pub mod tokens;
+pub mod types;
+
+pub use ast::{
+    BinOp, Block, Expr, ExprKind, FnDecl, NfProgram, Param, StateDecl, StateKind, Stmt,
+    StmtKind, Type, UnOp,
+};
+pub use builtins::{lookup_builtin, lookup_method, Builtin, BuiltinClass};
+pub use parser::parse;
+pub use tokens::{Span, Token, TokenKind};
+pub use types::check;
+
+use core::fmt;
+
+/// A frontend error with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    /// What went wrong.
+    pub message: String,
+    /// Where (line/column, 1-based).
+    pub span: Span,
+}
+
+impl LangError {
+    pub(crate) fn new(message: impl Into<String>, span: Span) -> Self {
+        LangError { message: message.into(), span }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.span.line, self.span.col, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// Parse and type-check an NF program in one call.
+pub fn frontend(source: &str) -> Result<NfProgram, LangError> {
+    let program = parse(source)?;
+    check(&program)?;
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontend_accepts_the_doc_example() {
+        let src = r#"
+            nf nat {
+                state flow_table: map<u64, u64>[65536];
+
+                fn handle(pkt: packet) -> action {
+                    dpdk.parse_headers(pkt);
+                    let key: u64 = hash(pkt.src_ip, pkt.src_port);
+                    let entry: u64 = flow_table.lookup(key);
+                    if (entry == 0) {
+                        entry = key & 0xffff;
+                        flow_table.insert(key, entry);
+                    }
+                    pkt.set_src_ip(entry);
+                    checksum_update(pkt);
+                    return forward;
+                }
+            }
+        "#;
+        let program = frontend(src).unwrap();
+        assert_eq!(program.name, "nat");
+        assert_eq!(program.states.len(), 1);
+        assert_eq!(program.functions.len(), 1);
+    }
+
+    #[test]
+    fn error_carries_position() {
+        let err = frontend("nf x {\n  fn handle( {\n}").unwrap_err();
+        assert_eq!(err.span.line, 2);
+        assert!(err.to_string().contains("2:"));
+    }
+}

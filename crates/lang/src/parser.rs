@@ -1,0 +1,640 @@
+//! Recursive-descent parser for NFC.
+
+use crate::ast::*;
+use crate::tokens::{tokenize, Span, Token, TokenKind};
+use crate::LangError;
+
+/// Parse NFC source into an [`NfProgram`] (syntax only; run
+/// [`crate::check`] afterwards, or use [`crate::frontend`]).
+pub fn parse(source: &str) -> Result<NfProgram, LangError> {
+    let tokens = tokenize(source)?;
+    Parser { tokens, pos: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), LangError> {
+        if self.peek() == &kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(LangError::new(
+                format!("expected {kind}, found {}", self.peek()),
+                self.span(),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, LangError> {
+        match self.peek() {
+            TokenKind::Ident(name) => {
+                let name = name.clone();
+                self.bump();
+                Ok(name)
+            }
+            other => Err(LangError::new(
+                format!("expected identifier, found {other}"),
+                self.span(),
+            )),
+        }
+    }
+
+    fn int_literal(&mut self) -> Result<u64, LangError> {
+        match self.peek() {
+            TokenKind::Int(v) => {
+                let v = *v;
+                self.bump();
+                Ok(v)
+            }
+            other => Err(LangError::new(
+                format!("expected integer literal, found {other}"),
+                self.span(),
+            )),
+        }
+    }
+
+    // ---- declarations -------------------------------------------------
+
+    fn program(&mut self) -> Result<NfProgram, LangError> {
+        self.expect(TokenKind::Nf)?;
+        let name = self.ident()?;
+        self.expect(TokenKind::LBrace)?;
+        let mut program = NfProgram {
+            name,
+            consts: Vec::new(),
+            states: Vec::new(),
+            functions: Vec::new(),
+        };
+        while !self.eat(&TokenKind::RBrace) {
+            match self.peek() {
+                TokenKind::Const => program.consts.push(self.const_decl()?),
+                TokenKind::State => program.states.push(self.state_decl()?),
+                TokenKind::Fn => program.functions.push(self.fn_decl()?),
+                TokenKind::Eof => {
+                    return Err(LangError::new("unclosed `nf` block", self.span()))
+                }
+                other => {
+                    return Err(LangError::new(
+                        format!("expected `const`, `state`, or `fn`, found {other}"),
+                        self.span(),
+                    ))
+                }
+            }
+        }
+        self.expect(TokenKind::Eof)?;
+        Ok(program)
+    }
+
+    fn const_decl(&mut self) -> Result<ConstDecl, LangError> {
+        let span = self.span();
+        self.expect(TokenKind::Const)?;
+        let name = self.ident()?;
+        self.expect(TokenKind::Colon)?;
+        let ty = self.ty()?;
+        self.expect(TokenKind::Assign)?;
+        let value = self.int_literal()?;
+        self.expect(TokenKind::Semi)?;
+        Ok(ConstDecl { name, ty, value, span })
+    }
+
+    fn state_decl(&mut self) -> Result<StateDecl, LangError> {
+        let span = self.span();
+        self.expect(TokenKind::State)?;
+        let name = self.ident()?;
+        self.expect(TokenKind::Colon)?;
+        let kind = match self.bump() {
+            TokenKind::Map => {
+                self.expect(TokenKind::Lt)?;
+                let key = self.ty()?;
+                self.expect(TokenKind::Comma)?;
+                let value = self.ty()?;
+                self.expect(TokenKind::Gt)?;
+                StateKind::Map { key, value }
+            }
+            TokenKind::Array => {
+                self.expect(TokenKind::Lt)?;
+                let elem = self.ty()?;
+                self.expect(TokenKind::Gt)?;
+                StateKind::Array { elem }
+            }
+            TokenKind::Lpm => StateKind::Lpm,
+            TokenKind::Counter => StateKind::Counter,
+            other => {
+                return Err(LangError::new(
+                    format!("expected `map`, `array`, `lpm`, or `counter`, found {other}"),
+                    span,
+                ))
+            }
+        };
+        self.expect(TokenKind::LBracket)?;
+        let capacity = self.int_literal()?;
+        self.expect(TokenKind::RBracket)?;
+        self.expect(TokenKind::Semi)?;
+        Ok(StateDecl { name, kind, capacity, span })
+    }
+
+    fn fn_decl(&mut self) -> Result<FnDecl, LangError> {
+        let span = self.span();
+        self.expect(TokenKind::Fn)?;
+        let name = self.ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != &TokenKind::RParen {
+            loop {
+                let pname = self.ident()?;
+                self.expect(TokenKind::Colon)?;
+                let ty = self.ty()?;
+                params.push(Param { name: pname, ty });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        let ret = if self.eat(&TokenKind::Arrow) { self.ty()? } else { Type::Void };
+        let body = self.block()?;
+        Ok(FnDecl { name, params, ret, body, span })
+    }
+
+    fn ty(&mut self) -> Result<Type, LangError> {
+        let span = self.span();
+        let name = self.ident()?;
+        match name.as_str() {
+            "u8" => Ok(Type::U8),
+            "u16" => Ok(Type::U16),
+            "u32" => Ok(Type::U32),
+            "u64" => Ok(Type::U64),
+            "bool" => Ok(Type::Bool),
+            "packet" => Ok(Type::Packet),
+            "action" => Ok(Type::Action),
+            "void" => Ok(Type::Void),
+            other => Err(LangError::new(format!("unknown type `{other}`"), span)),
+        }
+    }
+
+    // ---- statements ---------------------------------------------------
+
+    fn block(&mut self) -> Result<Block, LangError> {
+        self.expect(TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            if self.peek() == &TokenKind::Eof {
+                return Err(LangError::new("unclosed block", self.span()));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        let span = self.span();
+        let kind = match self.peek() {
+            TokenKind::Let => {
+                self.bump();
+                let name = self.ident()?;
+                let ty = if self.eat(&TokenKind::Colon) { Some(self.ty()?) } else { None };
+                self.expect(TokenKind::Assign)?;
+                let value = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                StmtKind::Let { name, ty, value }
+            }
+            TokenKind::If => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let then_block = self.block()?;
+                let else_block = if self.eat(&TokenKind::Else) {
+                    if self.peek() == &TokenKind::If {
+                        // `else if`: wrap the nested if in a block.
+                        let nested = self.stmt()?;
+                        Some(Block { stmts: vec![nested] })
+                    } else {
+                        Some(self.block()?)
+                    }
+                } else {
+                    None
+                };
+                StmtKind::If { cond, then_block, else_block }
+            }
+            TokenKind::While => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let body = self.block()?;
+                StmtKind::While { cond, body }
+            }
+            TokenKind::For => {
+                self.bump();
+                let var = self.ident()?;
+                self.expect(TokenKind::In)?;
+                let lo = self.expr()?;
+                self.expect(TokenKind::DotDot)?;
+                let hi = self.expr()?;
+                let body = self.block()?;
+                StmtKind::For { var, lo, hi, body }
+            }
+            TokenKind::Return => {
+                self.bump();
+                let value = if self.peek() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(TokenKind::Semi)?;
+                StmtKind::Return(value)
+            }
+            // `ident = expr;` assignment, disambiguated by lookahead.
+            TokenKind::Ident(_) if self.peek2() == &TokenKind::Assign => {
+                let name = self.ident()?;
+                self.expect(TokenKind::Assign)?;
+                let value = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                StmtKind::Assign { name, value }
+            }
+            _ => {
+                let e = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                StmtKind::Expr(e)
+            }
+        };
+        Ok(Stmt { kind, span })
+    }
+
+    // ---- expressions (precedence climbing) ----------------------------
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.logical_or()
+    }
+
+    fn binary_level<F>(
+        &mut self,
+        mut next: F,
+        table: &[(TokenKind, BinOp)],
+    ) -> Result<Expr, LangError>
+    where
+        F: FnMut(&mut Self) -> Result<Expr, LangError>,
+    {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (tok, op) in table {
+                if self.peek() == tok {
+                    let span = self.span();
+                    self.bump();
+                    let rhs = next(self)?;
+                    lhs = Expr {
+                        kind: ExprKind::Binary(*op, Box::new(lhs), Box::new(rhs)),
+                        span,
+                    };
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn logical_or(&mut self) -> Result<Expr, LangError> {
+        self.binary_level(Self::logical_and, &[(TokenKind::OrOr, BinOp::LogicalOr)])
+    }
+
+    fn logical_and(&mut self) -> Result<Expr, LangError> {
+        self.binary_level(Self::bit_or, &[(TokenKind::AndAnd, BinOp::LogicalAnd)])
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, LangError> {
+        self.binary_level(Self::bit_xor, &[(TokenKind::Pipe, BinOp::Or)])
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, LangError> {
+        self.binary_level(Self::bit_and, &[(TokenKind::Caret, BinOp::Xor)])
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, LangError> {
+        self.binary_level(Self::equality, &[(TokenKind::Amp, BinOp::And)])
+    }
+
+    fn equality(&mut self) -> Result<Expr, LangError> {
+        self.binary_level(
+            Self::relational,
+            &[(TokenKind::EqEq, BinOp::Eq), (TokenKind::Ne, BinOp::Ne)],
+        )
+    }
+
+    fn relational(&mut self) -> Result<Expr, LangError> {
+        self.binary_level(
+            Self::shift,
+            &[
+                (TokenKind::Le, BinOp::Le),
+                (TokenKind::Ge, BinOp::Ge),
+                (TokenKind::Lt, BinOp::Lt),
+                (TokenKind::Gt, BinOp::Gt),
+            ],
+        )
+    }
+
+    fn shift(&mut self) -> Result<Expr, LangError> {
+        self.binary_level(
+            Self::additive,
+            &[(TokenKind::Shl, BinOp::Shl), (TokenKind::Shr, BinOp::Shr)],
+        )
+    }
+
+    fn additive(&mut self) -> Result<Expr, LangError> {
+        self.binary_level(
+            Self::multiplicative,
+            &[(TokenKind::Plus, BinOp::Add), (TokenKind::Minus, BinOp::Sub)],
+        )
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, LangError> {
+        self.binary_level(
+            Self::unary,
+            &[
+                (TokenKind::Star, BinOp::Mul),
+                (TokenKind::Slash, BinOp::Div),
+                (TokenKind::Percent, BinOp::Rem),
+            ],
+        )
+    }
+
+    fn unary(&mut self) -> Result<Expr, LangError> {
+        let span = self.span();
+        if self.eat(&TokenKind::Bang) {
+            let inner = self.unary()?;
+            return Ok(Expr { kind: ExprKind::Unary(UnOp::Not, Box::new(inner)), span });
+        }
+        if self.eat(&TokenKind::Minus) {
+            let inner = self.unary()?;
+            return Ok(Expr { kind: ExprKind::Unary(UnOp::Neg, Box::new(inner)), span });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, LangError> {
+        let mut expr = self.primary()?;
+        while self.peek() == &TokenKind::Dot {
+            // `recv.member` or `recv.method(args)` — the receiver must be a
+            // plain identifier (packet/table/namespace), matching how the
+            // paper recognizes framework API calls.
+            let ExprKind::Ident(recv) = &expr.kind else {
+                return Err(LangError::new(
+                    "`.` receiver must be an identifier",
+                    self.span(),
+                ));
+            };
+            let recv = recv.clone();
+            let span = self.span();
+            self.bump(); // `.`
+            let member = self.ident()?;
+            if self.eat(&TokenKind::LParen) {
+                let args = self.args()?;
+                expr = Expr { kind: ExprKind::MethodCall { recv, method: member, args }, span };
+            } else {
+                expr = Expr { kind: ExprKind::Field { recv, field: member }, span };
+            }
+        }
+        Ok(expr)
+    }
+
+    fn args(&mut self) -> Result<Vec<Expr>, LangError> {
+        let mut args = Vec::new();
+        if self.peek() != &TokenKind::RParen {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(args)
+    }
+
+    fn primary(&mut self) -> Result<Expr, LangError> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr { kind: ExprKind::Int(v), span })
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(Expr { kind: ExprKind::Bool(true), span })
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(Expr { kind: ExprKind::Bool(false), span })
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if name == "forward" {
+                    return Ok(Expr { kind: ExprKind::ActionLit(true), span });
+                }
+                if name == "drop" {
+                    return Ok(Expr { kind: ExprKind::ActionLit(false), span });
+                }
+                if self.eat(&TokenKind::LParen) {
+                    let args = self.args()?;
+                    Ok(Expr { kind: ExprKind::Call { name, args }, span })
+                } else {
+                    Ok(Expr { kind: ExprKind::Ident(name), span })
+                }
+            }
+            other => Err(LangError::new(
+                format!("expected expression, found {other}"),
+                span,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_expr(src: &str) -> Expr {
+        let program = parse(&format!(
+            "nf t {{ fn handle(pkt: packet) -> action {{ let x: u64 = {src}; return drop; }} }}"
+        ))
+        .unwrap();
+        match &program.functions[0].body.stmts[0].kind {
+            StmtKind::Let { value, .. } => value.clone(),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let e = parse_expr("1 + 2 * 3");
+        match e.kind {
+            ExprKind::Binary(BinOp::Add, lhs, rhs) => {
+                assert!(matches!(lhs.kind, ExprKind::Int(1)));
+                assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Mul, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_shift_vs_compare() {
+        // `a >> 2 == 5` parses as `(a >> 2) == 5`.
+        let e = parse_expr("7 >> 2 == 5");
+        assert!(matches!(e.kind, ExprKind::Binary(BinOp::Eq, _, _)));
+    }
+
+    #[test]
+    fn parentheses_override() {
+        let e = parse_expr("(1 + 2) * 3");
+        assert!(matches!(e.kind, ExprKind::Binary(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn method_call_and_field() {
+        let e = parse_expr("pkt.src_ip + flow_table.lookup(5)");
+        match e.kind {
+            ExprKind::Binary(BinOp::Add, lhs, rhs) => {
+                assert!(matches!(
+                    lhs.kind,
+                    ExprKind::Field { ref recv, ref field } if recv == "pkt" && field == "src_ip"
+                ));
+                assert!(matches!(
+                    rhs.kind,
+                    ExprKind::MethodCall { ref recv, ref method, ref args }
+                        if recv == "flow_table" && method == "lookup" && args.len() == 1
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn action_literals() {
+        assert!(matches!(parse_expr("forward").kind, ExprKind::ActionLit(true)));
+        assert!(matches!(parse_expr("drop").kind, ExprKind::ActionLit(false)));
+    }
+
+    #[test]
+    fn unary_operators() {
+        let e = parse_expr("!true");
+        assert!(matches!(e.kind, ExprKind::Unary(UnOp::Not, _)));
+        let e = parse_expr("-5");
+        assert!(matches!(e.kind, ExprKind::Unary(UnOp::Neg, _)));
+    }
+
+    #[test]
+    fn full_program_shapes() {
+        let src = r#"
+            nf fw {
+                const MAX: u64 = 100;
+                state conns: map<u64, u8>[4096];
+                state rules: lpm[1000];
+                state counts: counter[256];
+                state ring: array<u32>[64];
+
+                fn helper(x: u64) -> u64 {
+                    return x + 1;
+                }
+
+                fn handle(pkt: packet) -> action {
+                    let i: u64 = 0;
+                    while (i < MAX) {
+                        i = i + 1;
+                    }
+                    for j in 0..4 {
+                        counts.add(j, 1);
+                    }
+                    if (pkt.proto == 6) {
+                        return forward;
+                    } else if (pkt.proto == 17) {
+                        return drop;
+                    } else {
+                        return drop;
+                    }
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.consts.len(), 1);
+        assert_eq!(p.states.len(), 4);
+        assert_eq!(p.functions.len(), 2);
+        assert_eq!(p.functions[1].params[0].ty, Type::Packet);
+        assert!(matches!(p.states[1].kind, StateKind::Lpm));
+        assert_eq!(p.states[0].capacity, 4096);
+    }
+
+    #[test]
+    fn else_if_desugars_to_nested_block() {
+        let src = r#"nf t { fn handle(pkt: packet) -> action {
+            if (1 == 1) { return forward; } else if (2 == 2) { return drop; }
+            return drop;
+        } }"#;
+        let p = parse(src).unwrap();
+        match &p.functions[0].body.stmts[0].kind {
+            StmtKind::If { else_block: Some(b), .. } => {
+                assert!(matches!(b.stmts[0].kind, StmtKind::If { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_messages_are_positioned() {
+        let err = parse("nf t { fn handle() -> action { let x = ; } }").unwrap_err();
+        assert!(err.message.contains("expected expression"), "{err}");
+        let err = parse("nf t { state s: hash[5]; }").unwrap_err();
+        assert!(err.message.contains("expected `map`"), "{err}");
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        assert!(parse("nf t { } extra").is_err());
+    }
+
+    #[test]
+    fn rejects_chained_dot_on_non_ident() {
+        assert!(parse(
+            "nf t { fn handle(pkt: packet) -> action { let x: u64 = hash(1).y; return drop; } }"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,487 @@
+//! Lexer for the NFC language.
+
+use crate::LangError;
+use core::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number, starting at 1.
+    pub col: u32,
+}
+
+impl Span {
+    /// Construct a span.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    // Literals and identifiers.
+    /// Integer literal (decimal or 0x hex).
+    Int(u64),
+    /// Identifier.
+    Ident(String),
+
+    // Keywords.
+    /// `nf`
+    Nf,
+    /// `state`
+    State,
+    /// `const`
+    Const,
+    /// `fn`
+    Fn,
+    /// `let`
+    Let,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `in`
+    In,
+    /// `return`
+    Return,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `map`
+    Map,
+    /// `array`
+    Array,
+    /// `lpm`
+    Lpm,
+    /// `counter`
+    Counter,
+
+    // Punctuation.
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `=`
+    Assign,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `->`
+    Arrow,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Int(v) => write!(f, "integer {v}"),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+            other => write!(f, "`{}`", other.lexeme()),
+        }
+    }
+}
+
+impl TokenKind {
+    fn lexeme(&self) -> &'static str {
+        match self {
+            TokenKind::Nf => "nf",
+            TokenKind::State => "state",
+            TokenKind::Const => "const",
+            TokenKind::Fn => "fn",
+            TokenKind::Let => "let",
+            TokenKind::If => "if",
+            TokenKind::Else => "else",
+            TokenKind::While => "while",
+            TokenKind::For => "for",
+            TokenKind::In => "in",
+            TokenKind::Return => "return",
+            TokenKind::True => "true",
+            TokenKind::False => "false",
+            TokenKind::Map => "map",
+            TokenKind::Array => "array",
+            TokenKind::Lpm => "lpm",
+            TokenKind::Counter => "counter",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Lt => "<",
+            TokenKind::Gt => ">",
+            TokenKind::Le => "<=",
+            TokenKind::Ge => ">=",
+            TokenKind::EqEq => "==",
+            TokenKind::Ne => "!=",
+            TokenKind::Assign => "=",
+            TokenKind::Semi => ";",
+            TokenKind::Colon => ":",
+            TokenKind::Comma => ",",
+            TokenKind::Dot => ".",
+            TokenKind::DotDot => "..",
+            TokenKind::Arrow => "->",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::Amp => "&",
+            TokenKind::Pipe => "|",
+            TokenKind::Caret => "^",
+            TokenKind::Shl => "<<",
+            TokenKind::Shr => ">>",
+            TokenKind::AndAnd => "&&",
+            TokenKind::OrOr => "||",
+            TokenKind::Bang => "!",
+            TokenKind::Int(_) | TokenKind::Ident(_) | TokenKind::Eof => "",
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub span: Span,
+}
+
+/// Tokenize NFC source. `//` line comments and `/* */` block comments are
+/// skipped.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, LangError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let span = Span::new(line, col);
+        match c {
+            c if c.is_whitespace() => bump!(),
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    bump!();
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                bump!();
+                bump!();
+                loop {
+                    if i + 1 >= chars.len() {
+                        return Err(LangError::new("unterminated block comment", span));
+                    }
+                    if chars[i] == '*' && chars[i + 1] == '/' {
+                        bump!();
+                        bump!();
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            '0'..='9' => {
+                let mut value: u64 = 0;
+                if c == '0' && matches!(chars.get(i + 1), Some('x') | Some('X')) {
+                    bump!();
+                    bump!();
+                    let mut any = false;
+                    while i < chars.len() && chars[i].is_ascii_hexdigit() {
+                        value = value
+                            .checked_mul(16)
+                            .and_then(|v| v.checked_add(chars[i].to_digit(16).unwrap() as u64))
+                            .ok_or_else(|| LangError::new("integer literal overflows u64", span))?;
+                        any = true;
+                        bump!();
+                    }
+                    if !any {
+                        return Err(LangError::new("expected hex digits after 0x", span));
+                    }
+                } else {
+                    while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                        if chars[i] != '_' {
+                            value = value
+                                .checked_mul(10)
+                                .and_then(|v| {
+                                    v.checked_add(chars[i].to_digit(10).unwrap() as u64)
+                                })
+                                .ok_or_else(|| {
+                                    LangError::new("integer literal overflows u64", span)
+                                })?;
+                        }
+                        bump!();
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Int(value), span });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    bump!();
+                }
+                let word: String = chars[start..i].iter().collect();
+                let kind = match word.as_str() {
+                    "nf" => TokenKind::Nf,
+                    "state" => TokenKind::State,
+                    "const" => TokenKind::Const,
+                    "fn" => TokenKind::Fn,
+                    "let" => TokenKind::Let,
+                    "if" => TokenKind::If,
+                    "else" => TokenKind::Else,
+                    "while" => TokenKind::While,
+                    "for" => TokenKind::For,
+                    "in" => TokenKind::In,
+                    "return" => TokenKind::Return,
+                    "true" => TokenKind::True,
+                    "false" => TokenKind::False,
+                    "map" => TokenKind::Map,
+                    "array" => TokenKind::Array,
+                    "lpm" => TokenKind::Lpm,
+                    "counter" => TokenKind::Counter,
+                    _ => TokenKind::Ident(word),
+                };
+                tokens.push(Token { kind, span });
+            }
+            _ => {
+                let two: String = chars[i..(i + 2).min(chars.len())].iter().collect();
+                let (kind, len) = match two.as_str() {
+                    "<=" => (TokenKind::Le, 2),
+                    ">=" => (TokenKind::Ge, 2),
+                    "==" => (TokenKind::EqEq, 2),
+                    "!=" => (TokenKind::Ne, 2),
+                    "<<" => (TokenKind::Shl, 2),
+                    ">>" => (TokenKind::Shr, 2),
+                    "&&" => (TokenKind::AndAnd, 2),
+                    "||" => (TokenKind::OrOr, 2),
+                    "->" => (TokenKind::Arrow, 2),
+                    ".." => (TokenKind::DotDot, 2),
+                    _ => {
+                        let kind = match c {
+                            '{' => TokenKind::LBrace,
+                            '}' => TokenKind::RBrace,
+                            '(' => TokenKind::LParen,
+                            ')' => TokenKind::RParen,
+                            '[' => TokenKind::LBracket,
+                            ']' => TokenKind::RBracket,
+                            '<' => TokenKind::Lt,
+                            '>' => TokenKind::Gt,
+                            '=' => TokenKind::Assign,
+                            ';' => TokenKind::Semi,
+                            ':' => TokenKind::Colon,
+                            ',' => TokenKind::Comma,
+                            '.' => TokenKind::Dot,
+                            '+' => TokenKind::Plus,
+                            '-' => TokenKind::Minus,
+                            '*' => TokenKind::Star,
+                            '/' => TokenKind::Slash,
+                            '%' => TokenKind::Percent,
+                            '&' => TokenKind::Amp,
+                            '|' => TokenKind::Pipe,
+                            '^' => TokenKind::Caret,
+                            '!' => TokenKind::Bang,
+                            other => {
+                                return Err(LangError::new(
+                                    format!("unexpected character `{other}`"),
+                                    span,
+                                ))
+                            }
+                        };
+                        (kind, 1)
+                    }
+                };
+                for _ in 0..len {
+                    bump!();
+                }
+                tokens.push(Token { kind, span });
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, span: Span::new(line, col) });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_identifiers() {
+        assert_eq!(
+            kinds("nf foo state fn"),
+            vec![
+                TokenKind::Nf,
+                TokenKind::Ident("foo".into()),
+                TokenKind::State,
+                TokenKind::Fn,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_decimal_hex_underscore() {
+        assert_eq!(
+            kinds("42 0xff 1_000"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Int(255),
+                TokenKind::Int(1000),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("<= >= == != << >> && || -> .."),
+            vec![
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::EqEq,
+                TokenKind::Ne,
+                TokenKind::Shl,
+                TokenKind::Shr,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Arrow,
+                TokenKind::DotDot,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("a // comment\n b /* block\n comment */ c"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let toks = tokenize("ab\n  cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(1, 1));
+        assert_eq!(toks[1].span, Span::new(2, 3));
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(tokenize("/* nope").is_err());
+    }
+
+    #[test]
+    fn unknown_char_errors() {
+        let err = tokenize("a @ b").unwrap_err();
+        assert!(err.message.contains('@'));
+        assert_eq!(err.span.col, 3);
+    }
+
+    #[test]
+    fn overflow_literal_errors() {
+        assert!(tokenize("99999999999999999999999").is_err());
+        assert!(tokenize("0xffffffffffffffffff").is_err());
+    }
+
+    #[test]
+    fn dot_vs_dotdot() {
+        assert_eq!(
+            kinds("a.b 0..2"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("b".into()),
+                TokenKind::Int(0),
+                TokenKind::DotDot,
+                TokenKind::Int(2),
+                TokenKind::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,661 @@
+//! Type checker for NFC programs.
+//!
+//! Integer widths coerce freely (C-style); `bool`, `packet`, and `action`
+//! are strict. Beyond expression types, the checker enforces program-level
+//! rules Clara relies on: a `handle(pkt: packet) -> action` entry point
+//! must exist, all paths of a non-void function return, user calls are
+//! acyclic (bodies are later inlined into the IR), and state capacities
+//! are positive.
+
+use crate::ast::*;
+use crate::builtins::{
+    is_namespace, lookup_builtin, lookup_method, packet_field, Builtin, ParamTy, Receiver,
+};
+use crate::tokens::Span;
+use crate::LangError;
+use std::collections::{HashMap, HashSet};
+
+/// Type-check a parsed program.
+pub fn check(program: &NfProgram) -> Result<(), LangError> {
+    let checker = Checker { program };
+    checker.run()
+}
+
+struct Checker<'a> {
+    program: &'a NfProgram,
+}
+
+#[derive(Clone)]
+struct Env {
+    vars: HashMap<String, Type>,
+}
+
+impl<'a> Checker<'a> {
+    fn run(&self) -> Result<(), LangError> {
+        // handle() entry point.
+        let handle = self.program.handle_fn().ok_or_else(|| {
+            LangError::new("program must define `fn handle(pkt: packet) -> action`", Span::new(1, 1))
+        })?;
+        if handle.params.len() != 1
+            || handle.params[0].ty != Type::Packet
+            || handle.ret != Type::Action
+        {
+            return Err(LangError::new(
+                "`handle` must take exactly one `packet` parameter and return `action`",
+                handle.span,
+            ));
+        }
+
+        // Unique names.
+        let mut seen = HashSet::new();
+        for name in self
+            .program
+            .consts
+            .iter()
+            .map(|c| &c.name)
+            .chain(self.program.states.iter().map(|s| &s.name))
+            .chain(self.program.functions.iter().map(|f| &f.name))
+        {
+            if !seen.insert(name.clone()) {
+                return Err(LangError::new(
+                    format!("duplicate declaration `{name}`"),
+                    Span::new(1, 1),
+                ));
+            }
+        }
+
+        for c in &self.program.consts {
+            if !c.ty.is_int() {
+                return Err(LangError::new("constants must have integer type", c.span));
+            }
+        }
+        for s in &self.program.states {
+            if s.capacity == 0 {
+                return Err(LangError::new(
+                    format!("state `{}` has zero capacity", s.name),
+                    s.span,
+                ));
+            }
+        }
+
+        self.check_no_recursion()?;
+
+        for f in &self.program.functions {
+            self.check_fn(f)?;
+        }
+        Ok(())
+    }
+
+    fn check_no_recursion(&self) -> Result<(), LangError> {
+        // DFS over the user-call graph.
+        fn calls_in_block(b: &Block, out: &mut Vec<String>) {
+            for s in &b.stmts {
+                calls_in_stmt(s, out);
+            }
+        }
+        fn calls_in_stmt(s: &Stmt, out: &mut Vec<String>) {
+            match &s.kind {
+                StmtKind::Let { value, .. } | StmtKind::Assign { value, .. } => {
+                    calls_in_expr(value, out)
+                }
+                StmtKind::If { cond, then_block, else_block } => {
+                    calls_in_expr(cond, out);
+                    calls_in_block(then_block, out);
+                    if let Some(e) = else_block {
+                        calls_in_block(e, out);
+                    }
+                }
+                StmtKind::While { cond, body } => {
+                    calls_in_expr(cond, out);
+                    calls_in_block(body, out);
+                }
+                StmtKind::For { lo, hi, body, .. } => {
+                    calls_in_expr(lo, out);
+                    calls_in_expr(hi, out);
+                    calls_in_block(body, out);
+                }
+                StmtKind::Return(Some(e)) => calls_in_expr(e, out),
+                StmtKind::Return(None) => {}
+                StmtKind::Expr(e) => calls_in_expr(e, out),
+            }
+        }
+        fn calls_in_expr(e: &Expr, out: &mut Vec<String>) {
+            match &e.kind {
+                ExprKind::Call { name, args } => {
+                    out.push(name.clone());
+                    for a in args {
+                        calls_in_expr(a, out);
+                    }
+                }
+                ExprKind::MethodCall { args, .. } => {
+                    for a in args {
+                        calls_in_expr(a, out);
+                    }
+                }
+                ExprKind::Binary(_, l, r) => {
+                    calls_in_expr(l, out);
+                    calls_in_expr(r, out);
+                }
+                ExprKind::Unary(_, inner) => calls_in_expr(inner, out),
+                _ => {}
+            }
+        }
+
+        let mut edges: HashMap<&str, Vec<String>> = HashMap::new();
+        for f in &self.program.functions {
+            let mut out = Vec::new();
+            calls_in_block(&f.body, &mut out);
+            out.retain(|n| self.program.function(n).is_some());
+            edges.insert(&f.name, out);
+        }
+        // Detect cycles with colors.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color: HashMap<&str, Color> =
+            edges.keys().map(|&k| (k, Color::White)).collect();
+        fn visit<'s>(
+            node: &'s str,
+            edges: &'s HashMap<&str, Vec<String>>,
+            color: &mut HashMap<&'s str, Color>,
+        ) -> bool {
+            color.insert(node, Color::Gray);
+            if let Some(nexts) = edges.get(node) {
+                for next in nexts {
+                    let key: &str = edges.keys().find(|k| **k == next.as_str()).unwrap();
+                    match color[key] {
+                        Color::Gray => return false,
+                        Color::White => {
+                            if !visit(key, edges, color) {
+                                return false;
+                            }
+                        }
+                        Color::Black => {}
+                    }
+                }
+            }
+            color.insert(node, Color::Black);
+            true
+        }
+        for f in &self.program.functions {
+            if color[f.name.as_str()] == Color::White
+                && !visit(
+                    edges.keys().find(|k| **k == f.name.as_str()).unwrap(),
+                    &edges,
+                    &mut color,
+                )
+            {
+                return Err(LangError::new(
+                    "recursive functions are not supported (bodies are inlined)",
+                    f.span,
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_fn(&self, f: &FnDecl) -> Result<(), LangError> {
+        let mut env = Env { vars: HashMap::new() };
+        for c in &self.program.consts {
+            env.vars.insert(c.name.clone(), c.ty);
+        }
+        for p in &f.params {
+            env.vars.insert(p.name.clone(), p.ty);
+        }
+        self.check_block(&f.body, &mut env, f.ret)?;
+        if f.ret != Type::Void && !must_return(&f.body) {
+            return Err(LangError::new(
+                format!("function `{}` may fall off the end without returning", f.name),
+                f.span,
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_block(&self, b: &Block, env: &mut Env, ret: Type) -> Result<(), LangError> {
+        // Block-scoped: clone the env so inner `let`s don't leak.
+        let mut inner = env.clone();
+        for s in &b.stmts {
+            self.check_stmt(s, &mut inner, ret)?;
+        }
+        Ok(())
+    }
+
+    fn check_stmt(&self, s: &Stmt, env: &mut Env, ret: Type) -> Result<(), LangError> {
+        match &s.kind {
+            StmtKind::Let { name, ty, value } => {
+                let vt = self.expr_type(value, env)?;
+                if let Some(declared) = ty {
+                    if !compatible(*declared, vt) {
+                        return Err(LangError::new(
+                            format!("cannot initialize `{name}: {declared}` from {vt}"),
+                            s.span,
+                        ));
+                    }
+                    env.vars.insert(name.clone(), *declared);
+                } else {
+                    if vt == Type::Void {
+                        return Err(LangError::new(
+                            format!("`{name}` initialized from a void expression"),
+                            s.span,
+                        ));
+                    }
+                    env.vars.insert(name.clone(), vt);
+                }
+                Ok(())
+            }
+            StmtKind::Assign { name, value } => {
+                let Some(&target) = env.vars.get(name) else {
+                    return Err(LangError::new(format!("unknown variable `{name}`"), s.span));
+                };
+                if self.program.constant(name).is_some() {
+                    return Err(LangError::new(
+                        format!("cannot assign to constant `{name}`"),
+                        s.span,
+                    ));
+                }
+                let vt = self.expr_type(value, env)?;
+                if !compatible(target, vt) {
+                    return Err(LangError::new(
+                        format!("cannot assign {vt} to `{name}: {target}`"),
+                        s.span,
+                    ));
+                }
+                Ok(())
+            }
+            StmtKind::If { cond, then_block, else_block } => {
+                self.expect_bool(cond, env)?;
+                self.check_block(then_block, env, ret)?;
+                if let Some(e) = else_block {
+                    self.check_block(e, env, ret)?;
+                }
+                Ok(())
+            }
+            StmtKind::While { cond, body } => {
+                self.expect_bool(cond, env)?;
+                self.check_block(body, env, ret)
+            }
+            StmtKind::For { var, lo, hi, body } => {
+                let lt = self.expr_type(lo, env)?;
+                let ht = self.expr_type(hi, env)?;
+                if !lt.is_int() || !ht.is_int() {
+                    return Err(LangError::new("for-range bounds must be integers", s.span));
+                }
+                let mut inner = env.clone();
+                inner.vars.insert(var.clone(), Type::U64);
+                self.check_block(body, &mut inner, ret)
+            }
+            StmtKind::Return(value) => {
+                let vt = match value {
+                    Some(e) => self.expr_type(e, env)?,
+                    None => Type::Void,
+                };
+                if !compatible(ret, vt) {
+                    return Err(LangError::new(
+                        format!("return type mismatch: expected {ret}, found {vt}"),
+                        s.span,
+                    ));
+                }
+                Ok(())
+            }
+            StmtKind::Expr(e) => {
+                self.expr_type(e, env)?;
+                Ok(())
+            }
+        }
+    }
+
+    fn expect_bool(&self, e: &Expr, env: &Env) -> Result<(), LangError> {
+        let t = self.expr_type(e, env)?;
+        if t != Type::Bool {
+            return Err(LangError::new(format!("condition must be bool, found {t}"), e.span));
+        }
+        Ok(())
+    }
+
+    fn expr_type(&self, e: &Expr, env: &Env) -> Result<Type, LangError> {
+        match &e.kind {
+            ExprKind::Int(_) => Ok(Type::U64),
+            ExprKind::Bool(_) => Ok(Type::Bool),
+            ExprKind::ActionLit(_) => Ok(Type::Action),
+            ExprKind::Ident(name) => env
+                .vars
+                .get(name)
+                .copied()
+                .ok_or_else(|| LangError::new(format!("unknown variable `{name}`"), e.span)),
+            ExprKind::Unary(op, inner) => {
+                let t = self.expr_type(inner, env)?;
+                match op {
+                    UnOp::Not if t == Type::Bool => Ok(Type::Bool),
+                    UnOp::Not => {
+                        Err(LangError::new(format!("`!` needs bool, found {t}"), e.span))
+                    }
+                    UnOp::Neg if t.is_int() => Ok(t),
+                    UnOp::Neg => {
+                        Err(LangError::new(format!("`-` needs integer, found {t}"), e.span))
+                    }
+                }
+            }
+            ExprKind::Binary(op, lhs, rhs) => {
+                let lt = self.expr_type(lhs, env)?;
+                let rt = self.expr_type(rhs, env)?;
+                if op.is_logical() {
+                    if lt != Type::Bool || rt != Type::Bool {
+                        return Err(LangError::new(
+                            format!("logical operator needs bool operands, found {lt} and {rt}"),
+                            e.span,
+                        ));
+                    }
+                    return Ok(Type::Bool);
+                }
+                if op.is_comparison() {
+                    let ok = (lt.is_int() && rt.is_int())
+                        || (lt == rt && matches!(lt, Type::Bool | Type::Action));
+                    if !ok {
+                        return Err(LangError::new(
+                            format!("cannot compare {lt} with {rt}"),
+                            e.span,
+                        ));
+                    }
+                    return Ok(Type::Bool);
+                }
+                if !lt.is_int() || !rt.is_int() {
+                    return Err(LangError::new(
+                        format!("arithmetic needs integers, found {lt} and {rt}"),
+                        e.span,
+                    ));
+                }
+                // Result takes the wider operand width.
+                Ok(if lt.bits() >= rt.bits() { lt } else { rt })
+            }
+            ExprKind::Call { name, args } => {
+                if let Some(builtin) = lookup_builtin(name) {
+                    return self.check_builtin_call(name, &builtin, args, env, e.span);
+                }
+                if let Some(f) = self.program.function(name) {
+                    if args.len() != f.params.len() {
+                        return Err(LangError::new(
+                            format!(
+                                "`{name}` expects {} argument(s), got {}",
+                                f.params.len(),
+                                args.len()
+                            ),
+                            e.span,
+                        ));
+                    }
+                    for (arg, param) in args.iter().zip(&f.params) {
+                        let at = self.expr_type(arg, env)?;
+                        if !compatible(param.ty, at) {
+                            return Err(LangError::new(
+                                format!(
+                                    "argument `{}` of `{name}` expects {}, found {at}",
+                                    param.name, param.ty
+                                ),
+                                arg.span,
+                            ));
+                        }
+                    }
+                    return Ok(f.ret);
+                }
+                Err(LangError::new(format!("unknown function `{name}`"), e.span))
+            }
+            ExprKind::MethodCall { recv, method, args } => {
+                let receiver = self.resolve_receiver(recv, env, e.span)?;
+                let builtin = lookup_method(receiver, method).ok_or_else(|| {
+                    LangError::new(
+                        format!("`{recv}` has no method `{method}`"),
+                        e.span,
+                    )
+                })?;
+                self.check_builtin_call(method, &builtin, args, env, e.span)
+            }
+            ExprKind::Field { recv, field } => {
+                match env.vars.get(recv) {
+                    Some(Type::Packet) => packet_field(field).ok_or_else(|| {
+                        LangError::new(format!("packet has no field `{field}`"), e.span)
+                    }),
+                    Some(other) => Err(LangError::new(
+                        format!("`{recv}: {other}` has no fields"),
+                        e.span,
+                    )),
+                    None => Err(LangError::new(
+                        format!("unknown receiver `{recv}`"),
+                        e.span,
+                    )),
+                }
+            }
+        }
+    }
+
+    fn resolve_receiver<'e>(
+        &'e self,
+        recv: &str,
+        env: &Env,
+        span: Span,
+    ) -> Result<Receiver<'e>, LangError> {
+        if let Some(state) = self.program.state(recv) {
+            return Ok(Receiver::State(&state.kind));
+        }
+        if is_namespace(recv) {
+            // Borrow the static namespace name from the program-independent
+            // registry by matching again; lifetimes make this the simple way.
+            return Ok(match recv {
+                "dpdk" => Receiver::Namespace("dpdk"),
+                "click" => Receiver::Namespace("click"),
+                _ => Receiver::Namespace("bpf"),
+            });
+        }
+        match env.vars.get(recv) {
+            Some(Type::Packet) => Ok(Receiver::Packet),
+            Some(other) => Err(LangError::new(
+                format!("`{recv}: {other}` cannot receive method calls"),
+                span,
+            )),
+            None => Err(LangError::new(
+                format!("unknown receiver `{recv}` (not a state, packet, or framework)"),
+                span,
+            )),
+        }
+    }
+
+    fn check_builtin_call(
+        &self,
+        name: &str,
+        builtin: &Builtin,
+        args: &[Expr],
+        env: &Env,
+        span: Span,
+    ) -> Result<Type, LangError> {
+        if args.len() < builtin.params.len()
+            || (!builtin.variadic && args.len() != builtin.params.len())
+        {
+            return Err(LangError::new(
+                format!(
+                    "`{name}` expects {}{} argument(s), got {}",
+                    builtin.params.len(),
+                    if builtin.variadic { "+" } else { "" },
+                    args.len()
+                ),
+                span,
+            ));
+        }
+        for (i, arg) in args.iter().enumerate() {
+            let at = self.expr_type(arg, env)?;
+            let expected = builtin.params.get(i).copied().unwrap_or(ParamTy::Int);
+            let ok = match expected {
+                ParamTy::Int => at.is_int(),
+                ParamTy::Packet => at == Type::Packet,
+            };
+            if !ok {
+                return Err(LangError::new(
+                    format!("argument {} of `{name}` has type {at}", i + 1),
+                    arg.span,
+                ));
+            }
+        }
+        Ok(builtin.ret)
+    }
+}
+
+/// Whether every path through the block returns.
+fn must_return(b: &Block) -> bool {
+    b.stmts.iter().any(|s| match &s.kind {
+        StmtKind::Return(_) => true,
+        StmtKind::If { then_block, else_block: Some(e), .. } => {
+            must_return(then_block) && must_return(e)
+        }
+        _ => false,
+    })
+}
+
+/// Assignment compatibility: all integer widths interchange; other types
+/// must match exactly.
+fn compatible(target: Type, value: Type) -> bool {
+    target == value || (target.is_int() && value.is_int())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::frontend;
+
+    fn err(src: &str) -> String {
+        frontend(src).unwrap_err().message
+    }
+
+    fn wrap(body: &str) -> String {
+        format!(
+            "nf t {{ state tbl: map<u64, u64>[64]; fn handle(pkt: packet) -> action {{ {body} return forward; }} }}"
+        )
+    }
+
+    #[test]
+    fn missing_handle_rejected() {
+        assert!(err("nf t { fn other(x: u64) -> u64 { return x; } }").contains("handle"));
+    }
+
+    #[test]
+    fn bad_handle_signature_rejected() {
+        assert!(err("nf t { fn handle(x: u64) -> action { return drop; } }")
+            .contains("packet"));
+    }
+
+    #[test]
+    fn unknown_variable_rejected() {
+        assert!(err(&wrap("let a: u64 = nope;")).contains("unknown variable"));
+    }
+
+    #[test]
+    fn condition_must_be_bool() {
+        assert!(err(&wrap("if (5) { }")).contains("bool"));
+        assert!(frontend(&wrap("if (5 == 5) { }")).is_ok());
+    }
+
+    #[test]
+    fn int_widths_coerce() {
+        assert!(frontend(&wrap("let a: u8 = pkt.proto; let b: u64 = a + 1;")).is_ok());
+    }
+
+    #[test]
+    fn bool_int_mix_rejected() {
+        assert!(err(&wrap("let a: u64 = true + 1;")).contains("integers"));
+        assert!(err(&wrap("let a: bool = 1 && true;")).contains("bool"));
+    }
+
+    #[test]
+    fn table_methods_checked() {
+        assert!(frontend(&wrap("let v: u64 = tbl.lookup(5); tbl.insert(1, 2);")).is_ok());
+        assert!(err(&wrap("tbl.lookup(1, 2);")).contains("argument"));
+        assert!(err(&wrap("tbl.scan(1);")).contains("no method"));
+    }
+
+    #[test]
+    fn assignment_rules() {
+        assert!(frontend(&wrap("let a: u64 = 1; a = 2;")).is_ok());
+        assert!(err(&wrap("b = 2;")).contains("unknown variable"));
+        assert!(err(
+            "nf t { const C: u64 = 5; fn handle(pkt: packet) -> action { C = 6; return drop; } }"
+        )
+        .contains("constant"));
+    }
+
+    #[test]
+    fn all_paths_must_return() {
+        let src = "nf t { fn handle(pkt: packet) -> action { if (pkt.is_tcp) { return forward; } } }";
+        assert!(err(src).contains("fall off"));
+        let ok = "nf t { fn handle(pkt: packet) -> action { if (pkt.is_tcp) { return forward; } else { return drop; } } }";
+        assert!(frontend(ok).is_ok());
+    }
+
+    #[test]
+    fn recursion_rejected() {
+        let src = r#"nf t {
+            fn a(x: u64) -> u64 { return b(x); }
+            fn b(x: u64) -> u64 { return a(x); }
+            fn handle(pkt: packet) -> action { return forward; }
+        }"#;
+        assert!(err(src).contains("recursive"));
+    }
+
+    #[test]
+    fn user_function_calls_checked() {
+        let src = r#"nf t {
+            fn double(x: u64) -> u64 { return x * 2; }
+            fn handle(pkt: packet) -> action {
+                let y: u64 = double(21);
+                return forward;
+            }
+        }"#;
+        assert!(frontend(src).is_ok());
+        let bad = r#"nf t {
+            fn double(x: u64) -> u64 { return x * 2; }
+            fn handle(pkt: packet) -> action {
+                let y: u64 = double(true);
+                return forward;
+            }
+        }"#;
+        assert!(err(bad).contains("expects"));
+    }
+
+    #[test]
+    fn zero_capacity_state_rejected() {
+        assert!(err(
+            "nf t { state s: counter[0]; fn handle(pkt: packet) -> action { return drop; } }"
+        )
+        .contains("zero capacity"));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        assert!(err(
+            "nf t { state s: counter[5]; state s: counter[5]; fn handle(pkt: packet) -> action { return drop; } }"
+        )
+        .contains("duplicate"));
+    }
+
+    #[test]
+    fn packet_fields_and_framework_calls() {
+        let ok = wrap(
+            "dpdk.parse_headers(pkt); click.network_header(pkt); bpf.csum_diff(pkt); \
+             let f: bool = pkt.is_syn; let p: u8 = pkt.proto;",
+        );
+        assert!(frontend(&ok).is_ok());
+        assert!(err(&wrap("let z: u64 = pkt.zzz;")).contains("no field"));
+    }
+
+    #[test]
+    fn variadic_hash_accepts_many_args() {
+        assert!(frontend(&wrap(
+            "let h: u64 = hash(pkt.src_ip, pkt.dst_ip, pkt.src_port, pkt.dst_port, pkt.proto);"
+        ))
+        .is_ok());
+        assert!(err(&wrap("let h: u64 = hash();")).contains("expects"));
+    }
+
+    #[test]
+    fn void_let_rejected() {
+        assert!(err(&wrap("let x = checksum_update(pkt);")).contains("void"));
+    }
+}

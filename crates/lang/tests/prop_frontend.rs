@@ -1,0 +1,86 @@
+//! Property tests for the frontend: it must never panic — every input,
+//! however mangled, yields `Ok` or a positioned `Err`.
+
+use clara_lang::frontend;
+use proptest::prelude::*;
+
+/// A generator of syntactically plausible NF programs (round-trippable
+/// through the real grammar).
+fn arb_program() -> impl Strategy<Value = String> {
+    let expr = prop_oneof![
+        Just("1 + 2 * 3".to_string()),
+        Just("pkt.src_ip".to_string()),
+        Just("hash(pkt.src_ip, pkt.dst_port)".to_string()),
+        Just("(pkt.payload_len + 7) % 64".to_string()),
+        Just("t.lookup(5)".to_string()),
+    ];
+    let stmt = expr.prop_flat_map(|e| {
+        prop_oneof![
+            Just(format!("let x: u64 = {e};")),
+            Just(format!("if ({e} == 0) {{ return drop; }}")),
+            Just(format!("for i in 0..4 {{ t.insert(i, {e}); }}")),
+        ]
+    });
+    proptest::collection::vec(stmt, 0..6).prop_map(|stmts| {
+        format!(
+            "nf gen {{ state t: map<u64, u64>[64];\n fn handle(pkt: packet) -> action {{\n {}\n return forward; }} }}",
+            stmts.join("\n ")
+        )
+    })
+}
+
+proptest! {
+    /// Well-formed generated programs always pass the whole frontend.
+    #[test]
+    fn generated_programs_compile(src in arb_program()) {
+        let program = frontend(&src);
+        prop_assert!(program.is_ok(), "{src}\n{:?}", program.err());
+        // (Lowering of generated programs is covered by clara-cir's own
+        // property tests; lang cannot depend on cir.)
+    }
+
+    /// Arbitrary bytes never panic the lexer/parser/checker.
+    #[test]
+    fn arbitrary_input_never_panics(src in "\\PC*") {
+        let _ = frontend(&src);
+    }
+
+    /// Mangling a valid program (deleting a random slice) never panics
+    /// and, when it errors, the error has a plausible position.
+    #[test]
+    fn truncated_programs_fail_gracefully(cut in 0usize..400) {
+        let src = "nf t { state m: map<u64, u64>[256];\n fn handle(pkt: packet) -> action {\n let k: u64 = hash(pkt.src_ip);\n if (m.lookup(k) == 0) { m.insert(k, 1); }\n return forward; } }";
+        let cut = cut.min(src.len());
+        // Respect char boundaries.
+        let cut = (0..=cut).rev().find(|&i| src.is_char_boundary(i)).unwrap_or(0);
+        match frontend(&src[..cut]) {
+            Ok(_) => {}
+            Err(e) => {
+                prop_assert!(e.span.line >= 1);
+                prop_assert!(!e.message.is_empty());
+            }
+        }
+    }
+
+    /// Random operator soup parses or errors without panicking, and
+    /// integer literal edge cases are handled.
+    #[test]
+    fn operator_soup(ops in proptest::collection::vec(
+        prop_oneof![
+            Just("+"), Just("-"), Just("*"), Just("/"), Just("%"),
+            Just("<<"), Just(">>"), Just("&"), Just("|"), Just("^"),
+            Just("=="), Just("!="), Just("<"), Just("<=")
+        ],
+        1..8,
+    ), vals in proptest::collection::vec(any::<u64>(), 2..9)) {
+        let mut expr = vals[0].to_string();
+        for (op, v) in ops.iter().zip(vals.iter().skip(1)) {
+            expr.push_str(&format!(" {op} {v}"));
+        }
+        // Comparisons nested in arithmetic may type-error: must not panic.
+        let src = format!(
+            "nf t {{ fn handle(pkt: packet) -> action {{ let x: u64 = {expr}; return drop; }} }}"
+        );
+        let _ = frontend(&src);
+    }
+}

@@ -1,0 +1,117 @@
+//! Per-unit operation cost tables (the "performance parameters" of §3.2).
+//!
+//! Each compute unit carries a [`CostModel`] pricing the abstract
+//! operations that NF dataflow nodes are made of. The same vocabulary is
+//! used by the simulator (to execute) and — after microbenchmark
+//! extraction — by the predictor (to estimate), keeping the two sides
+//! mechanistically comparable without sharing constants.
+
+/// Cycle costs of abstract operations on one compute unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Simple ALU operation (add, sub, and, or, shift, compare).
+    pub alu: u64,
+    /// Integer multiply.
+    pub mul: u64,
+    /// Integer divide / modulo.
+    pub div: u64,
+    /// Taken-branch overhead.
+    pub branch: u64,
+    /// Packet metadata modification (paper: 2–5 cycles on an NPU).
+    pub metadata_mod: u64,
+    /// Computing a flow hash over a five-tuple.
+    pub hash: u64,
+    /// Parsing packet headers (paper: ≈150 cycles on an NPU, dominated by
+    /// copying header bytes from CTM into local memory).
+    pub parse_header: u64,
+    /// One floating-point operation with a hardware FPU.
+    pub float_native: u64,
+    /// One floating-point operation emulated in software (used when the
+    /// unit lacks an FPU, §3.4).
+    pub float_emulation: u64,
+    /// Pure-compute cycles per payload byte for software streaming
+    /// operations (checksumming, byte scanning); memory latency for
+    /// fetching the bytes is charged separately per access.
+    pub stream_per_byte: f64,
+    /// Accelerator service curve, for accelerator-class units.
+    pub accel: Option<AccelCost>,
+}
+
+impl Default for CostModel {
+    /// A generic in-order core: single-cycle ALU, small multiply cost,
+    /// expensive divide, no accelerator function.
+    fn default() -> Self {
+        CostModel {
+            alu: 1,
+            mul: 3,
+            div: 20,
+            branch: 2,
+            metadata_mod: 3,
+            hash: 15,
+            parse_header: 150,
+            float_native: 4,
+            float_emulation: 60,
+            stream_per_byte: 0.25,
+            accel: None,
+        }
+    }
+}
+
+impl CostModel {
+    /// Total cycles to stream `bytes` of payload in software, excluding
+    /// memory access latency.
+    pub fn stream_cycles(&self, bytes: usize) -> u64 {
+        (self.stream_per_byte * bytes as f64).round() as u64
+    }
+}
+
+/// An accelerator's service-time curve: `base + per_byte × size`.
+///
+/// The paper's checksum example: ≈300 cycles for a 1000-byte packet at the
+/// ingress accelerator (data immediately available), vs ≈1700 *extra*
+/// cycles on an NPU for memory accesses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccelCost {
+    /// Fixed invocation overhead in cycles.
+    pub base: u64,
+    /// Marginal cycles per byte processed.
+    pub per_byte: f64,
+    /// Input queue capacity, in requests (head-of-line blocking happens
+    /// here when compute-heavy NFs pile onto one accelerator).
+    pub queue_capacity: usize,
+}
+
+impl AccelCost {
+    /// Service time in cycles for a request over `bytes` bytes.
+    pub fn service_cycles(&self, bytes: usize) -> u64 {
+        self.base + (self.per_byte * bytes as f64).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = CostModel::default();
+        assert!(c.alu <= c.mul && c.mul <= c.div);
+        assert!(c.float_emulation > c.float_native);
+        assert_eq!(c.accel, None);
+    }
+
+    #[test]
+    fn stream_cycles_rounds() {
+        let c = CostModel { stream_per_byte: 0.25, ..CostModel::default() };
+        assert_eq!(c.stream_cycles(1000), 250);
+        assert_eq!(c.stream_cycles(0), 0);
+        assert_eq!(c.stream_cycles(2), 1); // 0.5 rounds to 1
+    }
+
+    #[test]
+    fn accel_service_curve() {
+        let a = AccelCost { base: 60, per_byte: 0.24, queue_capacity: 32 };
+        assert_eq!(a.service_cycles(1000), 60 + 240);
+        assert_eq!(a.service_cycles(0), 60);
+    }
+}

@@ -1,0 +1,42 @@
+//! The logical SmartNIC model (LNIC) — §3.1–3.2 of the Clara paper.
+//!
+//! An LNIC is a graph ⟨V, E⟩. Nodes are typed: *compute units* (header
+//! engines, general-purpose cores, domain-specific accelerators), *memory
+//! regions* (with sizes and access latencies that depend on where the
+//! access is issued — NUMA), and *switching hubs* (embedded NIC switches /
+//! traffic managers with queues). Edges are memory buses (`c↔m`, weighted
+//! for NUMA), memory-hierarchy links (`m↔M`), unidirectional pipeline
+//! edges between compute units (`c1→c2`), and hub links carrying queues.
+//!
+//! The model "skeleton" is annotated with two kinds of parameters (§3.2):
+//! *architectural* (memory sizes, degrees of parallelism, queue
+//! capacities) and *performance* (access latencies, per-instruction
+//! cycles, accelerator throughput). Built-in profiles live in
+//! [`profiles`]; the primary one models a Netronome Agilio CX 40 GbE —
+//! NPU islands with Cluster Target Memory (CTM), IMEM/EMEM outside the
+//! islands, checksum and crypto accelerators, and a distributed switch
+//! fabric — using the parameter values the paper reports.
+//!
+//! # Example
+//!
+//! ```
+//! use clara_lnic::profiles;
+//!
+//! let nic = profiles::netronome_agilio_cx40();
+//! assert!(nic.validate().is_ok());
+//! let npu = nic.units_of_class(clara_lnic::ComputeClass::GeneralCore)[0];
+//! let emem = nic.memory_named("emem").unwrap();
+//! // Issuing an EMEM access from an NPU pays the region latency plus the
+//! // NUMA edge weight.
+//! assert!(nic.access_latency(npu, emem) >= 500);
+//! ```
+
+pub mod cost;
+pub mod model;
+pub mod profiles;
+
+pub use cost::{AccelCost, CostModel};
+pub use model::{
+    AccelKind, CacheParams, ComputeClass, ComputeUnit, Edge, EdgeKind, HubId, Lnic, LnicError,
+    MemId, MemKind, MemoryRegion, QueueDiscipline, SwitchingHub, UnitId,
+};

@@ -1,0 +1,183 @@
+//! Greedy first-fit mapping — the ablation baseline for the ILP.
+//!
+//! Every node goes to the cheapest *individually* optimal unit without
+//! considering shared-resource utilization, and states are placed
+//! first-fit-decreasing into the fastest (cold-latency) region with
+//! space. This reproduces what a porter in a hurry does — and what the
+//! `ablation_greedy_vs_ilp` bench quantifies.
+
+use crate::cost::{eligible_units, node_compute_cost, state_access_cost, CostCtx};
+use crate::input::{MapError, MapInput, Mapping, UnitChoice};
+
+/// Map greedily (see module docs).
+pub fn greedy_map(input: &MapInput<'_>) -> Result<Mapping, MapError> {
+    let ctx = CostCtx::from_input(input);
+    let params = input.params;
+
+    // States first: biggest first, fastest region that still has room.
+    let mut order: Vec<usize> = (0..input.states.len()).collect();
+    order.sort_by_key(|&s| std::cmp::Reverse(input.states[s].size_bytes));
+    let mut remaining: Vec<f64> = params
+        .mems
+        .iter()
+        .map(|m| {
+            if m.name.starts_with("ctm") {
+                m.capacity as f64 * 0.5
+            } else {
+                m.capacity as f64
+            }
+        })
+        .collect();
+    let mut speed_order: Vec<usize> = (0..params.mems.len())
+        .filter(|&m| params.mems[m].placeable)
+        .collect();
+    speed_order.sort_by(|&a, &b| {
+        params.mems[a]
+            .latency
+            .partial_cmp(&params.mems[b].latency)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut state_mem = vec![usize::MAX; input.states.len()];
+    for s in order {
+        let size = input.states[s].size_bytes as f64;
+        let pin = input.pinned.iter().find(|(ps, _)| *ps == s).map(|(_, m)| *m);
+        let slot = speed_order
+            .iter()
+            .copied()
+            .filter(|&m| pin.is_none_or(|pm| pm == m))
+            .find(|&m| remaining[m] >= size);
+        match slot {
+            Some(m) => {
+                remaining[m] -= size;
+                state_mem[s] = m;
+            }
+            None => {
+                return Err(MapError::Infeasible(format!(
+                    "state `{}` fits in no region",
+                    input.states[s].name
+                )))
+            }
+        }
+    }
+
+    // Nodes: locally cheapest eligible unit.
+    let mut node_unit = Vec::with_capacity(input.graph.nodes.len());
+    let mut total = params.hub_overhead;
+    for node in &input.graph.nodes {
+        let mut options = eligible_units(node, params);
+        if input.forbid_accels {
+            options.retain(|u| !matches!(u, UnitChoice::Accel(_)));
+        }
+        let best = options
+            .into_iter()
+            .map(|u| {
+                let mut c = node_compute_cost(node, u, &ctx);
+                for state in node.touched_states() {
+                    let s = state.0 as usize;
+                    c += state_access_cost(node, s, state_mem[s], u, &input.states, &ctx);
+                }
+                (u, c)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .ok_or_else(|| MapError::Infeasible("node with no units".into()))?;
+        total += node.weight * best.1;
+        node_unit.push(best.0);
+    }
+
+    Ok(Mapping { node_unit, state_mem, latency_cycles: total })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{StateClass, StateSpec};
+    use crate::solve::solve_mapping;
+    use clara_dataflow::extract;
+    use clara_lnic::profiles;
+    use clara_microbench::{extract_parameters, NicParameters};
+    use std::sync::OnceLock;
+
+    fn params() -> &'static NicParameters {
+        static P: OnceLock<NicParameters> = OnceLock::new();
+        P.get_or_init(|| extract_parameters(&profiles::netronome_agilio_cx40()))
+    }
+
+    fn fw_input<'a>(p: &'a NicParameters, graph: &'a clara_dataflow::DataflowGraph) -> MapInput<'a> {
+        MapInput {
+            graph,
+            states: vec![
+                StateSpec {
+                    name: "small".into(),
+                    class: StateClass::Counter,
+                    entries: 1024,
+                    size_bytes: 8192,
+                },
+                StateSpec {
+                    name: "big".into(),
+                    class: StateClass::ExactMatch,
+                    entries: 200_000,
+                    size_bytes: 200_000 * 24,
+                },
+            ],
+            params: p,
+            avg_payload: 300.0,
+            rate_pps: 60_000.0,
+            state_hit: vec![vec![0.3; p.mems.len()]; 2],
+            fc_hit: 0.5,
+            dpi_hit: 0.2,
+            forbid_accels: false,
+            pinned: vec![],
+        }
+    }
+
+    fn graph() -> clara_dataflow::DataflowGraph {
+        let src = r#"nf fw {
+            state small: counter[1024];
+            state big: map<u64, u64>[200000];
+            fn handle(pkt: packet) -> action {
+                small.add(pkt.src_ip % 1024, 1);
+                let v: u64 = big.lookup(hash(pkt.src_ip, pkt.dst_ip));
+                if (v == 0) { return drop; }
+                return forward;
+            } }"#;
+        extract(&clara_cir::lower(&clara_lang::frontend(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn greedy_is_feasible_and_first_fit() {
+        let p = params();
+        let g = graph();
+        let inp = fw_input(p, &g);
+        let m = greedy_map(&inp).unwrap();
+        // Small counter fits the fastest placeable region; big table can't.
+        let small_mem = &p.mems[m.state_mem[0]];
+        let big_mem = &p.mems[m.state_mem[1]];
+        assert!(small_mem.latency <= big_mem.latency);
+        assert!(m.latency_cycles > 0.0);
+    }
+
+    #[test]
+    fn ilp_never_worse_than_greedy() {
+        let p = params();
+        let g = graph();
+        let inp = fw_input(p, &g);
+        let greedy = greedy_map(&inp).unwrap();
+        let ilp = solve_mapping(&inp).unwrap();
+        assert!(
+            ilp.latency_cycles <= greedy.latency_cycles + 1e-6,
+            "ilp {} vs greedy {}",
+            ilp.latency_cycles,
+            greedy.latency_cycles
+        );
+    }
+
+    #[test]
+    fn greedy_infeasible_when_nothing_fits() {
+        let p = params();
+        let g = graph();
+        let mut inp = fw_input(p, &g);
+        inp.states[1].size_bytes = 100 << 30;
+        assert!(matches!(greedy_map(&inp).unwrap_err(), MapError::Infeasible(_)));
+    }
+}

@@ -1,0 +1,145 @@
+//! Mapping inputs and outputs.
+
+use clara_lnic::AccelKind;
+use clara_microbench::NicParameters;
+use core::fmt;
+
+/// Coarse classification of NF state, driving engine eligibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateClass {
+    /// Exact-match map (flow-cache-engine eligible).
+    ExactMatch,
+    /// Longest-prefix-match rules (LPM engine / flow cache eligible; the
+    /// software fallback is a linear match/action scan).
+    Lpm,
+    /// Counters / sketches.
+    Counter,
+    /// Dense array.
+    Array,
+}
+
+/// One NF state table as the mapper sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateSpec {
+    /// Source-level name.
+    pub name: String,
+    /// Class.
+    pub class: StateClass,
+    /// Entries / rules / buckets.
+    pub entries: u64,
+    /// Footprint in bytes.
+    pub size_bytes: usize,
+}
+
+/// Everything the mapper needs.
+#[derive(Debug, Clone)]
+pub struct MapInput<'a> {
+    /// The extracted dataflow graph (weights annotated for the workload).
+    pub graph: &'a clara_dataflow::DataflowGraph,
+    /// State tables, indexed by `StateId` order.
+    pub states: Vec<StateSpec>,
+    /// Measured NIC parameters.
+    pub params: &'a NicParameters,
+    /// Mean transport payload size of the workload, bytes.
+    pub avg_payload: f64,
+    /// Offered rate in packets per second (drives the Θ constraints).
+    pub rate_pps: f64,
+    /// Expected hit ratio of `state s` placed in `params.mems[m]`'s
+    /// cache: `state_hit[s][m]` (1.0 for uncached regions is ignored;
+    /// the effective-latency blend handles it).
+    pub state_hit: Vec<Vec<f64>>,
+    /// Expected flow-cache hit ratio for this workload.
+    pub fc_hit: f64,
+    /// Expected cache-hit ratio of DPI automaton accesses.
+    pub dpi_hit: f64,
+    /// Porting-strategy constraint: when true, no node may map to a
+    /// domain-specific accelerator (the developer's "software-only"
+    /// strategy, §2.3's customizable offloading strategies).
+    pub forbid_accels: bool,
+    /// Developer-pinned placements: `(state index, region index)` pairs
+    /// that the solver must honor.
+    pub pinned: Vec<(usize, usize)>,
+}
+
+/// Where a dataflow node landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitChoice {
+    /// A general-purpose core (NPU / ARM).
+    Npu,
+    /// A pipelined header-engine stage with this stage number.
+    Stage(usize),
+    /// A domain-specific accelerator.
+    Accel(AccelKind),
+}
+
+impl fmt::Display for UnitChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnitChoice::Npu => write!(f, "npu"),
+            UnitChoice::Stage(s) => write!(f, "stage{s}"),
+            UnitChoice::Accel(k) => write!(f, "{k}-accel"),
+        }
+    }
+}
+
+/// The solved mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mapping {
+    /// Unit choice per dataflow node (same order as `graph.nodes`).
+    pub node_unit: Vec<UnitChoice>,
+    /// Chosen region per state: index into `params.mems`.
+    pub state_mem: Vec<usize>,
+    /// The objective: expected per-packet latency in cycles (including
+    /// the fixed per-packet hub overhead).
+    pub latency_cycles: f64,
+}
+
+impl Mapping {
+    /// Human-readable report (one line per node and per state).
+    pub fn report(&self, input: &MapInput<'_>) -> String {
+        let mut out = String::new();
+        for (node, unit) in input.graph.nodes.iter().zip(&self.node_unit) {
+            out.push_str(&format!("node {:>2} {:<18} -> {}\n", node.id.0, node.kind.to_string(), unit));
+        }
+        for (s, &m) in input.states.iter().zip(&self.state_mem) {
+            out.push_str(&format!(
+                "state {:<12} ({} B) -> {}\n",
+                s.name, s.size_bytes, input.params.mems[m].name
+            ));
+        }
+        out.push_str(&format!("expected latency: {:.0} cycles/packet\n", self.latency_cycles));
+        out
+    }
+}
+
+/// Errors from mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MapError {
+    /// The ILP was infeasible (e.g. state too large for every region).
+    Infeasible(String),
+    /// The underlying solver failed.
+    Solver(clara_ilp::SolveError),
+    /// Input shape error.
+    BadInput(String),
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::Infeasible(m) => write!(f, "mapping infeasible: {m}"),
+            MapError::Solver(e) => write!(f, "ILP solver error: {e}"),
+            MapError::BadInput(m) => write!(f, "bad mapping input: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+impl From<clara_ilp::SolveError> for MapError {
+    fn from(e: clara_ilp::SolveError) -> Self {
+        match e {
+            clara_ilp::SolveError::Infeasible => MapError::Infeasible("no feasible placement".into()),
+            other => MapError::Solver(other),
+        }
+    }
+}

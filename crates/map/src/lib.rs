@@ -1,0 +1,40 @@
+//! ILP-based mapping of NF dataflow graphs onto the logical SmartNIC
+//! (§3.4 of the Clara paper).
+//!
+//! Clara "mimics the role of a compiler and attempts to lower the CIR
+//! dataflow graph to the parameterized LNIC ... by encoding a set of ILP
+//! constraints, and invoking a solver to find an optimal solution that
+//! maximizes performance". This crate builds that formulation:
+//!
+//! * **Compute constraints Π** — a 0/1 variable `x[i][u]` per (dataflow
+//!   node, eligible unit option); every node maps to exactly one unit
+//!   (`∀i, Σ_u x[i][u] = 1`), and on pipelined NICs a directed dataflow
+//!   edge `t → k` forces non-decreasing stage numbers (`Π[k] ≤ Π[t]` in
+//!   the paper's orientation).
+//! * **Memory constraints Γ** — a 0/1 variable `y[s][m]` per (state
+//!   table, region); each state is placed exactly once, and placements
+//!   respect region capacities (the paper's example: the flow table goes
+//!   to IMEM only if it fits).
+//! * **Queue constraints Θ** — offered-load utilization limits on each
+//!   accelerator (single-server engines) and on the NPU thread pool.
+//!
+//! Cross terms (a node's memory-access cost depends on where its state
+//! landed) are linearized with standard `w ≥ x + y − 1` product
+//! variables. The objective minimizes expected per-packet latency under
+//! the workload's node weights, payload sizes, and cache-hit estimates —
+//! all expressed in *measured* [`clara_microbench::NicParameters`], never
+//! the simulator's true constants.
+//!
+//! A greedy first-fit mapper ([`greedy_map`]) is included as the ablation
+//! baseline (everything on NPUs, states into the fastest region that
+//! fits).
+
+pub mod cost;
+pub mod greedy;
+pub mod input;
+pub mod solve;
+
+pub use cost::{node_compute_cost, state_access_cost, CostCtx};
+pub use greedy::greedy_map;
+pub use input::{MapError, MapInput, Mapping, StateClass, StateSpec, UnitChoice};
+pub use solve::solve_mapping;

@@ -1,0 +1,138 @@
+//! Property tests on the mapping layer: for randomized NFs and
+//! workloads, the ILP must never be worse than greedy, and its output
+//! must satisfy its own constraints.
+
+use clara_dataflow::extract;
+use clara_lnic::profiles;
+use clara_map::{greedy_map, solve_mapping, MapInput, StateClass, StateSpec, UnitChoice};
+use clara_microbench::{extract_parameters, NicParameters};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn params() -> &'static NicParameters {
+    static P: OnceLock<NicParameters> = OnceLock::new();
+    P.get_or_init(|| extract_parameters(&profiles::netronome_agilio_cx40()))
+}
+
+/// Generate a random-but-valid NF over one map and one counter.
+fn arb_nf() -> impl Strategy<Value = String> {
+    let piece = prop_oneof![
+        Just("let ck: u16 = checksum(pkt);".to_string()),
+        Just("let v: u64 = tbl.lookup(hash(pkt.src_ip, pkt.dst_ip));".to_string()),
+        Just("tbl.insert(hash(pkt.dst_ip), 1);".to_string()),
+        Just("ctr.add(pkt.src_ip % 256, 1);".to_string()),
+        Just("pkt.set_src_ip(12345);".to_string()),
+        Just("pkt.decrement_ttl();".to_string()),
+        Just("aes_encrypt(pkt);".to_string()),
+        Just("if (pkt.is_udp) { return drop; }".to_string()),
+    ];
+    proptest::collection::vec(piece, 1..6).prop_map(|pieces| {
+        format!(
+            "nf gen {{ state tbl: map<u64, u64>[65536]; state ctr: counter[256];
+              fn handle(pkt: packet) -> action {{
+                dpdk.parse_headers(pkt);
+                {}
+                return forward; }} }}",
+            pieces.join("\n                ")
+        )
+    })
+}
+
+fn mk_input<'a>(
+    graph: &'a clara_dataflow::DataflowGraph,
+    p: &'a NicParameters,
+    payload: f64,
+    rate: f64,
+    flows: usize,
+) -> MapInput<'a> {
+    let states = vec![
+        StateSpec {
+            name: "tbl".into(),
+            class: StateClass::ExactMatch,
+            entries: 65_536,
+            size_bytes: 65_536 * 24,
+        },
+        StateSpec {
+            name: "ctr".into(),
+            class: StateClass::Counter,
+            entries: 256,
+            size_bytes: 2_048,
+        },
+    ];
+    // A plausible flow-scaled hit matrix.
+    let hit = (1.0f64).min(50_000.0 / flows as f64);
+    MapInput {
+        graph,
+        states,
+        params: p,
+        avg_payload: payload,
+        rate_pps: rate,
+        state_hit: vec![vec![hit; p.mems.len()]; 2],
+        fc_hit: hit,
+        dpi_hit: 0.2,
+        forbid_accels: false,
+        pinned: vec![],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// ILP ≤ greedy on the shared objective, for any generated NF and
+    /// workload; and the solution respects eligibility and placement
+    /// bounds.
+    #[test]
+    fn ilp_dominates_greedy(
+        src in arb_nf(),
+        payload in 64.0f64..1400.0,
+        rate in 10_000.0f64..200_000.0,
+        flows in 100usize..100_000,
+    ) {
+        let module = clara_cir::lower(&clara_lang::frontend(&src).unwrap()).unwrap();
+        let graph = extract(&module);
+        let p = params();
+        let input = mk_input(&graph, p, payload, rate, flows);
+
+        let ilp = solve_mapping(&input).unwrap();
+        let greedy = greedy_map(&input).unwrap();
+        prop_assert!(
+            ilp.latency_cycles <= greedy.latency_cycles + 1e-6,
+            "ILP {} > greedy {} for\n{src}",
+            ilp.latency_cycles,
+            greedy.latency_cycles
+        );
+
+        // Solution sanity: one unit per node, placements are placeable
+        // regions with room.
+        prop_assert_eq!(ilp.node_unit.len(), graph.nodes.len());
+        for &m in &ilp.state_mem {
+            prop_assert!(p.mems[m].placeable);
+        }
+        // Accelerator choices must be eligible for the node kind.
+        for (node, unit) in graph.nodes.iter().zip(&ilp.node_unit) {
+            if let UnitChoice::Accel(kind) = unit {
+                let eligible = clara_map::cost::eligible_units(node, p);
+                prop_assert!(
+                    eligible.contains(&UnitChoice::Accel(*kind)),
+                    "node {} ({}) mapped to ineligible {kind}",
+                    node.id.0,
+                    node.kind
+                );
+            }
+        }
+    }
+
+    /// The software-only strategy never beats the free-choice mapping.
+    #[test]
+    fn software_only_never_wins(src in arb_nf(), payload in 64.0f64..1400.0) {
+        let module = clara_cir::lower(&clara_lang::frontend(&src).unwrap()).unwrap();
+        let graph = extract(&module);
+        let p = params();
+        let auto = solve_mapping(&mk_input(&graph, p, payload, 60_000.0, 1_000)).unwrap();
+        let mut sw_input = mk_input(&graph, p, payload, 60_000.0, 1_000);
+        sw_input.forbid_accels = true;
+        let sw = solve_mapping(&sw_input).unwrap();
+        prop_assert!(auto.latency_cycles <= sw.latency_cycles + 1e-6);
+        prop_assert!(sw.node_unit.iter().all(|u| !matches!(u, UnitChoice::Accel(_))));
+    }
+}

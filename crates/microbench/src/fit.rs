@@ -1,0 +1,118 @@
+//! Curve-fitting utilities: least-squares lines and latency-curve knees.
+
+/// Ordinary least-squares fit `y = intercept + slope·x`.
+///
+/// Returns `(intercept, slope)`. With fewer than two distinct x values
+/// the slope is 0 and the intercept is the mean.
+pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64) {
+    let n = points.len() as f64;
+    if points.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+    if sxx == 0.0 {
+        return (mean_y, 0.0);
+    }
+    let sxy: f64 = points
+        .iter()
+        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
+        .sum();
+    let slope = sxy / sxx;
+    (mean_y - slope * mean_x, slope)
+}
+
+/// Find the knee of a latency curve by the *half-latency rule* \[40\]:
+/// the knee sits where latency first exceeds the midpoint between the
+/// floor (minimum) and the ceiling (maximum) of the curve.
+///
+/// Input points must be sorted by x (offered size/load). Returns the x of
+/// the knee, or `None` when the curve is flat (ceiling within 10% of the
+/// floor — no capacity cliff observed).
+pub fn knee_of_curve(points: &[(f64, f64)]) -> Option<f64> {
+    if points.len() < 3 {
+        return None;
+    }
+    let floor = points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    let ceil = points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+    if ceil < floor * 1.1 {
+        return None;
+    }
+    let half = floor + (ceil - floor) / 2.0;
+    let after = points.iter().position(|p| p.1 > half)?;
+    if after == 0 {
+        return Some(points[0].0);
+    }
+    // Linear interpolation between the straddling samples.
+    let (x0, y0) = points[after - 1];
+    let (x1, y1) = points[after];
+    if (y1 - y0).abs() < f64::EPSILON {
+        return Some(x1);
+    }
+    Some(x0 + (half - y0) / (y1 - y0) * (x1 - x0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_exact_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let (b, m) = linear_fit(&pts);
+        assert!((b - 3.0).abs() < 1e-9);
+        assert!((m - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fits_noisy_line() {
+        let pts: Vec<(f64, f64)> = (0..100)
+            .map(|i| {
+                let x = i as f64;
+                let noise = if i % 2 == 0 { 0.5 } else { -0.5 };
+                (x, 10.0 + 0.25 * x + noise)
+            })
+            .collect();
+        let (b, m) = linear_fit(&pts);
+        assert!((b - 10.0).abs() < 0.2, "intercept {b}");
+        assert!((m - 0.25).abs() < 0.01, "slope {m}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(linear_fit(&[]), (0.0, 0.0));
+        let (b, m) = linear_fit(&[(5.0, 7.0), (5.0, 9.0)]);
+        assert_eq!(m, 0.0);
+        assert!((b - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn knee_found_at_capacity_cliff() {
+        // Flat at 150 cycles until 3 MB, then 500.
+        let pts: Vec<(f64, f64)> = (1..=8)
+            .map(|mb| {
+                let x = mb as f64 * 1e6;
+                (x, if x <= 3e6 { 150.0 } else { 500.0 })
+            })
+            .collect();
+        let knee = knee_of_curve(&pts).unwrap();
+        assert!((3e6..=4e6).contains(&knee), "knee {knee}");
+    }
+
+    #[test]
+    fn flat_curve_has_no_knee() {
+        let pts: Vec<(f64, f64)> = (1..=8).map(|i| (i as f64, 100.0)).collect();
+        assert_eq!(knee_of_curve(&pts), None);
+    }
+
+    #[test]
+    fn gradual_curve_interpolates() {
+        let pts = vec![(1.0, 100.0), (2.0, 100.0), (3.0, 200.0), (4.0, 300.0)];
+        // floor 100, ceil 300, half 200 -> first > 200 at x=4; interpolate
+        // between (3,200) and (4,300): 200 is not > 200, half point 200
+        // crossed between 3 and 4.
+        let knee = knee_of_curve(&pts).unwrap();
+        assert!((3.0..=4.0).contains(&knee), "knee {knee}");
+    }
+}

@@ -1,0 +1,55 @@
+//! Microbenchmark programs and NIC parameter extraction (§3.2 / §4).
+//!
+//! Clara annotates the LNIC skeleton with performance parameters obtained
+//! "from hardware specifications or microbenchmarking, as a one-time
+//! effort for each SmartNIC". This crate implements the paper's six
+//! microbenchmark families — run against the `clara-nicsim` substrate in
+//! place of hardware:
+//!
+//! 1. packet parsers,
+//! 2. checksum units (software path and ingress accelerator),
+//! 3. the flow cache,
+//! 4. header and metadata modifications,
+//! 5. atomic and bulk memory loads and stores (latency per region, bulk
+//!    streaming slopes, cache-capacity knees via the half-latency rule
+//!    \[40\]),
+//! 6. general-purpose compute instructions.
+//!
+//! The crucial property is the **information barrier**: the predictor
+//! never reads the simulator's true constants. Everything in
+//! [`NicParameters`] is *estimated* from measured latency curves
+//! (marginal differences, least-squares slopes, knee detection), so
+//! prediction error has the same character as on real hardware —
+//! parameter-estimation noise plus model abstraction.
+//!
+//! Architectural parameters (region capacities, thread counts, which
+//! accelerators exist) are taken from the LNIC "databook", as the paper
+//! prescribes: "most (though not all) SmartNIC databooks include
+//! architectural parameters". Per-instruction ALU/multiply/divide cycle
+//! counts likewise come from the databook — vendor documentation and
+//! uops.info-style tables publish these — and are *not* measured here.
+//!
+//! # Example
+//!
+//! ```
+//! use clara_lnic::profiles;
+//! use clara_microbench::extract_parameters;
+//!
+//! let nic = profiles::netronome_agilio_cx40();
+//! let params = extract_parameters(&nic);
+//! // §3.2: header parsing ≈ 150 cycles on an NPU.
+//! assert!((params.parse_header - 150.0).abs() < 15.0);
+//! ```
+
+pub mod fit;
+pub mod params;
+pub mod programs;
+pub mod store;
+
+pub use fit::{knee_of_curve, linear_fit};
+pub use params::{AccelEst, CacheEst, MemEst, NicParameters};
+pub use store::{from_text, to_text, StoreError};
+pub use programs::{
+    accel_service_curve, checksum_sw_curve, extract_parameters, linear_scan_curve,
+    memory_latency_vs_working_set, stream_curve,
+};

@@ -1,0 +1,200 @@
+//! The extracted parameter table consumed by the predictor.
+
+use clara_lnic::AccelKind;
+use std::collections::HashMap;
+
+/// Estimated cache parameters of a memory region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEst {
+    /// Capacity estimated from the latency-curve knee, in bytes.
+    pub capacity: f64,
+    /// Hit latency in cycles (measured on a resident working set).
+    pub hit_latency: f64,
+}
+
+/// Estimated parameters of one memory region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemEst {
+    /// Region name (matches the LNIC databook).
+    pub name: String,
+    /// Capacity in bytes (databook/architectural).
+    pub capacity: usize,
+    /// Measured raw access latency in cycles (cache misses, cold sets).
+    pub latency: f64,
+    /// Measured bulk streaming cost per byte.
+    pub bulk_per_byte: f64,
+    /// Cache estimate, when a knee was observed.
+    pub cache: Option<CacheEst>,
+    /// Whether NF state may be placed here (false for per-core local
+    /// memory and engine-private SRAM).
+    pub placeable: bool,
+    /// Mean extra latency for remote-island access (0 when uniform).
+    pub numa_extra: f64,
+}
+
+/// Estimated service curve of an accelerator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccelEst {
+    /// Fixed invocation cost in cycles.
+    pub base: f64,
+    /// Marginal cycles per byte.
+    pub per_byte: f64,
+}
+
+/// Everything the predictor knows about a NIC: measured performance
+/// parameters plus databook architectural facts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NicParameters {
+    /// NIC model name.
+    pub nic_name: String,
+    /// Clock in GHz (databook).
+    pub freq_ghz: f64,
+    /// Total hardware threads across general cores (databook).
+    pub total_threads: usize,
+    /// Whether general cores have FPUs (databook).
+    pub has_fpu: bool,
+    /// Whether the NIC requires pipelined stage mapping (databook).
+    pub pipelined: bool,
+    /// Energy per cycle in nanojoules (databook).
+    pub nj_per_cycle: f64,
+
+    /// Measured: header parse cost in cycles.
+    pub parse_header: f64,
+    /// Measured: one metadata modification in cycles.
+    pub metadata_mod: f64,
+    /// Measured: one flow-hash computation in cycles.
+    pub hash: f64,
+    /// Measured: one software-emulated float op in cycles.
+    pub float_op: f64,
+    /// Measured: software streaming cost per payload byte in CTM
+    /// residence (compute + bulk reads combined).
+    pub stream_per_byte_resident: f64,
+    /// Measured: marginal streaming cost per byte once the payload spills
+    /// past the CTM residency threshold.
+    pub stream_per_byte_spilled: f64,
+    /// Measured: fixed datapath overhead per packet (hub traversals).
+    pub hub_overhead: f64,
+    /// Measured: flow-cache hit cost in cycles.
+    pub flow_cache_hit: f64,
+    /// Estimated: flow-cache capacity in entries (knee over flow count).
+    pub flow_cache_entries: f64,
+    /// Measured: per-entry cost of a linear match/action scan with a warm
+    /// cache, in cycles.
+    pub linear_scan_per_entry: f64,
+    /// Measured: software checksum as (base, per-byte) over frame bytes.
+    pub checksum_sw: AccelEst,
+
+    /// Databook: per-instruction costs (vendor tables publish these).
+    pub alu: f64,
+    /// Databook: integer multiply cycles.
+    pub mul: f64,
+    /// Databook: integer divide cycles.
+    pub div: f64,
+    /// Databook: taken-branch cycles.
+    pub branch: f64,
+
+    /// Measured memory regions.
+    pub mems: Vec<MemEst>,
+    /// Measured accelerator service curves (present accelerators only).
+    pub accels: HashMap<AccelKind, AccelEst>,
+}
+
+impl NicParameters {
+    /// Look up a measured region by name.
+    pub fn mem(&self, name: &str) -> Option<&MemEst> {
+        self.mems.iter().find(|m| m.name == name)
+    }
+
+    /// Effective expected latency of one access to `region`, given the
+    /// probability `hit_ratio` that it hits the region's cache.
+    pub fn effective_latency(&self, region: &MemEst, hit_ratio: f64) -> f64 {
+        match &region.cache {
+            None => region.latency + region.numa_extra,
+            Some(c) => {
+                hit_ratio * c.hit_latency + (1.0 - hit_ratio) * region.latency
+                    + region.numa_extra
+            }
+        }
+    }
+
+    /// Regions sorted by effective cold latency, cheapest first — the
+    /// placement preference order.
+    pub fn regions_by_speed(&self) -> Vec<&MemEst> {
+        let mut v: Vec<&MemEst> = self.mems.iter().collect();
+        v.sort_by(|a, b| a.latency.partial_cmp(&b.latency).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(name: &str, latency: f64, cache: Option<CacheEst>) -> MemEst {
+        MemEst {
+            name: name.into(),
+            capacity: 1 << 20,
+            latency,
+            bulk_per_byte: 1.0,
+            cache,
+            placeable: true,
+            numa_extra: 0.0,
+        }
+    }
+
+    fn params() -> NicParameters {
+        NicParameters {
+            nic_name: "test".into(),
+            freq_ghz: 1.0,
+            total_threads: 8,
+            has_fpu: false,
+            pipelined: false,
+            nj_per_cycle: 0.5,
+            parse_header: 150.0,
+            metadata_mod: 3.0,
+            hash: 20.0,
+            float_op: 80.0,
+            stream_per_byte_resident: 2.0,
+            stream_per_byte_spilled: 4.0,
+            hub_overhead: 100.0,
+            flow_cache_hit: 44.0,
+            flow_cache_entries: 32_768.0,
+            linear_scan_per_entry: 40.0,
+            checksum_sw: AccelEst { base: 50.0, per_byte: 2.0 },
+            alu: 1.0,
+            mul: 5.0,
+            div: 40.0,
+            branch: 2.0,
+            mems: vec![
+                region("sram", 50.0, None),
+                region("dram", 500.0, Some(CacheEst { capacity: 3e6, hit_latency: 150.0 })),
+            ],
+            accels: HashMap::new(),
+        }
+    }
+
+    #[test]
+    fn effective_latency_blends_cache() {
+        let p = params();
+        let dram = p.mem("dram").unwrap();
+        assert!((p.effective_latency(dram, 1.0) - 150.0).abs() < 1e-9);
+        assert!((p.effective_latency(dram, 0.0) - 500.0).abs() < 1e-9);
+        assert!((p.effective_latency(dram, 0.5) - 325.0).abs() < 1e-9);
+        let sram = p.mem("sram").unwrap();
+        assert!((p.effective_latency(sram, 0.9) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regions_sorted_by_speed() {
+        let p = params();
+        let order: Vec<&str> = p.regions_by_speed().iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(order, vec!["sram", "dram"]);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let p = params();
+        assert!(p.mem("sram").is_some());
+        assert!(p.mem("nope").is_none());
+    }
+}

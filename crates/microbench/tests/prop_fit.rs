@@ -1,0 +1,74 @@
+//! Property tests on the curve-fitting utilities and the parameter
+//! store.
+
+use clara_microbench::{knee_of_curve, linear_fit};
+use proptest::prelude::*;
+
+proptest! {
+    /// Least squares recovers an exact line for any slope/intercept.
+    #[test]
+    fn fit_recovers_exact_lines(
+        intercept in -1e5f64..1e5,
+        slope in -1e3f64..1e3,
+        n in 2usize..40,
+    ) {
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                let x = i as f64 * 3.5;
+                (x, intercept + slope * x)
+            })
+            .collect();
+        let (b, m) = linear_fit(&pts);
+        prop_assert!((b - intercept).abs() < 1e-6 * (1.0 + intercept.abs()), "b {b} vs {intercept}");
+        prop_assert!((m - slope).abs() < 1e-6 * (1.0 + slope.abs()), "m {m} vs {slope}");
+    }
+
+    /// Symmetric noise cannot bias the slope by more than its magnitude.
+    #[test]
+    fn fit_resists_symmetric_noise(slope in 0.1f64..100.0, noise in 0.0f64..5.0) {
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = i as f64;
+                let eps = if i % 2 == 0 { noise } else { -noise };
+                (x, slope * x + eps)
+            })
+            .collect();
+        let (_, m) = linear_fit(&pts);
+        prop_assert!((m - slope).abs() < 0.2 + noise * 0.1, "m {m} vs {slope}");
+    }
+
+    /// A step curve's knee is always located between the last low point
+    /// and the first high point.
+    #[test]
+    fn knee_brackets_the_step(
+        step_at in 2usize..18,
+        low in 10.0f64..200.0,
+        jump in 100.0f64..2000.0,
+    ) {
+        let pts: Vec<(f64, f64)> = (0..20)
+            .map(|i| {
+                let x = (i + 1) as f64 * 1000.0;
+                (x, if i < step_at { low } else { low + jump })
+            })
+            .collect();
+        let knee = knee_of_curve(&pts).expect("a step has a knee");
+        let last_low = pts[step_at - 1].0;
+        let first_high = pts[step_at].0;
+        prop_assert!(
+            (last_low..=first_high).contains(&knee),
+            "knee {knee} outside [{last_low}, {first_high}]"
+        );
+    }
+
+    /// Near-flat curves (within 10%) never report a knee.
+    #[test]
+    fn flat_curves_have_no_knee(base in 10.0f64..1e5, wiggle in 0.0f64..0.04) {
+        let pts: Vec<(f64, f64)> = (0..12)
+            .map(|i| {
+                let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+                ((i + 1) as f64, base * (1.0 + sign * wiggle))
+            })
+            .collect();
+        prop_assert_eq!(knee_of_curve(&pts), None);
+    }
+}

@@ -1,0 +1,133 @@
+//! Deep packet inspection: a byte-wise automaton scan over the payload.
+//!
+//! The inner loop walks every payload byte through a transition table —
+//! the cost is dominated by payload size and by where the automaton
+//! lives, which is exactly why Figure 1's DPI variants ("handle different
+//! packet sizes") spread so widely.
+
+use crate::Variant;
+use clara_nicsim::{MicroOp, NicProgram, Stage, StageUnit, TableCfg};
+use clara_workload::WorkloadProfile;
+
+/// The unported NFC source with an explicit scanning loop over an
+/// automaton of `entries` states (8 bytes per transition entry).
+pub fn source(entries: u64) -> String {
+    format!(
+        r#"nf dpi {{
+    state automaton: array<u64>[{entries}];
+
+    fn handle(pkt: packet) -> action {{
+        click.network_header(pkt);
+        let st: u64 = 0;
+        let i: u64 = 0;
+        while (i < pkt.payload_len) {{
+            let b: u8 = pkt.payload_byte(i);
+            st = automaton.get((st ^ b) % {entries});
+            i = i + 1;
+        }}
+        if (st == 0xdead) {{
+            return drop;
+        }}
+        return forward;
+    }}
+}}"#
+    )
+}
+
+/// The manual port: parse, then a per-byte stream with a dependent
+/// transition-table access per byte.
+pub fn ported(entries: u64, mem: &str) -> NicProgram {
+    NicProgram {
+        name: "dpi".into(),
+        tables: vec![TableCfg {
+            name: "automaton".into(),
+            mem: mem.into(),
+            entry_bytes: 8,
+            entries,
+            use_flow_cache: false,
+        }],
+        stages: vec![Stage {
+            name: "scan".into(),
+            unit: StageUnit::Npu,
+            ops: vec![MicroOp::ParseHeader, MicroOp::StreamPayload { table: Some(0), loop_overhead: 10 }],
+        }],
+    }
+}
+
+/// Figure-1 DPI variants: the same scan over 200 / 800 / 1400-byte
+/// packets (automaton: 64k states in EMEM).
+pub fn fig1_variants() -> Vec<Variant> {
+    [200.0, 800.0, 1400.0]
+        .into_iter()
+        .map(|payload| Variant {
+            label: format!("DPI/{}B", payload as u32),
+            program: ported(65_536, "emem"),
+            workload: WorkloadProfile {
+                avg_payload: payload,
+                max_payload: payload as usize,
+                ..crate::paper_workload()
+            },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clara_lnic::profiles;
+
+    #[test]
+    fn source_extracts_payload_scan_node() {
+        let module = clara_cir::lower(&clara_lang::frontend(&source(65_536)).unwrap()).unwrap();
+        let graph = clara_dataflow_check(&module);
+        assert!(graph);
+    }
+
+    // Minimal structural check without adding a dataflow dev-dependency:
+    // the loop must read payload bytes and the array.
+    fn clara_dataflow_check(module: &clara_cir::CirModule) -> bool {
+        let calls: Vec<_> = module.handle.vcalls().map(|(_, c)| *c).collect();
+        calls.contains(&clara_cir::VCall::PayloadByte)
+            && calls
+                .iter()
+                .any(|c| matches!(c, clara_cir::VCall::ArrayRead(_)))
+    }
+
+    #[test]
+    fn latency_scales_with_packet_size() {
+        let nic = profiles::netronome_agilio_cx40();
+        let lat: Vec<f64> = fig1_variants()
+            .iter()
+            .map(|v| {
+                let trace = v.workload.to_trace(200, 5);
+                clara_nicsim::simulate(&nic, &v.program, &trace)
+                    .unwrap()
+                    .avg_latency_cycles
+            })
+            .collect();
+        assert!(lat[0] < lat[1] && lat[1] < lat[2], "{lat:?}");
+        // Roughly linear in payload: 1400B ≈ 7x the 200B cost.
+        let ratio = lat[2] / lat[0];
+        assert!((4.0..10.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn automaton_placement_matters() {
+        let nic = profiles::netronome_agilio_cx40();
+        let wl = WorkloadProfile {
+            avg_payload: 800.0,
+            max_payload: 800,
+            ..crate::paper_workload()
+        };
+        let trace = wl.to_trace(200, 6);
+        // A small automaton fits the CTM budget; EMEM costs more per
+        // transition once it exceeds the EMEM cache.
+        let fast = clara_nicsim::simulate(&nic, &ported(8_192, "ctm0"), &trace)
+            .unwrap()
+            .avg_latency_cycles;
+        let slow = clara_nicsim::simulate(&nic, &ported(1 << 20, "emem"), &trace)
+            .unwrap()
+            .avg_latency_cycles;
+        assert!(slow > 1.5 * fast, "ctm {fast} emem {slow}");
+    }
+}

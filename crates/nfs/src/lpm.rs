@@ -1,0 +1,153 @@
+//! Longest-prefix match forwarding.
+//!
+//! The software path is the naive match/action implementation: every rule
+//! is checked for the longest match, so latency grows linearly with the
+//! rule count — the behaviour behind Figure 3a. The flow-cache variant
+//! front-ends the rule table with Netronome's hardware exact-match SRAM
+//! (§2.1: "Implementations that use the flow cache significantly
+//! outperform those that use software match/action processing in DRAM").
+
+use crate::Variant;
+use clara_nicsim::{MicroOp, NicProgram, Stage, StageUnit, TableCfg};
+
+/// The unported NFC source with `rules` LPM rules.
+pub fn source(rules: u64) -> String {
+    format!(
+        r#"nf lpm_fwd {{
+    state routes: lpm[{rules}];
+
+    fn handle(pkt: packet) -> action {{
+        dpdk.parse_headers(pkt);
+        let nh: u64 = routes.lookup(pkt.dst_ip);
+        if (nh == 0) {{
+            return drop;
+        }}
+        pkt.set_dst_ip(nh);
+        pkt.decrement_ttl();
+        return forward;
+    }}
+}}"#
+    )
+}
+
+fn rule_table(rules: u64, use_flow_cache: bool) -> TableCfg {
+    TableCfg {
+        name: "routes".into(),
+        mem: "emem".into(),
+        entry_bytes: 16,
+        entries: rules,
+        use_flow_cache,
+    }
+}
+
+/// The manual port of the software match/action path: a full linear scan
+/// of the rule table in EMEM per packet.
+pub fn ported_scan(rules: u64) -> NicProgram {
+    NicProgram {
+        name: "lpm-scan".into(),
+        tables: vec![rule_table(rules, false)],
+        stages: vec![Stage {
+            name: "match".into(),
+            unit: StageUnit::Npu,
+            ops: vec![
+                MicroOp::ParseHeader,
+                MicroOp::LinearScan { table: 0 },
+                MicroOp::MetadataMod { count: 2 },
+            ],
+        }],
+    }
+}
+
+/// The flow-cache port: per-flow results cached in the hardware
+/// exact-match engine; only misses pay the scan... which the engine's
+/// backing lookup replaces with a hashed access here (the engine resolves
+/// misses through its own table walk).
+pub fn ported_flow_cache(rules: u64) -> NicProgram {
+    NicProgram {
+        name: "lpm-fc".into(),
+        tables: vec![rule_table(rules, true)],
+        stages: vec![Stage {
+            name: "match".into(),
+            unit: StageUnit::Npu,
+            ops: vec![
+                MicroOp::ParseHeader,
+                MicroOp::TableLookup { table: 0 },
+                MicroOp::MetadataMod { count: 2 },
+            ],
+        }],
+    }
+}
+
+/// Figure-1 LPM variants: different numbers of match/action rules on the
+/// software path. (The flow-cache option of §2.1 is faster by *orders of
+/// magnitude* and would dwarf the paper's 16x axis; the `fig1_variability`
+/// harness reports it separately, and [`ported_flow_cache`] is exercised
+/// by Figure 3a's strategy comparison.)
+pub fn fig1_variants() -> Vec<Variant> {
+    let workload = crate::paper_workload();
+    vec![
+        Variant {
+            label: "LPM/1k-rules".into(),
+            program: ported_scan(1_000),
+            workload: workload.clone(),
+        },
+        Variant {
+            label: "LPM/4k-rules".into(),
+            program: ported_scan(4_000),
+            workload: workload.clone(),
+        },
+        Variant { label: "LPM/14k-rules".into(), program: ported_scan(14_000), workload },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clara_lnic::profiles;
+
+    #[test]
+    fn scan_latency_linear_in_rules() {
+        let nic = profiles::netronome_agilio_cx40();
+        let trace = crate::paper_workload().to_trace(300, 11);
+        let lat: Vec<f64> = [5_000u64, 10_000, 20_000, 30_000]
+            .iter()
+            .map(|&r| {
+                clara_nicsim::simulate(&nic, &ported_scan(r), &trace)
+                    .unwrap()
+                    .avg_latency_cycles
+            })
+            .collect();
+        // Successive doublings double the cost (within 25%).
+        assert!((lat[1] / lat[0] - 2.0).abs() < 0.5, "{lat:?}");
+        assert!((lat[2] / lat[1] - 2.0).abs() < 0.5, "{lat:?}");
+        // 30k rules land in the hundreds of K-cycles (Figure 3a scale).
+        assert!(lat[3] > 300_000.0, "{lat:?}");
+    }
+
+    #[test]
+    fn flow_cache_is_orders_of_magnitude_faster() {
+        let nic = profiles::netronome_agilio_cx40();
+        let trace = crate::paper_workload().to_trace(1_000, 12);
+        let scan = clara_nicsim::simulate(&nic, &ported_scan(30_000), &trace)
+            .unwrap()
+            .avg_latency_cycles;
+        let fc = clara_nicsim::simulate(&nic, &ported_flow_cache(30_000), &trace)
+            .unwrap()
+            .avg_latency_cycles;
+        assert!(scan / fc > 50.0, "scan {scan} fc {fc}");
+    }
+
+    #[test]
+    fn source_drops_unrouted_packets() {
+        let module = clara_cir::lower(&clara_lang::frontend(&source(100)).unwrap()).unwrap();
+        let mut state = clara_cir::HashState::new();
+        let pkt = clara_cir::PacketInfo::tcp(1, 0x0b000001, 3, 4, 64);
+        let out = clara_cir::execute(&module.handle, &pkt, &mut state, 100_000).unwrap();
+        assert!(!out.forward); // no routes installed
+        let sid = module.state_named("routes").unwrap();
+        state.add_lpm_rule(sid, 0x0b000000, 8, 7);
+        let out = clara_cir::execute(&module.handle, &pkt, &mut state, 100_000).unwrap();
+        assert!(out.forward);
+        assert_eq!(out.packet_out.dst_ip, 7); // rewritten to the next hop
+    }
+}

@@ -1,0 +1,295 @@
+//! Ported-program representation: what a human port of an NF to the
+//! SmartNIC looks like to the simulator.
+
+/// Where a stage executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageUnit {
+    /// A general-purpose NPU core (thread-bound, run-to-completion).
+    Npu,
+    /// A domain-specific accelerator; the stage's ops must be
+    /// [`MicroOp::AccelCall`]s.
+    Accel(clara_lnic::AccelKind),
+}
+
+/// Sizes an accelerator call or stream operates over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BytesSpec {
+    /// The packet's transport payload length.
+    Payload,
+    /// Payload plus all headers (full frame).
+    Frame,
+    /// A fixed byte count.
+    Fixed(u64),
+}
+
+impl BytesSpec {
+    /// Resolve against a concrete packet.
+    pub fn resolve(&self, payload_len: u64, wire_len: u64) -> u64 {
+        match self {
+            BytesSpec::Payload => payload_len,
+            BytesSpec::Frame => wire_len,
+            BytesSpec::Fixed(n) => *n,
+        }
+    }
+}
+
+/// Configuration of one NF state table on the NIC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableCfg {
+    /// Name (matches the NF source's state name by convention).
+    pub name: String,
+    /// Memory region holding the table, by LNIC region name
+    /// (`"ctm0"`, `"imem"`, `"emem"`, ...).
+    pub mem: String,
+    /// Bytes per entry.
+    pub entry_bytes: usize,
+    /// Number of entries / rules / buckets.
+    pub entries: u64,
+    /// Whether the hardware flow-cache engine fronts this table
+    /// (exact-match hits bypass the software path).
+    pub use_flow_cache: bool,
+}
+
+impl TableCfg {
+    /// Total footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.entry_bytes * self.entries as usize
+    }
+}
+
+/// One micro-operation of a ported stage.
+///
+/// Costs are resolved against the LNIC profile at simulation time; table
+/// indices refer to [`NicProgram::tables`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MicroOp {
+    /// Fixed ALU work in cycles.
+    Compute {
+        /// Cycle count.
+        cycles: u64,
+    },
+    /// Parse packet headers (CTM → local memory copy on NPUs).
+    ParseHeader,
+    /// Packet metadata / header-field modifications.
+    MetadataMod {
+        /// Number of modifications.
+        count: u64,
+    },
+    /// Flow-hash computations.
+    Hash {
+        /// Number of hashes.
+        count: u64,
+    },
+    /// Hashed exact-match lookup in a table (one bucket access keyed by
+    /// the packet's flow).
+    TableLookup {
+        /// Index into [`NicProgram::tables`].
+        table: usize,
+    },
+    /// Insert/update of the packet's flow entry.
+    TableWrite {
+        /// Index into [`NicProgram::tables`].
+        table: usize,
+    },
+    /// Read-modify-write of a counter bucket keyed by the flow.
+    CounterUpdate {
+        /// Index into [`NicProgram::tables`].
+        table: usize,
+    },
+    /// Full sequential match/action scan over a rule table (the naive
+    /// software LPM: every rule checked for longest match).
+    LinearScan {
+        /// Index into [`NicProgram::tables`].
+        table: usize,
+    },
+    /// Byte-wise pass over the payload: stream compute + packet-residence
+    /// reads, plus an optional per-byte random access into `table`
+    /// (a DPI automaton's transition table).
+    StreamPayload {
+        /// Automaton/transition table, if any.
+        table: Option<usize>,
+        /// Extra per-byte compute (the scan loop's index arithmetic,
+        /// comparisons, and branch — zero for a pure data pump).
+        loop_overhead: u64,
+    },
+    /// Software checksum on the NPU: streams header+payload from the
+    /// packet's residence.
+    ChecksumSw,
+    /// A call serviced by this stage's accelerator (only valid in
+    /// [`StageUnit::Accel`] stages).
+    AccelCall {
+        /// Bytes the accelerator processes.
+        bytes: BytesSpec,
+    },
+    /// Floating-point operations (software-emulated on FPU-less NPUs).
+    FloatOps {
+        /// Number of float operations.
+        count: u64,
+    },
+}
+
+/// One run-to-completion stage of the ported program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage {
+    /// Stage name (for per-stage reporting).
+    pub name: String,
+    /// Execution unit.
+    pub unit: StageUnit,
+    /// Micro-ops in order.
+    pub ops: Vec<MicroOp>,
+}
+
+/// A complete ported NF.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NicProgram {
+    /// Program name.
+    pub name: String,
+    /// Stages in packet order.
+    pub stages: Vec<Stage>,
+    /// State tables with placements.
+    pub tables: Vec<TableCfg>,
+}
+
+impl NicProgram {
+    /// Validate internal consistency (table indices in range, accelerator
+    /// stages only carry accelerator calls).
+    pub fn validate(&self) -> Result<(), String> {
+        for stage in &self.stages {
+            for op in &stage.ops {
+                let table = match op {
+                    MicroOp::TableLookup { table }
+                    | MicroOp::TableWrite { table }
+                    | MicroOp::CounterUpdate { table }
+                    | MicroOp::LinearScan { table } => Some(*table),
+                    MicroOp::StreamPayload { table, .. } => *table,
+                    _ => None,
+                };
+                if let Some(t) = table {
+                    if t >= self.tables.len() {
+                        return Err(format!(
+                            "stage `{}` references table {t} but only {} exist",
+                            stage.name,
+                            self.tables.len()
+                        ));
+                    }
+                }
+                match (&stage.unit, op) {
+                    (StageUnit::Accel(_), MicroOp::AccelCall { .. }) => {}
+                    (StageUnit::Accel(k), other) => {
+                        return Err(format!(
+                            "accelerator stage `{}` ({k}) contains non-accel op {other:?}",
+                            stage.name
+                        ))
+                    }
+                    (StageUnit::Npu, MicroOp::AccelCall { .. }) => {
+                        return Err(format!(
+                            "NPU stage `{}` contains an AccelCall",
+                            stage.name
+                        ))
+                    }
+                    (StageUnit::Npu, _) => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total declared table footprint in bytes.
+    pub fn state_bytes(&self) -> usize {
+        self.tables.iter().map(|t| t.size_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clara_lnic::AccelKind;
+
+    fn table() -> TableCfg {
+        TableCfg {
+            name: "t".into(),
+            mem: "imem".into(),
+            entry_bytes: 16,
+            entries: 1024,
+            use_flow_cache: false,
+        }
+    }
+
+    #[test]
+    fn bytes_spec_resolution() {
+        assert_eq!(BytesSpec::Payload.resolve(300, 354), 300);
+        assert_eq!(BytesSpec::Frame.resolve(300, 354), 354);
+        assert_eq!(BytesSpec::Fixed(64).resolve(300, 354), 64);
+    }
+
+    #[test]
+    fn table_size() {
+        assert_eq!(table().size_bytes(), 16 * 1024);
+    }
+
+    #[test]
+    fn validate_catches_bad_table_index() {
+        let p = NicProgram {
+            name: "x".into(),
+            tables: vec![],
+            stages: vec![Stage {
+                name: "s".into(),
+                unit: StageUnit::Npu,
+                ops: vec![MicroOp::TableLookup { table: 0 }],
+            }],
+        };
+        assert!(p.validate().unwrap_err().contains("table 0"));
+    }
+
+    #[test]
+    fn validate_catches_misplaced_ops() {
+        let p = NicProgram {
+            name: "x".into(),
+            tables: vec![table()],
+            stages: vec![Stage {
+                name: "ck".into(),
+                unit: StageUnit::Accel(AccelKind::Checksum),
+                ops: vec![MicroOp::Compute { cycles: 5 }],
+            }],
+        };
+        assert!(p.validate().unwrap_err().contains("non-accel"));
+
+        let p = NicProgram {
+            name: "x".into(),
+            tables: vec![],
+            stages: vec![Stage {
+                name: "s".into(),
+                unit: StageUnit::Npu,
+                ops: vec![MicroOp::AccelCall { bytes: BytesSpec::Payload }],
+            }],
+        };
+        assert!(p.validate().unwrap_err().contains("AccelCall"));
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let p = NicProgram {
+            name: "ok".into(),
+            tables: vec![table()],
+            stages: vec![
+                Stage {
+                    name: "npu".into(),
+                    unit: StageUnit::Npu,
+                    ops: vec![
+                        MicroOp::ParseHeader,
+                        MicroOp::Hash { count: 1 },
+                        MicroOp::TableLookup { table: 0 },
+                        MicroOp::StreamPayload { table: Some(0), loop_overhead: 10 },
+                    ],
+                },
+                Stage {
+                    name: "ck".into(),
+                    unit: StageUnit::Accel(AccelKind::Checksum),
+                    ops: vec![MicroOp::AccelCall { bytes: BytesSpec::Frame }],
+                },
+            ],
+        };
+        assert!(p.validate().is_ok());
+        assert_eq!(p.state_bytes(), 16 * 1024);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests on simulator invariants.
+
+use clara_lnic::profiles;
+use clara_nicsim::{simulate, MicroOp, NicProgram, Stage, StageUnit, TableCfg};
+use clara_workload::{SizeDist, TraceGenerator};
+use proptest::prelude::*;
+
+fn prog(ops: Vec<MicroOp>, tables: Vec<TableCfg>) -> NicProgram {
+    NicProgram {
+        name: "prop".into(),
+        tables,
+        stages: vec![Stage { name: "s".into(), unit: StageUnit::Npu, ops }],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation: every offered packet either completes or is dropped.
+    #[test]
+    fn packets_conserved(
+        packets in 1usize..400,
+        flows in 1usize..200,
+        rate in 1_000.0f64..10_000_000.0,
+    ) {
+        let nic = profiles::netronome_agilio_cx40();
+        let trace = TraceGenerator::new(1)
+            .packets(packets)
+            .flows(flows)
+            .rate_pps(rate)
+            .generate();
+        let r = simulate(&nic, &prog(vec![MicroOp::ParseHeader], vec![]), &trace).unwrap();
+        prop_assert_eq!(r.completed + r.dropped, r.packets);
+        prop_assert_eq!(r.latencies.len(), r.completed);
+    }
+
+    /// Latency is never below the program's intrinsic cost, and the
+    /// percentile ordering always holds.
+    #[test]
+    fn latency_ordering(compute in 1u64..50_000, packets in 10usize..300) {
+        let nic = profiles::netronome_agilio_cx40();
+        let trace = TraceGenerator::new(2)
+            .packets(packets)
+            .flows(packets)
+            .rate_pps(10_000.0)
+            .generate();
+        let r = simulate(&nic, &prog(vec![MicroOp::Compute { cycles: compute }], vec![]), &trace)
+            .unwrap();
+        prop_assert!(r.p50_latency_cycles <= r.p99_latency_cycles + 1e-9);
+        prop_assert!(r.p99_latency_cycles <= r.max_latency_cycles + 1e-9);
+        // Ingress + egress hubs (50 + 50) plus the compute itself.
+        prop_assert!(r.avg_latency_cycles >= (compute + 100) as f64 - 1e-9);
+    }
+
+    /// Adding work never reduces mean latency (monotonicity in the
+    /// program, fixed workload).
+    #[test]
+    fn more_work_never_faster(extra in 1u64..10_000) {
+        let nic = profiles::netronome_agilio_cx40();
+        let trace = TraceGenerator::new(3).packets(200).rate_pps(10_000.0).generate();
+        let base = simulate(&nic, &prog(vec![MicroOp::Compute { cycles: 100 }], vec![]), &trace)
+            .unwrap()
+            .avg_latency_cycles;
+        let heavier = simulate(
+            &nic,
+            &prog(
+                vec![MicroOp::Compute { cycles: 100 }, MicroOp::Compute { cycles: extra }],
+                vec![],
+            ),
+            &trace,
+        )
+        .unwrap()
+        .avg_latency_cycles;
+        prop_assert!(heavier >= base);
+    }
+
+    /// Payload streaming latency is monotone in payload size.
+    #[test]
+    fn stream_monotone_in_payload(small in 0usize..700, delta in 1usize..700) {
+        let nic = profiles::netronome_agilio_cx40();
+        let mk = |payload: usize| {
+            TraceGenerator::new(4)
+                .packets(120)
+                .rate_pps(10_000.0)
+                .sizes(SizeDist::Fixed(payload))
+                .syn_on_first(false)
+                .generate()
+        };
+        let p = prog(vec![MicroOp::StreamPayload { table: None, loop_overhead: 3 }], vec![]);
+        let a = simulate(&nic, &p, &mk(small)).unwrap().avg_latency_cycles;
+        let b = simulate(&nic, &p, &mk(small + delta)).unwrap().avg_latency_cycles;
+        prop_assert!(b >= a, "payload {small} -> {a}, {} -> {b}", small + delta);
+    }
+
+    /// Table lookups cost at least the region's access latency, whatever
+    /// the geometry.
+    #[test]
+    fn lookup_cost_bounded_below(
+        entries in 1u64..100_000,
+        entry_bytes in 1usize..64,
+    ) {
+        let nic = profiles::netronome_agilio_cx40();
+        let trace = TraceGenerator::new(5).packets(100).rate_pps(10_000.0).generate();
+        let table = TableCfg {
+            name: "t".into(),
+            mem: "imem".into(),
+            entry_bytes,
+            entries,
+            use_flow_cache: false,
+        };
+        let with = simulate(&nic, &prog(vec![MicroOp::TableLookup { table: 0 }], vec![table.clone()]), &trace)
+            .unwrap()
+            .avg_latency_cycles;
+        let without = simulate(&nic, &prog(vec![], vec![table]), &trace)
+            .unwrap()
+            .avg_latency_cycles;
+        prop_assert!(with - without >= 250.0 - 1e-9, "marginal lookup {}", with - without);
+    }
+
+    /// Determinism: identical runs produce identical results.
+    #[test]
+    fn simulation_deterministic(seed in any::<u64>()) {
+        let nic = profiles::netronome_agilio_cx40();
+        let trace = TraceGenerator::new(seed).packets(150).flows(40).generate();
+        let p = prog(
+            vec![MicroOp::ParseHeader, MicroOp::Hash { count: 2 }],
+            vec![],
+        );
+        let a = simulate(&nic, &p, &trace).unwrap();
+        let b = simulate(&nic, &p, &trace).unwrap();
+        prop_assert_eq!(a.latencies, b.latencies);
+        prop_assert_eq!(a.dropped, b.dropped);
+    }
+}

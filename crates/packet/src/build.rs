@@ -1,0 +1,263 @@
+//! Whole-packet construction and parsing.
+//!
+//! [`PacketSpec`] is the abstract description used by workload generators;
+//! [`build_packet`] turns it into real wire bytes (Ethernet/IPv4/TCP|UDP
+//! with valid checksums) and [`parse_packet`] recovers the description
+//! from wire bytes (e.g. when reading a pcap trace).
+
+use crate::ether::{EtherType, EthernetFrame, ETHERNET_HEADER_LEN};
+use crate::flow::FiveTuple;
+use crate::ipv4::{Ipv4Packet, IPV4_HEADER_LEN};
+use crate::tcp::{TcpFlags, TcpPacket, TCP_HEADER_LEN};
+use crate::udp::{UdpPacket, UDP_HEADER_LEN};
+use crate::{Error, Proto, Result};
+
+/// Abstract description of a packet to synthesize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketSpec {
+    /// Flow five-tuple.
+    pub flow: FiveTuple,
+    /// Transport payload length in bytes.
+    pub payload_len: usize,
+    /// TCP flags (ignored for UDP).
+    pub tcp_flags: TcpFlags,
+    /// First payload byte pattern seed; payload byte `i` is
+    /// `seed.wrapping_add(i as u8)`, so DPI workloads see varied content.
+    pub payload_seed: u8,
+}
+
+impl PacketSpec {
+    /// A TCP packet with the given endpoints and payload length.
+    pub fn tcp(
+        src_ip: [u8; 4],
+        dst_ip: [u8; 4],
+        src_port: u16,
+        dst_port: u16,
+        payload_len: usize,
+    ) -> Self {
+        PacketSpec {
+            flow: FiveTuple::new(src_ip, dst_ip, src_port, dst_port, Proto::Tcp),
+            payload_len,
+            tcp_flags: TcpFlags(TcpFlags::ACK),
+            payload_seed: 0,
+        }
+    }
+
+    /// A UDP packet with the given endpoints and payload length.
+    pub fn udp(
+        src_ip: [u8; 4],
+        dst_ip: [u8; 4],
+        src_port: u16,
+        dst_port: u16,
+        payload_len: usize,
+    ) -> Self {
+        PacketSpec {
+            flow: FiveTuple::new(src_ip, dst_ip, src_port, dst_port, Proto::Udp),
+            payload_len,
+            tcp_flags: TcpFlags::default(),
+            payload_seed: 0,
+        }
+    }
+
+    /// Mark this (TCP) packet as a SYN.
+    pub fn with_syn(mut self) -> Self {
+        self.tcp_flags = TcpFlags(TcpFlags::SYN);
+        self
+    }
+
+    /// Set the payload pattern seed.
+    pub fn with_payload_seed(mut self, seed: u8) -> Self {
+        self.payload_seed = seed;
+        self
+    }
+
+    /// Total wire length of the frame this spec builds.
+    pub fn wire_len(&self) -> usize {
+        let transport = match self.flow.proto {
+            Proto::Tcp => TCP_HEADER_LEN,
+            Proto::Udp => UDP_HEADER_LEN,
+            Proto::Other(_) => 0,
+        };
+        ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + transport + self.payload_len
+    }
+}
+
+/// The result of parsing a wire frame back into a description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedPacket {
+    /// Flow five-tuple.
+    pub flow: FiveTuple,
+    /// Transport protocol (same as `flow.proto`, for convenience).
+    pub proto: Proto,
+    /// Transport payload length in bytes.
+    pub payload_len: usize,
+    /// TCP flags (zero for UDP).
+    pub tcp_flags: TcpFlags,
+    /// Total frame length on the wire.
+    pub wire_len: usize,
+}
+
+/// Build wire bytes (Ethernet/IPv4/transport, valid checksums) from a spec.
+pub fn build_packet(spec: &PacketSpec) -> Vec<u8> {
+    let mut buf = vec![0u8; spec.wire_len()];
+
+    let mut eth = EthernetFrame::new_unchecked(&mut buf[..]);
+    eth.set_dst_mac([0x02, 0, 0, 0, 0, 0x02]);
+    eth.set_src_mac([0x02, 0, 0, 0, 0, 0x01]);
+    eth.set_ethertype(EtherType::Ipv4);
+
+    let ip_total = (spec.wire_len() - ETHERNET_HEADER_LEN) as u16;
+    let mut ip = Ipv4Packet::new_unchecked(eth.payload_mut());
+    ip.set_version_ihl();
+    ip.set_total_len(ip_total);
+    ip.set_ident((spec.flow.hash64() & 0xffff) as u16);
+    ip.set_dont_fragment();
+    ip.set_ttl(64);
+    ip.set_proto(spec.flow.proto);
+    ip.set_src_addr(spec.flow.src_ip);
+    ip.set_dst_addr(spec.flow.dst_ip);
+    ip.fill_checksum();
+
+    let (src, dst) = (spec.flow.src_ip, spec.flow.dst_ip);
+    match spec.flow.proto {
+        Proto::Tcp => {
+            let mut tcp = TcpPacket::new_unchecked(ip.payload_mut());
+            tcp.set_src_port(spec.flow.src_port);
+            tcp.set_dst_port(spec.flow.dst_port);
+            tcp.set_seq(1);
+            tcp.set_ack_no(if spec.tcp_flags.ack() { 1 } else { 0 });
+            tcp.set_header_len_min();
+            tcp.set_flags(spec.tcp_flags);
+            tcp.set_window(65535);
+            fill_payload(tcp.payload_mut(), spec.payload_seed);
+            tcp.fill_checksum(src, dst);
+        }
+        Proto::Udp => {
+            let mut udp = UdpPacket::new_unchecked(ip.payload_mut());
+            udp.set_src_port(spec.flow.src_port);
+            udp.set_dst_port(spec.flow.dst_port);
+            udp.set_len_field((UDP_HEADER_LEN + spec.payload_len) as u16);
+            fill_payload(udp.payload_mut(), spec.payload_seed);
+            udp.fill_checksum(src, dst);
+        }
+        Proto::Other(_) => {
+            fill_payload(ip.payload_mut(), spec.payload_seed);
+        }
+    }
+    buf
+}
+
+fn fill_payload(payload: &mut [u8], seed: u8) {
+    for (i, b) in payload.iter_mut().enumerate() {
+        *b = seed.wrapping_add(i as u8);
+    }
+}
+
+/// Parse a wire frame (as produced by [`build_packet`] or read from a pcap)
+/// back into a [`ParsedPacket`].
+pub fn parse_packet(frame: &[u8]) -> Result<ParsedPacket> {
+    let eth = EthernetFrame::new_checked(frame)?;
+    if eth.ethertype() != EtherType::Ipv4 {
+        return Err(Error::Unsupported);
+    }
+    let ip = Ipv4Packet::new_checked(eth.payload())?;
+    let proto = ip.proto();
+    let (src_port, dst_port, payload_len, tcp_flags) = match proto {
+        Proto::Tcp => {
+            let tcp = TcpPacket::new_checked(ip.payload())?;
+            (
+                tcp.src_port(),
+                tcp.dst_port(),
+                tcp.payload().len(),
+                tcp.flags(),
+            )
+        }
+        Proto::Udp => {
+            let udp = UdpPacket::new_checked(ip.payload())?;
+            (
+                udp.src_port(),
+                udp.dst_port(),
+                udp.payload().len(),
+                TcpFlags::default(),
+            )
+        }
+        Proto::Other(_) => (0, 0, ip.payload().len(), TcpFlags::default()),
+    };
+    Ok(ParsedPacket {
+        flow: FiveTuple::new(ip.src_addr(), ip.dst_addr(), src_port, dst_port, proto),
+        proto,
+        payload_len,
+        tcp_flags,
+        wire_len: frame.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_roundtrip() {
+        let spec = PacketSpec::tcp([10, 0, 0, 1], [10, 0, 0, 2], 40000, 443, 300).with_syn();
+        let bytes = build_packet(&spec);
+        assert_eq!(bytes.len(), spec.wire_len());
+        let parsed = parse_packet(&bytes).unwrap();
+        assert_eq!(parsed.flow, spec.flow);
+        assert_eq!(parsed.payload_len, 300);
+        assert!(parsed.tcp_flags.syn());
+    }
+
+    #[test]
+    fn udp_roundtrip() {
+        let spec = PacketSpec::udp([1, 2, 3, 4], [5, 6, 7, 8], 9999, 53, 64);
+        let bytes = build_packet(&spec);
+        let parsed = parse_packet(&bytes).unwrap();
+        assert_eq!(parsed.flow, spec.flow);
+        assert_eq!(parsed.proto, Proto::Udp);
+        assert_eq!(parsed.payload_len, 64);
+    }
+
+    #[test]
+    fn built_checksums_verify() {
+        let spec = PacketSpec::tcp([10, 9, 8, 7], [6, 5, 4, 3], 1, 2, 77);
+        let bytes = build_packet(&spec);
+        let eth = EthernetFrame::new_checked(&bytes[..]).unwrap();
+        let ip = Ipv4Packet::new_checked(eth.payload()).unwrap();
+        assert!(ip.verify_checksum());
+        let tcp = TcpPacket::new_checked(ip.payload()).unwrap();
+        assert!(tcp.verify_checksum(ip.src_addr(), ip.dst_addr()));
+    }
+
+    #[test]
+    fn payload_pattern_varies_with_seed() {
+        let a = build_packet(&PacketSpec::udp([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, 16));
+        let b = build_packet(
+            &PacketSpec::udp([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, 16).with_payload_seed(42),
+        );
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn non_ipv4_rejected() {
+        let mut bytes = build_packet(&PacketSpec::udp([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, 8));
+        bytes[12] = 0x86;
+        bytes[13] = 0xdd; // IPv6 ethertype
+        assert_eq!(parse_packet(&bytes).unwrap_err(), Error::Unsupported);
+    }
+
+    #[test]
+    fn zero_payload_ok() {
+        let spec = PacketSpec::tcp([10, 0, 0, 1], [10, 0, 0, 2], 1, 2, 0);
+        let parsed = parse_packet(&build_packet(&spec)).unwrap();
+        assert_eq!(parsed.payload_len, 0);
+    }
+
+    #[test]
+    fn other_proto_builds_and_parses() {
+        let mut spec = PacketSpec::udp([9, 9, 9, 9], [8, 8, 8, 8], 0, 0, 32);
+        spec.flow.proto = Proto::Other(47); // GRE
+        let parsed = parse_packet(&build_packet(&spec)).unwrap();
+        assert_eq!(parsed.proto, Proto::Other(47));
+        assert_eq!(parsed.payload_len, 32);
+    }
+}

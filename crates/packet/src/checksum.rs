@@ -1,0 +1,142 @@
+//! The Internet checksum (RFC 1071) and incremental updates (RFC 1624).
+//!
+//! Used for the IPv4 header checksum and the TCP/UDP checksums (the latter
+//! over a pseudo-header). The incremental form is what a NAT uses on the
+//! fast path: rewriting one 32-bit address only requires folding the
+//! difference into the existing checksum instead of re-summing the packet.
+
+/// One's-complement sum of a byte slice, without the final inversion.
+///
+/// Odd-length inputs are padded with a zero byte, per RFC 1071.
+pub fn sum(data: &[u8]) -> u32 {
+    let mut acc: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        acc += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        acc += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    acc
+}
+
+/// Fold a 32-bit accumulator into 16 bits of one's-complement sum.
+pub fn fold(mut acc: u32) -> u16 {
+    while acc > 0xffff {
+        acc = (acc & 0xffff) + (acc >> 16);
+    }
+    acc as u16
+}
+
+/// Compute the Internet checksum of `data`: the one's complement of the
+/// one's-complement sum.
+pub fn checksum(data: &[u8]) -> u16 {
+    !fold(sum(data))
+}
+
+/// Combine several partial one's-complement sums (e.g. pseudo-header plus
+/// segment) into a final checksum.
+pub fn combine(sums: &[u32]) -> u16 {
+    !fold(sums.iter().copied().fold(0u32, |a, b| a + (b & 0xffff) + (b >> 16)))
+}
+
+/// The one's-complement sum of the TCP/UDP pseudo-header.
+///
+/// `proto` is the IP protocol number and `len` the transport segment length
+/// (header plus payload) in bytes.
+pub fn pseudo_header_sum(src: [u8; 4], dst: [u8; 4], proto: u8, len: u16) -> u32 {
+    sum(&src) + sum(&dst) + u32::from(proto) + u32::from(len)
+}
+
+/// Incrementally update a checksum after a 16-bit field changed from `old`
+/// to `new`, per RFC 1624 (eqn. 3): `HC' = ~(~HC + ~m + m')`.
+pub fn incremental_update(current: u16, old: u16, new: u16) -> u16 {
+    let acc = u32::from(!current) + u32::from(!old) + u32::from(new);
+    !fold(acc)
+}
+
+/// Incrementally update a checksum after a 32-bit field (e.g. an IPv4
+/// address) changed, by applying [`incremental_update`] to each half.
+pub fn incremental_update_u32(current: u16, old: u32, new: u32) -> u16 {
+    let step = incremental_update(current, (old >> 16) as u16, (new >> 16) as u16);
+    incremental_update(step, old as u16, new as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The worked example from RFC 1071 §3.
+    #[test]
+    fn rfc1071_example() {
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(fold(sum(&data)), 0xddf2);
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn zero_length_is_all_ones() {
+        assert_eq!(checksum(&[]), 0xffff);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(checksum(&[0xab]), checksum(&[0xab, 0x00]));
+    }
+
+    #[test]
+    fn verifying_includes_own_checksum() {
+        // Inserting the checksum into the data and re-summing yields 0.
+        let mut data = vec![0x45, 0x00, 0x00, 0x28, 0x1c, 0x46, 0x40, 0x00, 0x40, 0x06, 0, 0];
+        let ck = checksum(&data);
+        data[10] = (ck >> 8) as u8;
+        data[11] = ck as u8;
+        assert_eq!(fold(sum(&data)), 0xffff);
+    }
+
+    #[test]
+    fn incremental_matches_recompute_16() {
+        let mut data: Vec<u8> = (0u8..40).collect();
+        let before = checksum(&data);
+        // Change the 16-bit field at offset 6.
+        let old = u16::from_be_bytes([data[6], data[7]]);
+        let new: u16 = 0xcafe;
+        data[6..8].copy_from_slice(&new.to_be_bytes());
+        let after = checksum(&data);
+        assert_eq!(incremental_update(before, old, new), after);
+    }
+
+    #[test]
+    fn incremental_matches_recompute_32() {
+        let mut data: Vec<u8> = (0u8..40).map(|b| b.wrapping_mul(7)).collect();
+        let before = checksum(&data);
+        let old = u32::from_be_bytes([data[12], data[13], data[14], data[15]]);
+        let new: u32 = 0x0a00_0001;
+        data[12..16].copy_from_slice(&new.to_be_bytes());
+        let after = checksum(&data);
+        assert_eq!(incremental_update_u32(before, old, new), after);
+    }
+
+    #[test]
+    fn combine_matches_concatenated() {
+        let a = [1u8, 2, 3, 4];
+        let b = [9u8, 8, 7, 6];
+        let concat: Vec<u8> = a.iter().chain(b.iter()).copied().collect();
+        assert_eq!(combine(&[sum(&a), sum(&b)]), checksum(&concat));
+    }
+
+    #[test]
+    fn pseudo_header_known_value() {
+        // 10.0.0.1 -> 10.0.0.2, TCP, 20 bytes.
+        let s = pseudo_header_sum([10, 0, 0, 1], [10, 0, 0, 2], 6, 20);
+        // 0x0a00 + 0x0001 + 0x0a00 + 0x0002 + 0x0006 + 0x0014
+        assert_eq!(s, 0x0a00 + 0x0001 + 0x0a00 + 0x0002 + 0x0006 + 0x0014);
+    }
+
+    #[test]
+    fn fold_handles_large_accumulators() {
+        assert_eq!(fold(0xffff_ffff), 0xffff);
+        assert_eq!(fold(0x1_0000), 1);
+        assert_eq!(fold(0), 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Ethernet II frame view and builder.
+
+use crate::{get_u16, set_u16, Error, Result};
+
+/// Length of an Ethernet II header (dst MAC, src MAC, ethertype).
+pub const ETHERNET_HEADER_LEN: usize = 14;
+
+/// Well-known EtherType values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// ARP (0x0806).
+    Arp,
+    /// IPv6 (0x86DD).
+    Ipv6,
+    /// Anything else, carried verbatim.
+    Other(u16),
+}
+
+impl EtherType {
+    /// The 16-bit wire value.
+    pub fn value(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Ipv6 => 0x86dd,
+            EtherType::Other(v) => v,
+        }
+    }
+
+    /// Classify a wire value.
+    pub fn from_value(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            0x86dd => EtherType::Ipv6,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+/// A read/write view over an Ethernet II frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EthernetFrame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> EthernetFrame<T> {
+    /// Wrap a buffer without checking its length.
+    pub fn new_unchecked(buffer: T) -> Self {
+        EthernetFrame { buffer }
+    }
+
+    /// Wrap a buffer, ensuring it is long enough to hold the header.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let frame = Self::new_unchecked(buffer);
+        frame.check_len()?;
+        Ok(frame)
+    }
+
+    /// Ensure the buffer holds at least a full header.
+    pub fn check_len(&self) -> Result<()> {
+        if self.buffer.as_ref().len() < ETHERNET_HEADER_LEN {
+            Err(Error::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Consume the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Destination MAC address.
+    pub fn dst_mac(&self) -> [u8; 6] {
+        let d = self.buffer.as_ref();
+        [d[0], d[1], d[2], d[3], d[4], d[5]]
+    }
+
+    /// Source MAC address.
+    pub fn src_mac(&self) -> [u8; 6] {
+        let d = self.buffer.as_ref();
+        [d[6], d[7], d[8], d[9], d[10], d[11]]
+    }
+
+    /// EtherType field.
+    pub fn ethertype(&self) -> EtherType {
+        EtherType::from_value(get_u16(self.buffer.as_ref(), 12))
+    }
+
+    /// The bytes following the Ethernet header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[ETHERNET_HEADER_LEN..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> EthernetFrame<T> {
+    /// Set the destination MAC address.
+    pub fn set_dst_mac(&mut self, mac: [u8; 6]) {
+        self.buffer.as_mut()[0..6].copy_from_slice(&mac);
+    }
+
+    /// Set the source MAC address.
+    pub fn set_src_mac(&mut self, mac: [u8; 6]) {
+        self.buffer.as_mut()[6..12].copy_from_slice(&mac);
+    }
+
+    /// Set the EtherType field.
+    pub fn set_ethertype(&mut self, ty: EtherType) {
+        set_u16(self.buffer.as_mut(), 12, ty.value());
+    }
+
+    /// Mutable access to the bytes following the header.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[ETHERNET_HEADER_LEN..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ethertype_roundtrip() {
+        for ty in [
+            EtherType::Ipv4,
+            EtherType::Arp,
+            EtherType::Ipv6,
+            EtherType::Other(0x1234),
+        ] {
+            assert_eq!(EtherType::from_value(ty.value()), ty);
+        }
+    }
+
+    #[test]
+    fn too_short_rejected() {
+        assert_eq!(
+            EthernetFrame::new_checked(&[0u8; 13][..]).unwrap_err(),
+            Error::Truncated
+        );
+        assert!(EthernetFrame::new_checked(&[0u8; 14][..]).is_ok());
+    }
+
+    #[test]
+    fn field_roundtrip() {
+        let mut buf = [0u8; 20];
+        let mut frame = EthernetFrame::new_checked(&mut buf[..]).unwrap();
+        frame.set_dst_mac([1, 2, 3, 4, 5, 6]);
+        frame.set_src_mac([7, 8, 9, 10, 11, 12]);
+        frame.set_ethertype(EtherType::Ipv4);
+        frame.payload_mut().fill(0xaa);
+
+        assert_eq!(frame.dst_mac(), [1, 2, 3, 4, 5, 6]);
+        assert_eq!(frame.src_mac(), [7, 8, 9, 10, 11, 12]);
+        assert_eq!(frame.ethertype(), EtherType::Ipv4);
+        assert_eq!(frame.payload(), &[0xaa; 6]);
+    }
+
+    #[test]
+    fn into_inner_returns_buffer() {
+        let buf = vec![0u8; 14];
+        let frame = EthernetFrame::new_checked(buf).unwrap();
+        assert_eq!(frame.into_inner().len(), 14);
+    }
+}

@@ -1,0 +1,175 @@
+//! Flow identification: five-tuples and flow hashing.
+//!
+//! NFs in the Clara corpus key their state on the classic five-tuple. The
+//! hash defined here is an FNV-1a variant chosen for determinism across
+//! runs (the simulator's cache behaviour must be reproducible for a given
+//! seed, so `std::collections` hashers with random state are unsuitable).
+
+use crate::Proto;
+use core::fmt;
+
+/// The classic transport five-tuple identifying a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FiveTuple {
+    /// Source IPv4 address.
+    pub src_ip: [u8; 4],
+    /// Destination IPv4 address.
+    pub dst_ip: [u8; 4],
+    /// Source transport port (0 for non-TCP/UDP).
+    pub src_port: u16,
+    /// Destination transport port (0 for non-TCP/UDP).
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub proto: Proto,
+}
+
+impl FiveTuple {
+    /// Construct a five-tuple.
+    pub fn new(
+        src_ip: [u8; 4],
+        dst_ip: [u8; 4],
+        src_port: u16,
+        dst_port: u16,
+        proto: Proto,
+    ) -> Self {
+        FiveTuple { src_ip, dst_ip, src_port, dst_port, proto }
+    }
+
+    /// The reverse direction of this flow (for connection tracking).
+    pub fn reversed(&self) -> Self {
+        FiveTuple {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            proto: self.proto,
+        }
+    }
+
+    /// Deterministic 64-bit hash of this tuple.
+    ///
+    /// [`flow_hash`] (FNV-1a) followed by a splitmix64 finalizer: FNV-1a's
+    /// low bits avalanche poorly, and flow tables index buckets with
+    /// `hash % n`, so the finalizer matters for spread.
+    pub fn hash64(&self) -> u64 {
+        let mut bytes = [0u8; 13];
+        bytes[0..4].copy_from_slice(&self.src_ip);
+        bytes[4..8].copy_from_slice(&self.dst_ip);
+        bytes[8..10].copy_from_slice(&self.src_port.to_be_bytes());
+        bytes[10..12].copy_from_slice(&self.dst_port.to_be_bytes());
+        bytes[12] = self.proto.number();
+        mix64(flow_hash(&bytes))
+    }
+}
+
+impl fmt::Display for FiveTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}.{}.{}.{}:{} -> {}.{}.{}.{}:{} {}",
+            self.src_ip[0],
+            self.src_ip[1],
+            self.src_ip[2],
+            self.src_ip[3],
+            self.src_port,
+            self.dst_ip[0],
+            self.dst_ip[1],
+            self.dst_ip[2],
+            self.dst_ip[3],
+            self.dst_port,
+            self.proto,
+        )
+    }
+}
+
+/// Deterministic FNV-1a 64-bit hash.
+///
+/// Stable across platforms and runs; used for flow-table indexing in both
+/// the simulator and the predictor so that their notions of "which bucket
+/// does this flow land in" agree.
+pub fn flow_hash(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// splitmix64 finalizer: full-avalanche bit mixer.
+pub fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple() -> FiveTuple {
+        FiveTuple::new([10, 0, 0, 1], [10, 0, 0, 2], 1234, 80, Proto::Tcp)
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let t = tuple();
+        let r = t.reversed();
+        assert_eq!(r.src_ip, t.dst_ip);
+        assert_eq!(r.dst_port, t.src_port);
+        assert_eq!(r.reversed(), t);
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(tuple().hash64(), tuple().hash64());
+    }
+
+    #[test]
+    fn hash_differs_across_fields() {
+        let base = tuple();
+        let mut other = base;
+        other.src_port = 1235;
+        assert_ne!(base.hash64(), other.hash64());
+        let mut other = base;
+        other.proto = Proto::Udp;
+        assert_ne!(base.hash64(), other.hash64());
+        let mut other = base;
+        other.dst_ip = [10, 0, 0, 3];
+        assert_ne!(base.hash64(), other.hash64());
+    }
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(flow_hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(flow_hash(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(flow_hash(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn display_formats_tuple() {
+        let s = tuple().to_string();
+        assert_eq!(s, "10.0.0.1:1234 -> 10.0.0.2:80 TCP");
+    }
+
+    #[test]
+    fn hashes_spread_over_buckets() {
+        // 10k sequential flows should touch most of 1024 buckets; a weak
+        // hash would clump.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u32 {
+            let t = FiveTuple::new(
+                [10, 0, (i >> 8) as u8, i as u8],
+                [10, 1, 0, 1],
+                (1000 + (i % 5000)) as u16,
+                80,
+                Proto::Tcp,
+            );
+            seen.insert((t.hash64() % 1024) as u16);
+        }
+        assert!(seen.len() > 1000, "only {} of 1024 buckets hit", seen.len());
+    }
+}

@@ -1,0 +1,283 @@
+//! IPv4 header view and builder.
+
+use crate::checksum;
+use crate::{get_u16, get_u32, set_u16, Error, Proto, Result};
+
+/// Length of an IPv4 header without options (IHL = 5).
+pub const IPV4_HEADER_LEN: usize = 20;
+
+/// A read/write view over an IPv4 packet (header + payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ipv4Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Ipv4Packet<T> {
+    /// Wrap a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        Ipv4Packet { buffer }
+    }
+
+    /// Wrap a buffer and validate version, IHL, and length fields.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let packet = Self::new_unchecked(buffer);
+        packet.check_len()?;
+        Ok(packet)
+    }
+
+    /// Validate version, IHL, and that `total_len` fits in the buffer.
+    pub fn check_len(&self) -> Result<()> {
+        let data = self.buffer.as_ref();
+        if data.len() < IPV4_HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        if data[0] >> 4 != 4 {
+            return Err(Error::Malformed);
+        }
+        let ihl = usize::from(data[0] & 0x0f) * 4;
+        if ihl < IPV4_HEADER_LEN {
+            return Err(Error::Malformed);
+        }
+        let total = usize::from(get_u16(data, 2));
+        if total < ihl || total > data.len() {
+            return Err(Error::Truncated);
+        }
+        Ok(())
+    }
+
+    /// Consume the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Header length in bytes (IHL × 4).
+    pub fn header_len(&self) -> usize {
+        usize::from(self.buffer.as_ref()[0] & 0x0f) * 4
+    }
+
+    /// Total packet length (header + payload) from the length field.
+    pub fn total_len(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 2)
+    }
+
+    /// Identification field.
+    pub fn ident(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 4)
+    }
+
+    /// Time-to-live.
+    pub fn ttl(&self) -> u8 {
+        self.buffer.as_ref()[8]
+    }
+
+    /// Transport protocol.
+    pub fn proto(&self) -> Proto {
+        Proto::from_number(self.buffer.as_ref()[9])
+    }
+
+    /// Header checksum field.
+    pub fn header_checksum(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 10)
+    }
+
+    /// Source address.
+    pub fn src_addr(&self) -> [u8; 4] {
+        let d = self.buffer.as_ref();
+        [d[12], d[13], d[14], d[15]]
+    }
+
+    /// Destination address.
+    pub fn dst_addr(&self) -> [u8; 4] {
+        let d = self.buffer.as_ref();
+        [d[16], d[17], d[18], d[19]]
+    }
+
+    /// Source address as a `u32` (host order), convenient for LPM keys.
+    pub fn src_addr_u32(&self) -> u32 {
+        get_u32(self.buffer.as_ref(), 12)
+    }
+
+    /// Destination address as a `u32` (host order), convenient for LPM keys.
+    pub fn dst_addr_u32(&self) -> u32 {
+        get_u32(self.buffer.as_ref(), 16)
+    }
+
+    /// Verify the header checksum.
+    pub fn verify_checksum(&self) -> bool {
+        let hdr = &self.buffer.as_ref()[..self.header_len()];
+        checksum::fold(checksum::sum(hdr)) == 0xffff
+    }
+
+    /// The transport payload (bytes between header and `total_len`).
+    pub fn payload(&self) -> &[u8] {
+        let hl = self.header_len();
+        let total = usize::from(self.total_len());
+        &self.buffer.as_ref()[hl..total]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
+    /// Initialize version/IHL for a 20-byte header and zero DSCP/ECN.
+    pub fn set_version_ihl(&mut self) {
+        self.buffer.as_mut()[0] = 0x45;
+        self.buffer.as_mut()[1] = 0;
+    }
+
+    /// Set the total length field.
+    pub fn set_total_len(&mut self, len: u16) {
+        set_u16(self.buffer.as_mut(), 2, len);
+    }
+
+    /// Set the identification field.
+    pub fn set_ident(&mut self, ident: u16) {
+        set_u16(self.buffer.as_mut(), 4, ident);
+    }
+
+    /// Set flags and fragment offset to "don't fragment, offset 0".
+    pub fn set_dont_fragment(&mut self) {
+        set_u16(self.buffer.as_mut(), 6, 0x4000);
+    }
+
+    /// Set the TTL.
+    pub fn set_ttl(&mut self, ttl: u8) {
+        self.buffer.as_mut()[8] = ttl;
+    }
+
+    /// Set the transport protocol.
+    pub fn set_proto(&mut self, proto: Proto) {
+        self.buffer.as_mut()[9] = proto.number();
+    }
+
+    /// Set the header checksum field.
+    pub fn set_header_checksum(&mut self, ck: u16) {
+        set_u16(self.buffer.as_mut(), 10, ck);
+    }
+
+    /// Set the source address.
+    pub fn set_src_addr(&mut self, addr: [u8; 4]) {
+        self.buffer.as_mut()[12..16].copy_from_slice(&addr);
+    }
+
+    /// Set the destination address.
+    pub fn set_dst_addr(&mut self, addr: [u8; 4]) {
+        self.buffer.as_mut()[16..20].copy_from_slice(&addr);
+    }
+
+    /// Recompute and store the header checksum.
+    pub fn fill_checksum(&mut self) {
+        self.set_header_checksum(0);
+        let hl = self.header_len();
+        let ck = checksum::checksum(&self.buffer.as_ref()[..hl]);
+        self.set_header_checksum(ck);
+    }
+
+    /// Mutable access to the transport payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let hl = self.header_len();
+        let total = usize::from(self.total_len());
+        &mut self.buffer.as_mut()[hl..total]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(payload_len: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; IPV4_HEADER_LEN + payload_len];
+        {
+            let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
+            p.set_version_ihl();
+            p.set_total_len((IPV4_HEADER_LEN + payload_len) as u16);
+            p.set_ident(0x1c46);
+            p.set_dont_fragment();
+            p.set_ttl(64);
+            p.set_proto(Proto::Tcp);
+            p.set_src_addr([10, 0, 0, 1]);
+            p.set_dst_addr([10, 0, 0, 2]);
+            p.fill_checksum();
+        }
+        buf
+    }
+
+    #[test]
+    fn roundtrip_fields() {
+        let buf = sample(8);
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.header_len(), 20);
+        assert_eq!(p.total_len(), 28);
+        assert_eq!(p.ident(), 0x1c46);
+        assert_eq!(p.ttl(), 64);
+        assert_eq!(p.proto(), Proto::Tcp);
+        assert_eq!(p.src_addr(), [10, 0, 0, 1]);
+        assert_eq!(p.dst_addr(), [10, 0, 0, 2]);
+        assert_eq!(p.src_addr_u32(), 0x0a000001);
+        assert_eq!(p.payload().len(), 8);
+        assert!(p.verify_checksum());
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let mut buf = sample(0);
+        buf[12] ^= 0xff; // flip a source-address byte
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert!(!p.verify_checksum());
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = sample(0);
+        buf[0] = 0x65; // version 6
+        assert_eq!(Ipv4Packet::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn rejects_bad_ihl() {
+        let mut buf = sample(0);
+        buf[0] = 0x44; // IHL 4 -> 16 bytes, below minimum
+        assert_eq!(Ipv4Packet::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn rejects_total_len_beyond_buffer() {
+        let mut buf = sample(0);
+        buf[3] = 200; // total_len = 200 > buffer
+        assert_eq!(Ipv4Packet::new_checked(&buf[..]).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn rejects_short_buffer() {
+        assert_eq!(
+            Ipv4Packet::new_checked(&[0u8; 10][..]).unwrap_err(),
+            Error::Truncated
+        );
+    }
+
+    #[test]
+    fn payload_respects_total_len() {
+        // Buffer longer than total_len (e.g. Ethernet padding): payload stops
+        // at total_len.
+        let mut buf = sample(4);
+        buf.extend_from_slice(&[0xee; 10]);
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.payload().len(), 4);
+    }
+
+    #[test]
+    fn incremental_nat_rewrite_matches_refill() {
+        // Rewrite the source address the way a NAT does and check that the
+        // RFC 1624 incremental update agrees with a full recompute.
+        let mut buf = sample(16);
+        let (old, ck) = {
+            let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+            (p.src_addr_u32(), p.header_checksum())
+        };
+        let new = u32::from_be_bytes([192, 168, 1, 77]);
+        let incr = crate::checksum::incremental_update_u32(ck, old, new);
+
+        let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
+        p.set_src_addr([192, 168, 1, 77]);
+        p.fill_checksum();
+        assert_eq!(p.header_checksum(), incr);
+    }
+}

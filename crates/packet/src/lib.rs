@@ -1,0 +1,188 @@
+//! Packet formats, parsing, building, and checksums for Clara.
+//!
+//! This crate provides the wire-format substrate used throughout Clara:
+//! zero-copy views over Ethernet II, IPv4, TCP, and UDP headers, packet
+//! builders, the Internet checksum (including incremental updates per
+//! RFC 1624), and flow identification (five-tuples and flow hashing).
+//!
+//! The design follows the smoltcp idiom: a header type wraps a byte slice
+//! (`Ipv4Packet<&[u8]>`), field accessors read/write big-endian fields at
+//! fixed offsets, and `check_len` validates buffer bounds before any
+//! accessor may panic.
+//!
+//! # Example
+//!
+//! ```
+//! use clara_packet::{PacketSpec, Proto, build_packet, parse_packet};
+//!
+//! let spec = PacketSpec::tcp([10, 0, 0, 1], [10, 0, 0, 2], 1234, 80, 128);
+//! let bytes = build_packet(&spec);
+//! let parsed = parse_packet(&bytes).unwrap();
+//! assert_eq!(parsed.proto, Proto::Tcp);
+//! assert_eq!(parsed.payload_len, 128);
+//! ```
+
+pub mod checksum;
+pub mod ether;
+pub mod flow;
+pub mod ipv4;
+pub mod tcp;
+pub mod udp;
+
+mod build;
+
+pub use build::{build_packet, parse_packet, PacketSpec, ParsedPacket};
+pub use checksum::{checksum, combine, incremental_update, pseudo_header_sum};
+pub use ether::{EtherType, EthernetFrame, ETHERNET_HEADER_LEN};
+pub use flow::{flow_hash, FiveTuple};
+pub use ipv4::{Ipv4Packet, IPV4_HEADER_LEN};
+pub use tcp::{TcpFlags, TcpPacket, TCP_HEADER_LEN};
+pub use udp::{UdpPacket, UDP_HEADER_LEN};
+
+use core::fmt;
+
+/// Errors returned while parsing packet headers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// The buffer is too short to contain the header (or the length field
+    /// claims more data than is present).
+    Truncated,
+    /// A header field holds a value this crate does not support
+    /// (e.g. an IPv4 IHL below 5, or a non-IPv4 version number).
+    Malformed,
+    /// A verified checksum did not match.
+    BadChecksum,
+    /// The protocol is not one Clara models (only IPv4/TCP/UDP are).
+    Unsupported,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Truncated => write!(f, "buffer too short for header"),
+            Error::Malformed => write!(f, "malformed header field"),
+            Error::BadChecksum => write!(f, "checksum mismatch"),
+            Error::Unsupported => write!(f, "unsupported protocol"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used by all fallible packet operations.
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// Transport protocols modelled by Clara.
+///
+/// The simulator and predictor only distinguish TCP and UDP (the paper's
+/// workload profiles are phrased as "80% TCP vs 20% UDP"); everything else
+/// is `Other` and treated as opaque payload by the NFs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Proto {
+    /// Transmission Control Protocol (IP protocol 6).
+    Tcp,
+    /// User Datagram Protocol (IP protocol 17).
+    Udp,
+    /// Any other IP protocol, carried with its protocol number.
+    Other(u8),
+}
+
+impl Proto {
+    /// The IP protocol number for this protocol.
+    pub fn number(self) -> u8 {
+        match self {
+            Proto::Tcp => 6,
+            Proto::Udp => 17,
+            Proto::Other(n) => n,
+        }
+    }
+
+    /// Classify an IP protocol number.
+    pub fn from_number(n: u8) -> Self {
+        match n {
+            6 => Proto::Tcp,
+            17 => Proto::Udp,
+            other => Proto::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for Proto {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Proto::Tcp => write!(f, "TCP"),
+            Proto::Udp => write!(f, "UDP"),
+            Proto::Other(n) => write!(f, "proto({n})"),
+        }
+    }
+}
+
+/// Read a big-endian `u16` at `offset`.
+///
+/// Panics if the slice is too short; callers must `check_len` first.
+#[inline]
+pub(crate) fn get_u16(data: &[u8], offset: usize) -> u16 {
+    u16::from_be_bytes([data[offset], data[offset + 1]])
+}
+
+/// Write a big-endian `u16` at `offset`.
+#[inline]
+pub(crate) fn set_u16(data: &mut [u8], offset: usize, value: u16) {
+    data[offset..offset + 2].copy_from_slice(&value.to_be_bytes());
+}
+
+/// Read a big-endian `u32` at `offset`.
+#[inline]
+pub(crate) fn get_u32(data: &[u8], offset: usize) -> u32 {
+    u32::from_be_bytes([
+        data[offset],
+        data[offset + 1],
+        data[offset + 2],
+        data[offset + 3],
+    ])
+}
+
+/// Write a big-endian `u32` at `offset`.
+#[inline]
+pub(crate) fn set_u32(data: &mut [u8], offset: usize, value: u32) {
+    data[offset..offset + 4].copy_from_slice(&value.to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proto_roundtrip() {
+        assert_eq!(Proto::from_number(6), Proto::Tcp);
+        assert_eq!(Proto::from_number(17), Proto::Udp);
+        assert_eq!(Proto::from_number(1), Proto::Other(1));
+        for n in 0..=255u8 {
+            assert_eq!(Proto::from_number(n).number(), n);
+        }
+    }
+
+    #[test]
+    fn proto_display() {
+        assert_eq!(Proto::Tcp.to_string(), "TCP");
+        assert_eq!(Proto::Udp.to_string(), "UDP");
+        assert_eq!(Proto::Other(89).to_string(), "proto(89)");
+    }
+
+    #[test]
+    fn endian_helpers() {
+        let mut buf = [0u8; 8];
+        set_u16(&mut buf, 1, 0xbeef);
+        assert_eq!(get_u16(&buf, 1), 0xbeef);
+        assert_eq!(buf[1], 0xbe);
+        set_u32(&mut buf, 4, 0xdead_beef);
+        assert_eq!(get_u32(&buf, 4), 0xdead_beef);
+        assert_eq!(buf[4], 0xde);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(Error::Truncated.to_string().contains("short"));
+        assert!(Error::BadChecksum.to_string().contains("checksum"));
+    }
+}

@@ -1,0 +1,271 @@
+//! TCP header view and builder.
+
+use crate::checksum;
+use crate::{get_u16, get_u32, set_u16, set_u32, Error, Result};
+
+/// Length of a TCP header without options (data offset = 5).
+pub const TCP_HEADER_LEN: usize = 20;
+
+/// TCP flag bits (low byte of the flags field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// FIN flag bit.
+    pub const FIN: u8 = 0x01;
+    /// SYN flag bit.
+    pub const SYN: u8 = 0x02;
+    /// RST flag bit.
+    pub const RST: u8 = 0x04;
+    /// PSH flag bit.
+    pub const PSH: u8 = 0x08;
+    /// ACK flag bit.
+    pub const ACK: u8 = 0x10;
+
+    /// Whether SYN is set.
+    pub fn syn(self) -> bool {
+        self.0 & Self::SYN != 0
+    }
+
+    /// Whether ACK is set.
+    pub fn ack(self) -> bool {
+        self.0 & Self::ACK != 0
+    }
+
+    /// Whether FIN is set.
+    pub fn fin(self) -> bool {
+        self.0 & Self::FIN != 0
+    }
+
+    /// Whether RST is set.
+    pub fn rst(self) -> bool {
+        self.0 & Self::RST != 0
+    }
+}
+
+/// A read/write view over a TCP segment (header + payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> TcpPacket<T> {
+    /// Wrap a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        TcpPacket { buffer }
+    }
+
+    /// Wrap a buffer and validate the data offset against its length.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let packet = Self::new_unchecked(buffer);
+        packet.check_len()?;
+        Ok(packet)
+    }
+
+    /// Validate minimum length and that the data offset fits the buffer.
+    pub fn check_len(&self) -> Result<()> {
+        let data = self.buffer.as_ref();
+        if data.len() < TCP_HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let off = usize::from(data[12] >> 4) * 4;
+        if off < TCP_HEADER_LEN {
+            return Err(Error::Malformed);
+        }
+        if off > data.len() {
+            return Err(Error::Truncated);
+        }
+        Ok(())
+    }
+
+    /// Consume the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 0)
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 2)
+    }
+
+    /// Sequence number.
+    pub fn seq(&self) -> u32 {
+        get_u32(self.buffer.as_ref(), 4)
+    }
+
+    /// Acknowledgment number.
+    pub fn ack_no(&self) -> u32 {
+        get_u32(self.buffer.as_ref(), 8)
+    }
+
+    /// Header length in bytes (data offset × 4).
+    pub fn header_len(&self) -> usize {
+        usize::from(self.buffer.as_ref()[12] >> 4) * 4
+    }
+
+    /// Flag bits.
+    pub fn flags(&self) -> TcpFlags {
+        TcpFlags(self.buffer.as_ref()[13])
+    }
+
+    /// Receive window.
+    pub fn window(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 14)
+    }
+
+    /// Checksum field.
+    pub fn checksum_field(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 16)
+    }
+
+    /// Payload bytes after the header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[self.header_len()..]
+    }
+
+    /// Verify the TCP checksum over pseudo-header + segment.
+    pub fn verify_checksum(&self, src: [u8; 4], dst: [u8; 4]) -> bool {
+        let seg = self.buffer.as_ref();
+        let pseudo = checksum::pseudo_header_sum(src, dst, 6, seg.len() as u16);
+        checksum::fold(pseudo + checksum::sum(seg)) == 0xffff
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpPacket<T> {
+    /// Set the source port.
+    pub fn set_src_port(&mut self, port: u16) {
+        set_u16(self.buffer.as_mut(), 0, port);
+    }
+
+    /// Set the destination port.
+    pub fn set_dst_port(&mut self, port: u16) {
+        set_u16(self.buffer.as_mut(), 2, port);
+    }
+
+    /// Set the sequence number.
+    pub fn set_seq(&mut self, seq: u32) {
+        set_u32(self.buffer.as_mut(), 4, seq);
+    }
+
+    /// Set the acknowledgment number.
+    pub fn set_ack_no(&mut self, ack: u32) {
+        set_u32(self.buffer.as_mut(), 8, ack);
+    }
+
+    /// Set the data offset for a 20-byte header.
+    pub fn set_header_len_min(&mut self) {
+        self.buffer.as_mut()[12] = 5 << 4;
+    }
+
+    /// Set the flag bits.
+    pub fn set_flags(&mut self, flags: TcpFlags) {
+        self.buffer.as_mut()[13] = flags.0;
+    }
+
+    /// Set the receive window.
+    pub fn set_window(&mut self, window: u16) {
+        set_u16(self.buffer.as_mut(), 14, window);
+    }
+
+    /// Set the checksum field.
+    pub fn set_checksum_field(&mut self, ck: u16) {
+        set_u16(self.buffer.as_mut(), 16, ck);
+    }
+
+    /// Compute and store the checksum (over pseudo-header + segment).
+    pub fn fill_checksum(&mut self, src: [u8; 4], dst: [u8; 4]) {
+        self.set_checksum_field(0);
+        let seg = self.buffer.as_ref();
+        let pseudo = checksum::pseudo_header_sum(src, dst, 6, seg.len() as u16);
+        let ck = checksum::combine(&[pseudo, checksum::sum(seg)]);
+        self.set_checksum_field(ck);
+    }
+
+    /// Mutable payload bytes after the header.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let off = self.header_len();
+        &mut self.buffer.as_mut()[off..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: [u8; 4] = [10, 0, 0, 1];
+    const DST: [u8; 4] = [10, 0, 0, 2];
+
+    fn sample(payload: &[u8], flags: u8) -> Vec<u8> {
+        let mut buf = vec![0u8; TCP_HEADER_LEN + payload.len()];
+        {
+            let mut t = TcpPacket::new_unchecked(&mut buf[..]);
+            t.set_src_port(1234);
+            t.set_dst_port(80);
+            t.set_seq(0x01020304);
+            t.set_ack_no(0x05060708);
+            t.set_header_len_min();
+            t.set_flags(TcpFlags(flags));
+            t.set_window(65535);
+            t.payload_mut().copy_from_slice(payload);
+            t.fill_checksum(SRC, DST);
+        }
+        buf
+    }
+
+    #[test]
+    fn roundtrip_fields() {
+        let buf = sample(b"hello", TcpFlags::SYN | TcpFlags::ACK);
+        let t = TcpPacket::new_checked(&buf[..]).unwrap();
+        assert_eq!(t.src_port(), 1234);
+        assert_eq!(t.dst_port(), 80);
+        assert_eq!(t.seq(), 0x01020304);
+        assert_eq!(t.ack_no(), 0x05060708);
+        assert_eq!(t.header_len(), 20);
+        assert!(t.flags().syn() && t.flags().ack());
+        assert!(!t.flags().fin() && !t.flags().rst());
+        assert_eq!(t.window(), 65535);
+        assert_eq!(t.payload(), b"hello");
+        assert!(t.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn checksum_detects_payload_corruption() {
+        let mut buf = sample(b"hello", 0);
+        *buf.last_mut().unwrap() ^= 1;
+        let t = TcpPacket::new_checked(&buf[..]).unwrap();
+        assert!(!t.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn checksum_covers_pseudo_header() {
+        let buf = sample(b"", TcpFlags::SYN);
+        let t = TcpPacket::new_checked(&buf[..]).unwrap();
+        assert!(t.verify_checksum(SRC, DST));
+        assert!(!t.verify_checksum([1, 1, 1, 1], DST));
+    }
+
+    #[test]
+    fn odd_payload_length_checksums() {
+        let buf = sample(b"abc", 0);
+        let t = TcpPacket::new_checked(&buf[..]).unwrap();
+        assert!(t.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn length_validation() {
+        assert_eq!(
+            TcpPacket::new_checked(&[0u8; 19][..]).unwrap_err(),
+            Error::Truncated
+        );
+        let mut buf = vec![0u8; 20];
+        buf[12] = 4 << 4; // data offset 16 bytes, below minimum
+        assert_eq!(TcpPacket::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+        buf[12] = 8 << 4; // data offset 32 > 20-byte buffer
+        assert_eq!(TcpPacket::new_checked(&buf[..]).unwrap_err(), Error::Truncated);
+    }
+}

@@ -1,0 +1,197 @@
+//! UDP header view and builder.
+
+use crate::checksum;
+use crate::{get_u16, set_u16, Error, Result};
+
+/// Length of a UDP header.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// A read/write view over a UDP datagram (header + payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdpPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> UdpPacket<T> {
+    /// Wrap a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        UdpPacket { buffer }
+    }
+
+    /// Wrap a buffer and validate the length field against it.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let packet = Self::new_unchecked(buffer);
+        packet.check_len()?;
+        Ok(packet)
+    }
+
+    /// Validate minimum length and the UDP length field.
+    pub fn check_len(&self) -> Result<()> {
+        let data = self.buffer.as_ref();
+        if data.len() < UDP_HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let len = usize::from(get_u16(data, 4));
+        if len < UDP_HEADER_LEN {
+            return Err(Error::Malformed);
+        }
+        if len > data.len() {
+            return Err(Error::Truncated);
+        }
+        Ok(())
+    }
+
+    /// Consume the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 0)
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 2)
+    }
+
+    /// UDP length field (header + payload).
+    pub fn len_field(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 4)
+    }
+
+    /// Checksum field.
+    pub fn checksum_field(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 6)
+    }
+
+    /// Payload bytes (bounded by the UDP length field).
+    pub fn payload(&self) -> &[u8] {
+        let len = usize::from(self.len_field());
+        &self.buffer.as_ref()[UDP_HEADER_LEN..len]
+    }
+
+    /// Verify the checksum over pseudo-header + datagram.
+    ///
+    /// An all-zero checksum field means "no checksum" in UDP over IPv4 and
+    /// is accepted.
+    pub fn verify_checksum(&self, src: [u8; 4], dst: [u8; 4]) -> bool {
+        if self.checksum_field() == 0 {
+            return true;
+        }
+        let len = usize::from(self.len_field());
+        let dgram = &self.buffer.as_ref()[..len];
+        let pseudo = checksum::pseudo_header_sum(src, dst, 17, len as u16);
+        checksum::fold(pseudo + checksum::sum(dgram)) == 0xffff
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpPacket<T> {
+    /// Set the source port.
+    pub fn set_src_port(&mut self, port: u16) {
+        set_u16(self.buffer.as_mut(), 0, port);
+    }
+
+    /// Set the destination port.
+    pub fn set_dst_port(&mut self, port: u16) {
+        set_u16(self.buffer.as_mut(), 2, port);
+    }
+
+    /// Set the UDP length field.
+    pub fn set_len_field(&mut self, len: u16) {
+        set_u16(self.buffer.as_mut(), 4, len);
+    }
+
+    /// Set the checksum field.
+    pub fn set_checksum_field(&mut self, ck: u16) {
+        set_u16(self.buffer.as_mut(), 6, ck);
+    }
+
+    /// Compute and store the checksum. Per RFC 768, a computed checksum of
+    /// zero is transmitted as `0xffff`.
+    pub fn fill_checksum(&mut self, src: [u8; 4], dst: [u8; 4]) {
+        self.set_checksum_field(0);
+        let len = usize::from(self.len_field());
+        let dgram = &self.buffer.as_ref()[..len];
+        let pseudo = checksum::pseudo_header_sum(src, dst, 17, len as u16);
+        let ck = checksum::combine(&[pseudo, checksum::sum(dgram)]);
+        self.set_checksum_field(if ck == 0 { 0xffff } else { ck });
+    }
+
+    /// Mutable payload bytes.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let len = usize::from(self.len_field());
+        &mut self.buffer.as_mut()[UDP_HEADER_LEN..len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: [u8; 4] = [192, 168, 0, 1];
+    const DST: [u8; 4] = [192, 168, 0, 9];
+
+    fn sample(payload: &[u8]) -> Vec<u8> {
+        let mut buf = vec![0u8; UDP_HEADER_LEN + payload.len()];
+        {
+            let mut u = UdpPacket::new_unchecked(&mut buf[..]);
+            u.set_src_port(5353);
+            u.set_dst_port(53);
+            u.set_len_field((UDP_HEADER_LEN + payload.len()) as u16);
+            u.payload_mut().copy_from_slice(payload);
+            u.fill_checksum(SRC, DST);
+        }
+        buf
+    }
+
+    #[test]
+    fn roundtrip_fields() {
+        let buf = sample(b"query");
+        let u = UdpPacket::new_checked(&buf[..]).unwrap();
+        assert_eq!(u.src_port(), 5353);
+        assert_eq!(u.dst_port(), 53);
+        assert_eq!(u.len_field(), 13);
+        assert_eq!(u.payload(), b"query");
+        assert!(u.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn zero_checksum_accepted() {
+        let mut buf = sample(b"x");
+        let mut u = UdpPacket::new_unchecked(&mut buf[..]);
+        u.set_checksum_field(0);
+        let u = UdpPacket::new_checked(&buf[..]).unwrap();
+        assert!(u.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut buf = sample(b"payload");
+        *buf.last_mut().unwrap() ^= 0x40;
+        let u = UdpPacket::new_checked(&buf[..]).unwrap();
+        assert!(!u.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn length_validation() {
+        assert_eq!(
+            UdpPacket::new_checked(&[0u8; 7][..]).unwrap_err(),
+            Error::Truncated
+        );
+        let mut buf = vec![0u8; 8];
+        buf[5] = 4; // UDP length 4 < 8
+        assert_eq!(UdpPacket::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+        buf[5] = 20; // UDP length 20 > 8-byte buffer
+        assert_eq!(UdpPacket::new_checked(&buf[..]).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn payload_bounded_by_len_field() {
+        let mut buf = sample(b"abcd");
+        buf.extend_from_slice(&[0u8; 6]); // Ethernet padding
+        let u = UdpPacket::new_checked(&buf[..]).unwrap();
+        assert_eq!(u.payload(), b"abcd");
+    }
+}

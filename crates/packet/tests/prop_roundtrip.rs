@@ -1,0 +1,102 @@
+//! Property tests: build/parse round-trips and checksum invariants.
+
+use clara_packet::{
+    build_packet, checksum, incremental_update, parse_packet, FiveTuple, PacketSpec, Proto,
+    TcpFlags,
+};
+use proptest::prelude::*;
+
+fn arb_ip() -> impl Strategy<Value = [u8; 4]> {
+    any::<[u8; 4]>()
+}
+
+fn arb_spec() -> impl Strategy<Value = PacketSpec> {
+    (
+        arb_ip(),
+        arb_ip(),
+        any::<u16>(),
+        any::<u16>(),
+        0usize..1460,
+        any::<bool>(),
+        any::<bool>(),
+        any::<u8>(),
+    )
+        .prop_map(|(src, dst, sp, dp, len, is_tcp, syn, seed)| {
+            let mut spec = if is_tcp {
+                let s = PacketSpec::tcp(src, dst, sp, dp, len);
+                if syn {
+                    s.with_syn()
+                } else {
+                    s
+                }
+            } else {
+                PacketSpec::udp(src, dst, sp, dp, len)
+            };
+            spec.payload_seed = seed;
+            spec
+        })
+}
+
+proptest! {
+    /// build -> parse recovers the five-tuple, protocol, and payload length.
+    #[test]
+    fn build_parse_roundtrip(spec in arb_spec()) {
+        let bytes = build_packet(&spec);
+        prop_assert_eq!(bytes.len(), spec.wire_len());
+        let parsed = parse_packet(&bytes).unwrap();
+        prop_assert_eq!(parsed.flow, spec.flow);
+        prop_assert_eq!(parsed.payload_len, spec.payload_len);
+        if spec.flow.proto == Proto::Tcp {
+            prop_assert_eq!(parsed.tcp_flags.syn(), spec.tcp_flags.syn());
+        } else {
+            prop_assert_eq!(parsed.tcp_flags, TcpFlags::default());
+        }
+    }
+
+    /// The checksum of any buffer with its own checksum folded in sums to
+    /// 0xffff (the receiver-side verification identity).
+    #[test]
+    fn checksum_self_verifies(data in proptest::collection::vec(any::<u8>(), 2..256)) {
+        let mut data = data;
+        let even = data.len() & !1;
+        let ck = checksum(&data[..even]);
+        data[0] = 0; // placeholder for where a checksum field would go
+        // Simpler identity: sum(data) + checksum(data) folds to 0xffff.
+        let ck2 = checksum(&data);
+        let total = clara_packet::checksum::fold(
+            clara_packet::checksum::sum(&data) + u32::from(ck2),
+        );
+        prop_assert_eq!(total, 0xffff);
+        let _ = ck;
+    }
+
+    /// Incremental checksum update equals full recomputation for any
+    /// 16-bit field change at any even offset.
+    #[test]
+    fn incremental_equals_recompute(
+        data in proptest::collection::vec(any::<u8>(), 4..128),
+        idx in 0usize..62,
+        new in any::<u16>(),
+    ) {
+        let mut data = data;
+        if data.len() % 2 == 1 { data.pop(); }
+        let idx = (idx * 2) % (data.len() - 1);
+        let idx = idx & !1;
+        let before = checksum(&data);
+        let old = u16::from_be_bytes([data[idx], data[idx + 1]]);
+        data[idx..idx + 2].copy_from_slice(&new.to_be_bytes());
+        let after = checksum(&data);
+        prop_assert_eq!(incremental_update(before, old, new), after);
+    }
+
+    /// Flow hash: reversing twice is the identity, and the hash only
+    /// depends on field values.
+    #[test]
+    fn flow_reverse_involution(
+        src in arb_ip(), dst in arb_ip(), sp in any::<u16>(), dp in any::<u16>()
+    ) {
+        let t = FiveTuple::new(src, dst, sp, dp, Proto::Tcp);
+        prop_assert_eq!(t.reversed().reversed(), t);
+        prop_assert_eq!(t.hash64(), FiveTuple::new(src, dst, sp, dp, Proto::Tcp).hash64());
+    }
+}

@@ -1,0 +1,133 @@
+//! Interference between co-resident NFs via LNIC slicing (§3.5).
+//!
+//! "As a starting point, Clara could slice the LNIC to model, for
+//! instance, 'half' of the NIC." A slice scales the thread pool and the
+//! cache capacities (cache contention: a co-resident NF leaves footprints
+//! in shared caches), then predicts against the sliced parameters.
+
+use crate::predictor::{predict, PredictError, Prediction};
+use clara_cir::CirModule;
+use clara_microbench::NicParameters;
+use clara_workload::WorkloadProfile;
+
+/// How much of the NIC one tenant receives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SliceSpec {
+    /// Fraction of NPU threads available (0, 1].
+    pub thread_frac: f64,
+    /// Fraction of shared cache capacity effectively available (0, 1] —
+    /// the co-resident NF's working set pollutes the rest.
+    pub cache_frac: f64,
+}
+
+impl SliceSpec {
+    /// An even two-tenant split.
+    pub fn half() -> Self {
+        SliceSpec { thread_frac: 0.5, cache_frac: 0.5 }
+    }
+}
+
+/// Parameters as seen from inside a slice.
+pub fn sliced_params(params: &NicParameters, slice: SliceSpec) -> NicParameters {
+    assert!(slice.thread_frac > 0.0 && slice.thread_frac <= 1.0);
+    assert!(slice.cache_frac > 0.0 && slice.cache_frac <= 1.0);
+    let mut p = params.clone();
+    p.total_threads = ((p.total_threads as f64 * slice.thread_frac).floor() as usize).max(1);
+    for m in &mut p.mems {
+        if let Some(c) = &mut m.cache {
+            c.capacity *= slice.cache_frac;
+        }
+    }
+    if p.flow_cache_entries.is_finite() {
+        p.flow_cache_entries *= slice.cache_frac;
+    }
+    p
+}
+
+/// Predict `module` running inside a slice of the NIC.
+pub fn predict_sliced(
+    module: &CirModule,
+    params: &NicParameters,
+    workload: &WorkloadProfile,
+    slice: SliceSpec,
+) -> Result<Prediction, PredictError> {
+    predict(module, &sliced_params(params, slice), workload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clara_lnic::profiles;
+    use clara_microbench::extract_parameters;
+    use std::sync::OnceLock;
+
+    fn params() -> &'static NicParameters {
+        static P: OnceLock<NicParameters> = OnceLock::new();
+        P.get_or_init(|| extract_parameters(&profiles::netronome_agilio_cx40()))
+    }
+
+    fn module(src: &str) -> CirModule {
+        clara_cir::lower(&clara_lang::frontend(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn slicing_scales_threads_and_caches() {
+        let p = params();
+        let s = sliced_params(p, SliceSpec::half());
+        assert_eq!(s.total_threads, p.total_threads / 2);
+        let full_cache = p.mems.iter().find_map(|m| m.cache.as_ref()).unwrap();
+        let half_cache = s.mems.iter().find_map(|m| m.cache.as_ref()).unwrap();
+        assert!((half_cache.capacity - full_cache.capacity / 2.0).abs() < 1.0);
+        assert!((s.flow_cache_entries - p.flow_cache_entries / 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn cache_contention_slows_memory_bound_nf() {
+        // A firewall with a large table: halving the cache lowers hit
+        // ratios and raises latency.
+        let src = r#"nf fw {
+            state conns: map<u64, u64>[1000000];
+            fn handle(pkt: packet) -> action {
+                let v: u64 = conns.lookup(hash(pkt.src_ip, pkt.dst_ip));
+                if (v == 0) { return drop; }
+                return forward;
+            } }"#;
+        let m = module(src);
+        let wl = WorkloadProfile { flows: 120_000, ..WorkloadProfile::paper_default() };
+        let solo = predict(&m, params(), &wl).unwrap();
+        let shared = predict_sliced(&m, params(), &wl, SliceSpec::half()).unwrap();
+        assert!(
+            shared.avg_latency_cycles > solo.avg_latency_cycles * 1.03,
+            "solo {} shared {}",
+            solo.avg_latency_cycles,
+            shared.avg_latency_cycles
+        );
+    }
+
+    #[test]
+    fn thread_slicing_cuts_throughput() {
+        let src = r#"nf cpu {
+            fn handle(pkt: packet) -> action {
+                let acc: u64 = 0;
+                for i in 0..64 { acc = acc + i * i; }
+                if (acc == 0) { return drop; }
+                return forward;
+            } }"#;
+        let m = module(src);
+        let wl = WorkloadProfile::paper_default();
+        let solo = predict(&m, params(), &wl).unwrap();
+        let shared = predict_sliced(&m, params(), &wl, SliceSpec::half()).unwrap();
+        assert!(
+            shared.throughput_pps < solo.throughput_pps * 0.6,
+            "solo {} shared {}",
+            solo.throughput_pps,
+            shared.throughput_pps
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_slice_rejected() {
+        sliced_params(params(), SliceSpec { thread_frac: 0.0, cache_frac: 0.5 });
+    }
+}

@@ -1,0 +1,83 @@
+//! Queueing-delay terms for the latency prediction.
+//!
+//! Accelerators are modelled as M/D/1 servers (deterministic service —
+//! the NPUs "do not perform out-of-order execution, so they have stable
+//! performance parameters", §4), and the NPU thread pool as an M/D/c
+//! approximated by scaling the single-server wait by the Erlang-like
+//! `ρ^{√(2(c+1))}` heuristic (Sakasegawa), which vanishes for the large
+//! thread counts of real SmartNICs until the pool approaches saturation.
+
+/// Expected M/D/1 waiting time, in the same unit as `service`.
+///
+/// `rho` is the utilization; at `rho ≥ 1` the wait is effectively
+/// unbounded and a large finite penalty is returned so optimization and
+/// reporting stay numeric.
+pub fn accel_wait(service: f64, rho: f64) -> f64 {
+    if service <= 0.0 || rho <= 0.0 {
+        return 0.0;
+    }
+    if rho >= 0.99 {
+        return service * 50.0;
+    }
+    // M/D/1: Wq = ρ·s / (2(1−ρ)).
+    rho * service / (2.0 * (1.0 - rho))
+}
+
+/// Expected waiting time in a `c`-server pool at utilization `rho`,
+/// Sakasegawa's approximation: `Wq(M/M/c) ≈ ρ^{√(2(c+1))−1}·s /
+/// (c(1−ρ))`, halved for deterministic service.
+pub fn pool_wait(service: f64, rho: f64, servers: usize) -> f64 {
+    if service <= 0.0 || rho <= 0.0 || servers == 0 {
+        return 0.0;
+    }
+    if rho >= 0.99 {
+        return service * 50.0;
+    }
+    let c = servers as f64;
+    let exponent = (2.0 * (c + 1.0)).sqrt() - 1.0;
+    0.5 * rho.powf(exponent) * service / (c * (1.0 - rho))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_wait_when_idle() {
+        assert_eq!(accel_wait(100.0, 0.0), 0.0);
+        assert_eq!(pool_wait(100.0, 0.0, 8), 0.0);
+    }
+
+    #[test]
+    fn wait_grows_with_utilization() {
+        let low = accel_wait(100.0, 0.2);
+        let high = accel_wait(100.0, 0.8);
+        assert!(high > 10.0 * low, "low {low} high {high}");
+        // M/D/1 at rho=0.5: 0.5*100/(2*0.5) = 50.
+        assert!((accel_wait(100.0, 0.5) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturation_capped_but_large() {
+        let w = accel_wait(100.0, 1.5);
+        assert_eq!(w, 5000.0);
+        assert_eq!(pool_wait(100.0, 1.2, 4), 5000.0);
+    }
+
+    #[test]
+    fn large_pools_wait_less() {
+        let small = pool_wait(1000.0, 0.7, 2);
+        let large = pool_wait(1000.0, 0.7, 384);
+        assert!(large < small / 100.0, "small {small} large {large}");
+        // A 384-thread pool at 70% utilization has essentially no queue.
+        assert!(large < 1e-3, "large-pool wait {large}");
+    }
+
+    #[test]
+    fn pool_of_one_close_to_mdone() {
+        // c = 1: exponent = 1, wait = 0.5·ρ·s/(1−ρ) = M/D/1 exactly.
+        let md1 = accel_wait(200.0, 0.6);
+        let pool = pool_wait(200.0, 0.6, 1);
+        assert!((md1 - pool).abs() < 1e-9, "md1 {md1} pool {pool}");
+    }
+}

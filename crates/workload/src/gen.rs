@@ -1,0 +1,341 @@
+//! Synthetic trace generation.
+//!
+//! The generator realizes an abstract traffic description as a concrete
+//! [`Trace`]: it draws a flow per packet (uniform or Zipf popularity),
+//! assigns each flow a stable five-tuple, draws payload sizes and
+//! protocols, marks the first packet of each TCP flow as a SYN, and spaces
+//! arrivals by a constant-bit-rate or Poisson process.
+
+use crate::trace::{Trace, TracePacket};
+use crate::zipf::Zipf;
+use clara_packet::{FiveTuple, PacketSpec, Proto, TcpFlags};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Packet inter-arrival process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrival {
+    /// Constant spacing: every packet exactly `1/rate` apart.
+    Constant,
+    /// Poisson arrivals: exponential inter-arrival times with mean `1/rate`.
+    Poisson,
+}
+
+/// Transport payload size distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SizeDist {
+    /// Every payload exactly this many bytes.
+    Fixed(usize),
+    /// Uniform over `[min, max]`.
+    Uniform(usize, usize),
+    /// A weighted mixture of fixed sizes, e.g. the classic IMIX.
+    Mix(Vec<(usize, f64)>),
+}
+
+impl SizeDist {
+    /// The classic simple IMIX: 7:4:1 ratio of 40/576/1500-byte packets
+    /// (expressed here as transport payload sizes).
+    pub fn imix() -> Self {
+        SizeDist::Mix(vec![(40, 7.0), (576, 4.0), (1460, 1.0)])
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        match self {
+            SizeDist::Fixed(n) => *n,
+            SizeDist::Uniform(lo, hi) => rng.gen_range(*lo..=*hi),
+            SizeDist::Mix(entries) => {
+                let total: f64 = entries.iter().map(|(_, w)| w).sum();
+                let mut u = rng.gen::<f64>() * total;
+                for (size, w) in entries {
+                    if u < *w {
+                        return *size;
+                    }
+                    u -= w;
+                }
+                entries.last().map(|(s, _)| *s).unwrap_or(0)
+            }
+        }
+    }
+
+    /// The mean payload size of the distribution.
+    pub fn mean(&self) -> f64 {
+        match self {
+            SizeDist::Fixed(n) => *n as f64,
+            SizeDist::Uniform(lo, hi) => (*lo + *hi) as f64 / 2.0,
+            SizeDist::Mix(entries) => {
+                let total: f64 = entries.iter().map(|(_, w)| w).sum();
+                if total == 0.0 {
+                    0.0
+                } else {
+                    entries.iter().map(|(s, w)| *s as f64 * w).sum::<f64>() / total
+                }
+            }
+        }
+    }
+}
+
+/// Builder for synthetic traces. All knobs have sensible defaults; see the
+/// crate-level example.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    seed: u64,
+    packets: usize,
+    flows: usize,
+    zipf_alpha: f64,
+    rate_pps: f64,
+    arrival: Arrival,
+    tcp_share: f64,
+    sizes: SizeDist,
+    syn_on_first: bool,
+}
+
+impl TraceGenerator {
+    /// A generator with the given RNG seed and defaults: 1000 packets,
+    /// 100 flows, uniform popularity, 60 kpps CBR (the paper's validation
+    /// rate), all-TCP, 300-byte payloads, SYN on each flow's first packet.
+    pub fn new(seed: u64) -> Self {
+        TraceGenerator {
+            seed,
+            packets: 1000,
+            flows: 100,
+            zipf_alpha: 0.0,
+            rate_pps: 60_000.0,
+            arrival: Arrival::Constant,
+            tcp_share: 1.0,
+            sizes: SizeDist::Fixed(300),
+            syn_on_first: true,
+        }
+    }
+
+    /// Total number of packets to generate.
+    pub fn packets(mut self, n: usize) -> Self {
+        self.packets = n;
+        self
+    }
+
+    /// Number of concurrent flows.
+    pub fn flows(mut self, n: usize) -> Self {
+        assert!(n > 0, "at least one flow required");
+        self.flows = n;
+        self
+    }
+
+    /// Zipf exponent for flow popularity (0 = uniform).
+    pub fn zipf(mut self, alpha: f64) -> Self {
+        self.zipf_alpha = alpha;
+        self
+    }
+
+    /// Mean packet rate in packets per second.
+    pub fn rate_pps(mut self, rate: f64) -> Self {
+        assert!(rate > 0.0, "rate must be positive");
+        self.rate_pps = rate;
+        self
+    }
+
+    /// Arrival process.
+    pub fn arrival(mut self, arrival: Arrival) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Fraction of *flows* that are TCP (the rest are UDP).
+    pub fn tcp_share(mut self, share: f64) -> Self {
+        assert!((0.0..=1.0).contains(&share), "share must be in [0,1]");
+        self.tcp_share = share;
+        self
+    }
+
+    /// Payload size distribution.
+    pub fn sizes(mut self, sizes: SizeDist) -> Self {
+        self.sizes = sizes;
+        self
+    }
+
+    /// Whether the first packet of each TCP flow carries SYN.
+    pub fn syn_on_first(mut self, yes: bool) -> Self {
+        self.syn_on_first = yes;
+        self
+    }
+
+    /// The five-tuple assigned to flow index `i` (deterministic).
+    pub fn flow_tuple(&self, i: usize) -> FiveTuple {
+        let proto = self.flow_proto(i);
+        let i = i as u32;
+        FiveTuple::new(
+            [10, ((i >> 14) & 0x3f) as u8, ((i >> 8) & 0x3f) as u8, (i & 0xff) as u8],
+            [192, 168, 0, 1],
+            (1024 + (i % 60_000)) as u16,
+            if proto == Proto::Tcp { 443 } else { 53 },
+            proto,
+        )
+    }
+
+    fn flow_proto(&self, i: usize) -> Proto {
+        // Deterministic assignment: the first `tcp_share` fraction of flow
+        // indices, hashed to avoid correlating with popularity rank.
+        let h = clara_packet::flow::mix64(i as u64 ^ 0x5eed);
+        if (h as f64 / u64::MAX as f64) < self.tcp_share {
+            Proto::Tcp
+        } else {
+            Proto::Udp
+        }
+    }
+
+    /// Generate the trace.
+    pub fn generate(&self) -> Trace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let zipf = Zipf::new(self.flows, self.zipf_alpha);
+        let mean_gap_ns = 1e9 / self.rate_pps;
+        let mut ts = 0.0f64;
+        let mut seen: HashSet<usize> = HashSet::new();
+        let mut trace = Trace::new();
+
+        for _ in 0..self.packets {
+            let flow_idx = zipf.sample(&mut rng);
+            let tuple = self.flow_tuple(flow_idx);
+            let payload_len = self.sizes.sample(&mut rng);
+            let first = seen.insert(flow_idx);
+
+            let mut spec = PacketSpec {
+                flow: tuple,
+                payload_len,
+                tcp_flags: TcpFlags(TcpFlags::ACK),
+                payload_seed: (flow_idx & 0xff) as u8,
+            };
+            if tuple.proto == Proto::Tcp && first && self.syn_on_first {
+                spec.tcp_flags = TcpFlags(TcpFlags::SYN);
+                spec.payload_len = 0; // SYNs carry no payload
+            }
+            if tuple.proto == Proto::Udp {
+                spec.tcp_flags = TcpFlags::default();
+            }
+
+            trace.push(TracePacket { ts_ns: ts as u64, spec });
+            let gap = match self.arrival {
+                Arrival::Constant => mean_gap_ns,
+                Arrival::Poisson => {
+                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    -mean_gap_ns * u.ln()
+                }
+            };
+            ts += gap;
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_and_rate() {
+        let trace = TraceGenerator::new(1).packets(601).rate_pps(10_000.0).generate();
+        assert_eq!(trace.len(), 601);
+        let stats = trace.stats();
+        assert!(
+            (stats.rate_pps - 10_000.0).abs() / 10_000.0 < 0.01,
+            "rate {}",
+            stats.rate_pps
+        );
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = TraceGenerator::new(9).packets(200).generate();
+        let b = TraceGenerator::new(9).packets(200).generate();
+        assert_eq!(a, b);
+        let c = TraceGenerator::new(10).packets(200).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn respects_flow_count() {
+        let trace = TraceGenerator::new(2).packets(5000).flows(37).generate();
+        assert!(trace.stats().flows <= 37);
+        assert!(trace.stats().flows > 30); // w.h.p. all flows appear
+    }
+
+    #[test]
+    fn tcp_share_approximate() {
+        let trace = TraceGenerator::new(3)
+            .packets(4000)
+            .flows(500)
+            .tcp_share(0.8)
+            .generate();
+        let stats = trace.stats();
+        assert!((stats.tcp_share - 0.8).abs() < 0.08, "tcp {}", stats.tcp_share);
+        assert!((stats.udp_share - 0.2).abs() < 0.08);
+    }
+
+    #[test]
+    fn first_packet_of_tcp_flow_is_syn() {
+        let trace = TraceGenerator::new(4).packets(500).flows(20).tcp_share(1.0).generate();
+        let mut seen = std::collections::HashSet::new();
+        for p in trace.iter() {
+            if seen.insert(p.spec.flow) {
+                assert!(p.spec.tcp_flags.syn(), "first packet of {} not SYN", p.spec.flow);
+                assert_eq!(p.spec.payload_len, 0);
+            } else {
+                assert!(!p.spec.tcp_flags.syn());
+            }
+        }
+    }
+
+    #[test]
+    fn syn_can_be_disabled() {
+        let trace = TraceGenerator::new(4)
+            .packets(100)
+            .flows(5)
+            .syn_on_first(false)
+            .generate();
+        assert!(trace.iter().all(|p| !p.spec.tcp_flags.syn()));
+    }
+
+    #[test]
+    fn zipf_concentrates_traffic() {
+        let skewed = TraceGenerator::new(5).packets(5000).flows(1000).zipf(1.5).generate();
+        let uniform = TraceGenerator::new(5).packets(5000).flows(1000).zipf(0.0).generate();
+        // Skewed traffic touches far fewer distinct flows in 5000 packets.
+        let (s, u) = (skewed.stats().flows, uniform.stats().flows);
+        assert!(s * 2 < u, "skewed {s} vs uniform {u}");
+    }
+
+    #[test]
+    fn poisson_arrivals_have_mean_rate() {
+        let trace = TraceGenerator::new(6)
+            .packets(20_000)
+            .arrival(Arrival::Poisson)
+            .rate_pps(100_000.0)
+            .generate();
+        let rate = trace.stats().rate_pps;
+        assert!((rate - 100_000.0).abs() / 100_000.0 < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn size_distributions() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(SizeDist::Fixed(99).sample(&mut rng), 99);
+        for _ in 0..100 {
+            let s = SizeDist::Uniform(10, 20).sample(&mut rng);
+            assert!((10..=20).contains(&s));
+        }
+        let imix = SizeDist::imix();
+        assert!((imix.mean() - (40.0 * 7.0 + 576.0 * 4.0 + 1460.0) / 12.0).abs() < 1e-9);
+        for _ in 0..100 {
+            let s = imix.sample(&mut rng);
+            assert!([40usize, 576, 1460].contains(&s));
+        }
+    }
+
+    #[test]
+    fn flow_tuples_are_distinct() {
+        let g = TraceGenerator::new(0).flows(10_000);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000 {
+            assert!(seen.insert(g.flow_tuple(i)), "duplicate tuple for flow {i}");
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! From-scratch reader/writer for the classic libpcap file format.
+//!
+//! The format is a 24-byte global header followed by per-packet records
+//! (16-byte record header + captured bytes). We write microsecond
+//! timestamps, little-endian, LINKTYPE_ETHERNET — the most common variant —
+//! and read both endiannesses.
+//!
+//! This is how Clara ingests "a pcap trace" as a workload description
+//! (§3.5) without depending on libpcap.
+
+use crate::trace::{Trace, TracePacket};
+use clara_packet::build_packet;
+use std::io::{self, Read, Write};
+
+const MAGIC_LE: u32 = 0xa1b2_c3d4;
+const MAGIC_BE: u32 = 0xd4c3_b2a1;
+const VERSION_MAJOR: u16 = 2;
+const VERSION_MINOR: u16 = 4;
+const LINKTYPE_ETHERNET: u32 = 1;
+const DEFAULT_SNAPLEN: u32 = 65_535;
+
+/// Errors from pcap reading/writing.
+#[derive(Debug)]
+pub enum PcapError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The global header's magic number is not a pcap magic.
+    BadMagic(u32),
+    /// A record is inconsistent (e.g. capture length exceeds snaplen or
+    /// the record is truncated).
+    BadRecord(String),
+    /// The captured frame could not be parsed as Ethernet/IPv4.
+    BadPacket(clara_packet::Error),
+}
+
+impl std::fmt::Display for PcapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PcapError::Io(e) => write!(f, "pcap I/O error: {e}"),
+            PcapError::BadMagic(m) => write!(f, "not a pcap file (magic {m:#010x})"),
+            PcapError::BadRecord(msg) => write!(f, "bad pcap record: {msg}"),
+            PcapError::BadPacket(e) => write!(f, "unparseable captured frame: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PcapError {}
+
+impl From<io::Error> for PcapError {
+    fn from(e: io::Error) -> Self {
+        PcapError::Io(e)
+    }
+}
+
+/// Write a trace as a pcap file, synthesizing full wire bytes for each
+/// packet (valid Ethernet/IPv4/transport headers and checksums).
+pub fn write_pcap<W: Write>(mut w: W, trace: &Trace) -> Result<(), PcapError> {
+    w.write_all(&MAGIC_LE.to_le_bytes())?;
+    w.write_all(&VERSION_MAJOR.to_le_bytes())?;
+    w.write_all(&VERSION_MINOR.to_le_bytes())?;
+    w.write_all(&0i32.to_le_bytes())?; // thiszone
+    w.write_all(&0u32.to_le_bytes())?; // sigfigs
+    w.write_all(&DEFAULT_SNAPLEN.to_le_bytes())?;
+    w.write_all(&LINKTYPE_ETHERNET.to_le_bytes())?;
+
+    for packet in trace.iter() {
+        let bytes = build_packet(&packet.spec);
+        let ts_sec = (packet.ts_ns / 1_000_000_000) as u32;
+        let ts_usec = ((packet.ts_ns % 1_000_000_000) / 1_000) as u32;
+        w.write_all(&ts_sec.to_le_bytes())?;
+        w.write_all(&ts_usec.to_le_bytes())?;
+        w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+        w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+        w.write_all(&bytes)?;
+    }
+    Ok(())
+}
+
+/// Read a pcap file back into a [`Trace`].
+///
+/// Frames that are not Ethernet/IPv4/TCP|UDP|other-IP are rejected with
+/// [`PcapError::BadPacket`]; Clara's NF corpus only models IPv4 traffic.
+pub fn read_pcap<R: Read>(mut r: R) -> Result<Trace, PcapError> {
+    let mut header = [0u8; 24];
+    r.read_exact(&mut header)?;
+    let magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    let little_endian = match magic {
+        MAGIC_LE => true,
+        MAGIC_BE => false,
+        other => return Err(PcapError::BadMagic(other)),
+    };
+    let read_u32 = |b: &[u8]| -> u32 {
+        let arr = [b[0], b[1], b[2], b[3]];
+        if little_endian {
+            u32::from_le_bytes(arr)
+        } else {
+            u32::from_be_bytes(arr)
+        }
+    };
+    let snaplen = read_u32(&header[16..20]);
+
+    let mut trace = Trace::new();
+    loop {
+        let mut rec = [0u8; 16];
+        match r.read_exact(&mut rec) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e.into()),
+        }
+        let ts_sec = u64::from(read_u32(&rec[0..4]));
+        let ts_usec = u64::from(read_u32(&rec[4..8]));
+        let incl_len = read_u32(&rec[8..12]) as usize;
+        if incl_len > snaplen as usize {
+            return Err(PcapError::BadRecord(format!(
+                "capture length {incl_len} exceeds snaplen {snaplen}"
+            )));
+        }
+        let mut frame = vec![0u8; incl_len];
+        r.read_exact(&mut frame)
+            .map_err(|_| PcapError::BadRecord("truncated packet record".into()))?;
+        let parsed = clara_packet::parse_packet(&frame).map_err(PcapError::BadPacket)?;
+        trace.push(TracePacket {
+            ts_ns: ts_sec * 1_000_000_000 + ts_usec * 1_000,
+            spec: clara_packet::PacketSpec {
+                flow: parsed.flow,
+                payload_len: parsed.payload_len,
+                tcp_flags: parsed.tcp_flags,
+                payload_seed: 0,
+            },
+        });
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TraceGenerator;
+
+    #[test]
+    fn roundtrip_preserves_flows_sizes_and_times() {
+        let original = TraceGenerator::new(11)
+            .packets(200)
+            .flows(20)
+            .tcp_share(0.7)
+            .generate();
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &original).unwrap();
+        let restored = read_pcap(&buf[..]).unwrap();
+        assert_eq!(restored.len(), original.len());
+        for (a, b) in original.iter().zip(restored.iter()) {
+            assert_eq!(a.spec.flow, b.spec.flow);
+            assert_eq!(a.spec.payload_len, b.spec.payload_len);
+            assert_eq!(a.spec.tcp_flags.syn(), b.spec.tcp_flags.syn());
+            // Timestamps survive at microsecond resolution.
+            assert_eq!(a.ts_ns / 1000, b.ts_ns / 1000);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = read_pcap(&b"not a pcap file at all......."[..]).unwrap_err();
+        assert!(matches!(err, PcapError::BadMagic(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_truncated_record() {
+        let trace = TraceGenerator::new(1).packets(3).generate();
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &trace).unwrap();
+        buf.truncate(buf.len() - 5);
+        let err = read_pcap(&buf[..]).unwrap_err();
+        assert!(matches!(err, PcapError::BadRecord(_)), "{err}");
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &Trace::new()).unwrap();
+        assert_eq!(buf.len(), 24);
+        assert!(read_pcap(&buf[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn reads_big_endian_headers() {
+        // Hand-build a big-endian pcap with one UDP packet.
+        let spec = clara_packet::PacketSpec::udp([1, 2, 3, 4], [5, 6, 7, 8], 10, 20, 4);
+        let frame = clara_packet::build_packet(&spec);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_BE.to_le_bytes()); // 0xd4c3b2a1 read LE == BE file
+        buf.extend_from_slice(&2u16.to_be_bytes());
+        buf.extend_from_slice(&4u16.to_be_bytes());
+        buf.extend_from_slice(&[0; 8]);
+        buf.extend_from_slice(&65535u32.to_be_bytes());
+        buf.extend_from_slice(&1u32.to_be_bytes());
+        buf.extend_from_slice(&7u32.to_be_bytes()); // ts_sec
+        buf.extend_from_slice(&500u32.to_be_bytes()); // ts_usec
+        buf.extend_from_slice(&(frame.len() as u32).to_be_bytes());
+        buf.extend_from_slice(&(frame.len() as u32).to_be_bytes());
+        buf.extend_from_slice(&frame);
+        let trace = read_pcap(&buf[..]).unwrap();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.packets()[0].ts_ns, 7_000_000_000 + 500_000);
+        assert_eq!(trace.packets()[0].spec.flow, spec.flow);
+    }
+
+    #[test]
+    fn rejects_record_exceeding_snaplen() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_LE.to_le_bytes());
+        buf.extend_from_slice(&VERSION_MAJOR.to_le_bytes());
+        buf.extend_from_slice(&VERSION_MINOR.to_le_bytes());
+        buf.extend_from_slice(&[0; 8]);
+        buf.extend_from_slice(&100u32.to_le_bytes()); // snaplen 100
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&[0; 8]); // ts
+        buf.extend_from_slice(&200u32.to_le_bytes()); // incl_len 200 > snaplen
+        buf.extend_from_slice(&200u32.to_le_bytes());
+        let err = read_pcap(&buf[..]).unwrap_err();
+        assert!(matches!(err, PcapError::BadRecord(_)), "{err}");
+    }
+}

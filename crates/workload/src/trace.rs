@@ -1,0 +1,224 @@
+//! Concrete packet traces and their statistics.
+
+use clara_packet::{PacketSpec, Proto};
+use std::collections::HashSet;
+
+/// One packet in a trace: an arrival timestamp plus the packet description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TracePacket {
+    /// Arrival time in nanoseconds from trace start.
+    pub ts_ns: u64,
+    /// The packet itself.
+    pub spec: PacketSpec,
+}
+
+/// A timestamped sequence of packets.
+///
+/// Traces are ordered by arrival time; [`Trace::push`] maintains the
+/// invariant by clamping regressions to the previous timestamp.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    packets: Vec<TracePacket>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Append a packet, keeping timestamps monotonically non-decreasing.
+    pub fn push(&mut self, mut packet: TracePacket) {
+        if let Some(last) = self.packets.last() {
+            if packet.ts_ns < last.ts_ns {
+                packet.ts_ns = last.ts_ns;
+            }
+        }
+        self.packets.push(packet);
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Iterate over packets in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = &TracePacket> {
+        self.packets.iter()
+    }
+
+    /// The packets as a slice.
+    pub fn packets(&self) -> &[TracePacket] {
+        &self.packets
+    }
+
+    /// Duration from first to last arrival, in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        match (self.packets.first(), self.packets.last()) {
+            (Some(first), Some(last)) => last.ts_ns - first.ts_ns,
+            _ => 0,
+        }
+    }
+
+    /// Compute summary statistics.
+    pub fn stats(&self) -> TraceStats {
+        let mut flows = HashSet::new();
+        let mut tcp = 0usize;
+        let mut udp = 0usize;
+        let mut syn = 0usize;
+        let mut payload_total = 0u64;
+        let mut max_payload = 0usize;
+        for p in &self.packets {
+            flows.insert(p.spec.flow);
+            match p.spec.flow.proto {
+                Proto::Tcp => {
+                    tcp += 1;
+                    if p.spec.tcp_flags.syn() {
+                        syn += 1;
+                    }
+                }
+                Proto::Udp => udp += 1,
+                Proto::Other(_) => {}
+            }
+            payload_total += p.spec.payload_len as u64;
+            max_payload = max_payload.max(p.spec.payload_len);
+        }
+        let n = self.packets.len();
+        let dur = self.duration_ns();
+        TraceStats {
+            packets: n,
+            flows: flows.len(),
+            tcp_share: ratio(tcp, n),
+            udp_share: ratio(udp, n),
+            syn_share: ratio(syn, n),
+            avg_payload: if n == 0 { 0.0 } else { payload_total as f64 / n as f64 },
+            max_payload,
+            rate_pps: if dur == 0 {
+                0.0
+            } else {
+                // n packets over `dur` covers n-1 inter-arrival gaps.
+                (n.saturating_sub(1)) as f64 * 1e9 / dur as f64
+            },
+        }
+    }
+}
+
+fn ratio(part: usize, whole: usize) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64
+    }
+}
+
+impl FromIterator<TracePacket> for Trace {
+    fn from_iter<I: IntoIterator<Item = TracePacket>>(iter: I) -> Self {
+        let mut trace = Trace::new();
+        for p in iter {
+            trace.push(p);
+        }
+        trace
+    }
+}
+
+/// Summary statistics of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Total packet count.
+    pub packets: usize,
+    /// Number of distinct five-tuples.
+    pub flows: usize,
+    /// Fraction of packets that are TCP.
+    pub tcp_share: f64,
+    /// Fraction of packets that are UDP.
+    pub udp_share: f64,
+    /// Fraction of packets with the TCP SYN flag set.
+    pub syn_share: f64,
+    /// Mean transport payload length in bytes.
+    pub avg_payload: f64,
+    /// Largest transport payload length in bytes.
+    pub max_payload: usize,
+    /// Mean packet rate in packets per second.
+    pub rate_pps: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clara_packet::PacketSpec;
+
+    fn pkt(ts_ns: u64, payload: usize) -> TracePacket {
+        TracePacket {
+            ts_ns,
+            spec: PacketSpec::tcp([10, 0, 0, 1], [10, 0, 0, 2], 1000, 80, payload),
+        }
+    }
+
+    #[test]
+    fn push_keeps_timestamps_monotone() {
+        let mut t = Trace::new();
+        t.push(pkt(100, 0));
+        t.push(pkt(50, 0)); // regression clamped
+        assert_eq!(t.packets()[1].ts_ns, 100);
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let s = Trace::new().stats();
+        assert_eq!(s.packets, 0);
+        assert_eq!(s.flows, 0);
+        assert_eq!(s.rate_pps, 0.0);
+        assert_eq!(s.avg_payload, 0.0);
+    }
+
+    #[test]
+    fn stats_counts_protocols_and_flows() {
+        let mut t = Trace::new();
+        t.push(pkt(0, 100));
+        t.push(pkt(10, 200));
+        t.push(TracePacket {
+            ts_ns: 20,
+            spec: PacketSpec::udp([10, 0, 0, 3], [10, 0, 0, 2], 2000, 53, 300),
+        });
+        let s = t.stats();
+        assert_eq!(s.packets, 3);
+        assert_eq!(s.flows, 2);
+        assert!((s.tcp_share - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.udp_share - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.avg_payload - 200.0).abs() < 1e-12);
+        assert_eq!(s.max_payload, 300);
+    }
+
+    #[test]
+    fn rate_uses_interarrival_gaps() {
+        let mut t = Trace::new();
+        // 3 packets at 0, 1ms, 2ms -> 2 gaps over 2ms -> 1000 pps.
+        for i in 0..3 {
+            t.push(pkt(i * 1_000_000, 0));
+        }
+        assert!((t.stats().rate_pps - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn syn_share_counts_only_tcp_syn() {
+        let mut t = Trace::new();
+        t.push(TracePacket {
+            ts_ns: 0,
+            spec: PacketSpec::tcp([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, 0).with_syn(),
+        });
+        t.push(pkt(1, 0));
+        assert!((t.stats().syn_share - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let t: Trace = (0..5).map(|i| pkt(i * 10, i as usize)).collect();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.duration_ns(), 40);
+    }
+}

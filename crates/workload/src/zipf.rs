@@ -1,0 +1,165 @@
+//! Zipf-distributed sampling over flow ranks.
+//!
+//! Flow popularity in real traffic is heavy-tailed; the paper's motivation
+//! (§2.1) calls out that "flow distributions ... could result in different
+//! working set sizes, which in turn cause different memory access patterns
+//! and cache behaviors". We implement Zipf from scratch (inverse-CDF over a
+//! precomputed cumulative table) rather than pulling in `rand_distr`.
+
+use rand::Rng;
+
+/// A Zipf(α) distribution over ranks `0..n`.
+///
+/// Rank `k` (0-based) has probability proportional to `1 / (k+1)^alpha`.
+/// `alpha = 0` degenerates to the uniform distribution.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the distribution for `n` ranks with exponent `alpha`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `alpha` is negative or non-finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf over zero ranks");
+        assert!(alpha >= 0.0 && alpha.is_finite(), "invalid Zipf exponent");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(alpha);
+            cumulative.push(acc);
+        }
+        let total = acc;
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top end.
+        *cumulative.last_mut().expect("n > 0") = 1.0;
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the distribution is over zero ranks (never true).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// The probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cumulative[0]
+        } else {
+            self.cumulative[k] - self.cumulative[k - 1]
+        }
+    }
+
+    /// The total probability mass of the `top` most popular ranks.
+    ///
+    /// This is the quantity the predictor's cache model uses: if a cache
+    /// holds the state of the `top` hottest flows, `mass(top)` is the
+    /// expected hit ratio.
+    pub fn mass(&self, top: usize) -> f64 {
+        if top == 0 {
+            0.0
+        } else {
+            self.cumulative[top.min(self.len()) - 1]
+        }
+    }
+
+    /// Sample a rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("no NaN in table"))
+        {
+            Ok(i) => (i + 1).min(self.len() - 1),
+            Err(i) => i.min(self.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_alpha_zero() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-9, "pmf({k}) = {}", z.pmf(k));
+        }
+    }
+
+    #[test]
+    fn mass_is_monotone_and_bounded() {
+        let z = Zipf::new(100, 1.0);
+        let mut prev = 0.0;
+        for top in 0..=100 {
+            let m = z.mass(top);
+            assert!(m >= prev);
+            assert!(m <= 1.0 + 1e-12);
+            prev = m;
+        }
+        assert!((z.mass(100) - 1.0).abs() < 1e-9);
+        assert_eq!(z.mass(0), 0.0);
+    }
+
+    #[test]
+    fn skew_concentrates_mass() {
+        // With alpha=1.2 over 1000 ranks, the top 10 ranks should carry far
+        // more than 1% of the mass.
+        let z = Zipf::new(1000, 1.2);
+        assert!(z.mass(10) > 0.4, "mass(10) = {}", z.mass(10));
+        let uniform = Zipf::new(1000, 0.0);
+        assert!((uniform.mass(10) - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_match_pmf() {
+        let z = Zipf::new(5, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 5];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for k in 0..5 {
+            let observed = counts[k] as f64 / n as f64;
+            assert!(
+                (observed - z.pmf(k)).abs() < 0.01,
+                "rank {k}: observed {observed}, expected {}",
+                z.pmf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn sample_always_in_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero ranks")]
+    fn zero_ranks_panics() {
+        Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Zipf exponent")]
+    fn negative_alpha_panics() {
+        Zipf::new(5, -1.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Offload planning: should this NF be offloaded at all, fully, or
+//! partially? (§6: "whether to offload a particular NF, how to perform
+//! an effective port".)
+//!
+//! ```sh
+//! cargo run --release -p clara-core --example offload_planner
+//! ```
+
+use clara_core::{Clara, HostParams, WorkloadProfile};
+
+fn main() {
+    let nic = clara_core::profiles::netronome_agilio_cx40();
+    let clara = Clara::new(&nic);
+
+    // A chain with a cheap header front-end and an expensive DPI tail.
+    let source = clara_core::nfs::dpi::source(1 << 20);
+    let workload = WorkloadProfile {
+        avg_payload: 1400.0,
+        max_payload: 1400,
+        ..WorkloadProfile::paper_default()
+    };
+    let analysis = clara.analyze(&source).expect("compiles");
+
+    // Full-offload prediction with the auto strategy.
+    let full = clara.predict(&source, &workload).expect("predicts");
+    println!(
+        "full offload: {:.2} µs/packet, bottleneck {}",
+        full.avg_latency_ns / 1000.0,
+        full.bottleneck
+    );
+
+    // Partial-offload plans: every prefix cut of the dataflow graph,
+    // priced across NIC, PCIe, and host.
+    let plans = clara_core::predict_partial(
+        &analysis.module,
+        clara.params(),
+        &workload,
+        HostParams::default(),
+    )
+    .expect("plans");
+    println!("\npartial-offload plans (cut = dataflow nodes kept on the NIC):");
+    for p in &plans {
+        println!(
+            "  cut {:>2}: {:>9.2} µs {}",
+            p.cut,
+            p.latency_ns / 1000.0,
+            if p.crosses_pcie { "(crosses PCIe)" } else { "" }
+        );
+    }
+    let best = plans
+        .iter()
+        .min_by(|a, b| a.latency_ns.partial_cmp(&b.latency_ns).unwrap())
+        .unwrap();
+    let n = analysis.graph.nodes.len();
+    let verdict = if best.cut == n {
+        "offload the whole NF".to_string()
+    } else if best.cut == 0 {
+        "keep the NF on the host".to_string()
+    } else {
+        format!("split: keep the first {} node(s) on the NIC", best.cut)
+    };
+    println!("\nrecommendation: {verdict} ({:.2} µs/packet)", best.latency_ns / 1000.0);
+
+    // And the porting hints for whatever lands on the NIC.
+    println!("\n{}", clara.porting_hints(&source, &workload).expect("hints"));
+}

@@ -1,0 +1,77 @@
+//! Quickstart: predict an unported NF's performance on a SmartNIC in
+//! four steps.
+//!
+//! ```sh
+//! cargo run --release -p clara-core --example quickstart
+//! ```
+
+use clara_core::{Clara, WorkloadProfile};
+
+fn main() {
+    // 1. Pick a SmartNIC model. Building `Clara` runs the one-time
+    //    microbenchmark suite against it (§3.2: "a one-time effort for
+    //    each SmartNIC"; on hardware this would take minutes).
+    println!("extracting NIC parameters (one-time per NIC)...");
+    let nic = clara_core::profiles::netronome_agilio_cx40();
+    let clara = Clara::new(&nic);
+
+    // 2. Write (or load) the network function in its original, unported
+    //    form. This one is a stateful firewall using eBPF-style APIs.
+    let source = r#"
+        nf firewall {
+            state conns: map<u64, u64>[65536];
+
+            fn handle(pkt: packet) -> action {
+                bpf.parse(pkt);
+                let key: u64 = hash(pkt.src_ip, pkt.dst_ip, pkt.src_port, pkt.dst_port);
+                let established: u64 = conns.lookup(key);
+                if (established == 0) {
+                    if (pkt.is_syn) {
+                        conns.insert(key, 1);
+                        return forward;
+                    }
+                    return drop;
+                }
+                return forward;
+            }
+        }
+    "#;
+
+    // 3. Describe the target traffic (§3.5: a pcap trace or an abstract
+    //    profile such as "80% TCP ... 10k concurrent flows").
+    let workload = WorkloadProfile {
+        flows: 10_000,
+        tcp_share: 0.8,
+        syn_share: 0.05,
+        avg_payload: 300.0,
+        max_payload: 1400,
+        rate_pps: 500_000.0,
+        zipf_alpha: 0.9,
+    };
+
+    // 4. Predict — no porting, no hardware.
+    let prediction = clara.predict(source, &workload).expect("NF compiles and maps");
+
+    println!("\npredicted performance on {}:", clara.params().nic_name);
+    println!(
+        "  average latency : {:.0} cycles ({:.2} µs)",
+        prediction.avg_latency_cycles,
+        prediction.avg_latency_ns / 1000.0
+    );
+    for class in &prediction.per_class {
+        println!(
+            "  {:<8} ({:>4.1}% of packets): {:.0} cycles",
+            class.name,
+            class.share * 100.0,
+            class.latency_cycles
+        );
+    }
+    println!(
+        "  sustainable throughput : {:.2} Mpps (bottleneck: {})",
+        prediction.throughput_pps / 1e6,
+        prediction.bottleneck
+    );
+    println!("  energy : {:.0} nJ/packet", prediction.energy_nj_per_packet);
+
+    println!("\n{}", clara.porting_hints(source, &workload).expect("hints"));
+}

@@ -1,0 +1,132 @@
+//! Cross-crate integration of the workload path: generator → packet
+//! bytes → pcap → parsed trace → abstract profile → prediction, and
+//! consistency between the CIR interpreter and the simulator substrate.
+
+use clara_core::sim::simulate;
+use clara_core::{nfs, Clara, SizeDist, TraceGenerator, WorkloadProfile};
+use clara_workload::pcap::{read_pcap, write_pcap};
+use std::sync::OnceLock;
+
+fn clara() -> &'static Clara {
+    static C: OnceLock<Clara> = OnceLock::new();
+    C.get_or_init(|| Clara::new(&clara_core::profiles::netronome_agilio_cx40()))
+}
+
+/// A trace survives the pcap round trip and the derived profile predicts
+/// within a few percent of the profile derived from the original.
+#[test]
+fn pcap_roundtrip_preserves_predictions() {
+    let trace = TraceGenerator::new(99)
+        .packets(4_000)
+        .flows(500)
+        .tcp_share(0.7)
+        .sizes(SizeDist::Fixed(256))
+        .generate();
+    let mut bytes = Vec::new();
+    write_pcap(&mut bytes, &trace).unwrap();
+    let restored = read_pcap(&bytes[..]).unwrap();
+
+    let p_orig = WorkloadProfile::from_trace(&trace);
+    let p_rest = WorkloadProfile::from_trace(&restored);
+    assert_eq!(p_orig.flows, p_rest.flows);
+    assert!((p_orig.tcp_share - p_rest.tcp_share).abs() < 1e-9);
+
+    let src = nfs::firewall::source(65_536);
+    let a = clara().predict(&src, &p_orig).unwrap().avg_latency_cycles;
+    let b = clara().predict(&src, &p_rest).unwrap().avg_latency_cycles;
+    assert!(
+        (a - b).abs() / a < 0.02,
+        "pcap roundtrip moved the prediction: {a:.0} vs {b:.0}"
+    );
+}
+
+/// The interpreter (used for path profiling) and the simulator (used for
+/// ground truth) agree on NF semantics: the firewall's admission
+/// behaviour shows up as the SYN-vs-established latency split in both.
+#[test]
+fn interpreter_and_simulator_agree_on_paths() {
+    let src = nfs::firewall::source(4_096);
+    let module = clara().analyze(&src).unwrap().module;
+
+    // Interpreter: first packet of a flow without SYN is dropped.
+    let mut state = clara_cir::HashState::new();
+    let data = clara_cir::PacketInfo::tcp(7, 8, 9, 10, 64);
+    assert!(!clara_cir::execute(&module.handle, &data, &mut state, 100_000).unwrap().forward);
+    let syn = data.with_syn();
+    assert!(clara_cir::execute(&module.handle, &syn, &mut state, 100_000).unwrap().forward);
+    assert!(clara_cir::execute(&module.handle, &data, &mut state, 100_000).unwrap().forward);
+
+    // Prediction: the workload's SYN class is visible in the per-class
+    // profile (paper §3.5's example output).
+    let wl = WorkloadProfile { syn_share: 0.1, ..WorkloadProfile::paper_default() };
+    let p = clara().predict(&src, &wl).unwrap();
+    assert!(p.per_class.iter().any(|c| c.name == "tcp-syn"));
+}
+
+/// Figure-1 variants: the simulated ordering matches physical intuition,
+/// end to end through the public API.
+#[test]
+fn fig1_orderings_hold() {
+    let nic = clara_core::profiles::netronome_agilio_cx40();
+    for (nf, variants) in nfs::fig1_variants() {
+        let lat: Vec<f64> = variants
+            .iter()
+            .map(|v| {
+                let trace = v.workload.to_trace(1_200, 5);
+                simulate(&nic, &v.program, &trace).unwrap().avg_latency_cycles
+            })
+            .collect();
+        match nf.as_str() {
+            // NAT: accelerator verify beats software recompute.
+            "NAT" => assert!(lat[0] < lat[1], "{nf}: {lat:?}"),
+            // DPI: latency increases with packet size.
+            "DPI" => assert!(lat[0] < lat[1] && lat[1] < lat[2], "{nf}: {lat:?}"),
+            // LPM: latency increases with rule count.
+            "LPM" => assert!(lat[0] < lat[1] && lat[1] < lat[2], "{nf}: {lat:?}"),
+            // HH: latency increases with packet rate.
+            "HH" => assert!(lat[0] < lat[2], "{nf}: {lat:?}"),
+            // FW: CTM beats IMEM beats cold EMEM; skew beats uniform.
+            "FW" => {
+                assert!(lat[0] < lat[1], "{nf}: {lat:?}");
+                assert!(lat[1] < lat[2], "{nf}: {lat:?}");
+                assert!(lat[3] < lat[2], "{nf}: {lat:?}");
+            }
+            other => panic!("unexpected NF {other}"),
+        }
+    }
+}
+
+/// Different NIC profiles rank differently by workload — the §1 use case
+/// "identify suitable SmartNIC models". The pipeline ASIC must win NAT
+/// energy but lose DPI outright.
+#[test]
+fn nic_ranking_depends_on_workload() {
+    let nat = nfs::nat::source();
+    let dpi = nfs::dpi::source(65_536);
+    let wl_dpi = WorkloadProfile {
+        avg_payload: 1400.0,
+        max_payload: 1400,
+        ..WorkloadProfile::paper_default()
+    };
+    let netronome = clara();
+    let asic = Clara::new(&clara_core::profiles::pipeline_asic());
+
+    let nat_energy_netronome =
+        netronome.predict(&nat, &WorkloadProfile::paper_default()).unwrap().energy_nj_per_packet;
+    let nat_energy_asic =
+        asic.predict(&nat, &WorkloadProfile::paper_default()).unwrap().energy_nj_per_packet;
+    assert!(
+        nat_energy_asic < nat_energy_netronome,
+        "ASIC should win NAT energy: {nat_energy_asic} vs {nat_energy_netronome}"
+    );
+
+    let dpi_netronome = netronome.predict(&dpi, &wl_dpi).unwrap().avg_latency_cycles;
+    let dpi_asic = asic.predict(&dpi, &wl_dpi).unwrap().avg_latency_cycles;
+    // In wall-clock terms (different clocks!).
+    let netronome_us = dpi_netronome / 0.8 / 1000.0;
+    let asic_us = dpi_asic / 1.2 / 1000.0;
+    assert!(
+        asic_us > 3.0 * netronome_us,
+        "ASIC should lose payload scans: {asic_us:.1}µs vs {netronome_us:.1}µs"
+    );
+}
