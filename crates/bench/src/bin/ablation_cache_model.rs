@@ -28,7 +28,7 @@ fn main() {
         .unwrap()
         .module;
     let program = clara_core::nfs::vnf::ported();
-    let mut errs = vec![0.0f64; 2];
+    let mut errs = [0.0f64; 2];
     let mut n = 0;
     for i in 1..=7 {
         let payload = 200.0 * i as f64;

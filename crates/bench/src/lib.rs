@@ -97,6 +97,7 @@ pub fn fig3a_series() -> Vec<Point> {
                     // The paper's sweep keeps the match/action rules in
                     // DRAM; pin the same placement the port uses.
                     pin_state: vec![("routes".into(), "emem".into())],
+                    ..PredictOptions::default()
                 },
             )
             .expect("prediction succeeds")

@@ -302,7 +302,7 @@ fn eval_vcall(call: VCall, args: &[u64], pkt: &mut PacketInfo, oracle: &mut dyn 
         // Deterministic "did any signature match" result.
         VCall::PayloadScan => {
             let sigset = args.first().copied().unwrap_or(0);
-            ((mix(pkt.payload_seed as u64 ^ sigset) % 97) == 0) as u64
+            mix(pkt.payload_seed as u64 ^ sigset).is_multiple_of(97) as u64
         }
         VCall::Hash => {
             let mut acc = 0xcbf2_9ce4_8422_2325u64;
@@ -405,7 +405,7 @@ mod tests {
             return forward; } }";
         let p = run(src, PacketInfo::tcp(1, 2, 3, 4, 37));
         // The loop body block must have executed exactly payload_len times.
-        assert!(p.block_counts.iter().any(|&c| c == 37), "{:?}", p.block_counts);
+        assert!(p.block_counts.contains(&37), "{:?}", p.block_counts);
         assert_eq!(p.vcall_counts[&VCall::PayloadByte], 37);
     }
 

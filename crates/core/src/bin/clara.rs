@@ -7,10 +7,12 @@
 //! clara hints   nf.nfc --nic netronome
 //! ```
 //!
-//! Argument parsing is hand-rolled (no CLI crates) and every failure
-//! path prints usage.
+//! Argument parsing is hand-rolled (no CLI crates). Failures exit with a
+//! category-specific code so scripts can tell bad invocations from bad
+//! inputs: 2 = usage, 3 = file I/O, 4 = NF frontend error, 5 = lowering
+//! error, 6 = prediction error, 7 = workload error.
 
-use clara_core::{Clara, WorkloadProfile};
+use clara_core::{Clara, ClaraError, WorkloadProfile};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -32,22 +34,66 @@ WORKLOAD FLAGS (defaults = the paper's 60 kpps / 300 B / 1k flows):
   --tcp <0..1>        TCP share of packets
   --syn <0..1>        SYN share of TCP packets
   --zipf <alpha>      flow-popularity skew (0 = uniform)
+
+EXIT CODES:
+  0 ok | 2 usage | 3 file I/O | 4 NF frontend | 5 lowering | 6 prediction | 7 workload
 ";
+
+/// A categorized CLI failure; the category decides the exit code.
+enum CliError {
+    /// Bad invocation: unknown command/flag values, missing arguments.
+    Usage(String),
+    /// A file could not be read, written, or parsed as a parameter table.
+    Io(String),
+    /// The analysis/prediction pipeline rejected the inputs.
+    Pipeline(ClaraError),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::Pipeline(ClaraError::Frontend(_)) => 4,
+            CliError::Pipeline(ClaraError::Lower(_)) => 5,
+            CliError::Pipeline(ClaraError::Predict(_)) => 6,
+            CliError::Pipeline(ClaraError::Workload(_)) => 7,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) | CliError::Io(msg) => write!(f, "{msg}"),
+            CliError::Pipeline(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<ClaraError> for CliError {
+    fn from(e: ClaraError) -> Self {
+        CliError::Pipeline(e)
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}\n\n{USAGE}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("error: {e}");
+            if matches!(e, CliError::Usage(_)) {
+                eprintln!("\n{USAGE}");
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let Some(cmd) = args.first() else {
-        return Err("no command given".into());
+        return Err(CliError::Usage("no command given".into()));
     };
     match cmd.as_str() {
         "extract" => extract(&args[1..]),
@@ -58,7 +104,7 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`")),
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
 }
 
@@ -69,32 +115,33 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(|s| s.as_str())
 }
 
-fn nic_by_name(name: &str) -> Result<clara_core::Lnic, String> {
+fn nic_by_name(name: &str) -> Result<clara_core::Lnic, CliError> {
     Ok(match name {
         "netronome" => clara_core::profiles::netronome_agilio_cx40(),
         "soc" => clara_core::profiles::soc_armada(),
         "asic" => clara_core::profiles::pipeline_asic(),
-        other => return Err(format!("unknown NIC profile `{other}`")),
+        other => return Err(CliError::Usage(format!("unknown NIC profile `{other}`"))),
     })
 }
 
-fn build_clara(args: &[String]) -> Result<Clara, String> {
+fn build_clara(args: &[String]) -> Result<Clara, CliError> {
     if let Some(path) = flag_value(args, "--params") {
         let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            .map_err(|e| CliError::Io(format!("cannot read `{path}`: {e}")))?;
         let params = clara_microbench::from_text(&text)
-            .map_err(|e| format!("bad parameter file `{path}`: {e}"))?;
+            .map_err(|e| CliError::Io(format!("bad parameter file `{path}`: {e}")))?;
         return Ok(Clara::with_params(params));
     }
-    let nic_name = flag_value(args, "--nic").ok_or("need --nic <profile> or --params <file>")?;
+    let nic_name = flag_value(args, "--nic")
+        .ok_or_else(|| CliError::Usage("need --nic <profile> or --params <file>".into()))?;
     eprintln!("extracting parameters for `{nic_name}` (one-time per NIC; use `clara extract` to cache)...");
     Ok(Clara::new(&nic_by_name(nic_name)?))
 }
 
-fn workload(args: &[String]) -> Result<WorkloadProfile, String> {
+fn workload(args: &[String]) -> Result<WorkloadProfile, CliError> {
     let mut wl = WorkloadProfile::paper_default();
-    let parse = |v: &str, what: &str| -> Result<f64, String> {
-        v.parse().map_err(|_| format!("bad {what} `{v}`"))
+    let parse = |v: &str, what: &str| -> Result<f64, CliError> {
+        v.parse().map_err(|_| CliError::Usage(format!("bad {what} `{v}`")))
     };
     if let Some(v) = flag_value(args, "--rate") {
         wl.rate_pps = parse(v, "--rate")?;
@@ -115,26 +162,31 @@ fn workload(args: &[String]) -> Result<WorkloadProfile, String> {
     if let Some(v) = flag_value(args, "--zipf") {
         wl.zipf_alpha = parse(v, "--zipf")?;
     }
+    // Reject NaN/negative rates, zero flows, out-of-range shares, ...
+    // before they reach the predictor's arithmetic (exit code 7).
+    wl.validate().map_err(ClaraError::from)?;
     Ok(wl)
 }
 
-fn read_source(args: &[String]) -> Result<String, String> {
+fn read_source(args: &[String]) -> Result<String, CliError> {
     let path = args
         .iter()
         .find(|a| !a.starts_with("--") && a.ends_with(".nfc"))
-        .ok_or("need an NF source file (.nfc)")?;
-    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+        .ok_or_else(|| CliError::Usage("need an NF source file (.nfc)".into()))?;
+    std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("cannot read `{path}`: {e}")))
 }
 
-fn extract(args: &[String]) -> Result<(), String> {
-    let nic_name = flag_value(args, "--nic").ok_or("need --nic <profile>")?;
+fn extract(args: &[String]) -> Result<(), CliError> {
+    let nic_name = flag_value(args, "--nic")
+        .ok_or_else(|| CliError::Usage("need --nic <profile>".into()))?;
     let nic = nic_by_name(nic_name)?;
     eprintln!("running the microbenchmark suite against `{}`...", nic.name);
     let params = clara_core::extract_parameters(&nic);
     let text = clara_microbench::to_text(&params);
     match flag_value(args, "-o") {
         Some(path) => {
-            std::fs::write(path, &text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            std::fs::write(path, &text)
+                .map_err(|e| CliError::Io(format!("cannot write `{path}`: {e}")))?;
             eprintln!("wrote {path}");
         }
         None => print!("{text}"),
@@ -142,10 +194,10 @@ fn extract(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn analyze(args: &[String]) -> Result<(), String> {
+fn analyze(args: &[String]) -> Result<(), CliError> {
     let source = read_source(args)?;
     // Analysis needs no NIC parameters.
-    let analysis = clara_core::analyze_source(&source).map_err(|e| e.to_string())?;
+    let analysis = clara_core::analyze_source(&source)?;
     println!("nf `{}`:", analysis.module.name);
     println!(
         "  {} basic blocks, {} instructions, {} state table(s), {} B of state",
@@ -174,16 +226,17 @@ fn analyze(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn predict(args: &[String], hints: bool) -> Result<(), String> {
+fn predict(args: &[String], hints: bool) -> Result<(), CliError> {
     let source = read_source(args)?;
-    let clara = build_clara(args)?;
+    // Workload flags are validated before the (slow) parameter extraction.
     let wl = workload(args)?;
+    let clara = build_clara(args)?;
     if hints {
-        let text = clara.porting_hints(&source, &wl).map_err(|e| e.to_string())?;
+        let text = clara.porting_hints(&source, &wl)?;
         println!("{text}");
         return Ok(());
     }
-    let p = clara.predict(&source, &wl).map_err(|e| e.to_string())?;
+    let p = clara.predict(&source, &wl)?;
     println!("predicted on {}:", clara.params().nic_name);
     println!(
         "  avg latency : {:.0} cycles ({:.2} µs)",

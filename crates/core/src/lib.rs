@@ -48,14 +48,14 @@ use core::fmt;
 
 pub use clara_cir::CirModule;
 pub use clara_dataflow::DataflowGraph;
-pub use clara_lnic::Lnic;
-pub use clara_map::{Mapping, UnitChoice};
+pub use clara_lnic::{AccelKind, Lnic};
+pub use clara_map::{Mapping, MappingQuality, SolveBudget, UnitChoice};
 pub use clara_microbench::{extract_parameters, NicParameters};
 pub use clara_predict::{
     predict_partial, predict_sliced, ClassPrediction, HostParams, PartialPlan, Prediction,
     SliceSpec,
 };
-pub use clara_workload::{Arrival, SizeDist, Trace, TraceGenerator, WorkloadProfile};
+pub use clara_workload::{Arrival, SizeDist, Trace, TraceGenerator, WorkloadError, WorkloadProfile};
 
 /// Built-in LNIC profiles (re-exported from `clara-lnic`).
 pub mod profiles {
@@ -82,6 +82,8 @@ pub enum ClaraError {
     Lower(clara_cir::LowerError),
     /// Mapping or prediction failed.
     Predict(clara_predict::PredictError),
+    /// The workload profile is malformed (NaN rate, zero flows, ...).
+    Workload(clara_workload::WorkloadError),
 }
 
 impl fmt::Display for ClaraError {
@@ -90,6 +92,7 @@ impl fmt::Display for ClaraError {
             ClaraError::Frontend(e) => write!(f, "frontend error: {e}"),
             ClaraError::Lower(e) => write!(f, "lowering error: {e}"),
             ClaraError::Predict(e) => write!(f, "prediction error: {e}"),
+            ClaraError::Workload(e) => write!(f, "workload error: {e}"),
         }
     }
 }
@@ -109,6 +112,11 @@ impl From<clara_cir::LowerError> for ClaraError {
 impl From<clara_predict::PredictError> for ClaraError {
     fn from(e: clara_predict::PredictError) -> Self {
         ClaraError::Predict(e)
+    }
+}
+impl From<clara_workload::WorkloadError> for ClaraError {
+    fn from(e: clara_workload::WorkloadError) -> Self {
+        ClaraError::Workload(e)
     }
 }
 
@@ -166,6 +174,7 @@ impl Clara {
         source: &str,
         workload: &WorkloadProfile,
     ) -> Result<Prediction, ClaraError> {
+        workload.validate()?;
         let analysis = self.analyze(source)?;
         Ok(clara_predict::predict(&analysis.module, &self.params, workload)?)
     }
@@ -176,6 +185,7 @@ impl Clara {
         module: &CirModule,
         workload: &WorkloadProfile,
     ) -> Result<Prediction, ClaraError> {
+        workload.validate()?;
         Ok(clara_predict::predict(module, &self.params, workload)?)
     }
 
@@ -187,6 +197,7 @@ impl Clara {
         source: &str,
         workload: &WorkloadProfile,
     ) -> Result<String, ClaraError> {
+        workload.validate()?;
         let analysis = self.analyze(source)?;
         let prediction = clara_predict::predict(&analysis.module, &self.params, workload)?;
         let mut out = String::new();
@@ -228,6 +239,10 @@ impl Clara {
             prediction.avg_latency_ns / 1000.0,
             prediction.throughput_pps / 1e6,
             prediction.bottleneck,
+        ));
+        out.push_str(&format!(
+            "  mapping confidence: {}\n",
+            prediction.mapping.quality
         ));
         Ok(out)
     }
@@ -284,6 +299,21 @@ mod tests {
         assert!(hints.contains("state `conns`"), "{hints}");
         assert!(hints.contains("predicted average"), "{hints}");
         assert!(hints.contains("table-lookup"), "{hints}");
+        assert!(hints.contains("mapping confidence: optimal"), "{hints}");
+    }
+
+    #[test]
+    fn malformed_workloads_are_rejected_before_prediction() {
+        let mut wl = WorkloadProfile::paper_default();
+        wl.rate_pps = f64::NAN;
+        let err = clara().predict(FW, &wl).unwrap_err();
+        assert!(matches!(err, ClaraError::Workload(_)), "{err}");
+        assert!(err.to_string().contains("rate_pps"), "{err}");
+
+        wl.rate_pps = 60_000.0;
+        wl.flows = 0;
+        let err = clara().porting_hints(FW, &wl).unwrap_err();
+        assert!(matches!(err, ClaraError::Workload(_)), "{err}");
     }
 
     #[test]

@@ -463,7 +463,7 @@ mod tests {
         assert!(kinds.iter().any(|k| matches!(k, NodeKind::TableLookup(_))));
         assert!(kinds.contains(&NodeKind::HeaderRewrite));
         // Parse comes before lookup, lookup before rewrite.
-        let pos = |kind: fn(&NodeKind) -> bool| kinds.iter().position(|k| kind(k)).unwrap();
+        let pos = |kind: fn(&NodeKind) -> bool| kinds.iter().position(&kind).unwrap();
         assert!(pos(|k| *k == NodeKind::Parse) < pos(|k| matches!(k, NodeKind::TableLookup(_))));
     }
 

@@ -10,7 +10,6 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 const INT_TOL: f64 = 1e-6;
-const NODE_LIMIT: usize = 200_000;
 
 struct Node {
     bounds: Vec<(f64, f64)>,
@@ -40,7 +39,14 @@ impl Ord for Node {
     }
 }
 
-pub(crate) fn solve_ilp(model: &Model) -> Result<Solution, SolveError> {
+/// Branch-and-bound with a deterministic node-expansion budget.
+///
+/// Anytime behavior: when `max_nodes` expansions are spent, the best
+/// incumbent found so far is returned (flagged unproven); only if *no*
+/// integer-feasible point was seen does the solve fail with
+/// [`SolveError::Limit`]. An emptied heap means the incumbent (if any)
+/// is proven optimal.
+pub(crate) fn solve_ilp(model: &Model, max_nodes: usize) -> Result<Solution, SolveError> {
     let sense_sign = match model.sense {
         Sense::Minimize => 1.0,
         Sense::Maximize => -1.0,
@@ -52,11 +58,13 @@ pub(crate) fn solve_ilp(model: &Model) -> Result<Solution, SolveError> {
 
     let mut incumbent: Option<(Vec<f64>, f64)> = None; // (values, min-oriented obj)
     let mut nodes = 0usize;
+    let mut exhausted = false;
 
     while let Some(node) = heap.pop() {
         nodes += 1;
-        if nodes > NODE_LIMIT {
-            return Err(SolveError::Limit);
+        if nodes > max_nodes {
+            exhausted = true;
+            break;
         }
         // Bound-based prune (the heap may hold stale nodes).
         if let Some((_, best)) = &incumbent {
@@ -116,15 +124,19 @@ pub(crate) fn solve_ilp(model: &Model) -> Result<Solution, SolveError> {
         }
     }
 
-    match incumbent {
-        Some((values, min_obj)) => Ok(Solution::new(values, sense_sign * min_obj)),
-        None => Err(SolveError::Infeasible),
+    match (incumbent, exhausted) {
+        (Some((values, min_obj)), false) => Ok(Solution::new(values, sense_sign * min_obj)),
+        (Some((values, min_obj)), true) => {
+            Ok(Solution::incumbent(values, sense_sign * min_obj))
+        }
+        (None, false) => Err(SolveError::Infeasible),
+        (None, true) => Err(SolveError::Limit),
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use crate::{LinExpr, Model, Rel, SolveError};
+    use crate::{LinExpr, Model, Rel, SolveBudget, SolveError};
 
     #[test]
     fn integer_rounding_matters() {
@@ -141,6 +153,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // index loops mirror the matrix statement
     fn assignment_problem() {
         // 3 tasks x 3 machines, minimize total cost; classic assignment.
         let cost = [[4.0, 2.0, 8.0], [4.0, 3.0, 7.0], [3.0, 1.0, 6.0]];
@@ -220,6 +233,71 @@ mod tests {
         assert_eq!(s.int_value(x), 1);
         assert!((s.value(y) - 1.0).abs() < 1e-6);
         assert!((s.objective() - 3.0).abs() < 1e-6);
+    }
+
+    /// A knapsack whose LP relaxation is fractional at the root: one
+    /// node cannot prove anything, so a budget of 1 yields `Limit`, a
+    /// tight-but-larger budget yields an unproven incumbent, and the
+    /// default budget proves the same optimum.
+    fn knapsack() -> (Model, f64) {
+        let mut m = Model::maximize();
+        let weights = [4.0, 3.0, 5.0, 6.0, 2.0, 7.0];
+        let values = [7.0, 4.0, 8.0, 9.0, 3.0, 10.0];
+        let mut obj = LinExpr::zero();
+        let mut cap = LinExpr::zero();
+        for (i, (&w, &v)) in weights.iter().zip(&values).enumerate() {
+            let x = m.binary(format!("x{i}"));
+            obj += v * x;
+            cap += w * x;
+        }
+        m.constraint(cap, Rel::Le, 11.0);
+        m.objective(obj);
+        (m, 18.0) // x0 + x2 + x4 (4+5+2=11) -> 7+8+3 = 18
+    }
+
+    #[test]
+    fn budget_of_one_cannot_prove_fractional_roots() {
+        let (m, _) = knapsack();
+        assert_eq!(
+            m.solve_with_budget(&SolveBudget::nodes(1)).unwrap_err(),
+            SolveError::Limit
+        );
+    }
+
+    #[test]
+    fn exhausted_budget_returns_best_incumbent() {
+        let (m, optimal) = knapsack();
+        // Find the smallest budget that yields any incumbent; it must be
+        // feasible and flagged unproven or proven-equal-to-optimal.
+        let mut found = false;
+        for budget in 2..40 {
+            if let Ok(s) = m.solve_with_budget(&SolveBudget::nodes(budget)) {
+                found = true;
+                assert!(s.objective() <= optimal + 1e-6);
+                if !s.is_proven_optimal() {
+                    // An anytime answer: feasible, not necessarily optimal.
+                    assert!(s.objective() > 0.0);
+                }
+                break;
+            }
+        }
+        assert!(found, "no budget up to 40 nodes produced an incumbent");
+    }
+
+    #[test]
+    fn default_budget_proves_optimality() {
+        let (m, optimal) = knapsack();
+        let s = m.solve().unwrap();
+        assert!(s.is_proven_optimal());
+        assert!((s.objective() - optimal).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unlimited_budget_matches_default() {
+        let (m, optimal) = knapsack();
+        let s = m.solve_with_budget(&SolveBudget::unlimited()).unwrap();
+        assert!(s.is_proven_optimal());
+        assert!((s.objective() - optimal).abs() < 1e-6);
     }
 
     #[test]

@@ -40,4 +40,4 @@ pub mod simplex;
 mod branch;
 
 pub use expr::{LinExpr, Var};
-pub use model::{Model, Rel, SolveError, Solution};
+pub use model::{Model, Rel, SolveBudget, SolveError, Solution};

@@ -66,11 +66,46 @@ impl fmt::Display for SolveError {
 
 impl std::error::Error for SolveError {}
 
+/// Deterministic resource budget for branch-and-bound.
+///
+/// The solver counts node expansions (LP relaxations solved) and stops
+/// once the budget is exhausted, returning its best incumbent so far —
+/// an *anytime* solve. The count is deterministic for a given model, so
+/// budgeted runs are reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveBudget {
+    /// Maximum branch-and-bound node expansions.
+    pub max_nodes: usize,
+}
+
+impl SolveBudget {
+    /// The default node budget (generous: the paper-eval NFs need well
+    /// under a thousand nodes).
+    pub const DEFAULT_NODES: usize = 200_000;
+
+    /// A budget of exactly `max_nodes` node expansions.
+    pub fn nodes(max_nodes: usize) -> Self {
+        SolveBudget { max_nodes }
+    }
+
+    /// No node limit.
+    pub fn unlimited() -> Self {
+        SolveBudget { max_nodes: usize::MAX }
+    }
+}
+
+impl Default for SolveBudget {
+    fn default() -> Self {
+        SolveBudget { max_nodes: Self::DEFAULT_NODES }
+    }
+}
+
 /// A solved assignment.
 #[derive(Debug, Clone)]
 pub struct Solution {
     values: Vec<f64>,
     objective: f64,
+    proven_optimal: bool,
 }
 
 impl Solution {
@@ -95,8 +130,19 @@ impl Solution {
         self.objective
     }
 
+    /// Whether branch-and-bound ran to completion (`true`) or stopped on
+    /// a [`SolveBudget`] with this solution as its best incumbent
+    /// (`false`). Pure LP solves are always proven optimal.
+    pub fn is_proven_optimal(&self) -> bool {
+        self.proven_optimal
+    }
+
     pub(crate) fn new(values: Vec<f64>, objective: f64) -> Self {
-        Solution { values, objective }
+        Solution { values, objective, proven_optimal: true }
+    }
+
+    pub(crate) fn incumbent(values: Vec<f64>, objective: f64) -> Self {
+        Solution { values, objective, proven_optimal: false }
     }
 }
 
@@ -176,8 +222,17 @@ impl Model {
     }
 
     /// Solve the model: LP directly if no integer variables, otherwise
-    /// branch-and-bound over the LP relaxation.
+    /// branch-and-bound over the LP relaxation (with the default
+    /// [`SolveBudget`]).
     pub fn solve(&self) -> Result<Solution, SolveError> {
+        self.solve_with_budget(&SolveBudget::default())
+    }
+
+    /// Solve under an explicit node-expansion budget. When the budget
+    /// runs out with an incumbent in hand, that incumbent is returned
+    /// (check [`Solution::is_proven_optimal`]); with no incumbent, the
+    /// solve fails with [`SolveError::Limit`].
+    pub fn solve_with_budget(&self, budget: &SolveBudget) -> Result<Solution, SolveError> {
         for v in &self.vars {
             if v.lo > v.hi || v.lo.is_nan() || v.hi.is_nan() || v.lo == f64::INFINITY {
                 return Err(SolveError::BadBounds(v.name.clone()));
@@ -190,7 +245,7 @@ impl Model {
             }
         }
         if self.vars.iter().any(|v| v.integer) {
-            branch::solve_ilp(self)
+            branch::solve_ilp(self, budget.max_nodes)
         } else {
             let bounds: Vec<(f64, f64)> = self.vars.iter().map(|v| (v.lo, v.hi)).collect();
             self.solve_relaxation(&bounds).map(|(values, objective)| {

@@ -4,16 +4,41 @@ use crate::ast::*;
 use crate::tokens::{tokenize, Span, Token, TokenKind};
 use crate::LangError;
 
+/// Hard ceiling on accepted source size. NF sources are a few kilobytes;
+/// anything near this limit is hostile or corrupt input, and rejecting it
+/// up front bounds lexer/parser memory.
+pub const MAX_SOURCE_BYTES: usize = 1 << 20;
+
+/// Maximum nesting depth (parenthesized expressions, unary chains, and
+/// nested blocks each count one level). Bounds parser stack usage so
+/// adversarial input like `((((...` reports an error instead of
+/// overflowing the stack. Each level costs the full precedence-climbing
+/// frame chain, so the ceiling must stay small enough for a default 2 MiB
+/// thread stack even in unoptimized builds; real NF sources nest well
+/// under 20 levels.
+pub const MAX_NESTING_DEPTH: usize = 32;
+
 /// Parse NFC source into an [`NfProgram`] (syntax only; run
 /// [`crate::check`] afterwards, or use [`crate::frontend`]).
 pub fn parse(source: &str) -> Result<NfProgram, LangError> {
+    if source.len() > MAX_SOURCE_BYTES {
+        return Err(LangError::new(
+            format!(
+                "source is {} bytes; the maximum is {MAX_SOURCE_BYTES}",
+                source.len()
+            ),
+            Span { line: 1, col: 1 },
+        ));
+    }
     let tokens = tokenize(source)?;
-    Parser { tokens, pos: 0 }.program()
+    Parser { tokens, pos: 0, depth: 0 }.program()
 }
 
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Current recursion depth (see [`MAX_NESTING_DEPTH`]).
+    depth: usize,
 }
 
 impl Parser {
@@ -70,6 +95,23 @@ impl Parser {
                 self.span(),
             )),
         }
+    }
+
+    /// Bump the nesting depth, erroring out (instead of risking a stack
+    /// overflow) past [`MAX_NESTING_DEPTH`]. Pair with [`Self::descend`].
+    fn ascend(&mut self) -> Result<(), LangError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            return Err(LangError::new(
+                format!("nesting deeper than {MAX_NESTING_DEPTH} levels"),
+                self.span(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn descend(&mut self) {
+        self.depth -= 1;
     }
 
     fn int_literal(&mut self) -> Result<u64, LangError> {
@@ -208,14 +250,23 @@ impl Parser {
     // ---- statements ---------------------------------------------------
 
     fn block(&mut self) -> Result<Block, LangError> {
+        self.ascend()?;
         self.expect(TokenKind::LBrace)?;
         let mut stmts = Vec::new();
         while !self.eat(&TokenKind::RBrace) {
             if self.peek() == &TokenKind::Eof {
+                self.descend();
                 return Err(LangError::new("unclosed block", self.span()));
             }
-            stmts.push(self.stmt()?);
+            match self.stmt() {
+                Ok(s) => stmts.push(s),
+                Err(e) => {
+                    self.descend();
+                    return Err(e);
+                }
+            }
         }
+        self.descend();
         Ok(Block { stmts })
     }
 
@@ -298,7 +349,10 @@ impl Parser {
     // ---- expressions (precedence climbing) ----------------------------
 
     fn expr(&mut self) -> Result<Expr, LangError> {
-        self.logical_or()
+        self.ascend()?;
+        let result = self.logical_or();
+        self.descend();
+        result
     }
 
     fn binary_level<F>(
@@ -393,13 +447,20 @@ impl Parser {
 
     fn unary(&mut self) -> Result<Expr, LangError> {
         let span = self.span();
-        if self.eat(&TokenKind::Bang) {
-            let inner = self.unary()?;
-            return Ok(Expr { kind: ExprKind::Unary(UnOp::Not, Box::new(inner)), span });
-        }
-        if self.eat(&TokenKind::Minus) {
-            let inner = self.unary()?;
-            return Ok(Expr { kind: ExprKind::Unary(UnOp::Neg, Box::new(inner)), span });
+        let op = if self.eat(&TokenKind::Bang) {
+            Some(UnOp::Not)
+        } else if self.eat(&TokenKind::Minus) {
+            Some(UnOp::Neg)
+        } else {
+            None
+        };
+        if let Some(op) = op {
+            // Unary chains (`!!!!x`) recurse outside `expr`; they count
+            // against the same nesting budget.
+            self.ascend()?;
+            let inner = self.unary();
+            self.descend();
+            return Ok(Expr { kind: ExprKind::Unary(op, Box::new(inner?)), span });
         }
         self.postfix()
     }
@@ -628,6 +689,59 @@ mod tests {
     #[test]
     fn rejects_trailing_tokens() {
         assert!(parse("nf t { } extra").is_err());
+    }
+
+    #[test]
+    fn deep_paren_nesting_errors_instead_of_overflowing() {
+        let deep = format!("{}1{}", "(".repeat(10_000), ")".repeat(10_000));
+        let err = parse(&format!(
+            "nf t {{ fn handle(pkt: packet) -> action {{ let x: u64 = {deep}; return drop; }} }}"
+        ))
+        .unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn deep_unary_chain_errors_instead_of_overflowing() {
+        let deep = format!("{}true", "!".repeat(10_000));
+        let err = parse(&format!(
+            "nf t {{ fn handle(pkt: packet) -> action {{ let x: bool = {deep}; return drop; }} }}"
+        ))
+        .unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn deep_block_nesting_errors_instead_of_overflowing() {
+        let body = format!(
+            "{}return drop;{}",
+            "if (1 == 1) { ".repeat(10_000),
+            " } ".repeat(10_000)
+        );
+        let err = parse(&format!(
+            "nf t {{ fn handle(pkt: packet) -> action {{ {body} return drop; }} }}"
+        ))
+        .unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn moderate_nesting_still_parses() {
+        let depth = 20;
+        let expr = format!("{}1{}", "(".repeat(depth), ")".repeat(depth));
+        assert!(parse(&format!(
+            "nf t {{ fn handle(pkt: packet) -> action {{ let x: u64 = {expr}; return drop; }} }}"
+        ))
+        .is_ok());
+    }
+
+    #[test]
+    fn oversized_source_is_rejected_up_front() {
+        let mut src = String::from("nf t { ");
+        src.push_str(&" ".repeat(MAX_SOURCE_BYTES));
+        src.push('}');
+        let err = parse(&src).unwrap_err();
+        assert!(err.message.contains("maximum"), "{err}");
     }
 
     #[test]

@@ -262,10 +262,10 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LangError> {
                     bump!();
                     bump!();
                     let mut any = false;
-                    while i < chars.len() && chars[i].is_ascii_hexdigit() {
+                    while let Some(d) = chars.get(i).and_then(|c| c.to_digit(16)) {
                         value = value
                             .checked_mul(16)
-                            .and_then(|v| v.checked_add(chars[i].to_digit(16).unwrap() as u64))
+                            .and_then(|v| v.checked_add(d as u64))
                             .ok_or_else(|| LangError::new("integer literal overflows u64", span))?;
                         any = true;
                         bump!();
@@ -275,12 +275,11 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LangError> {
                     }
                 } else {
                     while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
-                        if chars[i] != '_' {
+                        // `_` separators yield no digit and are skipped.
+                        if let Some(d) = chars[i].to_digit(10) {
                             value = value
                                 .checked_mul(10)
-                                .and_then(|v| {
-                                    v.checked_add(chars[i].to_digit(10).unwrap() as u64)
-                                })
+                                .and_then(|v| v.checked_add(d as u64))
                                 .ok_or_else(|| {
                                     LangError::new("integer literal overflows u64", span)
                                 })?;

@@ -148,7 +148,9 @@ impl<'a> Checker<'a> {
             out.retain(|n| self.program.function(n).is_some());
             edges.insert(&f.name, out);
         }
-        // Detect cycles with colors.
+        // Detect cycles with colors. The DFS is iterative: the call graph's
+        // depth is not bounded by the parser's nesting limit, so a long
+        // chain of functions must not overflow the checker's stack.
         #[derive(Clone, Copy, PartialEq)]
         enum Color {
             White,
@@ -157,41 +159,41 @@ impl<'a> Checker<'a> {
         }
         let mut color: HashMap<&str, Color> =
             edges.keys().map(|&k| (k, Color::White)).collect();
-        fn visit<'s>(
-            node: &'s str,
-            edges: &'s HashMap<&str, Vec<String>>,
-            color: &mut HashMap<&'s str, Color>,
-        ) -> bool {
-            color.insert(node, Color::Gray);
-            if let Some(nexts) = edges.get(node) {
-                for next in nexts {
-                    let key: &str = edges.keys().find(|k| **k == next.as_str()).unwrap();
-                    match color[key] {
-                        Color::Gray => return false,
-                        Color::White => {
-                            if !visit(key, edges, color) {
-                                return false;
-                            }
-                        }
-                        Color::Black => {}
-                    }
-                }
-            }
-            color.insert(node, Color::Black);
-            true
-        }
         for f in &self.program.functions {
-            if color[f.name.as_str()] == Color::White
-                && !visit(
-                    edges.keys().find(|k| **k == f.name.as_str()).unwrap(),
-                    &edges,
-                    &mut color,
-                )
-            {
-                return Err(LangError::new(
-                    "recursive functions are not supported (bodies are inlined)",
-                    f.span,
-                ));
+            let root = f.name.as_str();
+            if color.get(root) != Some(&Color::White) {
+                continue;
+            }
+            color.insert(root, Color::Gray);
+            // Explicit DFS stack of (node, next outgoing edge to try).
+            let mut stack: Vec<(&str, usize)> = vec![(root, 0)];
+            while let Some((node, idx)) = stack.pop() {
+                let nexts = edges.get(node).map(Vec::as_slice).unwrap_or(&[]);
+                if idx >= nexts.len() {
+                    color.insert(node, Color::Black);
+                    continue;
+                }
+                stack.push((node, idx + 1));
+                // `out.retain` above kept only calls to known functions;
+                // a key miss would mean an edge to nowhere — skip it
+                // rather than panic.
+                let Some(&key) = edges.keys().find(|k| **k == nexts[idx].as_str())
+                else {
+                    continue;
+                };
+                match color.get(key).copied().unwrap_or(Color::Black) {
+                    Color::Gray => {
+                        return Err(LangError::new(
+                            "recursive functions are not supported (bodies are inlined)",
+                            f.span,
+                        ))
+                    }
+                    Color::White => {
+                        color.insert(key, Color::Gray);
+                        stack.push((key, 0));
+                    }
+                    Color::Black => {}
+                }
             }
         }
         Ok(())

@@ -7,7 +7,7 @@
 //! `ablation_greedy_vs_ilp` bench quantifies.
 
 use crate::cost::{eligible_units, node_compute_cost, state_access_cost, CostCtx};
-use crate::input::{MapError, MapInput, Mapping, UnitChoice};
+use crate::input::{MapError, MapInput, Mapping, MappingQuality, UnitChoice};
 
 /// Map greedily (see module docs).
 pub fn greedy_map(input: &MapInput<'_>) -> Result<Mapping, MapError> {
@@ -85,7 +85,12 @@ pub fn greedy_map(input: &MapInput<'_>) -> Result<Mapping, MapError> {
         node_unit.push(best.0);
     }
 
-    Ok(Mapping { node_unit, state_mem, latency_cycles: total })
+    Ok(Mapping {
+        node_unit,
+        state_mem,
+        latency_cycles: total,
+        quality: MappingQuality::GreedyFallback,
+    })
 }
 
 #[cfg(test)]

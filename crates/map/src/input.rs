@@ -82,6 +82,31 @@ impl fmt::Display for UnitChoice {
     }
 }
 
+/// How trustworthy a [`Mapping`] is — the degradation ladder the solver
+/// walks when its budget runs out (Optimal → Incumbent → GreedyFallback).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappingQuality {
+    /// Branch-and-bound ran to completion: proven optimal.
+    Optimal,
+    /// The node budget ran out; this is the best integer-feasible
+    /// incumbent found. Feasible, but optimality is unproven.
+    Incumbent,
+    /// The ILP was infeasible or produced no incumbent in budget; the
+    /// greedy first-fit mapper supplied this answer. Feasible for
+    /// placement, but it ignores shared-resource utilization.
+    GreedyFallback,
+}
+
+impl fmt::Display for MappingQuality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingQuality::Optimal => write!(f, "optimal"),
+            MappingQuality::Incumbent => write!(f, "incumbent (budget exhausted)"),
+            MappingQuality::GreedyFallback => write!(f, "greedy fallback"),
+        }
+    }
+}
+
 /// The solved mapping.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Mapping {
@@ -92,6 +117,8 @@ pub struct Mapping {
     /// The objective: expected per-packet latency in cycles (including
     /// the fixed per-packet hub overhead).
     pub latency_cycles: f64,
+    /// Confidence in this mapping (see [`MappingQuality`]).
+    pub quality: MappingQuality,
 }
 
 impl Mapping {
@@ -108,6 +135,7 @@ impl Mapping {
             ));
         }
         out.push_str(&format!("expected latency: {:.0} cycles/packet\n", self.latency_cycles));
+        out.push_str(&format!("solution quality: {}\n", self.quality));
         out
     }
 }
@@ -121,6 +149,9 @@ pub enum MapError {
     Solver(clara_ilp::SolveError),
     /// Input shape error.
     BadInput(String),
+    /// An internal invariant was violated (a bug, reported instead of
+    /// panicking).
+    Internal(String),
 }
 
 impl fmt::Display for MapError {
@@ -129,6 +160,7 @@ impl fmt::Display for MapError {
             MapError::Infeasible(m) => write!(f, "mapping infeasible: {m}"),
             MapError::Solver(e) => write!(f, "ILP solver error: {e}"),
             MapError::BadInput(m) => write!(f, "bad mapping input: {m}"),
+            MapError::Internal(m) => write!(f, "internal mapping error: {m}"),
         }
     }
 }

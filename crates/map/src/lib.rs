@@ -36,5 +36,7 @@ pub mod solve;
 
 pub use cost::{node_compute_cost, state_access_cost, CostCtx};
 pub use greedy::greedy_map;
-pub use input::{MapError, MapInput, Mapping, StateClass, StateSpec, UnitChoice};
-pub use solve::solve_mapping;
+pub use input::{MapError, MapInput, Mapping, MappingQuality, StateClass, StateSpec, UnitChoice};
+pub use solve::{solve_mapping, solve_mapping_with_budget};
+
+pub use clara_ilp::SolveBudget;

@@ -1,8 +1,9 @@
 //! The ILP formulation (Π, Γ, Θ) and solution extraction.
 
 use crate::cost::{eligible_units, node_compute_cost, state_access_cost, CostCtx};
-use crate::input::{MapError, MapInput, Mapping, UnitChoice};
-use clara_ilp::{LinExpr, Model, Rel, Var};
+use crate::greedy::greedy_map;
+use crate::input::{MapError, MapInput, Mapping, MappingQuality, UnitChoice};
+use clara_ilp::{LinExpr, Model, Rel, SolveBudget, SolveError, Var};
 use clara_lnic::AccelKind;
 
 /// Fraction of cluster SRAM reserved for packet buffers rather than NF
@@ -12,8 +13,37 @@ const CTM_STATE_FRACTION: f64 = 0.5;
 /// Utilization ceiling for the Θ (queueing) constraints.
 const MAX_UTILIZATION: f64 = 0.95;
 
-/// Solve the mapping ILP for `input`.
+/// Solve the mapping ILP for `input` with the default [`SolveBudget`].
 pub fn solve_mapping(input: &MapInput<'_>) -> Result<Mapping, MapError> {
+    solve_mapping_with_budget(input, &SolveBudget::default())
+}
+
+/// Solve the mapping ILP under an explicit node budget, degrading
+/// gracefully rather than failing:
+///
+/// 1. branch-and-bound completes → [`MappingQuality::Optimal`];
+/// 2. the budget runs out with an incumbent → that feasible mapping,
+///    tagged [`MappingQuality::Incumbent`];
+/// 3. the ILP is infeasible or yields no incumbent in budget → the
+///    greedy first-fit mapping, tagged [`MappingQuality::GreedyFallback`].
+///
+/// Only when the greedy mapper *also* fails (e.g. a state that fits in
+/// no region) is the original error reported.
+pub fn solve_mapping_with_budget(
+    input: &MapInput<'_>,
+    budget: &SolveBudget,
+) -> Result<Mapping, MapError> {
+    match solve_mapping_ilp(input, budget) {
+        Ok(mapping) => Ok(mapping),
+        Err(err @ (MapError::Infeasible(_) | MapError::Solver(SolveError::Limit))) => {
+            greedy_map(input).map_err(|_| err)
+        }
+        Err(other) => Err(other),
+    }
+}
+
+/// Build and solve the ILP itself (no fallback).
+fn solve_mapping_ilp(input: &MapInput<'_>, budget: &SolveBudget) -> Result<Mapping, MapError> {
     let graph = input.graph;
     let params = input.params;
     let ctx = CostCtx::from_input(input);
@@ -207,7 +237,7 @@ pub fn solve_mapping(input: &MapInput<'_>) -> Result<Mapping, MapError> {
     }
 
     model.objective(objective);
-    let solution = model.solve().map_err(MapError::from)?;
+    let solution = model.solve_with_budget(budget).map_err(MapError::from)?;
 
     let node_unit: Vec<UnitChoice> = x
         .iter()
@@ -215,20 +245,29 @@ pub fn solve_mapping(input: &MapInput<'_>) -> Result<Mapping, MapError> {
             row.iter()
                 .find(|(_, v)| solution.value(*v) > 0.5)
                 .map(|(u, _)| *u)
-                .expect("Σx = 1 guarantees a choice")
+                .ok_or_else(|| {
+                    MapError::Internal("Σx = 1 violated: node without a unit choice".into())
+                })
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
     let state_mem: Vec<usize> = y
         .iter()
         .map(|row| {
             row.iter()
                 .find(|(_, v)| solution.value(*v) > 0.5)
                 .map(|(m, _)| *m)
-                .expect("Σy = 1 guarantees a placement")
+                .ok_or_else(|| {
+                    MapError::Internal("Σy = 1 violated: state without a placement".into())
+                })
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
 
-    Ok(Mapping { node_unit, state_mem, latency_cycles: solution.objective() })
+    let quality = if solution.is_proven_optimal() {
+        MappingQuality::Optimal
+    } else {
+        MappingQuality::Incumbent
+    };
+    Ok(Mapping { node_unit, state_mem, latency_cycles: solution.objective(), quality })
 }
 
 #[cfg(test)]
@@ -468,6 +507,55 @@ mod tests {
                 mapping.node_unit
             );
         }
+    }
+
+    #[test]
+    fn budget_of_one_falls_back_to_greedy() {
+        // The acceptance bar for the anytime ladder: a node budget of 1
+        // still yields a *feasible* mapping, honestly tagged as greedy.
+        let src = r#"nf nat {
+            state flow_table: map<u64, u64>[65536];
+            fn handle(pkt: packet) -> action {
+                dpdk.parse_headers(pkt);
+                let ck: u16 = checksum(pkt);
+                let key: u64 = hash(pkt.src_ip, pkt.src_port);
+                let entry: u64 = flow_table.lookup(key);
+                if (entry == 0) { flow_table.insert(key, entry); }
+                return forward;
+            } }"#;
+        let graph = graph_of(src);
+        let p = params();
+        let states = vec![StateSpec {
+            name: "flow_table".into(),
+            class: StateClass::ExactMatch,
+            entries: 65536,
+            size_bytes: 65536 * 24,
+        }];
+        let hits = uniform_hits(1, p, 0.5);
+        let inp = input(&graph, states, p, hits);
+
+        let starved = solve_mapping_with_budget(&inp, &SolveBudget::nodes(1)).unwrap();
+        assert_eq!(starved.quality, MappingQuality::GreedyFallback);
+        assert_eq!(starved.node_unit.len(), graph.nodes.len());
+        assert!(starved.state_mem.iter().all(|&m| m < p.mems.len()));
+
+        // The default budget proves optimality and the mapping is
+        // unchanged from plain solve_mapping.
+        let full = solve_mapping(&inp).unwrap();
+        assert_eq!(full.quality, MappingQuality::Optimal);
+        let explicit = solve_mapping_with_budget(&inp, &SolveBudget::default()).unwrap();
+        assert_eq!(explicit, full);
+    }
+
+    #[test]
+    fn report_states_solution_quality() {
+        let src = r#"nf pass {
+            fn handle(pkt: packet) -> action { return forward; } }"#;
+        let graph = graph_of(src);
+        let p = params();
+        let inp = input(&graph, vec![], p, vec![]);
+        let mapping = solve_mapping(&inp).unwrap();
+        assert!(mapping.report(&inp).contains("solution quality: optimal"));
     }
 
     #[test]

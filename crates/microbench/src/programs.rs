@@ -81,7 +81,7 @@ pub fn memory_latency_vs_working_set(
         // The touched working set is one entry per flow, so flows must
         // scale with the target size, and packets must revisit each flow
         // several times or nothing is ever warm.
-        let flows = ((ws / entry_bytes).max(8)).min(600_000);
+        let flows = (ws / entry_bytes).clamp(8, 600_000);
         let packets = (6 * flows).clamp(500, 1_500_000);
         let trace = cal_trace(packets, flows, 64, 11);
         let base = npu_prog(vec![], vec![table.clone()]);

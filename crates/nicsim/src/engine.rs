@@ -9,6 +9,7 @@
 //! and packet rate all shape the measured latencies, exactly the factors
 //! §2.1 lists as making offloaded performance hard to predict.
 
+use crate::fault::{FaultPlan, TRUNCATED_PAYLOAD_BYTES};
 use crate::memory::{Cache, MemorySim};
 use crate::program::{MicroOp, NicProgram, Stage, StageUnit};
 use clara_lnic::{AccelKind, ComputeClass, Lnic, MemId, MemKind, UnitId};
@@ -54,8 +55,16 @@ pub struct SimResult {
     pub packets: usize,
     /// Packets that completed processing.
     pub completed: usize,
-    /// Packets dropped at the ingress queue.
+    /// Packets dropped at the ingress queue (overflow).
     pub dropped: usize,
+    /// Packets dropped because a required accelerator was offline
+    /// (fault injection).
+    pub accel_drops: usize,
+    /// Packets dropped as corrupt at ingress (fault injection).
+    pub corrupt_drops: usize,
+    /// Packets that arrived truncated but were still processed
+    /// (fault injection).
+    pub truncated: usize,
     /// Mean per-packet latency in NIC cycles.
     pub avg_latency_cycles: f64,
     /// Median latency in cycles.
@@ -95,19 +104,57 @@ struct ThreadRt {
     free_at: u64,
 }
 
-/// Run `prog` over `trace` on `nic`.
+/// Run `prog` over `trace` on `nic` with healthy hardware.
 pub fn simulate(nic: &Lnic, prog: &NicProgram, trace: &Trace) -> Result<SimResult, SimError> {
+    simulate_with_faults(nic, prog, trace, &FaultPlan::none())
+}
+
+/// Run `prog` over `trace` on `nic` under a [`FaultPlan`].
+///
+/// Faults degrade the run instead of failing it: unserviceable packets are
+/// dropped and counted ([`SimResult::accel_drops`],
+/// [`SimResult::corrupt_drops`], [`SimResult::dropped`]), survivors see
+/// the degraded latency. Errors are reserved for setup problems (an
+/// invalid program, a region the NIC lacks, zero usable threads).
+pub fn simulate_with_faults(
+    nic: &Lnic,
+    prog: &NicProgram,
+    trace: &Trace,
+    faults: &FaultPlan,
+) -> Result<SimResult, SimError> {
     prog.validate().map_err(SimError::BadProgram)?;
 
     let mut mem = MemorySim::new(nic);
 
-    // Resolve accelerators once.
+    let emem = nic.memory_named("emem").or_else(|| {
+        nic.memories()
+            .iter()
+            .position(|m| m.kind == MemKind::External)
+            .map(MemId)
+    });
+    if faults.disable_emem_cache {
+        if let Some(e) = emem {
+            mem.disable_cache(e);
+        }
+    }
+
+    // Resolve accelerators once; offline engines are simply absent.
     let mut accels: HashMap<AccelKind, (UnitId, u64)> = HashMap::new(); // unit, free_at
     for kind in [AccelKind::Checksum, AccelKind::Crypto, AccelKind::FlowCache, AccelKind::Lpm] {
+        if faults.is_offline(kind) {
+            continue;
+        }
         if let Some(&u) = nic.accelerators(kind).first() {
             accels.insert(kind, (u, 0));
         }
     }
+    // Packets whose program calls an offline engine cannot be serviced;
+    // they are dropped at ingress (and counted), never a panic. The flow
+    // cache is excluded: its loss degrades table lookups instead.
+    let offline_required = prog
+        .required_accels()
+        .iter()
+        .any(|&k| faults.is_offline(k) && !nic.accelerators(k).is_empty());
 
     // Resolve tables.
     let fc_region_capacity = nic
@@ -119,7 +166,11 @@ pub fn simulate(nic: &Lnic, prog: &NicProgram, trace: &Trace) -> Result<SimResul
             .memory_named(&cfg.mem)
             .ok_or_else(|| SimError::UnknownRegion(cfg.mem.clone()))?;
         let base = mem.alloc(mem_id, cfg.size_bytes() as u64);
-        let fc = if cfg.use_flow_cache {
+        let fc = if cfg.use_flow_cache && faults.is_offline(AccelKind::FlowCache) {
+            // Outage: lookups fall back to the backing memory (degraded
+            // latency, not an error).
+            None
+        } else if cfg.use_flow_cache {
             if !accels.contains_key(&AccelKind::FlowCache) {
                 return Err(SimError::MissingAccelerator("flow-cache".into()));
             }
@@ -150,6 +201,11 @@ pub fn simulate(nic: &Lnic, prog: &NicProgram, trace: &Trace) -> Result<SimResul
             }
         }
     }
+    // Fault injection: wedged threads are unavailable for dispatch.
+    if faults.dead_threads > 0 {
+        let keep = threads.len().saturating_sub(faults.dead_threads);
+        threads.truncate(keep);
+    }
     if threads.is_empty() {
         return Err(SimError::NoThreads);
     }
@@ -157,7 +213,9 @@ pub fn simulate(nic: &Lnic, prog: &NicProgram, trace: &Trace) -> Result<SimResul
     // Hubs: first hub is ingress, second (if any) egress.
     let ingress = nic.hubs().first();
     let egress = nic.hubs().get(1).or(ingress);
-    let ingress_capacity = ingress.map(|h| h.queue_capacity).unwrap_or(usize::MAX);
+    let ingress_capacity = faults
+        .ingress_capacity
+        .unwrap_or_else(|| ingress.map(|h| h.queue_capacity).unwrap_or(usize::MAX));
 
     let freq = nic.freq_ghz;
     let to_cycles = |ns: u64| -> u64 { (ns as f64 * freq).round() as u64 };
@@ -165,6 +223,9 @@ pub fn simulate(nic: &Lnic, prog: &NicProgram, trace: &Trace) -> Result<SimResul
     let mut latencies: Vec<u64> = Vec::with_capacity(trace.len());
     let mut stage_totals = vec![0u64; prog.stages.len()];
     let mut dropped = 0usize;
+    let mut accel_drops = 0usize;
+    let mut corrupt_drops = 0usize;
+    let mut truncated = 0usize;
     let mut busy_cycles = 0u64;
     let mut pending_starts: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
     let mut first_arrival = None;
@@ -172,16 +233,22 @@ pub fn simulate(nic: &Lnic, prog: &NicProgram, trace: &Trace) -> Result<SimResul
     let mut fc_hits = 0u64;
     let mut fc_misses = 0u64;
 
-    let emem = nic.memory_named("emem").or_else(|| {
-        nic.memories()
-            .iter()
-            .position(|m| m.kind == MemKind::External)
-            .map(MemId)
-    });
-
-    for tp in trace.iter() {
+    for (pkt_idx, tp) in trace.iter().enumerate() {
         let arrival = to_cycles(tp.ts_ns);
         first_arrival.get_or_insert(arrival);
+
+        // Fault injection: corrupt frames fail the ingress CRC check and
+        // are discarded before queueing.
+        if faults.corrupt_every > 0 && (pkt_idx as u64 + 1).is_multiple_of(faults.corrupt_every) {
+            corrupt_drops += 1;
+            continue;
+        }
+        // Fault injection: a packet that needs an offline engine cannot
+        // be serviced — discard it instead of wedging a thread.
+        if offline_required {
+            accel_drops += 1;
+            continue;
+        }
 
         // Ingress queue: packets that arrived earlier but have not started.
         while pending_starts.peek().is_some_and(|&Reverse(s)| s <= arrival) {
@@ -202,9 +269,25 @@ pub fn simulate(nic: &Lnic, prog: &NicProgram, trace: &Trace) -> Result<SimResul
         let unit = threads[tid].unit;
         let island = threads[tid].island;
 
-        let payload_len = tp.spec.payload_len as u64;
-        let wire_len = tp.spec.wire_len() as u64;
+        let mut payload_len = tp.spec.payload_len as u64;
+        let mut wire_len = tp.spec.wire_len() as u64;
+        // Fault injection: truncated frames keep only a runt payload; the
+        // program still runs, over the bytes that actually arrived.
+        if faults.truncate_every > 0 && (pkt_idx as u64 + 1).is_multiple_of(faults.truncate_every) {
+            truncated += 1;
+            let headers = wire_len.saturating_sub(payload_len);
+            payload_len = payload_len.min(TRUNCATED_PAYLOAD_BYTES);
+            wire_len = headers + payload_len;
+        }
         let payload_seed = tp.spec.payload_seed;
+
+        // Fault injection: a co-tenant wipes the EMEM cache between
+        // packets, so no working set survives.
+        if faults.thrash_emem_cache {
+            if let Some(e) = emem {
+                mem.flush_cache(e);
+            }
+        }
 
         let mut cur = start + ingress.map(|h| h.latency).unwrap_or(0);
         for (si, stage) in prog.stages.iter().enumerate() {
@@ -224,6 +307,7 @@ pub fn simulate(nic: &Lnic, prog: &NicProgram, trace: &Trace) -> Result<SimResul
                 emem,
                 &mut fc_hits,
                 &mut fc_misses,
+                faults.accel_stall_for(&stage.unit),
             )?;
             stage_totals[si] += cost;
             cur += cost;
@@ -271,6 +355,9 @@ pub fn simulate(nic: &Lnic, prog: &NicProgram, trace: &Trace) -> Result<SimResul
         packets: trace.len(),
         completed,
         dropped,
+        accel_drops,
+        corrupt_drops,
+        truncated,
         avg_latency_cycles: avg,
         p50_latency_cycles: pct(0.5),
         p99_latency_cycles: pct(0.99),
@@ -317,6 +404,7 @@ fn stage_cost(
     emem: Option<MemId>,
     fc_hits: &mut u64,
     fc_misses: &mut u64,
+    accel_stall: u64,
 ) -> Result<u64, SimError> {
     match stage.unit {
         StageUnit::Accel(kind) => {
@@ -334,7 +422,8 @@ fn stage_cost(
             for op in &stage.ops {
                 let MicroOp::AccelCall { bytes } = op else { continue };
                 let n = bytes.resolve(payload_len, wire_len);
-                let service = curve.service_cycles(n as usize);
+                // A wedged engine stalls for extra cycles on every call.
+                let service = curve.service_cycles(n as usize) + accel_stall;
                 let begin = (stage_start + total).max(server_free);
                 let wait = begin - (stage_start + total);
                 server_free = begin + service;
@@ -837,6 +926,223 @@ mod tests {
             simulate(&nic, &npu_stage(vec![MicroOp::Compute { cycles: 10_000 }]), &trace(200))
                 .unwrap();
         assert!(heavy.energy_mj > 5.0 * light.energy_mj);
+    }
+
+    #[test]
+    fn faulted_run_degrades_without_panicking() {
+        // The acceptance scenario: one accelerator offline and NPU
+        // threads lost. The run completes, reports drops, and survivors
+        // see degraded latency — no panic anywhere.
+        let nic = nic();
+        let prog = NicProgram {
+            name: "nat".into(),
+            tables: vec![TableCfg {
+                name: "flows".into(),
+                mem: "emem".into(),
+                entry_bytes: 24,
+                entries: 65536,
+                use_flow_cache: true,
+            }],
+            stages: vec![
+                Stage {
+                    name: "lookup".into(),
+                    unit: StageUnit::Npu,
+                    ops: vec![
+                        MicroOp::ParseHeader,
+                        MicroOp::Hash { count: 1 },
+                        MicroOp::TableLookup { table: 0 },
+                    ],
+                },
+                Stage {
+                    name: "ck".into(),
+                    unit: StageUnit::Accel(AccelKind::Checksum),
+                    ops: vec![MicroOp::AccelCall { bytes: BytesSpec::Frame }],
+                },
+            ],
+        };
+        let t = trace(500);
+        let healthy = simulate(&nic, &prog, &t).unwrap();
+        assert_eq!(healthy.completed, 500);
+
+        // Checksum engine down: every packet needs it, so all are counted
+        // as accelerator drops.
+        let outage = FaultPlan {
+            accel_outage: vec![AccelKind::Checksum],
+            dead_threads: 1,
+            ..FaultPlan::none()
+        };
+        let r = simulate_with_faults(&nic, &prog, &t, &outage).unwrap();
+        assert_eq!(r.accel_drops, 500);
+        assert_eq!(r.completed, 0);
+
+        // Flow-cache engine down instead: packets survive but lookups
+        // degrade to the backing memory.
+        let fc_down = FaultPlan {
+            accel_outage: vec![AccelKind::FlowCache],
+            dead_threads: 1,
+            ..FaultPlan::none()
+        };
+        let r = simulate_with_faults(&nic, &prog, &t, &fc_down).unwrap();
+        assert_eq!(r.completed, 500);
+        assert_eq!(r.accel_drops, 0);
+        assert!(
+            r.avg_latency_cycles > healthy.avg_latency_cycles,
+            "faulted {} vs healthy {}",
+            r.avg_latency_cycles,
+            healthy.avg_latency_cycles
+        );
+    }
+
+    #[test]
+    fn accel_stall_inflates_service_time() {
+        let nic = nic();
+        let prog = NicProgram {
+            name: "ck".into(),
+            tables: vec![],
+            stages: vec![Stage {
+                name: "ck".into(),
+                unit: StageUnit::Accel(AccelKind::Checksum),
+                ops: vec![MicroOp::AccelCall { bytes: BytesSpec::Frame }],
+            }],
+        };
+        let t = trace(100);
+        let healthy = simulate(&nic, &prog, &t).unwrap().avg_latency_cycles;
+        let stalled = simulate_with_faults(
+            &nic,
+            &prog,
+            &t,
+            &FaultPlan {
+                accel_stall: vec![(AccelKind::Checksum, 2_000)],
+                ..FaultPlan::none()
+            },
+        )
+        .unwrap()
+        .avg_latency_cycles;
+        assert!(
+            stalled >= healthy + 2_000.0,
+            "stalled {stalled} healthy {healthy}"
+        );
+    }
+
+    #[test]
+    fn emem_cache_faults_degrade_lookups() {
+        let nic = nic();
+        let prog = NicProgram {
+            name: "fw".into(),
+            tables: vec![TableCfg {
+                name: "t".into(),
+                mem: "emem".into(),
+                entry_bytes: 16,
+                entries: 4096,
+                use_flow_cache: false,
+            }],
+            stages: vec![Stage {
+                name: "lookup".into(),
+                unit: StageUnit::Npu,
+                ops: vec![MicroOp::TableLookup { table: 0 }],
+            }],
+        };
+        // Few flows: the healthy EMEM cache converges to hits.
+        let t = TraceGenerator::new(11)
+            .packets(1000)
+            .flows(20)
+            .syn_on_first(false)
+            .generate();
+        let healthy = simulate(&nic, &prog, &t).unwrap();
+        let disabled = simulate_with_faults(
+            &nic,
+            &prog,
+            &t,
+            &FaultPlan { disable_emem_cache: true, ..FaultPlan::none() },
+        )
+        .unwrap();
+        let thrashed = simulate_with_faults(
+            &nic,
+            &prog,
+            &t,
+            &FaultPlan { thrash_emem_cache: true, ..FaultPlan::none() },
+        )
+        .unwrap();
+        assert!(disabled.emem_cache.is_none());
+        assert!(disabled.avg_latency_cycles > healthy.avg_latency_cycles);
+        assert!(thrashed.avg_latency_cycles > healthy.avg_latency_cycles);
+        // Thrash keeps the cache alive but useless: hits stay rare.
+        let (hits, misses) = thrashed.emem_cache.unwrap();
+        assert!(misses > hits, "hits {hits} misses {misses}");
+    }
+
+    #[test]
+    fn shrunken_ingress_queue_drops_bursts() {
+        let prog = npu_stage(vec![MicroOp::Compute { cycles: 50_000 }]);
+        let nic = nic();
+        let t = TraceGenerator::new(13)
+            .packets(2000)
+            .flows(5)
+            .rate_pps(5_000_000.0)
+            .syn_on_first(false)
+            .generate();
+        let healthy = simulate(&nic, &prog, &t).unwrap();
+        let squeezed = simulate_with_faults(
+            &nic,
+            &prog,
+            &t,
+            &FaultPlan { ingress_capacity: Some(4), ..FaultPlan::none() },
+        )
+        .unwrap();
+        assert!(
+            squeezed.dropped > healthy.dropped,
+            "squeezed {} healthy {}",
+            squeezed.dropped,
+            healthy.dropped
+        );
+        assert!(squeezed.completed + squeezed.dropped == 2000);
+    }
+
+    #[test]
+    fn corrupt_and_truncated_packets_counted() {
+        let nic = nic();
+        let prog = npu_stage(vec![MicroOp::StreamPayload { table: None, loop_overhead: 0 }]);
+        let t = TraceGenerator::new(17)
+            .packets(100)
+            .sizes(SizeDist::Fixed(1400))
+            .syn_on_first(false)
+            .generate();
+
+        let corrupt = simulate_with_faults(
+            &nic,
+            &prog,
+            &t,
+            &FaultPlan { corrupt_every: 10, ..FaultPlan::none() },
+        )
+        .unwrap();
+        assert_eq!(corrupt.corrupt_drops, 10);
+        assert_eq!(corrupt.completed, 90);
+
+        let healthy = simulate(&nic, &prog, &t).unwrap();
+        let runt = simulate_with_faults(
+            &nic,
+            &prog,
+            &t,
+            &FaultPlan { truncate_every: 1, ..FaultPlan::none() },
+        )
+        .unwrap();
+        assert_eq!(runt.truncated, 100);
+        assert_eq!(runt.completed, 100);
+        // Runts carry less payload: the stream stage has less to do.
+        assert!(runt.avg_latency_cycles < healthy.avg_latency_cycles);
+    }
+
+    #[test]
+    fn losing_every_thread_is_an_error_not_a_panic() {
+        let prog = npu_stage(vec![MicroOp::ParseHeader]);
+        let err = simulate_with_faults(
+            &nic(),
+            &prog,
+            &trace(10),
+            &FaultPlan { dead_threads: usize::MAX, ..FaultPlan::none() },
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::NoThreads);
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Fault injection: degraded-hardware scenarios for robustness studies.
+//!
+//! A [`FaultPlan`] describes what is broken on the NIC (or in the traffic)
+//! during a run. The engine absorbs every fault gracefully: packets that
+//! cannot be serviced are *dropped and counted*, and surviving packets see
+//! honestly degraded latency — the simulator never panics because hardware
+//! misbehaves. This mirrors how a real SmartNIC fails in production
+//! (engines wedge, threads are stolen by firmware, caches are thrashed by
+//! co-tenants, queues overflow, frames arrive truncated).
+
+use clara_lnic::AccelKind;
+
+/// Everything that can be broken during one simulation run.
+///
+/// The default plan injects nothing; [`FaultPlan::none`] spells that out.
+/// Fields compose freely — an outage and a thrashed cache can be active in
+/// the same run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Accelerator engines that are entirely offline. Packets whose
+    /// program needs an offline engine are dropped at ingress and counted
+    /// in [`SimResult::accel_drops`](crate::SimResult::accel_drops) —
+    /// except the flow cache, whose loss silently degrades lookups to the
+    /// backing memory (latency, not loss).
+    pub accel_outage: Vec<AccelKind>,
+    /// Extra cycles added to every service of a wedged (but alive)
+    /// accelerator: `(engine, stall cycles per call)`.
+    pub accel_stall: Vec<(AccelKind, u64)>,
+    /// Disable the EMEM cache outright: every access pays the cold
+    /// external-memory latency.
+    pub disable_emem_cache: bool,
+    /// A hostile co-tenant flushes the EMEM cache between packets, so no
+    /// working set survives across packets.
+    pub thrash_emem_cache: bool,
+    /// NPU hardware threads lost (wedged or reserved by firmware). Losing
+    /// every thread is a setup error
+    /// ([`SimError::NoThreads`](crate::SimError::NoThreads)), not a panic.
+    pub dead_threads: usize,
+    /// Override the ingress queue depth (a misconfigured or shrunken
+    /// buffer). Overflowing packets are dropped and counted in
+    /// [`SimResult::dropped`](crate::SimResult::dropped).
+    pub ingress_capacity: Option<usize>,
+    /// Every `n`-th packet arrives corrupt (bad CRC) and is dropped at
+    /// ingress; `0` disables. Counted in
+    /// [`SimResult::corrupt_drops`](crate::SimResult::corrupt_drops).
+    pub corrupt_every: u64,
+    /// Every `n`-th packet arrives truncated to at most
+    /// [`TRUNCATED_PAYLOAD_BYTES`] of payload; `0` disables. The runt is
+    /// still processed (with its short length) and counted in
+    /// [`SimResult::truncated`](crate::SimResult::truncated).
+    pub truncate_every: u64,
+}
+
+/// Payload bytes surviving a truncation fault.
+pub const TRUNCATED_PAYLOAD_BYTES: u64 = 64;
+
+impl FaultPlan {
+    /// The healthy-hardware plan: nothing is injected.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when this plan injects nothing.
+    pub fn is_none(&self) -> bool {
+        *self == FaultPlan::default()
+    }
+
+    /// Stall cycles for `kind`, or 0 when it is healthy.
+    pub fn stall_cycles(&self, kind: AccelKind) -> u64 {
+        self.accel_stall
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+
+    /// True when `kind` is offline under this plan.
+    pub fn is_offline(&self, kind: AccelKind) -> bool {
+        self.accel_outage.contains(&kind)
+    }
+
+    /// Stall cycles a stage on `unit` pays per accelerator call.
+    pub fn accel_stall_for(&self, unit: &crate::program::StageUnit) -> u64 {
+        match unit {
+            crate::program::StageUnit::Accel(k) => self.stall_cycles(*k),
+            crate::program::StageUnit::Npu => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_none() {
+        assert!(FaultPlan::none().is_none());
+        assert!(!FaultPlan { dead_threads: 1, ..FaultPlan::none() }.is_none());
+    }
+
+    #[test]
+    fn stall_lookup() {
+        let plan = FaultPlan {
+            accel_stall: vec![(AccelKind::Crypto, 500)],
+            ..FaultPlan::none()
+        };
+        assert_eq!(plan.stall_cycles(AccelKind::Crypto), 500);
+        assert_eq!(plan.stall_cycles(AccelKind::Checksum), 0);
+        assert!(!plan.is_offline(AccelKind::Crypto));
+    }
+}

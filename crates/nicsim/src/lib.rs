@@ -52,9 +52,12 @@
 //! ```
 
 pub mod engine;
+pub mod fault;
 pub mod memory;
 pub mod program;
 
-pub use engine::{simulate, SimError, SimResult};
+pub use clara_lnic::AccelKind;
+pub use engine::{simulate, simulate_with_faults, SimError, SimResult};
+pub use fault::{FaultPlan, TRUNCATED_PAYLOAD_BYTES};
 pub use memory::{Cache, MemorySim};
 pub use program::{BytesSpec, MicroOp, NicProgram, Stage, StageUnit, TableCfg};

@@ -67,6 +67,14 @@ impl Cache {
         (self.hits, self.misses)
     }
 
+    /// Invalidate every line (hit/miss counters are preserved): what a
+    /// hostile co-tenant's working set does to ours.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
     /// Hit ratio so far (0 if no accesses).
     pub fn hit_ratio(&self) -> f64 {
         let total = self.hits + self.misses;
@@ -144,6 +152,20 @@ impl MemorySim {
     /// Cache statistics of a region, if it has a cache.
     pub fn cache_stats(&self, region: MemId) -> Option<(u64, u64)> {
         self.caches.get(&region).map(|c| c.stats())
+    }
+
+    /// Remove `region`'s cache entirely (fault injection: a disabled
+    /// cache controller). Accesses then pay the raw region latency.
+    pub fn disable_cache(&mut self, region: MemId) {
+        self.caches.remove(&region);
+        self.hit_latency.remove(&region);
+    }
+
+    /// Flush `region`'s cache, if it has one (fault injection: thrash).
+    pub fn flush_cache(&mut self, region: MemId) {
+        if let Some(c) = self.caches.get_mut(&region) {
+            c.flush();
+        }
     }
 }
 

@@ -198,6 +198,22 @@ impl NicProgram {
     pub fn state_bytes(&self) -> usize {
         self.tables.iter().map(|t| t.size_bytes()).sum()
     }
+
+    /// Accelerator engines the stages call directly. Flow-cache fronting
+    /// of tables is *not* included: losing the flow cache degrades
+    /// lookups to the backing memory rather than making the program
+    /// unrunnable.
+    pub fn required_accels(&self) -> Vec<clara_lnic::AccelKind> {
+        let mut kinds = Vec::new();
+        for stage in &self.stages {
+            if let StageUnit::Accel(k) = stage.unit {
+                if !kinds.contains(&k) {
+                    kinds.push(k);
+                }
+            }
+        }
+        kinds
+    }
 }
 
 #[cfg(test)]
@@ -291,5 +307,6 @@ mod tests {
         };
         assert!(p.validate().is_ok());
         assert_eq!(p.state_bytes(), 16 * 1024);
+        assert_eq!(p.required_accels(), vec![AccelKind::Checksum]);
     }
 }

@@ -262,7 +262,7 @@ mod tests {
             TcpPacket::new_checked(&[0u8; 19][..]).unwrap_err(),
             Error::Truncated
         );
-        let mut buf = vec![0u8; 20];
+        let mut buf = [0u8; 20];
         buf[12] = 4 << 4; // data offset 16 bytes, below minimum
         assert_eq!(TcpPacket::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
         buf[12] = 8 << 4; // data offset 32 > 20-byte buffer

@@ -180,7 +180,7 @@ mod tests {
             UdpPacket::new_checked(&[0u8; 7][..]).unwrap_err(),
             Error::Truncated
         );
-        let mut buf = vec![0u8; 8];
+        let mut buf = [0u8; 8];
         buf[5] = 4; // UDP length 4 < 8
         assert_eq!(UdpPacket::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
         buf[5] = 20; // UDP length 20 > 8-byte buffer

@@ -37,5 +37,6 @@ pub use cache::{fc_hit_ratio, state_hit_matrix};
 pub use classes::{enumerate_classes, PacketClass};
 pub use interfere::{predict_sliced, SliceSpec};
 pub use partial::{predict_partial, HostParams, PartialPlan};
+pub use clara_map::{MappingQuality, SolveBudget};
 pub use predictor::{predict, predict_with_options, ClassPrediction, PredictError, PredictOptions, Prediction};
 pub use queueing::{accel_wait, pool_wait};

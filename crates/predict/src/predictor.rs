@@ -8,8 +8,8 @@ use clara_dataflow::{extract, DataflowGraph, DfNode};
 use clara_lang::StateKind;
 use clara_lnic::AccelKind;
 use clara_map::{
-    node_compute_cost, solve_mapping, state_access_cost, CostCtx, MapError, MapInput, Mapping,
-    StateClass, StateSpec, UnitChoice,
+    node_compute_cost, solve_mapping_with_budget, state_access_cost, CostCtx, MapError, MapInput,
+    Mapping, SolveBudget, StateClass, StateSpec, UnitChoice,
 };
 use clara_microbench::NicParameters;
 use clara_workload::WorkloadProfile;
@@ -144,6 +144,10 @@ pub struct PredictOptions {
     pub software_only: bool,
     /// Developer-pinned state placements: `(state name, region name)`.
     pub pin_state: Vec<(String, String)>,
+    /// Solver effort cap. When exhausted the mapper degrades gracefully
+    /// (incumbent, then greedy) instead of erroring; the resulting
+    /// [`Prediction::mapping`] carries the quality tag.
+    pub budget: SolveBudget,
 }
 
 /// Predict the performance of `module` on the NIC described by `params`
@@ -192,7 +196,7 @@ pub fn predict_with_options(
         forbid_accels: options.software_only,
         pinned: resolve_pins(&options, module, params)?,
     };
-    let mapping = solve_mapping(&input)?;
+    let mapping = solve_mapping_with_budget(&input, &options.budget)?;
 
     // Shared-resource demand per packet (class-averaged) for queueing and
     // throughput.

@@ -39,6 +39,6 @@ pub mod trace;
 pub mod zipf;
 
 pub use gen::{Arrival, SizeDist, TraceGenerator};
-pub use profile::WorkloadProfile;
+pub use profile::{WorkloadError, WorkloadProfile};
 pub use trace::{Trace, TracePacket, TraceStats};
 pub use zipf::Zipf;

@@ -19,6 +19,13 @@ const VERSION_MINOR: u16 = 4;
 const LINKTYPE_ETHERNET: u32 = 1;
 const DEFAULT_SNAPLEN: u32 = 65_535;
 
+/// Hard ceiling on a single record's capture length, independent of the
+/// snaplen the file claims. A hostile header can declare a multi-gigabyte
+/// snaplen; honoring it would let one 16-byte record header demand an
+/// arbitrarily large allocation. Real link MTUs top out around 9 kB
+/// (jumbo frames); 256 kB leaves generous slack.
+pub const MAX_CAPTURE_BYTES: usize = 256 * 1024;
+
 /// Errors from pcap reading/writing.
 #[derive(Debug)]
 pub enum PcapError {
@@ -115,6 +122,11 @@ pub fn read_pcap<R: Read>(mut r: R) -> Result<Trace, PcapError> {
                 "capture length {incl_len} exceeds snaplen {snaplen}"
             )));
         }
+        if incl_len > MAX_CAPTURE_BYTES {
+            return Err(PcapError::BadRecord(format!(
+                "capture length {incl_len} exceeds the {MAX_CAPTURE_BYTES}-byte limit"
+            )));
+        }
         let mut frame = vec![0u8; incl_len];
         r.read_exact(&mut frame)
             .map_err(|_| PcapError::BadRecord("truncated packet record".into()))?;
@@ -202,6 +214,25 @@ mod tests {
         assert_eq!(trace.len(), 1);
         assert_eq!(trace.packets()[0].ts_ns, 7_000_000_000 + 500_000);
         assert_eq!(trace.packets()[0].spec.flow, spec.flow);
+    }
+
+    #[test]
+    fn rejects_huge_capture_length_without_allocating() {
+        // A hostile file claims a 4 GiB snaplen and a matching record
+        // length; the reader must refuse rather than allocate.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_LE.to_le_bytes());
+        buf.extend_from_slice(&VERSION_MAJOR.to_le_bytes());
+        buf.extend_from_slice(&VERSION_MINOR.to_le_bytes());
+        buf.extend_from_slice(&[0; 8]);
+        buf.extend_from_slice(&u32::MAX.to_le_bytes()); // snaplen: 4 GiB - 1
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&[0; 8]); // ts
+        buf.extend_from_slice(&0xf000_0000u32.to_le_bytes()); // incl_len
+        buf.extend_from_slice(&0xf000_0000u32.to_le_bytes());
+        let err = read_pcap(&buf[..]).unwrap_err();
+        assert!(matches!(err, PcapError::BadRecord(_)), "{err}");
+        assert!(err.to_string().contains("limit"), "{err}");
     }
 
     #[test]

@@ -8,6 +8,49 @@
 use crate::gen::{SizeDist, TraceGenerator};
 use crate::trace::Trace;
 
+/// A rejected [`WorkloadProfile`] input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// `rate_pps` is NaN, infinite, or not strictly positive.
+    BadRate(f64),
+    /// `flows` is zero.
+    NoFlows,
+    /// A share field (`tcp_share` / `syn_share`) is NaN or outside [0, 1].
+    BadShare {
+        /// Which field.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// `avg_payload` is NaN, negative, or exceeds `max_payload`.
+    BadPayload(f64),
+    /// `zipf_alpha` is NaN or negative.
+    BadZipf(f64),
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::BadRate(v) => {
+                write!(f, "rate_pps must be a positive finite number, got {v}")
+            }
+            WorkloadError::NoFlows => write!(f, "a workload needs at least one flow"),
+            WorkloadError::BadShare { field, value } => {
+                write!(f, "{field} must be within [0, 1], got {value}")
+            }
+            WorkloadError::BadPayload(v) => write!(
+                f,
+                "avg_payload must be finite, non-negative, and at most max_payload, got {v}"
+            ),
+            WorkloadError::BadZipf(v) => {
+                write!(f, "zipf_alpha must be finite and non-negative, got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
 /// An abstract description of the target traffic.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadProfile {
@@ -28,6 +71,59 @@ pub struct WorkloadProfile {
 }
 
 impl WorkloadProfile {
+    /// Build a validated profile. Prefer this over a struct literal for
+    /// untrusted inputs (CLI flags, config files): it rejects NaN or
+    /// negative rates, zero flows, and out-of-range shares up front, so
+    /// garbage never reaches the predictor's arithmetic.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        flows: usize,
+        tcp_share: f64,
+        syn_share: f64,
+        avg_payload: f64,
+        max_payload: usize,
+        rate_pps: f64,
+        zipf_alpha: f64,
+    ) -> Result<Self, WorkloadError> {
+        let profile = WorkloadProfile {
+            flows,
+            tcp_share,
+            syn_share,
+            avg_payload,
+            max_payload,
+            rate_pps,
+            zipf_alpha,
+        };
+        profile.validate()?;
+        Ok(profile)
+    }
+
+    /// Check every field against the constraints [`Self::new`] enforces.
+    /// Useful when fields were set directly on an existing profile.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        if !self.rate_pps.is_finite() || self.rate_pps <= 0.0 {
+            return Err(WorkloadError::BadRate(self.rate_pps));
+        }
+        if self.flows == 0 {
+            return Err(WorkloadError::NoFlows);
+        }
+        for (field, value) in [("tcp_share", self.tcp_share), ("syn_share", self.syn_share)] {
+            if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                return Err(WorkloadError::BadShare { field, value });
+            }
+        }
+        if !self.avg_payload.is_finite()
+            || self.avg_payload < 0.0
+            || self.avg_payload > self.max_payload as f64
+        {
+            return Err(WorkloadError::BadPayload(self.avg_payload));
+        }
+        if !self.zipf_alpha.is_finite() || self.zipf_alpha < 0.0 {
+            return Err(WorkloadError::BadZipf(self.zipf_alpha));
+        }
+        Ok(())
+    }
+
     /// The paper's validation workload: 60 kpps, moderate flow count,
     /// all-TCP, 300-byte payloads.
     pub fn paper_default() -> Self {
@@ -130,6 +226,71 @@ mod tests {
         assert_eq!(p.rate_pps, 60_000.0);
         assert_eq!(p.tcp_share, 1.0);
         assert_eq!(p.avg_payload, 300.0);
+    }
+
+    #[test]
+    fn paper_default_validates() {
+        assert_eq!(WorkloadProfile::paper_default().validate(), Ok(()));
+        assert!(WorkloadProfile::new(1_000, 1.0, 0.0, 300.0, 300, 60_000.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn rejects_nan_rate() {
+        let mut p = WorkloadProfile::paper_default();
+        p.rate_pps = f64::NAN;
+        assert!(matches!(p.validate(), Err(WorkloadError::BadRate(_))));
+    }
+
+    #[test]
+    fn rejects_negative_or_zero_rate() {
+        let mut p = WorkloadProfile::paper_default();
+        p.rate_pps = -60_000.0;
+        assert!(matches!(p.validate(), Err(WorkloadError::BadRate(_))));
+        p.rate_pps = 0.0;
+        assert!(matches!(p.validate(), Err(WorkloadError::BadRate(_))));
+        p.rate_pps = f64::INFINITY;
+        assert!(matches!(p.validate(), Err(WorkloadError::BadRate(_))));
+    }
+
+    #[test]
+    fn rejects_zero_flows() {
+        let mut p = WorkloadProfile::paper_default();
+        p.flows = 0;
+        assert_eq!(p.validate(), Err(WorkloadError::NoFlows));
+    }
+
+    #[test]
+    fn rejects_out_of_range_shares() {
+        let mut p = WorkloadProfile::paper_default();
+        p.tcp_share = 1.5;
+        assert!(matches!(
+            p.validate(),
+            Err(WorkloadError::BadShare { field: "tcp_share", .. })
+        ));
+        p.tcp_share = 1.0;
+        p.syn_share = -0.1;
+        assert!(matches!(
+            p.validate(),
+            Err(WorkloadError::BadShare { field: "syn_share", .. })
+        ));
+        p.syn_share = f64::NAN;
+        assert!(matches!(p.validate(), Err(WorkloadError::BadShare { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_payload() {
+        let mut p = WorkloadProfile::paper_default();
+        p.avg_payload = -1.0;
+        assert!(matches!(p.validate(), Err(WorkloadError::BadPayload(_))));
+        p.avg_payload = 400.0; // exceeds max_payload of 300
+        assert!(matches!(p.validate(), Err(WorkloadError::BadPayload(_))));
+    }
+
+    #[test]
+    fn rejects_bad_zipf() {
+        let mut p = WorkloadProfile::paper_default();
+        p.zipf_alpha = -0.5;
+        assert!(matches!(p.validate(), Err(WorkloadError::BadZipf(_))));
     }
 
     #[test]

@@ -132,8 +132,8 @@ mod tests {
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for k in 0..5 {
-            let observed = counts[k] as f64 / n as f64;
+        for (k, &count) in counts.iter().enumerate() {
+            let observed = count as f64 / n as f64;
             assert!(
                 (observed - z.pmf(k)).abs() < 0.01,
                 "rank {k}: observed {observed}, expected {}",

@@ -63,6 +63,7 @@ fn lpm_prediction_tracks_simulation() {
             PredictOptions {
                 software_only: true,
                 pin_state: vec![("routes".into(), "emem".into())],
+                ..PredictOptions::default()
             },
         )
         .unwrap()
@@ -168,7 +169,7 @@ fn strategies_order_correctly() {
         &module,
         clara().params(),
         &wl,
-        PredictOptions { software_only: true, pin_state: vec![] },
+        PredictOptions { software_only: true, pin_state: vec![], ..PredictOptions::default() },
     )
     .unwrap()
     .avg_latency_cycles;

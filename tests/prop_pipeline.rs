@@ -1,0 +1,45 @@
+//! Property tests for the public pipeline entry points: hostile input
+//! must never panic the library — every byte string yields `Ok` or a
+//! typed [`clara_core::ClaraError`].
+
+use clara_core::analyze_source;
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary byte soup never panics parse → check → lower → extract.
+    #[test]
+    fn analyze_source_never_panics(src in "\\PC*") {
+        let _ = analyze_source(&src);
+    }
+
+    /// Near-miss programs (a valid NF with a random slice deleted) never
+    /// panic, and failures carry a non-empty message.
+    #[test]
+    fn mangled_programs_fail_gracefully(start in 0usize..220, len in 0usize..60) {
+        let src = "nf nat { state flows: map<u64, u64>[65536];\n\
+                   fn handle(pkt: packet) -> action {\n\
+                   let k: u64 = hash(pkt.src_ip, pkt.src_port);\n\
+                   if (flows.lookup(k) == 0) { flows.insert(k, 1); }\n\
+                   pkt.set_src_ip(10);\n\
+                   return forward; } }";
+        let start = (0..=start.min(src.len())).rev().find(|&i| src.is_char_boundary(i)).unwrap_or(0);
+        let end = (start + len).min(src.len());
+        let end = (start..=end).rev().find(|&i| src.is_char_boundary(i)).unwrap_or(start);
+        let mangled = format!("{}{}", &src[..start], &src[end..]);
+        match analyze_source(&mangled) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+
+    /// Deeply nested adversarial sources are rejected with an error, not
+    /// a stack overflow.
+    #[test]
+    fn deep_nesting_is_rejected(depth in 500usize..3000) {
+        let expr = format!("{}1{}", "(".repeat(depth), ")".repeat(depth));
+        let src = format!(
+            "nf t {{ fn handle(pkt: packet) -> action {{ let x: u64 = {expr}; return drop; }} }}"
+        );
+        prop_assert!(analyze_source(&src).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::{Strategy, TestRng};
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Length specifications accepted by [`vec`]: an exact length, an
+/// exclusive range, or an inclusive range.
+pub trait IntoLenRange {
+    /// (min, max) inclusive bounds on the length.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoLenRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl IntoLenRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty length range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoLenRange for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "empty length range");
+        (*self.start(), *self.end())
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+/// Generate vectors whose elements come from `element` and whose length
+/// falls in `len`.
+pub fn vec<S: Strategy>(element: S, len: impl IntoLenRange) -> VecStrategy<S> {
+    let (min, max) = len.bounds();
+    VecStrategy { element, min, max }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.min..=self.max);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}

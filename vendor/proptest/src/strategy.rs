@@ -1,0 +1,256 @@
+//! The [`Strategy`] trait and its combinators.
+//!
+//! A strategy is a recipe for generating values of one type from a
+//! seeded RNG. Unlike real proptest there is no shrinking tree — a
+//! strategy produces plain values.
+
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// The RNG handed to strategies (deterministic, seeded per test case).
+pub type TestRng = rand::rngs::StdRng;
+
+/// A recipe for generating values of type `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    /// Generate one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with a function.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Generate a value, then use it to pick a follow-up strategy.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Build recursive structures: `self` generates leaves and
+    /// `recurse` wraps an inner strategy into a branch strategy. The
+    /// `desired_size` / `expected_branch_size` hints are accepted for
+    /// API compatibility but unused (no shrinking here).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        Recursive {
+            base: self.boxed(),
+            recurse: Rc::new(move |inner| recurse(inner).boxed()),
+            depth,
+        }
+    }
+
+    /// Type-erase this strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.0.new_value(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.source.new_value(rng)).new_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    base: BoxedStrategy<T>,
+    #[allow(clippy::type_complexity)]
+    recurse: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    depth: u32,
+}
+
+impl<T: 'static> Strategy for Recursive<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        // Pick a nesting depth for this value, then stack the branch
+        // constructor that many times over the leaf strategy.
+        let levels = rng.gen_range(0..=self.depth);
+        let mut strategy = self.base.clone();
+        for _ in 0..levels {
+            strategy = (self.recurse)(strategy);
+        }
+        strategy.new_value(rng)
+    }
+}
+
+/// Uniform choice among type-erased strategies (`prop_oneof!`).
+pub struct OneOf<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+/// Build a [`OneOf`]; used by the `prop_oneof!` macro.
+pub fn one_of<T>(options: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+    assert!(!options.is_empty(), "prop_oneof! needs at least one strategy");
+    OneOf { options }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].new_value(rng)
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategies!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f64);
+
+/// Strategies for tuples of strategies, generating tuples of values.
+macro_rules! tuple_strategies {
+    ($(($($s:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+/// String-pattern strategy: `"\\PC*"` (any non-control characters) is
+/// supported — the one regex the workspace's tests use. Any other
+/// pattern falls back to generating itself literally.
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        if *self == "\\PC*" {
+            let len = rng.gen_range(0usize..128);
+            let mut out = String::new();
+            for _ in 0..len {
+                out.push(arbitrary_printable_char(rng));
+            }
+            out
+        } else {
+            (*self).to_string()
+        }
+    }
+}
+
+/// A non-control character, biased toward bytes the NFC lexer actually
+/// discriminates on (ASCII punctuation and identifiers) with a tail of
+/// arbitrary non-ASCII scalars.
+fn arbitrary_printable_char(rng: &mut TestRng) -> char {
+    const INTERESTING: &[u8] = b"{}()[]<>;:=!&|^%*/+-.,#\"'_ abz019";
+    match rng.gen_range(0u32..10) {
+        0..=5 => char::from(rng.gen_range(0x20u8..0x7f)),
+        6..=7 => char::from(INTERESTING[rng.gen_range(0..INTERESTING.len())]),
+        _ => loop {
+            let scalar = rng.gen_range(0x80u32..0xffff);
+            if let Some(c) = char::from_u32(scalar) {
+                if !c.is_control() {
+                    break c;
+                }
+            }
+        },
+    }
+}

@@ -1,0 +1,131 @@
+//! The case runner behind the `proptest!` macro.
+
+use crate::strategy::{Strategy, TestRng};
+use rand::SeedableRng;
+
+/// Runner configuration. Only `cases` is meaningful here; the struct is
+/// non-exhaustive in spirit (construct via `with_cases` / `default`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property does not hold; the test fails.
+    Fail(String),
+    /// The input was rejected (e.g. by a precondition); the case is
+    /// skipped without failing the test.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "property failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+        }
+    }
+}
+
+/// Drives a strategy + property closure for the configured number of
+/// cases, with deterministic per-(test, case) seeds so any failure is
+/// reproducible.
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    pub fn run_named<S, F>(&mut self, name: &str, strategy: S, mut test: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        for case in 0..u64::from(self.config.cases) {
+            let seed = fnv1a(name.as_bytes()) ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let mut rng = TestRng::seed_from_u64(seed);
+            let value = strategy.new_value(&mut rng);
+            match test(value) {
+                Ok(()) => {}
+                Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(reason)) => {
+                    panic!(
+                        "[{name}] property failed at case {case} (seed {seed:#018x}): {reason}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn runs_the_configured_number_of_cases() {
+        let mut count = 0u32;
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(17));
+        runner.run_named("counting", (0u32..10,), |(_,)| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_the_reason() {
+        let mut runner = TestRunner::new(ProptestConfig::default());
+        runner.run_named("failing", (0u32..10,), |(v,)| {
+            prop_assert!(v > 100, "v was {v}");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn rejects_are_skipped() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(8));
+        runner.run_named("rejecting", (0u32..10,), |(_,)| {
+            Err(TestCaseError::reject("precondition"))
+        });
+    }
+}
