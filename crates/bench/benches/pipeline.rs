@@ -1,0 +1,71 @@
+//! Criterion benchmarks of the solve→sweep hot path: the same work the
+//! `pipeline_bench` emitter times, under criterion's statistics. Each
+//! benchmark has a `baseline` (seed-equivalent dense solver, independent
+//! sequential predictions) and an `optimized` (flat tableau + warm
+//! starts + memoization, shared-preparation sweep) variant, so the
+//! reported ratio is the fast path's speedup.
+
+use clara_bench::{solver_stress_model, sweep_grid, sweep_scenarios};
+use clara_core::{run_sweep, SolveBudget, SolverConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn ilp_single_solve(c: &mut Criterion) {
+    let model = solver_stress_model(14, 5);
+    let budget = SolveBudget::unlimited();
+    let mut group = c.benchmark_group("ilp_single_solve");
+    group.bench_function("baseline", |b| {
+        b.iter(|| {
+            black_box(&model)
+                .solve_with_config(&budget, &SolverConfig::baseline())
+                .unwrap()
+        })
+    });
+    group.bench_function("optimized", |b| {
+        b.iter(|| {
+            black_box(&model)
+                .solve_with_config(&budget, &SolverConfig::default())
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn sweep_64(c: &mut Criterion) {
+    let clara = clara_bench::clara();
+    let module = clara
+        .analyze(&clara_core::nfs::vnf::source(
+            clara_core::nfs::vnf::AUTOMATON_ENTRIES,
+            clara_core::nfs::vnf::STAT_BUCKETS,
+        ))
+        .expect("VNF source compiles")
+        .module;
+    let grid = sweep_grid(4);
+    let base = sweep_scenarios(&module, clara.params(), &grid, SolverConfig::baseline());
+    let fast = sweep_scenarios(&module, clara.params(), &grid, SolverConfig::default());
+    let mut group = c.benchmark_group("sweep_64");
+    group.bench_function("baseline", |b| {
+        b.iter(|| {
+            for sc in &base {
+                clara_predict::predict_with_options(
+                    sc.module,
+                    sc.params,
+                    &sc.workload,
+                    sc.options.clone(),
+                )
+                .unwrap();
+            }
+        })
+    });
+    group.bench_function("optimized", |b| {
+        b.iter(|| {
+            for r in run_sweep(black_box(&fast), 0) {
+                r.unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ilp_single_solve, sweep_64);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! Solve→sweep hot-path benchmark: seed-equivalent baseline vs the fast
+//! path, emitted as `BENCH_pipeline.json`.
+//!
+//! Two measurements:
+//!
+//! 1. **`ilp_single_solve`** — one budgeted branch-and-bound solve of a
+//!    generalized-assignment instance, dense seed solver
+//!    ([`SolverConfig::baseline`]) vs flat tableau + warm starts +
+//!    relaxation memoization ([`SolverConfig::default`]).
+//! 2. **`sweep_64`** — the 4×4×4 prediction grid over the VNF chain.
+//!    Baseline is what the seed code would do: one independent
+//!    sequential `predict` per cell with the dense solver. Optimized is
+//!    the sweep subsystem: shared rate-independent preparation (class
+//!    profiles, Zipf cache model) + the fast solver, fanned across
+//!    worker threads. The parallel path is also checked bit-identical
+//!    against a sequential run of the same configuration.
+//!
+//! ```text
+//! pipeline_bench [--quick] [-o BENCH_pipeline.json]
+//! ```
+//!
+//! `--quick` shrinks the instance and runs each side once (CI smoke);
+//! the default takes the median of repeated runs.
+
+use clara_bench::{solver_stress_model, sweep_grid, sweep_scenarios};
+use clara_core::{run_sweep, Prediction, SolveBudget, SolverConfig};
+use std::time::Instant;
+
+fn median_ms(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..runs.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "-o")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_pipeline.json");
+
+    // --- 1. single budgeted ILP solve -----------------------------------
+    let (tasks, units) = if quick { (10, 4) } else { (14, 5) };
+    let runs = if quick { 1 } else { 5 };
+    let model = solver_stress_model(tasks, units);
+    let budget = SolveBudget::unlimited();
+    eprintln!("ilp_single_solve: {tasks} tasks x {units} units, {runs} run(s)/side");
+
+    let baseline = SolverConfig::baseline();
+    let fast = SolverConfig::default();
+    let sol_base = model.solve_with_config(&budget, &baseline).expect("baseline solves");
+    let sol_fast = model.solve_with_config(&budget, &fast).expect("fast path solves");
+    assert!(
+        (sol_base.objective() - sol_fast.objective()).abs() < 1e-6,
+        "objective mismatch: baseline {} vs fast {}",
+        sol_base.objective(),
+        sol_fast.objective()
+    );
+    let ilp_base_ms = median_ms(runs, || {
+        model.solve_with_config(&budget, &baseline).unwrap();
+    });
+    let ilp_fast_ms = median_ms(runs, || {
+        model.solve_with_config(&budget, &fast).unwrap();
+    });
+    let ilp_speedup = ilp_base_ms / ilp_fast_ms;
+    eprintln!("  baseline {ilp_base_ms:.2} ms  optimized {ilp_fast_ms:.2} ms  ({ilp_speedup:.2}x)");
+
+    // --- 2. prediction sweep --------------------------------------------
+    let per_axis = if quick { 2 } else { 4 };
+    let sweep_runs = if quick { 1 } else { 3 };
+    let grid = sweep_grid(per_axis);
+    eprintln!("sweep_{}: extracting NIC parameters...", grid.len());
+    let clara = clara_bench::clara();
+    let module = clara
+        .analyze(&clara_core::nfs::vnf::source(
+            clara_core::nfs::vnf::AUTOMATON_ENTRIES,
+            clara_core::nfs::vnf::STAT_BUCKETS,
+        ))
+        .expect("VNF source compiles")
+        .module;
+    let base_scenarios = sweep_scenarios(&module, clara.params(), &grid, SolverConfig::baseline());
+    let fast_scenarios = sweep_scenarios(&module, clara.params(), &grid, SolverConfig::default());
+
+    // Seed behavior: independent sequential predictions, nothing shared.
+    let sweep_base_ms = median_ms(sweep_runs, || {
+        for sc in &base_scenarios {
+            clara_predict::predict_with_options(sc.module, sc.params, &sc.workload, sc.options.clone())
+                .expect("baseline sweep cell predicts");
+        }
+    });
+    let sweep_fast_ms = median_ms(sweep_runs, || {
+        for r in run_sweep(&fast_scenarios, 0) {
+            r.expect("fast sweep cell predicts");
+        }
+    });
+    let sweep_speedup = sweep_base_ms / sweep_fast_ms;
+    eprintln!(
+        "  baseline(seq) {sweep_base_ms:.0} ms  optimized(par) {sweep_fast_ms:.0} ms  ({sweep_speedup:.2}x)"
+    );
+
+    // Determinism: parallel output must be bit-identical to sequential.
+    let seq: Vec<Prediction> =
+        run_sweep(&fast_scenarios, 1).into_iter().map(|r| r.unwrap()).collect();
+    let par: Vec<Prediction> =
+        run_sweep(&fast_scenarios, 4).into_iter().map(|r| r.unwrap()).collect();
+    let identical = seq.iter().zip(&par).all(|(a, b)| {
+        a.avg_latency_cycles.to_bits() == b.avg_latency_cycles.to_bits()
+            && a.throughput_pps.to_bits() == b.throughput_pps.to_bits()
+            && a.mapping.node_unit == b.mapping.node_unit
+            && a.mapping.state_mem == b.mapping.state_mem
+    });
+    assert!(identical, "parallel sweep diverged from sequential");
+    eprintln!("  parallel output bit-identical to sequential: yes");
+
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let json = format!(
+        r#"{{
+  "bench": "pipeline",
+  "quick": {quick},
+  "threads_available": {threads},
+  "ilp_single_solve": {{
+    "tasks": {tasks},
+    "units": {units},
+    "baseline_ms": {ilp_base_ms:.3},
+    "optimized_ms": {ilp_fast_ms:.3},
+    "speedup": {ilp_speedup:.2}
+  }},
+  "sweep": {{
+    "cells": {cells},
+    "baseline_sequential_ms": {sweep_base_ms:.1},
+    "optimized_parallel_ms": {sweep_fast_ms:.1},
+    "speedup": {sweep_speedup:.2},
+    "parallel_identical_to_sequential": {identical}
+  }}
+}}
+"#,
+        cells = grid.len(),
+    );
+    std::fs::write(out_path, &json).expect("write benchmark json");
+    eprintln!("wrote {out_path}");
+    print!("{json}");
+}

@@ -161,6 +161,103 @@ pub fn fig3c_series() -> Vec<Point> {
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Pipeline hot-path benchmark helpers (solver fast path + sweep).
+// Shared by `benches/pipeline.rs` and the `pipeline_bench` emitter so
+// both measure exactly the same work.
+// ---------------------------------------------------------------------------
+
+/// A generalized-assignment ILP sized to force a substantive
+/// branch-and-bound tree: `tasks` tasks onto `units` units, each unit
+/// with a knapsack capacity. Pure assignment polytopes are integral (the
+/// LP relaxation already lands on integers, so nothing branches); the
+/// capacity rows break integrality, and the resulting tree of closely
+/// related LP re-solves is exactly what the warm-start/memoization fast
+/// path accelerates.
+pub fn solver_stress_model(tasks: usize, units: usize) -> clara_ilp::Model {
+    // Deterministic LCG so every run benchmarks the same instance.
+    let mut seed = 0x2545_F491_4F6C_DD1Du64;
+    let mut next = move |m: u64| {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (seed >> 33) % m
+    };
+
+    let mut model = clara_ilp::Model::minimize();
+    let mut x = Vec::with_capacity(tasks);
+    let mut weights = Vec::with_capacity(tasks);
+    for t in 0..tasks {
+        let row: Vec<_> = (0..units).map(|u| model.binary(format!("x{t}_{u}"))).collect();
+        model.constraint(
+            clara_ilp::LinExpr::sum(row.iter().map(|&v| clara_ilp::LinExpr::from(v))),
+            clara_ilp::Rel::Eq,
+            1.0,
+        );
+        x.push(row);
+        weights.push((next(9) + 1) as f64);
+    }
+    // Tight capacities: ~15% slack over a perfectly balanced packing.
+    let capacity = (weights.iter().sum::<f64>() / units as f64 * 1.15).ceil();
+    for u in 0..units {
+        model.constraint(
+            clara_ilp::LinExpr::sum(
+                x.iter().zip(&weights).map(|(row, &w)| w * clara_ilp::LinExpr::from(row[u])),
+            ),
+            clara_ilp::Rel::Le,
+            capacity,
+        );
+    }
+    let mut obj = clara_ilp::LinExpr::zero();
+    for row in &x {
+        for &v in row {
+            obj += (next(50) + 1) as f64 * v;
+        }
+    }
+    model.objective(obj);
+    model
+}
+
+/// The pipeline bench's workload grid: `per_axis`³ cells over rate ×
+/// payload × flow count (4 per axis = the headline 64-cell sweep).
+pub fn sweep_grid(per_axis: usize) -> Vec<WorkloadProfile> {
+    let rates = [20_000.0, 60_000.0, 200_000.0, 600_000.0];
+    let payloads = [100.0, 300.0, 700.0, 1400.0];
+    let flows = [100usize, 1_000, 10_000, 100_000];
+    let n = per_axis.clamp(1, 4);
+    let mut grid = Vec::with_capacity(n * n * n);
+    for &rate in &rates[..n] {
+        for &payload in &payloads[..n] {
+            for &f in &flows[..n] {
+                grid.push(WorkloadProfile {
+                    rate_pps: rate,
+                    avg_payload: payload,
+                    max_payload: payload as usize,
+                    flows: f,
+                    ..WorkloadProfile::paper_default()
+                });
+            }
+        }
+    }
+    grid
+}
+
+/// Sweep scenarios over one module for `grid`, all under `solver`.
+pub fn sweep_scenarios<'a>(
+    module: &'a clara_core::CirModule,
+    params: &'a clara_core::NicParameters,
+    grid: &[WorkloadProfile],
+    solver: clara_core::SolverConfig,
+) -> Vec<clara_core::SweepScenario<'a>> {
+    grid.iter()
+        .map(|wl| clara_core::SweepScenario {
+            label: format!("rate={} payload={} flows={}", wl.rate_pps, wl.avg_payload, wl.flows),
+            module,
+            params,
+            workload: wl.clone(),
+            options: clara_core::PredictOptions { solver, ..Default::default() },
+        })
+        .collect()
+}
+
 /// Render a predicted/actual series as an aligned text table.
 pub fn render_series(title: &str, x_label: &str, unit: &str, points: &[Point]) -> String {
     let mut out = format!(

@@ -12,7 +12,7 @@
 //! inputs: 2 = usage, 3 = file I/O, 4 = NF frontend error, 5 = lowering
 //! error, 6 = prediction error, 7 = workload error.
 
-use clara_core::{Clara, ClaraError, WorkloadProfile};
+use clara_core::{run_sweep, Clara, ClaraError, PredictOptions, SweepScenario, WorkloadProfile};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -23,6 +23,7 @@ USAGE:
   clara analyze <nf.nfc>
   clara predict <nf.nfc> (--nic <profile> | --params <file>) [workload flags]
   clara hints   <nf.nfc> (--nic <profile> | --params <file>) [workload flags]
+  clara sweep   <nf.nfc> (--nic <profile> | --params <file>) [sweep flags]
 
 NIC PROFILES:
   netronome | soc | asic        (built-in LNIC models)
@@ -34,6 +35,12 @@ WORKLOAD FLAGS (defaults = the paper's 60 kpps / 300 B / 1k flows):
   --tcp <0..1>        TCP share of packets
   --syn <0..1>        SYN share of TCP packets
   --zipf <alpha>      flow-popularity skew (0 = uniform)
+
+SWEEP FLAGS (defaults give a 4×4×4 = 64-cell grid):
+  --rates <a,b,..>    rate axis       (default 20000,60000,200000,600000)
+  --payloads <a,b,..> payload axis    (default 100,300,700,1400)
+  --flows <a,b,..>    flow-count axis (default 100,1000,10000,100000)
+  --threads <n>       worker threads; 0 = all cores, 1 = sequential (default 0)
 
 EXIT CODES:
   0 ok | 2 usage | 3 file I/O | 4 NF frontend | 5 lowering | 6 prediction | 7 workload
@@ -100,6 +107,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "analyze" => analyze(&args[1..]),
         "predict" => predict(&args[1..], false),
         "hints" => predict(&args[1..], true),
+        "sweep" => sweep(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -257,5 +265,91 @@ fn predict(args: &[String], hints: bool) -> Result<(), CliError> {
         p.bottleneck
     );
     println!("  energy      : {:.0} nJ/packet", p.energy_nj_per_packet);
+    Ok(())
+}
+
+/// Parse a comma-separated numeric axis (e.g. `--rates 20000,60000`).
+fn axis(args: &[String], name: &str, default: &[f64]) -> Result<Vec<f64>, CliError> {
+    let Some(raw) = flag_value(args, name) else {
+        return Ok(default.to_vec());
+    };
+    let vals: Vec<f64> = raw
+        .split(',')
+        .map(|v| v.trim().parse::<f64>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| CliError::Usage(format!("bad {name} `{raw}`")))?;
+    if vals.is_empty() {
+        return Err(CliError::Usage(format!("{name} needs at least one value")));
+    }
+    Ok(vals)
+}
+
+fn sweep(args: &[String]) -> Result<(), CliError> {
+    let source = read_source(args)?;
+    let rates = axis(args, "--rates", &[20_000.0, 60_000.0, 200_000.0, 600_000.0])?;
+    let payloads = axis(args, "--payloads", &[100.0, 300.0, 700.0, 1400.0])?;
+    let flows = axis(args, "--flows", &[100.0, 1_000.0, 10_000.0, 100_000.0])?;
+    let threads: usize = match flag_value(args, "--threads") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad --threads `{v}`")))?,
+        None => 0,
+    };
+
+    // Every grid cell is validated before the (slow) parameter
+    // extraction, so a bad axis value exits 7 without waiting.
+    let mut grid = Vec::with_capacity(rates.len() * payloads.len() * flows.len());
+    for &rate in &rates {
+        for &payload in &payloads {
+            for &n_flows in &flows {
+                let mut wl = WorkloadProfile::paper_default();
+                wl.rate_pps = rate;
+                wl.avg_payload = payload;
+                wl.max_payload = payload as usize;
+                wl.flows = n_flows as usize;
+                wl.validate().map_err(ClaraError::from)?;
+                grid.push(wl);
+            }
+        }
+    }
+
+    let clara = build_clara(args)?;
+    let analysis = clara_core::analyze_source(&source)?;
+    let scenarios: Vec<SweepScenario<'_>> = grid
+        .into_iter()
+        .map(|wl| SweepScenario {
+            label: format!(
+                "{:>8} {:>7} {:>7}",
+                wl.rate_pps as u64, wl.avg_payload as u64, wl.flows
+            ),
+            module: &analysis.module,
+            params: clara.params(),
+            workload: wl,
+            options: PredictOptions::default(),
+        })
+        .collect();
+
+    let results = run_sweep(&scenarios, threads);
+
+    println!(
+        "sweep of `{}` on {} ({} cells):",
+        analysis.module.name,
+        clara.params().nic_name,
+        scenarios.len()
+    );
+    println!(
+        "{:>8} {:>7} {:>7} | {:>12} {:>10} bottleneck",
+        "rate", "payload", "flows", "lat(cyc)", "tput(Mpps)"
+    );
+    for (sc, res) in scenarios.iter().zip(&results) {
+        let p = res.as_ref().map_err(|e| ClaraError::from(e.clone()))?;
+        println!(
+            "{} | {:>12.0} {:>10.2} {}",
+            sc.label,
+            p.avg_latency_cycles,
+            p.throughput_pps / 1e6,
+            p.bottleneck
+        );
+    }
     Ok(())
 }

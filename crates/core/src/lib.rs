@@ -49,11 +49,11 @@ use core::fmt;
 pub use clara_cir::CirModule;
 pub use clara_dataflow::DataflowGraph;
 pub use clara_lnic::{AccelKind, Lnic};
-pub use clara_map::{Mapping, MappingQuality, SolveBudget, UnitChoice};
+pub use clara_map::{Mapping, MappingQuality, SolveBudget, SolverConfig, UnitChoice};
 pub use clara_microbench::{extract_parameters, NicParameters};
 pub use clara_predict::{
-    predict_partial, predict_sliced, ClassPrediction, HostParams, PartialPlan, Prediction,
-    SliceSpec,
+    predict_partial, predict_sliced, run_sweep, ClassPrediction, HostParams, PartialPlan,
+    PredictOptions, Prediction, SliceSpec, SweepScenario,
 };
 pub use clara_workload::{Arrival, SizeDist, Trace, TraceGenerator, WorkloadError, WorkloadProfile};
 

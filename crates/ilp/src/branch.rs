@@ -4,18 +4,36 @@
 //! so the most promising subtree is explored first and the incumbent
 //! converges quickly. Branching selects the most fractional integer
 //! variable.
+//!
+//! Hot-path structure (all switchable via [`SolverConfig`]):
+//!
+//! - one [`RelaxWorkspace`] per solve holds the lowered coefficient
+//!   matrix; each node only rebinds right-hand sides;
+//! - children re-solve from their parent's optimal basis (dual simplex
+//!   warm start) instead of running phase 1 from scratch;
+//! - relaxations are memoized by the node's bound vector, so a bound
+//!   vector reached along two branching paths is solved once.
 
-use crate::model::{Model, Sense, Solution, SolveError};
+use crate::model::{Model, RelaxWorkspace, Sense, Solution, SolveError, SolverConfig};
+use crate::simplex::Basis;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
+use std::rc::Rc;
 
 const INT_TOL: f64 = 1e-6;
+
+/// Stop inserting into the relaxation memo past this many entries: the
+/// map is a speed-up, not a correctness requirement, and unbounded
+/// growth on huge trees would trade memory for little extra reuse.
+const MEMO_CAP: usize = 65_536;
 
 struct Node {
     bounds: Vec<(f64, f64)>,
     /// Relaxation bound inherited from the parent, in *minimization*
     /// orientation (lower is more promising).
     bound: f64,
+    /// The parent's optimal basis, shared by both children.
+    basis: Option<Rc<Basis>>,
 }
 
 impl PartialEq for Node {
@@ -39,6 +57,19 @@ impl Ord for Node {
     }
 }
 
+/// A solved relaxation as cached/shared across the tree.
+type Relaxed = Result<(Vec<f64>, f64, Option<Rc<Basis>>), SolveError>;
+
+/// Memo key: the exact bit pattern of the bound vector.
+fn bounds_key(bounds: &[(f64, f64)]) -> Vec<u64> {
+    let mut key = Vec::with_capacity(bounds.len() * 2);
+    for &(lo, hi) in bounds {
+        key.push(lo.to_bits());
+        key.push(hi.to_bits());
+    }
+    key
+}
+
 /// Branch-and-bound with a deterministic node-expansion budget.
 ///
 /// Anytime behavior: when `max_nodes` expansions are spent, the best
@@ -46,15 +77,23 @@ impl Ord for Node {
 /// integer-feasible point was seen does the solve fail with
 /// [`SolveError::Limit`]. An emptied heap means the incumbent (if any)
 /// is proven optimal.
-pub(crate) fn solve_ilp(model: &Model, max_nodes: usize) -> Result<Solution, SolveError> {
+pub(crate) fn solve_ilp(
+    model: &Model,
+    max_nodes: usize,
+    config: &SolverConfig,
+) -> Result<Solution, SolveError> {
     let sense_sign = match model.sense {
         Sense::Minimize => 1.0,
         Sense::Maximize => -1.0,
     };
     let root_bounds: Vec<(f64, f64)> = model.vars.iter().map(|v| (v.lo, v.hi)).collect();
 
+    let mut ws: Option<RelaxWorkspace> =
+        (!config.reference_lp).then(|| model.relax_workspace(&root_bounds));
+    let mut memo: HashMap<Vec<u64>, Relaxed> = HashMap::new();
+
     let mut heap = BinaryHeap::new();
-    heap.push(Node { bounds: root_bounds, bound: f64::NEG_INFINITY });
+    heap.push(Node { bounds: root_bounds, bound: f64::NEG_INFINITY, basis: None });
 
     let mut incumbent: Option<(Vec<f64>, f64)> = None; // (values, min-oriented obj)
     let mut nodes = 0usize;
@@ -72,7 +111,30 @@ pub(crate) fn solve_ilp(model: &Model, max_nodes: usize) -> Result<Solution, Sol
                 continue;
             }
         }
-        let (values, objective) = match model.solve_relaxation(&node.bounds) {
+        let key = config.memoize.then(|| bounds_key(&node.bounds));
+        let relaxed: Relaxed = match key.as_ref().and_then(|k| memo.get(k)) {
+            Some(hit) => hit.clone(),
+            None => {
+                let fresh: Relaxed = match &mut ws {
+                    Some(ws) => {
+                        let warm = if config.warm_start { node.basis.as_deref() } else { None };
+                        model
+                            .solve_relaxation_warm(ws, &node.bounds, warm)
+                            .map(|(v, o, b)| (v, o, b.map(Rc::new)))
+                    }
+                    None => model
+                        .solve_relaxation_reference(&node.bounds)
+                        .map(|(v, o)| (v, o, None)),
+                };
+                if let Some(k) = key {
+                    if memo.len() < MEMO_CAP {
+                        memo.insert(k, fresh.clone());
+                    }
+                }
+                fresh
+            }
+        };
+        let (values, objective, basis) = match relaxed {
             Ok(r) => r,
             Err(SolveError::Infeasible) => continue,
             Err(SolveError::Unbounded) => return Err(SolveError::Unbounded),
@@ -107,18 +169,20 @@ pub(crate) fn solve_ilp(model: &Model, max_nodes: usize) -> Result<Solution, Sol
                 incumbent = Some((snapped, min_obj));
             }
             Some((i, _)) => {
+                // One clone for the down-child; the up-child takes the
+                // node's own vector and flips the single branched bound.
                 let v = values[i];
                 let (lo, hi) = node.bounds[i];
                 let floor = v.floor();
                 if floor >= lo {
                     let mut b = node.bounds.clone();
                     b[i] = (lo, floor);
-                    heap.push(Node { bounds: b, bound: min_obj });
+                    heap.push(Node { bounds: b, bound: min_obj, basis: basis.clone() });
                 }
                 if floor + 1.0 <= hi {
                     let mut b = node.bounds;
                     b[i] = (floor + 1.0, hi);
-                    heap.push(Node { bounds: b, bound: min_obj });
+                    heap.push(Node { bounds: b, bound: min_obj, basis });
                 }
             }
         }
@@ -136,7 +200,7 @@ pub(crate) fn solve_ilp(model: &Model, max_nodes: usize) -> Result<Solution, Sol
 
 #[cfg(test)]
 mod tests {
-    use crate::{LinExpr, Model, Rel, SolveBudget, SolveError};
+    use crate::{LinExpr, Model, Rel, SolveBudget, SolveError, SolverConfig};
 
     #[test]
     fn integer_rounding_matters() {
@@ -315,5 +379,23 @@ mod tests {
         let s = m.solve().unwrap();
         // Choose the three cheapest: 1 + 2 + 3 = 6.
         assert_eq!(s.objective().round(), 6.0);
+    }
+
+    /// The knapsack tree under every config corner lands on the same
+    /// proven optimum.
+    #[test]
+    fn knapsack_agrees_across_configs() {
+        let (m, optimal) = knapsack();
+        let budget = SolveBudget::default();
+        for cfg in [
+            SolverConfig::baseline(),
+            SolverConfig::default(),
+            SolverConfig { warm_start: true, memoize: false, reference_lp: false },
+            SolverConfig { warm_start: false, memoize: true, reference_lp: false },
+        ] {
+            let s = m.solve_with_config(&budget, &cfg).unwrap();
+            assert!(s.is_proven_optimal(), "{cfg:?}");
+            assert!((s.objective() - optimal).abs() < 1e-6, "{cfg:?}: {}", s.objective());
+        }
     }
 }

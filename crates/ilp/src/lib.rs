@@ -13,7 +13,12 @@
 //!
 //! The mapping problems Clara produces are small (tens of binary
 //! variables), so a dense tableau is the right engineering trade-off:
-//! simple, auditable, and fast enough by orders of magnitude.
+//! simple, auditable, and fast enough by orders of magnitude. The
+//! tableau is stored flat (one allocation, row-major) and re-solves in
+//! branch-and-bound are warm-started from the parent basis and memoized
+//! by bound vector; [`SolverConfig::baseline`] switches all of that off
+//! and runs the preserved seed solver ([`reference`]) for differential
+//! testing and benchmarking.
 //!
 //! # Example: a 0/1 knapsack
 //!
@@ -38,6 +43,10 @@ pub mod model;
 pub mod simplex;
 
 mod branch;
+mod tableau;
+
+#[doc(hidden)]
+pub mod reference;
 
 pub use expr::{LinExpr, Var};
-pub use model::{Model, Rel, SolveBudget, SolveError, Solution};
+pub use model::{Model, Rel, SolveBudget, SolveError, Solution, SolverConfig};

@@ -3,7 +3,7 @@
 
 use crate::branch;
 use crate::expr::{LinExpr, Var};
-use crate::simplex::{self, LpResult, Row};
+use crate::simplex::{self, Basis, LpResult, Row};
 use core::fmt;
 
 /// Relation between a linear expression and its right-hand side.
@@ -97,6 +97,44 @@ impl SolveBudget {
 impl Default for SolveBudget {
     fn default() -> Self {
         SolveBudget { max_nodes: Self::DEFAULT_NODES }
+    }
+}
+
+/// Algorithmic knobs for the LP/ILP solver, orthogonal to
+/// [`SolveBudget`] (which caps *how much* work is done; this selects
+/// *how* it is done).
+///
+/// The default enables every hot-path optimisation. [`baseline()`]
+/// reproduces the seed solver — dense tableau, cold solve per
+/// branch-and-bound node, no memoization — and exists so the benchmark
+/// harness and differential tests can compare against the original
+/// behaviour without checking out an old commit.
+///
+/// [`baseline()`]: SolverConfig::baseline
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverConfig {
+    /// Re-solve branch-and-bound children from the parent's optimal
+    /// basis (dual simplex) instead of from scratch.
+    pub warm_start: bool,
+    /// Cache LP relaxations keyed by the node's bound vector, so
+    /// re-expanded subproblems cost a hash lookup.
+    pub memoize: bool,
+    /// Route every relaxation through the preserved seed solver
+    /// ([`crate::reference`]) instead of the flat tableau.
+    pub reference_lp: bool,
+}
+
+impl SolverConfig {
+    /// Seed-equivalent behaviour: dense solver, no warm starts, no
+    /// memoization.
+    pub fn baseline() -> Self {
+        SolverConfig { warm_start: false, memoize: false, reference_lp: true }
+    }
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig { warm_start: true, memoize: true, reference_lp: false }
     }
 }
 
@@ -233,6 +271,15 @@ impl Model {
     /// (check [`Solution::is_proven_optimal`]); with no incumbent, the
     /// solve fails with [`SolveError::Limit`].
     pub fn solve_with_budget(&self, budget: &SolveBudget) -> Result<Solution, SolveError> {
+        self.solve_with_config(budget, &SolverConfig::default())
+    }
+
+    /// Solve under an explicit budget and [`SolverConfig`].
+    pub fn solve_with_config(
+        &self,
+        budget: &SolveBudget,
+        config: &SolverConfig,
+    ) -> Result<Solution, SolveError> {
         for v in &self.vars {
             if v.lo > v.hi || v.lo.is_nan() || v.hi.is_nan() || v.lo == f64::INFINITY {
                 return Err(SolveError::BadBounds(v.name.clone()));
@@ -245,25 +292,24 @@ impl Model {
             }
         }
         if self.vars.iter().any(|v| v.integer) {
-            branch::solve_ilp(self, budget.max_nodes)
+            branch::solve_ilp(self, budget.max_nodes, config)
         } else {
             let bounds: Vec<(f64, f64)> = self.vars.iter().map(|v| (v.lo, v.hi)).collect();
-            self.solve_relaxation(&bounds).map(|(values, objective)| {
-                Solution::new(values, objective)
-            })
+            let solved = if config.reference_lp {
+                self.solve_relaxation_reference(&bounds)
+            } else {
+                self.solve_relaxation(&bounds)
+            };
+            solved.map(|(values, objective)| Solution::new(values, objective))
         }
     }
 
-    /// Solve the LP relaxation under explicit per-variable bounds,
-    /// returning values in original variable space and the objective in
-    /// the model's sense.
-    pub(crate) fn solve_relaxation(
-        &self,
-        bounds: &[(f64, f64)],
-    ) -> Result<(Vec<f64>, f64), SolveError> {
+    /// Lower the model to canonical non-negative simplex form under the
+    /// given per-variable bounds: shift `x = lo + x'` for finite lower
+    /// bounds, split `x = x⁺ − x⁻` for free variables, and express
+    /// finite upper bounds as extra `≤` rows.
+    fn build_relaxation(&self, bounds: &[(f64, f64)]) -> BuiltRelaxation {
         let n = self.vars.len();
-        // Shift: x = lo + x', x' >= 0. Lower bounds of -inf are split as
-        // x = x_plus - x_minus.
         let mut col_of: Vec<(usize, Option<usize>)> = Vec::with_capacity(n); // (plus, minus)
         let mut num_cols = 0usize;
         for &(lo, _) in bounds {
@@ -276,7 +322,7 @@ impl Model {
             }
         }
 
-        let project = |expr: &LinExpr, rows_rhs: &mut f64, coeffs: &mut Vec<f64>| {
+        let project = |expr: &LinExpr, rhs: &mut f64, coeffs: &mut Vec<f64>| {
             for (var, c) in expr.terms() {
                 let (lo, _) = bounds[var.index()];
                 let (plus, minus) = col_of[var.index()];
@@ -284,7 +330,7 @@ impl Model {
                 if let Some(mi) = minus {
                     coeffs[mi] -= c;
                 } else {
-                    *rows_rhs -= c * lo;
+                    *rhs -= c * lo;
                 }
             }
         };
@@ -297,53 +343,205 @@ impl Model {
             rows.push(Row { coeffs, rel: con.rel, rhs });
         }
         // Upper bounds as rows: x' <= hi - lo (finite hi only).
+        let mut ub_var_of_row = Vec::new();
         for (i, &(lo, hi)) in bounds.iter().enumerate() {
             if hi.is_finite() {
                 let mut coeffs = vec![0.0; num_cols];
                 let (plus, minus) = col_of[i];
                 coeffs[plus] = 1.0;
-                if let Some(mi) = minus {
+                let rhs = if let Some(mi) = minus {
                     coeffs[mi] = -1.0;
-                    rows.push(Row { coeffs, rel: Rel::Le, rhs: hi });
+                    hi
                 } else {
-                    rows.push(Row { coeffs, rel: Rel::Le, rhs: hi - lo });
-                }
+                    hi - lo
+                };
+                rows.push(Row { coeffs, rel: Rel::Le, rhs });
+                ub_var_of_row.push(i);
             }
         }
 
-        // Objective in shifted space (constant tracked separately).
+        // Objective in shifted space (its constant offset is irrelevant:
+        // the caller re-evaluates the original objective at the optimum).
         let mut obj = vec![0.0; num_cols];
-        let mut obj_const = self.objective.constant_part();
         for (var, c) in self.objective.terms() {
-            let (lo, _) = bounds[var.index()];
             let (plus, minus) = col_of[var.index()];
             let sign = if self.sense == Sense::Maximize { -c } else { c };
             obj[plus] += sign;
             if let Some(mi) = minus {
                 obj[mi] -= sign;
-            } else {
-                obj_const += c * lo;
             }
         }
 
-        match simplex::solve_lp(num_cols, &rows, &obj) {
-            LpResult::Optimal { x, .. } => {
-                let mut values = vec![0.0; n];
-                for i in 0..n {
-                    let (lo, _) = bounds[i];
-                    let (plus, minus) = col_of[i];
-                    values[i] = match minus {
-                        Some(mi) => x[plus] - x[mi],
-                        None => lo + x[plus],
-                    };
-                }
-                let objective = self.objective.eval(&values);
-                let _ = obj_const;
-                Ok((values, objective))
-            }
+        BuiltRelaxation { col_of, num_cols, rows, obj, ub_var_of_row }
+    }
+
+    /// Map a simplex optimum back into original variable space and
+    /// evaluate the objective there.
+    fn lift(&self, bounds: &[(f64, f64)], col_of: &[(usize, Option<usize>)], x: &[f64]) -> (Vec<f64>, f64) {
+        let n = self.vars.len();
+        let mut values = vec![0.0; n];
+        for i in 0..n {
+            let (lo, _) = bounds[i];
+            let (plus, minus) = col_of[i];
+            values[i] = match minus {
+                Some(mi) => x[plus] - x[mi],
+                None => lo + x[plus],
+            };
+        }
+        let objective = self.objective.eval(&values);
+        (values, objective)
+    }
+
+    /// Solve the LP relaxation under explicit per-variable bounds,
+    /// returning values in original variable space and the objective in
+    /// the model's sense.
+    pub(crate) fn solve_relaxation(
+        &self,
+        bounds: &[(f64, f64)],
+    ) -> Result<(Vec<f64>, f64), SolveError> {
+        let b = self.build_relaxation(bounds);
+        match simplex::solve_lp(b.num_cols, &b.rows, &b.obj) {
+            LpResult::Optimal { x, .. } => Ok(self.lift(bounds, &b.col_of, &x)),
             LpResult::Infeasible => Err(SolveError::Infeasible),
             LpResult::Unbounded => Err(SolveError::Unbounded),
             LpResult::IterationLimit => Err(SolveError::Limit),
+        }
+    }
+
+    /// [`Model::solve_relaxation`] through the preserved seed solver.
+    pub(crate) fn solve_relaxation_reference(
+        &self,
+        bounds: &[(f64, f64)],
+    ) -> Result<(Vec<f64>, f64), SolveError> {
+        let b = self.build_relaxation(bounds);
+        match crate::reference::solve_lp(b.num_cols, &b.rows, &b.obj) {
+            LpResult::Optimal { x, .. } => Ok(self.lift(bounds, &b.col_of, &x)),
+            LpResult::Infeasible => Err(SolveError::Infeasible),
+            LpResult::Unbounded => Err(SolveError::Unbounded),
+            LpResult::IterationLimit => Err(SolveError::Limit),
+        }
+    }
+
+    /// Build the reusable relaxation template for branch-and-bound. The
+    /// coefficient matrix, row relations, and objective depend only on
+    /// the *finiteness pattern* of the bounds — which branch-and-bound
+    /// never changes (it only tightens finite integer bounds) — so per
+    /// node only the right-hand sides need rebinding.
+    pub(crate) fn relax_workspace(&self, bounds: &[(f64, f64)]) -> RelaxWorkspace {
+        let built = self.build_relaxation(bounds);
+        let n_con = self.constraints.len();
+        let base_rhs: Vec<f64> = self.constraints.iter().map(|c| c.rhs).collect();
+        let mut shift_terms = Vec::new();
+        for (r, con) in self.constraints.iter().enumerate() {
+            for (var, c) in con.expr.terms() {
+                if col_minus(&built.col_of, var.index()).is_none() {
+                    shift_terms.push((r, var.index(), c));
+                }
+            }
+        }
+        let pattern: Vec<(bool, bool)> = bounds
+            .iter()
+            .map(|&(lo, hi)| (lo.is_finite(), hi.is_finite()))
+            .collect();
+        RelaxWorkspace {
+            col_of: built.col_of,
+            num_cols: built.num_cols,
+            rows: built.rows,
+            obj: built.obj,
+            ub_var_of_row: built.ub_var_of_row,
+            n_con,
+            base_rhs,
+            shift_terms,
+            pattern,
+        }
+    }
+
+    /// Solve a relaxation through the workspace, optionally warm-started
+    /// from a previous optimal basis. Falls back to the one-shot path
+    /// when the bounds no longer fit the template.
+    pub(crate) fn solve_relaxation_warm(
+        &self,
+        ws: &mut RelaxWorkspace,
+        bounds: &[(f64, f64)],
+        warm: Option<&Basis>,
+    ) -> Result<(Vec<f64>, f64, Option<Basis>), SolveError> {
+        if !ws.matches(bounds) {
+            return self.solve_relaxation(bounds).map(|(v, o)| (v, o, None));
+        }
+        ws.bind(bounds);
+        match simplex::solve_lp_warm(ws.num_cols, &ws.rows, &ws.obj, warm) {
+            (LpResult::Optimal { x, .. }, basis) => {
+                let (values, objective) = self.lift(bounds, &ws.col_of, &x);
+                Ok((values, objective, basis))
+            }
+            (LpResult::Infeasible, _) => Err(SolveError::Infeasible),
+            (LpResult::Unbounded, _) => Err(SolveError::Unbounded),
+            (LpResult::IterationLimit, _) => Err(SolveError::Limit),
+        }
+    }
+}
+
+#[inline]
+fn col_minus(col_of: &[(usize, Option<usize>)], i: usize) -> Option<usize> {
+    col_of[i].1
+}
+
+/// A lowered relaxation: canonical rows/objective plus the variable →
+/// column mapping needed to lift solutions back.
+struct BuiltRelaxation {
+    col_of: Vec<(usize, Option<usize>)>,
+    num_cols: usize,
+    rows: Vec<Row>,
+    obj: Vec<f64>,
+    /// For each upper-bound row (appended after the constraints, in
+    /// order): the variable it bounds.
+    ub_var_of_row: Vec<usize>,
+}
+
+/// A relaxation template reused across branch-and-bound nodes: the
+/// coefficients and objective are built once; [`RelaxWorkspace::bind`]
+/// rewrites only the right-hand sides for a node's bounds. This removes
+/// the per-node `Vec<Row>` rebuild that dominated seed solve time.
+pub(crate) struct RelaxWorkspace {
+    col_of: Vec<(usize, Option<usize>)>,
+    num_cols: usize,
+    rows: Vec<Row>,
+    obj: Vec<f64>,
+    ub_var_of_row: Vec<usize>,
+    n_con: usize,
+    /// Raw constraint rhs before lower-bound shifting.
+    base_rhs: Vec<f64>,
+    /// `(row, var, coeff)` triples with finite-lo vars: each solve
+    /// subtracts `coeff · lo(var)` from `rows[row].rhs`.
+    shift_terms: Vec<(usize, usize, f64)>,
+    /// `(lo finite, hi finite)` per variable at build time.
+    pattern: Vec<(bool, bool)>,
+}
+
+impl RelaxWorkspace {
+    /// Whether `bounds` has the same finiteness pattern the template was
+    /// built for. Always true within a branch-and-bound run; checked
+    /// anyway so a mismatch degrades to a rebuild instead of garbage.
+    fn matches(&self, bounds: &[(f64, f64)]) -> bool {
+        bounds.len() == self.pattern.len()
+            && bounds
+                .iter()
+                .zip(&self.pattern)
+                .all(|(&(lo, hi), &(lf, hf))| lo.is_finite() == lf && hi.is_finite() == hf)
+    }
+
+    /// Rewrite the right-hand sides for a node's bounds.
+    fn bind(&mut self, bounds: &[(f64, f64)]) {
+        for (row, &rhs) in self.rows[..self.n_con].iter_mut().zip(&self.base_rhs) {
+            row.rhs = rhs;
+        }
+        for &(r, v, c) in &self.shift_terms {
+            self.rows[r].rhs -= c * bounds[v].0;
+        }
+        for (k, &v) in self.ub_var_of_row.iter().enumerate() {
+            let (lo, hi) = bounds[v];
+            self.rows[self.n_con + k].rhs =
+                if self.col_of[v].1.is_some() { hi } else { hi - lo };
         }
     }
 }
@@ -450,5 +648,52 @@ mod tests {
         let s = m.solve().unwrap();
         let e = 10.0 * x + y + 1.0;
         assert!((s.eval(&e) - 24.0).abs() < 1e-6);
+    }
+
+    /// Every `SolverConfig` corner must agree on a model with equality,
+    /// inequality, continuous, and integer structure.
+    #[test]
+    fn solver_configs_agree() {
+        let mut m = Model::minimize();
+        let a = m.int_var("a", 0, 10);
+        let b = m.int_var("b", 0, 10);
+        let y = m.num_var("y", 0.0, 4.5);
+        m.constraint(3.0 * a + 2.0 * b + y, Rel::Ge, 13.0);
+        m.constraint(a + b, Rel::Le, 8.0);
+        m.objective(7.0 * a + 5.0 * b + 2.0 * y);
+        let budget = SolveBudget::default();
+        let baseline = m.solve_with_config(&budget, &SolverConfig::baseline()).unwrap();
+        for &(warm, memo) in &[(false, false), (true, false), (false, true), (true, true)] {
+            let cfg = SolverConfig { warm_start: warm, memoize: memo, reference_lp: false };
+            let s = m.solve_with_config(&budget, &cfg).unwrap();
+            assert!(
+                (s.objective() - baseline.objective()).abs() < 1e-6,
+                "config {cfg:?}: {} vs baseline {}",
+                s.objective(),
+                baseline.objective()
+            );
+        }
+    }
+
+    /// The workspace + warm path must agree with the one-shot relaxation
+    /// on a mid-tree bound vector.
+    #[test]
+    fn workspace_rebind_matches_one_shot() {
+        let mut m = Model::minimize();
+        let a = m.int_var("a", 0, 10);
+        let b = m.int_var("b", 0, 10);
+        m.constraint(3.0 * a + 2.0 * b, Rel::Ge, 13.0);
+        m.objective(7.0 * a + 5.0 * b);
+        let root: Vec<(f64, f64)> = m.vars.iter().map(|v| (v.lo, v.hi)).collect();
+        let mut ws = m.relax_workspace(&root);
+
+        let (v0, o0, basis) = m.solve_relaxation_warm(&mut ws, &root, None).unwrap();
+        let (v0_ref, o0_ref) = m.solve_relaxation(&root).unwrap();
+        assert!((o0 - o0_ref).abs() < 1e-6, "{v0:?} vs {v0_ref:?}");
+
+        let child = vec![(2.0, 10.0), (0.0, 3.0)];
+        let (_, o1, _) = m.solve_relaxation_warm(&mut ws, &child, basis.as_ref()).unwrap();
+        let (_, o1_ref) = m.solve_relaxation(&child).unwrap();
+        assert!((o1 - o1_ref).abs() < 1e-6);
     }
 }

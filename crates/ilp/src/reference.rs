@@ -1,0 +1,261 @@
+//! The seed dense two-phase simplex, preserved verbatim.
+//!
+//! This is the original `Vec<Vec<f64>>` Bland's-rule solver the flat
+//! warm-started tableau in [`crate::simplex`] replaced. It is kept for
+//! two jobs:
+//!
+//! 1. **Differential oracle** — property tests solve randomized LPs/ILPs
+//!    with both solvers and require matching optima within `TOL`.
+//! 2. **Benchmark baseline** — `SolverConfig::baseline()` routes all
+//!    branch-and-bound relaxations through this solver (with per-node
+//!    rebuilds, no warm starts, no memoization), so `BENCH_pipeline.json`
+//!    records speedups against the true pre-optimization pipeline.
+//!
+//! Not part of the supported API surface.
+
+use crate::model::Rel;
+use crate::simplex::{LpResult, Row, TOL};
+
+/// Solve `min objective·x` s.t. `rows`, `x ≥ 0` with the seed solver.
+pub fn solve_lp(num_vars: usize, rows: &[Row], objective: &[f64]) -> LpResult {
+    assert_eq!(objective.len(), num_vars);
+    Tableau::new(num_vars, rows).solve(objective)
+}
+
+struct Tableau {
+    /// `tab[i]` is row i: n structural + slack/surplus + artificial
+    /// columns, then the rhs in the last position.
+    tab: Vec<Vec<f64>>,
+    basis: Vec<usize>,
+    num_vars: usize,
+    /// Total columns excluding rhs.
+    width: usize,
+    /// Column indices of artificial variables.
+    artificial: Vec<usize>,
+}
+
+impl Tableau {
+    fn new(num_vars: usize, rows: &[Row]) -> Self {
+        // Normalize rhs >= 0.
+        let mut norm: Vec<Row> = rows.to_vec();
+        for r in &mut norm {
+            if r.rhs < 0.0 {
+                for c in &mut r.coeffs {
+                    *c = -*c;
+                }
+                r.rhs = -r.rhs;
+                r.rel = match r.rel {
+                    Rel::Le => Rel::Ge,
+                    Rel::Ge => Rel::Le,
+                    Rel::Eq => Rel::Eq,
+                };
+            }
+        }
+        let m = norm.len();
+        let n_slack = norm.iter().filter(|r| r.rel != Rel::Eq).count();
+        // Artificials are needed for Ge and Eq rows.
+        let n_art = norm.iter().filter(|r| r.rel != Rel::Le).count();
+        let width = num_vars + n_slack + n_art;
+
+        let mut tab = vec![vec![0.0; width + 1]; m];
+        let mut basis = vec![0usize; m];
+        let mut artificial = Vec::with_capacity(n_art);
+        let mut slack_col = num_vars;
+        let mut art_col = num_vars + n_slack;
+
+        for (i, r) in norm.iter().enumerate() {
+            assert_eq!(r.coeffs.len(), num_vars, "row width mismatch");
+            tab[i][..num_vars].copy_from_slice(&r.coeffs);
+            tab[i][width] = r.rhs;
+            match r.rel {
+                Rel::Le => {
+                    tab[i][slack_col] = 1.0;
+                    basis[i] = slack_col;
+                    slack_col += 1;
+                }
+                Rel::Ge => {
+                    tab[i][slack_col] = -1.0; // surplus
+                    slack_col += 1;
+                    tab[i][art_col] = 1.0;
+                    basis[i] = art_col;
+                    artificial.push(art_col);
+                    art_col += 1;
+                }
+                Rel::Eq => {
+                    tab[i][art_col] = 1.0;
+                    basis[i] = art_col;
+                    artificial.push(art_col);
+                    art_col += 1;
+                }
+            }
+        }
+        Tableau { tab, basis, num_vars, width, artificial }
+    }
+
+    fn solve(mut self, objective: &[f64]) -> LpResult {
+        // Phase 1: minimize the sum of artificial variables.
+        if !self.artificial.is_empty() {
+            let mut phase1 = vec![0.0; self.width];
+            for &a in &self.artificial {
+                phase1[a] = 1.0;
+            }
+            match self.optimize(&phase1, &[]) {
+                Status::Optimal => {}
+                Status::Unbounded => return LpResult::Infeasible, // cannot happen, defensive
+                Status::IterationLimit => return LpResult::IterationLimit,
+            }
+            let phase1_obj = self.current_objective(&phase1);
+            if phase1_obj > 1e-7 {
+                return LpResult::Infeasible;
+            }
+            self.evict_artificials();
+        }
+
+        // Phase 2: original objective, artificials barred from entering.
+        let mut full_obj = vec![0.0; self.width];
+        full_obj[..self.num_vars].copy_from_slice(objective);
+        let barred = self.artificial.clone();
+        match self.optimize(&full_obj, &barred) {
+            Status::Optimal => {}
+            Status::Unbounded => return LpResult::Unbounded,
+            Status::IterationLimit => return LpResult::IterationLimit,
+        }
+
+        let mut x = vec![0.0; self.num_vars];
+        for (i, &b) in self.basis.iter().enumerate() {
+            if b < self.num_vars {
+                x[b] = self.tab[i][self.width];
+            }
+        }
+        let objective_value = objective
+            .iter()
+            .zip(&x)
+            .map(|(c, v)| c * v)
+            .sum::<f64>();
+        LpResult::Optimal { x, objective: objective_value }
+    }
+
+    /// Objective value of the current basic solution under `costs`.
+    fn current_objective(&self, costs: &[f64]) -> f64 {
+        self.basis
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| costs[b] * self.tab[i][self.width])
+            .sum()
+    }
+
+    /// Pivot basic artificial variables out where possible; drop redundant
+    /// rows where not.
+    fn evict_artificials(&mut self) {
+        let art_set: std::collections::HashSet<usize> =
+            self.artificial.iter().copied().collect();
+        let mut row = 0;
+        while row < self.tab.len() {
+            if art_set.contains(&self.basis[row]) {
+                // Find a non-artificial column with a non-zero entry.
+                let col = (0..self.width)
+                    .find(|j| !art_set.contains(j) && self.tab[row][*j].abs() > TOL);
+                match col {
+                    Some(j) => self.pivot(row, j),
+                    None => {
+                        // Row is 0 = 0: redundant constraint.
+                        self.tab.remove(row);
+                        self.basis.remove(row);
+                        continue;
+                    }
+                }
+            }
+            row += 1;
+        }
+    }
+
+    /// Run simplex iterations under `costs` until optimal/unbounded.
+    /// Columns in `barred` may never enter the basis.
+    fn optimize(&mut self, costs: &[f64], barred: &[usize]) -> Status {
+        let barred: std::collections::HashSet<usize> = barred.iter().copied().collect();
+        let max_iters = 20_000 + 200 * (self.width + self.tab.len());
+        for _ in 0..max_iters {
+            // Reduced costs: rc_j = c_j - c_B · column_j (tableau form).
+            let entering = (0..self.width)
+                .filter(|j| !barred.contains(j))
+                .find(|&j| {
+                    let rc = costs[j]
+                        - self
+                            .basis
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &b)| costs[b] * self.tab[i][j])
+                            .sum::<f64>();
+                    rc < -TOL
+                });
+            let Some(j) = entering else { return Status::Optimal };
+
+            // Ratio test with Bland tie-break.
+            let mut pivot_row: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for i in 0..self.tab.len() {
+                let a = self.tab[i][j];
+                if a > TOL {
+                    let ratio = self.tab[i][self.width] / a;
+                    let better = ratio < best_ratio - TOL
+                        || (ratio < best_ratio + TOL
+                            && pivot_row
+                                .map(|r| self.basis[i] < self.basis[r])
+                                .unwrap_or(true));
+                    if better {
+                        best_ratio = ratio;
+                        pivot_row = Some(i);
+                    }
+                }
+            }
+            let Some(r) = pivot_row else { return Status::Unbounded };
+            self.pivot(r, j);
+        }
+        Status::IterationLimit
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot = self.tab[row][col];
+        debug_assert!(pivot.abs() > TOL, "pivot on (near-)zero element");
+        for v in &mut self.tab[row] {
+            *v /= pivot;
+        }
+        for i in 0..self.tab.len() {
+            if i == row {
+                continue;
+            }
+            let factor = self.tab[i][col];
+            if factor.abs() <= TOL {
+                continue;
+            }
+            for j in 0..=self.width {
+                self.tab[i][j] -= factor * self.tab[row][j];
+            }
+        }
+        self.basis[row] = col;
+    }
+}
+
+enum Status {
+    Optimal,
+    Unbounded,
+    IterationLimit,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_solves_textbook_lp() {
+        let rows = vec![
+            Row { coeffs: vec![1.0, 0.0], rel: Rel::Le, rhs: 4.0 },
+            Row { coeffs: vec![0.0, 2.0], rel: Rel::Le, rhs: 12.0 },
+            Row { coeffs: vec![3.0, 2.0], rel: Rel::Le, rhs: 18.0 },
+        ];
+        match solve_lp(2, &rows, &[-3.0, -5.0]) {
+            LpResult::Optimal { objective, .. } => assert!((objective + 36.0).abs() < 1e-6),
+            other => panic!("{other:?}"),
+        }
+    }
+}

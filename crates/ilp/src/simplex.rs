@@ -1,19 +1,39 @@
-//! Dense two-phase simplex.
+//! Flat-tableau two-phase simplex with warm starts.
 //!
 //! Solves `min c·x` subject to linear constraints and `x ≥ 0`. The
 //! [`crate::Model`] layer is responsible for shifting general lower
 //! bounds to zero and expressing upper bounds as constraint rows, so this
 //! module only handles the canonical non-negative form.
 //!
-//! Pivoting uses Bland's rule (smallest-index entering column, smallest
-//! basis-index ratio tie-break), which guarantees termination even on
-//! degenerate problems at a modest performance cost — the right choice
-//! for the small mapping ILPs Clara generates.
+//! Compared to the seed solver (preserved in [`crate::reference`]):
+//!
+//! - the tableau lives in one contiguous row-major allocation
+//!   ([`crate::tableau::FlatMat`]) instead of `Vec<Vec<f64>>`;
+//! - the reduced-cost row is maintained incrementally across pivots
+//!   instead of being recomputed (an O(m·width) scan) per iteration;
+//! - the entering rule is Dantzig (most negative reduced cost), falling
+//!   back to Bland's rule after a run of degenerate pivots so
+//!   anti-cycling termination is preserved;
+//! - [`solve_lp_warm`] can re-solve from a previous optimal [`Basis`]:
+//!   branch-and-bound children differ from their parent only in the
+//!   right-hand side, so the parent basis stays dual-feasible and a few
+//!   dual-simplex pivots restore primal feasibility — no phase 1 at all.
+//!   Any numerical trouble (singular basis, shape mismatch, iteration
+//!   cap) silently falls back to the cold two-phase path.
 
 use crate::model::Rel;
+use crate::tableau::FlatMat;
 
 /// Numerical tolerance for feasibility and optimality tests.
 pub const TOL: f64 = 1e-9;
+
+/// Feasibility threshold for phase-1 residuals and dual-simplex rhs
+/// checks (looser than the pivot tolerance, matching the seed solver).
+const FEAS_TOL: f64 = 1e-7;
+
+/// Consecutive degenerate pivots tolerated under the Dantzig rule before
+/// switching to Bland's rule (which cannot cycle).
+const DEGEN_SWITCH: usize = 64;
 
 /// Outcome of an LP solve.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,8 +49,8 @@ pub enum LpResult {
     Infeasible,
     /// The objective is unbounded below.
     Unbounded,
-    /// The iteration cap was exceeded (should not happen with Bland's
-    /// rule; kept as a defensive backstop).
+    /// The iteration cap was exceeded (should not happen with the Bland
+    /// fallback; kept as a defensive backstop).
     IterationLimit,
 }
 
@@ -46,187 +66,379 @@ pub struct Row {
     pub rhs: f64,
 }
 
-/// Solve `min objective·x` s.t. `rows`, `x ≥ 0`.
-pub fn solve_lp(num_vars: usize, rows: &[Row], objective: &[f64]) -> LpResult {
-    assert_eq!(objective.len(), num_vars);
-    Tableau::new(num_vars, rows).solve(objective)
+/// An optimal basis: the basic column index for each constraint row.
+///
+/// Returned by [`solve_lp_warm`] on optimal solves and accepted back as
+/// a warm start for a problem with the *same rows and objective* but
+/// different right-hand sides (the branch-and-bound child pattern).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Basis {
+    pub(crate) cols: Vec<usize>,
 }
 
-struct Tableau {
-    /// `tab[i]` is row i: n structural + slack/surplus + artificial
-    /// columns, then the rhs in the last position.
-    tab: Vec<Vec<f64>>,
+/// Solve `min objective·x` s.t. `rows`, `x ≥ 0`.
+pub fn solve_lp(num_vars: usize, rows: &[Row], objective: &[f64]) -> LpResult {
+    solve_lp_warm(num_vars, rows, objective, None).0
+}
+
+/// Like [`solve_lp`], optionally warm-starting from a previous optimal
+/// basis, and returning the optimal basis (when one exists) for reuse.
+pub fn solve_lp_warm(
+    num_vars: usize,
+    rows: &[Row],
+    objective: &[f64],
+    warm: Option<&Basis>,
+) -> (LpResult, Option<Basis>) {
+    assert_eq!(objective.len(), num_vars);
+    if let Some(basis) = warm {
+        if let Some(mut t) = Flat::build_warm(num_vars, rows, basis) {
+            if let Some(out) = t.solve_warm(objective) {
+                // The warm path only ever claims optimality (everything
+                // else falls back to cold); accept the claim only if the
+                // point actually satisfies the original rows.
+                if matches!(&out.0, LpResult::Optimal { x, .. } if satisfies(rows, x)) {
+                    return out;
+                }
+            }
+        }
+        // Shape mismatch, singular basis, iteration cap, or a result
+        // that failed verification: re-solve cold.
+    }
+    Flat::build_cold(num_vars, rows).solve_cold(objective)
+}
+
+/// Does `x` satisfy every row, up to a tolerance scaled to the row?
+fn satisfies(rows: &[Row], x: &[f64]) -> bool {
+    rows.iter().all(|r| {
+        let mut lhs = 0.0;
+        let mut mag = 1.0 + r.rhs.abs();
+        for (&c, &v) in r.coeffs.iter().zip(x) {
+            lhs += c * v;
+            mag += (c * v).abs();
+        }
+        let tol = FEAS_TOL * mag;
+        match r.rel {
+            Rel::Le => lhs <= r.rhs + tol,
+            Rel::Ge => lhs >= r.rhs - tol,
+            Rel::Eq => (lhs - r.rhs).abs() <= tol,
+        }
+    })
+}
+
+/// Per-row equilibration factor: sign-normalizes the rhs and scales the
+/// row so its largest coefficient has magnitude 1. Mapping ILPs mix
+/// O(1) assignment rows with O(10⁹)-scale utilization rows; without
+/// scaling, the absolute pivot tolerances are meaningless on the big
+/// rows and warm-start refactorization goes numerically blind.
+#[inline]
+fn row_scale(r: &Row) -> f64 {
+    let max = r.coeffs.iter().fold(0.0f64, |m, c| m.max(c.abs()));
+    let sign = if r.rhs < 0.0 { -1.0 } else { 1.0 };
+    if max > 0.0 { sign / max } else { sign }
+}
+
+/// Relation of a row after rhs-sign normalization.
+#[inline]
+fn effective_rel(r: &Row) -> Rel {
+    if r.rhs < 0.0 {
+        match r.rel {
+            Rel::Le => Rel::Ge,
+            Rel::Ge => Rel::Le,
+            Rel::Eq => Rel::Eq,
+        }
+    } else {
+        r.rel
+    }
+}
+
+struct Flat {
+    /// `m × (width + 1)`: structural + slack/surplus (+ artificial in the
+    /// cold path) columns, rhs in the last column.
+    tab: FlatMat,
     basis: Vec<usize>,
     num_vars: usize,
     /// Total columns excluding rhs.
     width: usize,
-    /// Column indices of artificial variables.
-    artificial: Vec<usize>,
+    /// First artificial column; `== width` when there are none (warm
+    /// tableaus never carry artificials). Columns `>= art_start` are
+    /// barred from entering in phase 2.
+    art_start: usize,
 }
 
-impl Tableau {
-    fn new(num_vars: usize, rows: &[Row]) -> Self {
-        // Normalize rhs >= 0.
-        let mut norm: Vec<Row> = rows.to_vec();
-        for r in &mut norm {
-            if r.rhs < 0.0 {
-                for c in &mut r.coeffs {
-                    *c = -*c;
-                }
-                r.rhs = -r.rhs;
-                r.rel = match r.rel {
-                    Rel::Le => Rel::Ge,
-                    Rel::Ge => Rel::Le,
-                    Rel::Eq => Rel::Eq,
-                };
-            }
-        }
-        let m = norm.len();
-        let n_slack = norm.iter().filter(|r| r.rel != Rel::Eq).count();
-        // Artificials are needed for Ge and Eq rows.
-        let n_art = norm.iter().filter(|r| r.rel != Rel::Le).count();
-        let width = num_vars + n_slack + n_art;
+enum Status {
+    Optimal,
+    Unbounded,
+    IterationLimit,
+}
 
-        let mut tab = vec![vec![0.0; width + 1]; m];
+enum DualStatus {
+    Feasible,
+    Infeasible,
+    IterationLimit,
+}
+
+impl Flat {
+    /// Seed-compatible construction: slacks for inequality rows,
+    /// artificials for (normalized) Ge/Eq rows.
+    fn build_cold(num_vars: usize, rows: &[Row]) -> Flat {
+        let m = rows.len();
+        let n_slack = rows.iter().filter(|r| r.rel != Rel::Eq).count();
+        let n_art = rows
+            .iter()
+            .filter(|r| effective_rel(r) != Rel::Le)
+            .count();
+        let art_start = num_vars + n_slack;
+        let width = art_start + n_art;
+
+        let mut tab = FlatMat::zeros(m, width + 1);
         let mut basis = vec![0usize; m];
-        let mut artificial = Vec::with_capacity(n_art);
         let mut slack_col = num_vars;
-        let mut art_col = num_vars + n_slack;
+        let mut art_col = art_start;
 
-        for (i, r) in norm.iter().enumerate() {
+        for (i, r) in rows.iter().enumerate() {
             assert_eq!(r.coeffs.len(), num_vars, "row width mismatch");
-            tab[i][..num_vars].copy_from_slice(&r.coeffs);
-            tab[i][width] = r.rhs;
-            match r.rel {
+            let scale = row_scale(r);
+            let dst = tab.row_mut(i);
+            for (d, &c) in dst.iter_mut().zip(&r.coeffs) {
+                *d = scale * c;
+            }
+            dst[width] = scale * r.rhs;
+            match effective_rel(r) {
                 Rel::Le => {
-                    tab[i][slack_col] = 1.0;
+                    dst[slack_col] = 1.0;
                     basis[i] = slack_col;
                     slack_col += 1;
                 }
                 Rel::Ge => {
-                    tab[i][slack_col] = -1.0; // surplus
+                    dst[slack_col] = -1.0; // surplus
                     slack_col += 1;
-                    tab[i][art_col] = 1.0;
+                    dst[art_col] = 1.0;
                     basis[i] = art_col;
-                    artificial.push(art_col);
                     art_col += 1;
                 }
                 Rel::Eq => {
-                    tab[i][art_col] = 1.0;
+                    dst[art_col] = 1.0;
                     basis[i] = art_col;
-                    artificial.push(art_col);
                     art_col += 1;
                 }
             }
         }
-        Tableau { tab, basis, num_vars, width, artificial }
+        Flat { tab, basis, num_vars, width, art_start }
     }
 
-    fn solve(mut self, objective: &[f64]) -> LpResult {
-        // Phase 1: minimize the sum of artificial variables.
-        if !self.artificial.is_empty() {
-            let mut phase1 = vec![0.0; self.width];
-            for &a in &self.artificial {
-                phase1[a] = 1.0;
+    /// Construction for a warm re-solve: same column layout as the cold
+    /// path but with no artificial block, then Gauss-Jordan reduction to
+    /// the supplied basis. Returns `None` when the basis does not fit
+    /// this problem (wrong row count, out-of-range column) or is
+    /// (numerically) singular.
+    fn build_warm(num_vars: usize, rows: &[Row], warm: &Basis) -> Option<Flat> {
+        let m = rows.len();
+        if warm.cols.len() != m {
+            return None;
+        }
+        let n_slack = rows.iter().filter(|r| r.rel != Rel::Eq).count();
+        let width = num_vars + n_slack;
+        if warm.cols.iter().any(|&c| c >= width) {
+            return None;
+        }
+
+        let mut tab = FlatMat::zeros(m, width + 1);
+        let mut slack_col = num_vars;
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.coeffs.len(), num_vars, "row width mismatch");
+            let scale = row_scale(r);
+            let dst = tab.row_mut(i);
+            for (d, &c) in dst.iter_mut().zip(&r.coeffs) {
+                *d = scale * c;
             }
-            match self.optimize(&phase1, &[]) {
+            dst[width] = scale * r.rhs;
+            match effective_rel(r) {
+                Rel::Le => {
+                    dst[slack_col] = 1.0;
+                    slack_col += 1;
+                }
+                Rel::Ge => {
+                    dst[slack_col] = -1.0;
+                    slack_col += 1;
+                }
+                Rel::Eq => {}
+            }
+        }
+
+        let mut t = Flat { tab, basis: vec![usize::MAX; m], num_vars, width, art_start: width };
+
+        // Gauss-Jordan to the warm basis, assigning each basis column to
+        // the unassigned row where it pivots best (partial pivoting).
+        let mut assigned = vec![false; m];
+        for &c in &warm.cols {
+            let mut best_row = None;
+            let mut best_abs = FEAS_TOL; // refuse near-singular pivots
+            for (i, &done) in assigned.iter().enumerate() {
+                if !done {
+                    let a = t.tab.at(i, c).abs();
+                    if a > best_abs {
+                        best_abs = a;
+                        best_row = Some(i);
+                    }
+                }
+            }
+            let r = best_row?;
+            t.pivot(r, c);
+            t.basis[r] = c;
+            assigned[r] = true;
+        }
+        Some(t)
+    }
+
+    /// Cold path: phase 1 (artificials) then phase 2.
+    fn solve_cold(mut self, objective: &[f64]) -> (LpResult, Option<Basis>) {
+        if self.art_start < self.width {
+            // Phase 1: minimize the sum of artificial variables. Their
+            // reduced costs under the all-ones artificial cost vector:
+            // rc_j = [j is artificial] − Σ_{i: basis(i) artificial} a_ij.
+            let mut rc = vec![0.0; self.width];
+            for r in &mut rc[self.art_start..] {
+                *r = 1.0;
+            }
+            for (i, &b) in self.basis.iter().enumerate() {
+                if b >= self.art_start {
+                    let row = self.tab.row(i);
+                    for (r, &a) in rc.iter_mut().zip(row) {
+                        *r -= a;
+                    }
+                }
+            }
+            match self.primal(&mut rc, self.width) {
                 Status::Optimal => {}
-                Status::Unbounded => return LpResult::Infeasible, // cannot happen, defensive
-                Status::IterationLimit => return LpResult::IterationLimit,
+                // Phase 1 is bounded below by 0; defensive, as the seed.
+                Status::Unbounded => return (LpResult::Infeasible, None),
+                Status::IterationLimit => return (LpResult::IterationLimit, None),
             }
-            let phase1_obj = self.current_objective(&phase1);
-            if phase1_obj > 1e-7 {
-                return LpResult::Infeasible;
+            let residual: f64 = self
+                .basis
+                .iter()
+                .enumerate()
+                .filter(|&(_, &b)| b >= self.art_start)
+                .map(|(i, _)| self.tab.at(i, self.width))
+                .sum();
+            if residual > FEAS_TOL {
+                return (LpResult::Infeasible, None);
             }
             self.evict_artificials();
         }
 
-        // Phase 2: original objective, artificials barred from entering.
-        let mut full_obj = vec![0.0; self.width];
-        full_obj[..self.num_vars].copy_from_slice(objective);
-        let barred = self.artificial.clone();
-        match self.optimize(&full_obj, &barred) {
-            Status::Optimal => {}
-            Status::Unbounded => return LpResult::Unbounded,
-            Status::IterationLimit => return LpResult::IterationLimit,
+        // Phase 2: original objective; artificials barred from entering.
+        let mut rc = self.reduced_costs(objective);
+        match self.primal(&mut rc, self.art_start) {
+            Status::Optimal => {
+                let (x, obj) = self.extract(objective);
+                let basis = Basis { cols: self.basis };
+                (LpResult::Optimal { x, objective: obj }, Some(basis))
+            }
+            Status::Unbounded => (LpResult::Unbounded, None),
+            Status::IterationLimit => (LpResult::IterationLimit, None),
         }
+    }
 
+    /// Warm path: dual simplex to restore primal feasibility, then a
+    /// primal cleanup pass. `None` means "give up, re-solve cold".
+    fn solve_warm(&mut self, objective: &[f64]) -> Option<(LpResult, Option<Basis>)> {
+        let mut rc = self.reduced_costs(objective);
+        match self.dual_simplex(&mut rc) {
+            DualStatus::Feasible => {}
+            // In exact arithmetic this would be an infeasibility
+            // certificate, but a refactorized tableau can be degraded
+            // enough to fake one — let the cold path decide.
+            DualStatus::Infeasible => return None,
+            DualStatus::IterationLimit => return None,
+        }
+        match self.primal(&mut rc, self.width) {
+            Status::Optimal => {
+                // The maintained rc row can drift over a long pivot
+                // sequence; re-derive it and re-check optimality and
+                // feasibility before claiming anything.
+                let fresh = self.reduced_costs(objective);
+                if fresh.iter().any(|&r| r < -FEAS_TOL) {
+                    return None;
+                }
+                if (0..self.tab.rows()).any(|i| self.tab.at(i, self.width) < -FEAS_TOL) {
+                    return None;
+                }
+                let (x, obj) = self.extract(objective);
+                let basis = Basis { cols: self.basis.clone() };
+                Some((LpResult::Optimal { x, objective: obj }, Some(basis)))
+            }
+            // A child of a bounded parent cannot be unbounded; treat it
+            // as numerical trouble like everything else.
+            Status::Unbounded => None,
+            Status::IterationLimit => None,
+        }
+    }
+
+    fn max_iters(&self) -> usize {
+        20_000 + 200 * (self.width + self.tab.rows())
+    }
+
+    /// Reduced costs of the current basis under the structural-variable
+    /// cost vector `objective` (slack/artificial costs are zero).
+    fn reduced_costs(&self, objective: &[f64]) -> Vec<f64> {
+        let mut rc = vec![0.0; self.width];
+        rc[..self.num_vars].copy_from_slice(objective);
+        for (i, &b) in self.basis.iter().enumerate() {
+            let cb = if b < self.num_vars { objective[b] } else { 0.0 };
+            if cb != 0.0 {
+                let row = self.tab.row(i);
+                for (r, &a) in rc.iter_mut().zip(row) {
+                    *r -= cb * a;
+                }
+            }
+        }
+        rc
+    }
+
+    /// Structural-variable values and objective of the current basis.
+    fn extract(&self, objective: &[f64]) -> (Vec<f64>, f64) {
         let mut x = vec![0.0; self.num_vars];
         for (i, &b) in self.basis.iter().enumerate() {
             if b < self.num_vars {
-                x[b] = self.tab[i][self.width];
+                x[b] = self.tab.at(i, self.width);
             }
         }
-        let objective_value = objective
-            .iter()
-            .zip(&x)
-            .map(|(c, v)| c * v)
-            .sum::<f64>();
-        LpResult::Optimal { x, objective: objective_value }
+        let obj = objective.iter().zip(&x).map(|(c, v)| c * v).sum::<f64>();
+        (x, obj)
     }
 
-    /// Objective value of the current basic solution under `costs`.
-    fn current_objective(&self, costs: &[f64]) -> f64 {
-        self.basis
-            .iter()
-            .enumerate()
-            .map(|(i, &b)| costs[b] * self.tab[i][self.width])
-            .sum()
-    }
-
-    /// Pivot basic artificial variables out where possible; drop redundant
-    /// rows where not.
-    fn evict_artificials(&mut self) {
-        let art_set: std::collections::HashSet<usize> =
-            self.artificial.iter().copied().collect();
-        let mut row = 0;
-        while row < self.tab.len() {
-            if art_set.contains(&self.basis[row]) {
-                // Find a non-artificial column with a non-zero entry.
-                let col = (0..self.width)
-                    .find(|j| !art_set.contains(j) && self.tab[row][*j].abs() > TOL);
-                match col {
-                    Some(j) => self.pivot(row, j),
-                    None => {
-                        // Row is 0 = 0: redundant constraint.
-                        self.tab.remove(row);
-                        self.basis.remove(row);
-                        continue;
+    /// Primal simplex with a maintained reduced-cost row. Entering rule
+    /// is Dantzig; after [`DEGEN_SWITCH`] consecutive degenerate pivots
+    /// it downgrades to Bland's rule until progress resumes. Columns
+    /// `>= bar` may never enter.
+    fn primal(&mut self, rc: &mut [f64], bar: usize) -> Status {
+        let max_iters = self.max_iters();
+        let mut degen_run = 0usize;
+        let mut bland = false;
+        for _ in 0..max_iters {
+            let entering = if bland {
+                rc[..bar].iter().position(|&r| r < -TOL)
+            } else {
+                let mut best = None;
+                let mut best_rc = -TOL;
+                for (j, &r) in rc[..bar].iter().enumerate() {
+                    if r < best_rc {
+                        best_rc = r;
+                        best = Some(j);
                     }
                 }
-            }
-            row += 1;
-        }
-    }
-
-    /// Run simplex iterations under `costs` until optimal/unbounded.
-    /// Columns in `barred` may never enter the basis.
-    fn optimize(&mut self, costs: &[f64], barred: &[usize]) -> Status {
-        let barred: std::collections::HashSet<usize> = barred.iter().copied().collect();
-        let max_iters = 20_000 + 200 * (self.width + self.tab.len());
-        for _ in 0..max_iters {
-            // Reduced costs: rc_j = c_j - c_B · column_j (tableau form).
-            let entering = (0..self.width)
-                .filter(|j| !barred.contains(j))
-                .find(|&j| {
-                    let rc = costs[j]
-                        - self
-                            .basis
-                            .iter()
-                            .enumerate()
-                            .map(|(i, &b)| costs[b] * self.tab[i][j])
-                            .sum::<f64>();
-                    rc < -TOL
-                });
+                best
+            };
             let Some(j) = entering else { return Status::Optimal };
 
-            // Ratio test with Bland tie-break.
+            // Ratio test; smallest-basis-index tie-break (Bland).
             let mut pivot_row: Option<usize> = None;
             let mut best_ratio = f64::INFINITY;
-            for i in 0..self.tab.len() {
-                let a = self.tab[i][j];
+            for i in 0..self.tab.rows() {
+                let a = self.tab.at(i, j);
                 if a > TOL {
-                    let ratio = self.tab[i][self.width] / a;
+                    let ratio = self.tab.at(i, self.width) / a;
                     let better = ratio < best_ratio - TOL
                         || (ratio < best_ratio + TOL
                             && pivot_row
@@ -239,37 +451,123 @@ impl Tableau {
                 }
             }
             let Some(r) = pivot_row else { return Status::Unbounded };
-            self.pivot(r, j);
+            if best_ratio.abs() <= TOL {
+                degen_run += 1;
+                if degen_run >= DEGEN_SWITCH {
+                    bland = true;
+                }
+            } else {
+                degen_run = 0;
+                bland = false;
+            }
+            self.pivot_rc(r, j, rc);
         }
         Status::IterationLimit
     }
 
-    fn pivot(&mut self, row: usize, col: usize) {
-        let pivot = self.tab[row][col];
-        debug_assert!(pivot.abs() > TOL, "pivot on (near-)zero element");
-        for v in &mut self.tab[row] {
-            *v /= pivot;
+    /// Dual simplex: the basis is (near-)dual-feasible but some rhs may
+    /// be negative. Leaving row is the most negative rhs; entering
+    /// column minimizes `rc_j / |a_rj|` over `a_rj < 0`.
+    fn dual_simplex(&mut self, rc: &mut [f64]) -> DualStatus {
+        let max_iters = self.max_iters();
+        for _ in 0..max_iters {
+            let mut leaving = None;
+            let mut most_neg = -FEAS_TOL;
+            for i in 0..self.tab.rows() {
+                let b = self.tab.at(i, self.width);
+                if b < most_neg {
+                    most_neg = b;
+                    leaving = Some(i);
+                }
+            }
+            let Some(r) = leaving else { return DualStatus::Feasible };
+
+            let mut entering = None;
+            let mut best_ratio = f64::INFINITY;
+            {
+                let row = self.tab.row(r);
+                for (j, &a) in row[..self.width].iter().enumerate() {
+                    if a < -TOL {
+                        // Warm bases are dual-feasible only up to
+                        // tolerance; clamp so the ratio stays sane.
+                        let ratio = rc[j].max(0.0) / -a;
+                        if ratio < best_ratio - TOL {
+                            best_ratio = ratio;
+                            entering = Some(j);
+                        }
+                    }
+                }
+            }
+            // Row says Σ a_rj·x_j = rhs_r < 0 with every a_rj ≥ 0 and
+            // x ≥ 0: the child LP is infeasible.
+            let Some(j) = entering else { return DualStatus::Infeasible };
+            self.pivot_rc(r, j, rc);
         }
-        for i in 0..self.tab.len() {
+        DualStatus::IterationLimit
+    }
+
+    /// Pivot basic artificial variables out where possible; drop
+    /// redundant rows where not. (Cold path only.)
+    fn evict_artificials(&mut self) {
+        let mut row = 0;
+        while row < self.tab.rows() {
+            if self.basis[row] >= self.art_start {
+                let col = (0..self.art_start)
+                    .find(|&j| self.tab.at(row, j).abs() > TOL);
+                match col {
+                    Some(j) => {
+                        self.pivot(row, j);
+                        self.basis[row] = j;
+                    }
+                    None => {
+                        // Row is 0 = 0: redundant constraint.
+                        self.tab.remove_row(row);
+                        self.basis.remove(row);
+                        continue;
+                    }
+                }
+            }
+            row += 1;
+        }
+    }
+
+    /// Gauss-Jordan pivot on `(row, col)`; does not touch `basis`.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let p = self.tab.at(row, col);
+        debug_assert!(p.abs() > TOL, "pivot on (near-)zero element");
+        let inv = 1.0 / p;
+        for v in self.tab.row_mut(row) {
+            *v *= inv;
+        }
+        for i in 0..self.tab.rows() {
             if i == row {
                 continue;
             }
-            let factor = self.tab[i][col];
+            let factor = self.tab.at(i, col);
             if factor.abs() <= TOL {
                 continue;
             }
-            for j in 0..=self.width {
-                self.tab[i][j] -= factor * self.tab[row][j];
+            let (dst, src) = self.tab.row_pair_mut(i, row);
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d -= factor * s;
+            }
+            dst[col] = 0.0; // eliminate exactly, no roundoff residue
+        }
+    }
+
+    /// Pivot and keep the maintained reduced-cost row in sync.
+    fn pivot_rc(&mut self, row: usize, col: usize, rc: &mut [f64]) {
+        let factor = rc[col];
+        self.pivot(row, col);
+        if factor != 0.0 {
+            let src = self.tab.row(row);
+            for (r, &s) in rc.iter_mut().zip(src) {
+                *r -= factor * s;
             }
         }
+        rc[col] = 0.0;
         self.basis[row] = col;
     }
-}
-
-enum Status {
-    Optimal,
-    Unbounded,
-    IterationLimit,
 }
 
 #[cfg(test)]
@@ -380,6 +678,60 @@ mod tests {
                 assert_eq!(x[0], 0.0);
                 assert_eq!(objective, 0.0);
             }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_restart_after_rhs_tightening() {
+        // The branch-and-bound pattern: solve, tighten one rhs, re-solve
+        // from the optimal basis. max 3x + 5y from the textbook problem,
+        // then tighten x <= 4 to x <= 1 (optimum slides to x=1, y=6).
+        let mut rows = vec![
+            row(vec![1.0, 0.0], Rel::Le, 4.0),
+            row(vec![0.0, 2.0], Rel::Le, 12.0),
+            row(vec![3.0, 2.0], Rel::Le, 18.0),
+        ];
+        let obj = [-3.0, -5.0];
+        let (first, basis) = solve_lp_warm(2, &rows, &obj, None);
+        assert!(matches!(first, LpResult::Optimal { .. }));
+        let basis = basis.expect("optimal solve returns a basis");
+
+        rows[0].rhs = 1.0;
+        let (warm, warm_basis) = solve_lp_warm(2, &rows, &obj, Some(&basis));
+        match warm {
+            LpResult::Optimal { x, objective } => {
+                assert!((x[0] - 1.0).abs() < 1e-6, "x = {x:?}");
+                assert!((x[1] - 6.0).abs() < 1e-6);
+                assert!((objective + 33.0).abs() < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(warm_basis.is_some());
+    }
+
+    #[test]
+    fn warm_restart_detects_infeasible_child() {
+        // min x s.t. x <= 9, x >= 5 — then tighten x <= 2 (infeasible).
+        let mut rows = vec![
+            row(vec![1.0], Rel::Le, 9.0),
+            row(vec![1.0], Rel::Ge, 5.0),
+        ];
+        let (first, basis) = solve_lp_warm(1, &rows, &[1.0], None);
+        assert!(matches!(first, LpResult::Optimal { .. }));
+        rows[0].rhs = 2.0;
+        let (warm, _) = solve_lp_warm(1, &rows, &[1.0], basis.as_ref());
+        assert_eq!(warm, LpResult::Infeasible);
+    }
+
+    #[test]
+    fn mismatched_warm_basis_falls_back_to_cold() {
+        let rows = vec![row(vec![1.0, 0.0], Rel::Le, 4.0)];
+        // A basis from a different (3-row) problem: wrong length.
+        let stale = Basis { cols: vec![2, 3, 4] };
+        let (res, _) = solve_lp_warm(2, &rows, &[-1.0, 0.0], Some(&stale));
+        match res {
+            LpResult::Optimal { objective, .. } => assert!((objective + 4.0).abs() < 1e-6),
             other => panic!("{other:?}"),
         }
     }

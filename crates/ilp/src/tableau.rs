@@ -1,0 +1,118 @@
+//! A minimal flat row-major matrix for the simplex tableau.
+//!
+//! The seed solver stored the tableau as `Vec<Vec<f64>>`; every pivot
+//! chased one heap pointer per row. [`FlatMat`] keeps all entries in one
+//! contiguous allocation so row operations are straight slice arithmetic
+//! and the whole working set prefetches well.
+
+/// A dense row-major matrix backed by a single `Vec<f64>`.
+#[derive(Debug, Clone)]
+pub(crate) struct FlatMat {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl FlatMat {
+    /// An all-zero `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        FlatMat { data: vec![0.0; rows * cols], rows, cols }
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    #[cfg(test)]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row `a` together with an immutable view of row `b`
+    /// (`a != b`) — the split borrow every elimination step needs.
+    #[inline]
+    pub fn row_pair_mut(&mut self, a: usize, b: usize) -> (&mut [f64], &[f64]) {
+        debug_assert!(a != b && a < self.rows && b < self.rows);
+        let cols = self.cols;
+        if a < b {
+            let (lo, hi) = self.data.split_at_mut(b * cols);
+            (&mut lo[a * cols..(a + 1) * cols], &hi[..cols])
+        } else {
+            let (lo, hi) = self.data.split_at_mut(a * cols);
+            (&mut hi[..cols], &lo[b * cols..(b + 1) * cols])
+        }
+    }
+
+    /// Drop row `r`, shifting later rows up (used only when phase 1
+    /// detects a redundant constraint — rare, so O(n) is fine).
+    pub fn remove_row(&mut self, r: usize) {
+        debug_assert!(r < self.rows);
+        let cols = self.cols;
+        self.data.copy_within((r + 1) * cols.., r * cols);
+        self.data.truncate((self.rows - 1) * cols);
+        self.rows -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_indexing() {
+        let mut m = FlatMat::zeros(2, 3);
+        m.set(0, 1, 5.0);
+        m.set(1, 2, 7.0);
+        assert_eq!(m.at(0, 1), 5.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 7.0]);
+        m.row_mut(0)[0] = 1.0;
+        assert_eq!(m.at(0, 0), 1.0);
+    }
+
+    #[test]
+    fn row_pair_split_borrows_both_orders() {
+        let mut m = FlatMat::zeros(3, 2);
+        m.set(0, 0, 1.0);
+        m.set(2, 0, 3.0);
+        {
+            let (a, b) = m.row_pair_mut(0, 2);
+            a[1] = b[0];
+        }
+        assert_eq!(m.at(0, 1), 3.0);
+        {
+            let (a, b) = m.row_pair_mut(2, 0);
+            a[1] = b[0];
+        }
+        assert_eq!(m.at(2, 1), 1.0);
+    }
+
+    #[test]
+    fn remove_row_shifts_later_rows_up() {
+        let mut m = FlatMat::zeros(3, 2);
+        for r in 0..3 {
+            m.set(r, 0, r as f64);
+        }
+        m.remove_row(1);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.at(0, 0), 0.0);
+        assert_eq!(m.at(1, 0), 2.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Differential property tests: the fast solve path (flat tableau,
+//! warm-started branch-and-bound, relaxation memoization — the
+//! [`clara_ilp::SolverConfig`] default) must agree with the seed's dense
+//! reference solver ([`SolverConfig::baseline`]) on randomized problems.
+//!
+//! Assignments may legitimately differ when optima tie; the *optimal
+//! value* and the feasible/infeasible classification may not.
+
+use clara_ilp::{LinExpr, Model, Rel, SolveBudget, SolverConfig, SolveError};
+use proptest::prelude::*;
+
+/// A small random LP/ILP: `n` vars bounded in `[0, ub]`, `m` "≤"
+/// constraints with small integer coefficients, integer objective.
+#[derive(Debug, Clone)]
+struct Problem {
+    n: usize,
+    ubs: Vec<u8>,
+    cons: Vec<(Vec<i8>, i16)>,
+    obj: Vec<i8>,
+    maximize: bool,
+}
+
+fn arb_problem(max_ub: u8) -> impl Strategy<Value = Problem> {
+    (2usize..7, 1usize..6).prop_flat_map(move |(n, m)| {
+        (
+            proptest::collection::vec(1..=max_ub, n),
+            proptest::collection::vec(
+                (proptest::collection::vec(-4i8..5, n), -8i16..25),
+                m,
+            ),
+            proptest::collection::vec(-5i8..6, n),
+            any::<bool>(),
+        )
+            .prop_map(move |(ubs, cons, obj, maximize)| Problem {
+                n,
+                ubs,
+                cons,
+                obj,
+                maximize,
+            })
+    })
+}
+
+/// Build the model with continuous (`relaxed = true`) or 0/1-style
+/// integer variables.
+fn build(p: &Problem, relaxed: bool) -> Model {
+    let mut m = if p.maximize { Model::maximize() } else { Model::minimize() };
+    let vars: Vec<_> = (0..p.n)
+        .map(|i| {
+            if relaxed {
+                m.num_var(format!("x{i}"), 0.0, p.ubs[i] as f64)
+            } else {
+                m.int_var(format!("x{i}"), 0, p.ubs[i] as i64)
+            }
+        })
+        .collect();
+    for (coeffs, rhs) in &p.cons {
+        let expr = LinExpr::sum(coeffs.iter().zip(&vars).map(|(&c, &v)| c as f64 * v));
+        m.constraint(expr, Rel::Le, *rhs as f64);
+    }
+    m.objective(LinExpr::sum(
+        p.obj.iter().zip(&vars).map(|(&c, &v)| c as f64 * v),
+    ));
+    m
+}
+
+/// Solve with both configurations and compare classifications and
+/// optimal values.
+fn differential(m: &Model) -> Result<(), TestCaseError> {
+    let budget = SolveBudget::unlimited();
+    let fast = m.solve_with_config(&budget, &SolverConfig::default());
+    let reference = m.solve_with_config(&budget, &SolverConfig::baseline());
+    match (fast, reference) {
+        (Ok(f), Ok(r)) => {
+            prop_assert!(
+                (f.objective() - r.objective()).abs() < 1e-6,
+                "fast {} vs reference {}",
+                f.objective(),
+                r.objective()
+            );
+        }
+        (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => {}
+        (f, r) => {
+            return Err(TestCaseError::fail(format!(
+                "classification mismatch: fast {f:?} vs reference {r:?}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// Pure LPs (all variables continuous): one simplex solve per
+    /// config, so this pins the flat tableau against the dense solver
+    /// with no branching involved.
+    #[test]
+    fn lp_flat_tableau_matches_dense_reference(p in arb_problem(6)) {
+        differential(&build(&p, true))?;
+    }
+
+    /// Integer problems: the fast path re-solves child nodes warm from
+    /// the parent basis and memoizes repeated bound vectors; the
+    /// reference re-solves every node cold and dense. Same optimum
+    /// either way.
+    #[test]
+    fn ilp_warm_started_bnb_matches_reference(p in arb_problem(3)) {
+        differential(&build(&p, false))?;
+    }
+}

@@ -37,6 +37,6 @@ pub mod solve;
 pub use cost::{node_compute_cost, state_access_cost, CostCtx};
 pub use greedy::greedy_map;
 pub use input::{MapError, MapInput, Mapping, MappingQuality, StateClass, StateSpec, UnitChoice};
-pub use solve::{solve_mapping, solve_mapping_with_budget};
+pub use solve::{solve_mapping, solve_mapping_with_budget, solve_mapping_with_config};
 
-pub use clara_ilp::SolveBudget;
+pub use clara_ilp::{SolveBudget, SolverConfig};

@@ -3,7 +3,7 @@
 use crate::cost::{eligible_units, node_compute_cost, state_access_cost, CostCtx};
 use crate::greedy::greedy_map;
 use crate::input::{MapError, MapInput, Mapping, MappingQuality, UnitChoice};
-use clara_ilp::{LinExpr, Model, Rel, SolveBudget, SolveError, Var};
+use clara_ilp::{LinExpr, Model, Rel, SolveBudget, SolveError, SolverConfig, Var};
 use clara_lnic::AccelKind;
 
 /// Fraction of cluster SRAM reserved for packet buffers rather than NF
@@ -33,7 +33,18 @@ pub fn solve_mapping_with_budget(
     input: &MapInput<'_>,
     budget: &SolveBudget,
 ) -> Result<Mapping, MapError> {
-    match solve_mapping_ilp(input, budget) {
+    solve_mapping_with_config(input, budget, &SolverConfig::default())
+}
+
+/// [`solve_mapping_with_budget`] under an explicit [`SolverConfig`] —
+/// the benchmark harness uses [`SolverConfig::baseline`] to price the
+/// seed solver against the optimized one on identical inputs.
+pub fn solve_mapping_with_config(
+    input: &MapInput<'_>,
+    budget: &SolveBudget,
+    config: &SolverConfig,
+) -> Result<Mapping, MapError> {
+    match solve_mapping_ilp(input, budget, config) {
         Ok(mapping) => Ok(mapping),
         Err(err @ (MapError::Infeasible(_) | MapError::Solver(SolveError::Limit))) => {
             greedy_map(input).map_err(|_| err)
@@ -43,7 +54,11 @@ pub fn solve_mapping_with_budget(
 }
 
 /// Build and solve the ILP itself (no fallback).
-fn solve_mapping_ilp(input: &MapInput<'_>, budget: &SolveBudget) -> Result<Mapping, MapError> {
+fn solve_mapping_ilp(
+    input: &MapInput<'_>,
+    budget: &SolveBudget,
+    config: &SolverConfig,
+) -> Result<Mapping, MapError> {
     let graph = input.graph;
     let params = input.params;
     let ctx = CostCtx::from_input(input);
@@ -237,7 +252,7 @@ fn solve_mapping_ilp(input: &MapInput<'_>, budget: &SolveBudget) -> Result<Mappi
     }
 
     model.objective(objective);
-    let solution = model.solve_with_budget(budget).map_err(MapError::from)?;
+    let solution = model.solve_with_config(budget, config).map_err(MapError::from)?;
 
     let node_unit: Vec<UnitChoice> = x
         .iter()

@@ -12,10 +12,10 @@
 use crate::fault::{FaultPlan, TRUNCATED_PAYLOAD_BYTES};
 use crate::memory::{Cache, MemorySim};
 use crate::program::{MicroOp, NicProgram, Stage, StageUnit};
-use clara_lnic::{AccelKind, ComputeClass, Lnic, MemId, MemKind, UnitId};
+use clara_lnic::{AccelCost, AccelKind, ComputeClass, Lnic, MemId, MemKind, UnitId};
 use clara_workload::Trace;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// Packets larger than this have their payload tail spilled to EMEM
 /// (paper §3.2: "packets smaller than 1 kB will reside in the CTM
@@ -100,9 +100,25 @@ struct TableRt {
 
 struct ThreadRt {
     unit: UnitId,
-    island: Option<usize>,
+    /// Packet-residence CTM for this thread's island, resolved once at
+    /// setup (the seed re-ran a `format!("ctm{i}")` + name scan for
+    /// every NPU stage of every packet).
+    ctm: Option<MemId>,
     free_at: u64,
 }
+
+/// One accelerator engine's runtime state, held in a fixed array
+/// indexed by [`AccelKind`] discriminant — no hashing on dispatch.
+struct AccelRt {
+    /// Service curve from the unit's cost model, if it declares one.
+    curve: Option<AccelCost>,
+    /// When the single-server queue drains (head-of-line blocking).
+    free_at: u64,
+}
+
+/// All four accelerator kinds, in discriminant order.
+const ACCEL_KINDS: [AccelKind; 4] =
+    [AccelKind::Checksum, AccelKind::Crypto, AccelKind::FlowCache, AccelKind::Lpm];
 
 /// Run `prog` over `trace` on `nic` with healthy hardware.
 pub fn simulate(nic: &Lnic, prog: &NicProgram, trace: &Trace) -> Result<SimResult, SimError> {
@@ -139,15 +155,20 @@ pub fn simulate_with_faults(
     }
 
     // Resolve accelerators once; offline engines are simply absent.
-    let mut accels: HashMap<AccelKind, (UnitId, u64)> = HashMap::new(); // unit, free_at
-    for kind in [AccelKind::Checksum, AccelKind::Crypto, AccelKind::FlowCache, AccelKind::Lpm] {
+    let mut accels: [Option<AccelRt>; 4] = [None, None, None, None];
+    for kind in ACCEL_KINDS {
         if faults.is_offline(kind) {
             continue;
         }
         if let Some(&u) = nic.accelerators(kind).first() {
-            accels.insert(kind, (u, 0));
+            accels[kind as usize] = Some(AccelRt { curve: nic.unit(u).cost.accel, free_at: 0 });
         }
     }
+    // Flow-cache engine probe cost, fixed for the whole run.
+    let fc_engine_cycles = accels[AccelKind::FlowCache as usize]
+        .as_ref()
+        .and_then(|a| a.curve.map(|c| c.service_cycles(0)))
+        .unwrap_or(40);
     // Packets whose program calls an offline engine cannot be serviced;
     // they are dropped at ingress (and counted), never a panic. The flow
     // cache is excluded: its loss degrades table lookups instead.
@@ -171,7 +192,7 @@ pub fn simulate_with_faults(
             // latency, not an error).
             None
         } else if cfg.use_flow_cache {
-            if !accels.contains_key(&AccelKind::FlowCache) {
+            if accels[AccelKind::FlowCache as usize].is_none() {
                 return Err(SimError::MissingAccelerator("flow-cache".into()));
             }
             let cap = fc_region_capacity
@@ -192,12 +213,22 @@ pub fn simulate_with_faults(
         });
     }
 
-    // Threads.
+    // Threads. Packet residence is the thread's own-island CTM, falling
+    // back to any cluster SRAM; resolve it here, once per unit.
+    let fallback_ctm = nic
+        .memories()
+        .iter()
+        .position(|m| m.kind == MemKind::ClusterSram)
+        .map(MemId);
     let mut threads: Vec<ThreadRt> = Vec::new();
     for (i, u) in nic.units().iter().enumerate() {
         if u.class == ComputeClass::GeneralCore {
+            let ctm = u
+                .island
+                .and_then(|isl| nic.memory_named(&format!("ctm{isl}")))
+                .or(fallback_ctm);
             for _ in 0..u.threads {
-                threads.push(ThreadRt { unit: UnitId(i), island: u.island, free_at: 0 });
+                threads.push(ThreadRt { unit: UnitId(i), ctm, free_at: 0 });
             }
         }
     }
@@ -219,6 +250,10 @@ pub fn simulate_with_faults(
 
     let freq = nic.freq_ghz;
     let to_cycles = |ns: u64| -> u64 { (ns as f64 * freq).round() as u64 };
+
+    // Fault stalls are per-stage constants; resolve them once.
+    let stage_stalls: Vec<u64> =
+        prog.stages.iter().map(|s| faults.accel_stall_for(&s.unit)).collect();
 
     let mut latencies: Vec<u64> = Vec::with_capacity(trace.len());
     let mut stage_totals = vec![0u64; prog.stages.len()];
@@ -267,7 +302,7 @@ pub fn simulate_with_faults(
         let start = arrival.max(threads[tid].free_at);
         pending_starts.push(Reverse(start));
         let unit = threads[tid].unit;
-        let island = threads[tid].island;
+        let ctm = threads[tid].ctm;
 
         let mut payload_len = tp.spec.payload_len as u64;
         let mut wire_len = tp.spec.wire_len() as u64;
@@ -298,7 +333,7 @@ pub fn simulate_with_faults(
                 &mut accels,
                 stage,
                 unit,
-                island,
+                ctm,
                 cur,
                 payload_len,
                 wire_len,
@@ -307,7 +342,8 @@ pub fn simulate_with_faults(
                 emem,
                 &mut fc_hits,
                 &mut fc_misses,
-                faults.accel_stall_for(&stage.unit),
+                fc_engine_cycles,
+                stage_stalls[si],
             )?;
             stage_totals[si] += cost;
             cur += cost;
@@ -320,33 +356,42 @@ pub fn simulate_with_faults(
         latencies.push(cur - arrival);
     }
 
+    // Order statistics via selection instead of a full sort: `latencies`
+    // is returned to the caller in arrival order, so one scratch buffer
+    // is partitioned for p50/p99 and then reused for the completion
+    // quartiles — the seed cloned and fully sorted both vectors.
     let completed = latencies.len();
-    let mut sorted = latencies.clone();
-    sorted.sort_unstable();
-    let pct = |p: f64| -> f64 {
-        if sorted.is_empty() {
-            0.0
-        } else {
-            sorted[((sorted.len() - 1) as f64 * p) as usize] as f64
-        }
-    };
-    let avg = if completed == 0 {
-        0.0
+    let mut scratch = latencies.clone();
+    let (avg, p50, p99, max_lat) = if completed == 0 {
+        (0.0, 0.0, 0.0, 0.0)
     } else {
-        latencies.iter().sum::<u64>() as f64 / completed as f64
+        let avg = latencies.iter().sum::<u64>() as f64 / completed as f64;
+        let idx = |p: f64| ((completed - 1) as f64 * p) as usize;
+        let (i50, i99) = (idx(0.5), idx(0.99));
+        let (below, v99, _) = scratch.select_nth_unstable(i99);
+        let p99 = *v99;
+        let p50 = if i50 == i99 { p99 } else { *below.select_nth_unstable(i50).1 };
+        let max = *latencies.iter().max().unwrap();
+        (avg, p50 as f64, p99 as f64, max as f64)
     };
     // Output rate over the interquartile completion window: unbiased by
     // the initial pipeline fill, the final drain, and single-packet tails.
-    completions.sort_unstable();
     let (lo, hi) = (completions.len() / 4, completions.len() * 3 / 4);
-    let (span_cycles, span_count) = if hi > lo && completions[hi] > completions[lo] {
-        (completions[hi] - completions[lo], (hi - lo) as f64)
+    let (span_cycles, span_count) = if completions.is_empty() {
+        (0, 0.0)
     } else {
-        (
-            completions.last().copied().unwrap_or(0)
-                - completions.first().copied().unwrap_or(0),
-            completions.len().saturating_sub(1) as f64,
-        )
+        scratch.clear();
+        scratch.extend_from_slice(&completions);
+        let (below, hi_v, _) = scratch.select_nth_unstable(hi);
+        let hi_v = *hi_v;
+        let lo_v = if lo == hi { hi_v } else { *below.select_nth_unstable(lo).1 };
+        if hi > lo && hi_v > lo_v {
+            (hi_v - lo_v, (hi - lo) as f64)
+        } else {
+            let min = *completions.iter().min().unwrap();
+            let max = *completions.iter().max().unwrap();
+            (max - min, completions.len().saturating_sub(1) as f64)
+        }
     };
     let span_secs = nic.cycles_to_ns(span_cycles as f64) * 1e-9;
     let _ = first_arrival;
@@ -359,9 +404,9 @@ pub fn simulate_with_faults(
         corrupt_drops,
         truncated,
         avg_latency_cycles: avg,
-        p50_latency_cycles: pct(0.5),
-        p99_latency_cycles: pct(0.99),
-        max_latency_cycles: sorted.last().copied().unwrap_or(0) as f64,
+        p50_latency_cycles: p50,
+        p99_latency_cycles: p99,
+        max_latency_cycles: max_lat,
         avg_latency_ns: nic.cycles_to_ns(avg),
         achieved_pps: if span_secs > 0.0 { span_count / span_secs } else { 0.0 },
         per_stage_cycles: prog
@@ -392,10 +437,10 @@ fn stage_cost(
     nic: &Lnic,
     mem: &mut MemorySim,
     tables: &mut [TableRt],
-    accels: &mut HashMap<AccelKind, (UnitId, u64)>,
+    accels: &mut [Option<AccelRt>; 4],
     stage: &Stage,
     unit: UnitId,
-    island: Option<usize>,
+    ctm: Option<MemId>,
     stage_start: u64,
     payload_len: u64,
     wire_len: u64,
@@ -404,21 +449,21 @@ fn stage_cost(
     emem: Option<MemId>,
     fc_hits: &mut u64,
     fc_misses: &mut u64,
+    fc_engine_cycles: u64,
     accel_stall: u64,
 ) -> Result<u64, SimError> {
     match stage.unit {
         StageUnit::Accel(kind) => {
-            let (accel_unit, free_at) = accels
-                .get(&kind)
-                .copied()
+            let accel = accels[kind as usize]
+                .as_mut()
                 .ok_or_else(|| SimError::MissingAccelerator(kind.to_string()))?;
-            let curve = nic.unit(accel_unit).cost.accel.unwrap_or(clara_lnic::AccelCost {
+            let curve = accel.curve.unwrap_or(AccelCost {
                 base: 100,
                 per_byte: 0.5,
                 queue_capacity: 32,
             });
             let mut total = 0u64;
-            let mut server_free = free_at;
+            let mut server_free = accel.free_at;
             for op in &stage.ops {
                 let MicroOp::AccelCall { bytes } = op else { continue };
                 let n = bytes.resolve(payload_len, wire_len);
@@ -429,21 +474,13 @@ fn stage_cost(
                 server_free = begin + service;
                 total += wait + service;
             }
-            accels.insert(kind, (accel_unit, server_free));
+            accel.free_at = server_free;
             Ok(total)
         }
         StageUnit::Npu => {
-            let cost = nic.unit(unit).cost.clone();
-            let has_fpu = nic.unit(unit).has_fpu;
-            // Packet residence: own-island CTM, tail spills to EMEM.
-            let ctm = island
-                .and_then(|i| nic.memory_named(&format!("ctm{i}")))
-                .or_else(|| {
-                    nic.memories()
-                        .iter()
-                        .position(|m| m.kind == MemKind::ClusterSram)
-                        .map(MemId)
-                });
+            let u = nic.unit(unit);
+            let cost = &u.cost;
+            let has_fpu = u.has_fpu;
             let mut total = 0u64;
             for op in &stage.ops {
                 total += match op {
@@ -452,29 +489,29 @@ fn stage_cost(
                     MicroOp::MetadataMod { count } => count * cost.metadata_mod,
                     MicroOp::Hash { count } => count * cost.hash,
                     MicroOp::TableLookup { table } => {
-                        table_access(nic, mem, &mut tables[*table], unit, flow_hash, false, fc_hits, fc_misses, accels)
+                        table_access(mem, &mut tables[*table], unit, flow_hash, false, fc_hits, fc_misses, fc_engine_cycles)
                     }
                     MicroOp::TableWrite { table } => {
-                        table_access(nic, mem, &mut tables[*table], unit, flow_hash, true, fc_hits, fc_misses, accels)
+                        table_access(mem, &mut tables[*table], unit, flow_hash, true, fc_hits, fc_misses, fc_engine_cycles)
                     }
                     MicroOp::CounterUpdate { table } => {
                         let t = &mut tables[*table];
                         let bucket = mix(flow_hash) % t.entries;
                         let addr = t.base + bucket * t.entry_bytes;
-                        let read = mem.access(nic, unit, t.mem, addr, 8);
-                        let write = mem.access(nic, unit, t.mem, addr, 8);
+                        let read = mem.access(unit, t.mem, addr, 8);
+                        let write = mem.access(unit, t.mem, addr, 8);
                         read + write + 2 * cost.alu
                     }
                     MicroOp::LinearScan { table } => {
                         let t = &tables[*table];
                         let size = t.entries * t.entry_bytes;
-                        let walk = mem.access(nic, unit, t.mem, t.base, size);
+                        let walk = mem.access(unit, t.mem, t.base, size);
                         walk + t.entries * 2 * cost.alu
                     }
                     MicroOp::StreamPayload { table, loop_overhead } => {
                         let mut cycles = cost.stream_cycles(payload_len as usize)
                             + loop_overhead * payload_len;
-                        cycles += residence_cost(nic, unit, ctm, emem, payload_len);
+                        cycles += residence_cost(mem, unit, ctm, emem, payload_len);
                         if let Some(ti) = table {
                             // Per-byte automaton transition: a dependent
                             // random access into the transition table.
@@ -488,7 +525,7 @@ fn stage_cost(
                                 state = mix(state ^ byte ^ (i << 32));
                                 let idx = state % t.entries;
                                 let addr = t.base + idx * t.entry_bytes;
-                                cycles += mem.access(nic, unit, t.mem, addr, t.entry_bytes.min(8));
+                                cycles += mem.access(unit, t.mem, addr, t.entry_bytes.min(8));
                             }
                         }
                         cycles
@@ -496,7 +533,7 @@ fn stage_cost(
                     MicroOp::ChecksumSw => {
                         let bytes = payload_len + 40;
                         cost.stream_cycles(bytes as usize)
-                            + residence_cost(nic, unit, ctm, emem, bytes)
+                            + residence_cost(mem, unit, ctm, emem, bytes)
                     }
                     MicroOp::AccelCall { .. } => unreachable!("validated"),
                     MicroOp::FloatOps { count } => {
@@ -512,7 +549,7 @@ fn stage_cost(
 /// Bulk cost of streaming `bytes` of packet data from its residence
 /// (CTM, spilling to EMEM past the residency threshold).
 fn residence_cost(
-    nic: &Lnic,
+    mem: &MemorySim,
     unit: UnitId,
     ctm: Option<MemId>,
     emem: Option<MemId>,
@@ -522,15 +559,12 @@ fn residence_cost(
     let tail = bytes.saturating_sub(CTM_RESIDENCY_BYTES);
     let mut total = 0u64;
     if let Some(c) = ctm {
-        let region = nic.memory(c);
-        total += nic.try_access_latency(unit, c).unwrap_or(region.latency)
-            + (region.bulk_per_byte * head as f64).round() as u64;
+        total += mem.raw_latency(unit, c) + (mem.bulk_per_byte(c) * head as f64).round() as u64;
     }
     if tail > 0 {
         if let Some(e) = emem {
-            let region = nic.memory(e);
-            total += nic.try_access_latency(unit, e).unwrap_or(region.latency)
-                + (region.bulk_per_byte * tail as f64).round() as u64;
+            total +=
+                mem.raw_latency(unit, e) + (mem.bulk_per_byte(e) * tail as f64).round() as u64;
         }
     }
     total
@@ -538,7 +572,6 @@ fn residence_cost(
 
 #[allow(clippy::too_many_arguments)]
 fn table_access(
-    nic: &Lnic,
     mem: &mut MemorySim,
     t: &mut TableRt,
     unit: UnitId,
@@ -546,24 +579,14 @@ fn table_access(
     is_write: bool,
     fc_hits: &mut u64,
     fc_misses: &mut u64,
-    accels: &HashMap<AccelKind, (UnitId, u64)>,
+    fc_engine_cycles: u64,
 ) -> u64 {
     let overhead = 4; // hash/index arithmetic on the core
     if let Some(fc) = &mut t.fc {
-        let engine_cycles = accels
-            .get(&AccelKind::FlowCache)
-            .map(|(u, _)| {
-                nic.unit(*u)
-                    .cost
-                    .accel
-                    .map(|a| a.service_cycles(0))
-                    .unwrap_or(40)
-            })
-            .unwrap_or(40);
         let hit = fc.access(mix(flow_hash));
         if hit && !is_write {
             *fc_hits += 1;
-            return engine_cycles + overhead;
+            return fc_engine_cycles + overhead;
         }
         if hit {
             *fc_hits += 1;
@@ -573,11 +596,11 @@ fn table_access(
         // Miss (or write-through): engine probe + backing access.
         let bucket = mix(flow_hash) % t.entries;
         let addr = t.base + bucket * t.entry_bytes;
-        return engine_cycles + mem.access(nic, unit, t.mem, addr, t.entry_bytes) + overhead;
+        return fc_engine_cycles + mem.access(unit, t.mem, addr, t.entry_bytes) + overhead;
     }
     let bucket = mix(flow_hash) % t.entries;
     let addr = t.base + bucket * t.entry_bytes;
-    mem.access(nic, unit, t.mem, addr, t.entry_bytes) + overhead
+    mem.access(unit, t.mem, addr, t.entry_bytes) + overhead
 }
 
 #[cfg(test)]

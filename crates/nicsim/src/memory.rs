@@ -1,8 +1,7 @@
 //! Memory-system simulation: set-associative LRU caches and a region
 //! allocator resolving accesses to cycle costs.
 
-use clara_lnic::{Lnic, MemId, UnitId};
-use std::collections::HashMap;
+use clara_lnic::{EdgeKind, Lnic, MemId, UnitId};
 
 /// A set-associative cache with LRU replacement.
 ///
@@ -88,55 +87,107 @@ impl Cache {
 
 /// Simulated memory system over an LNIC: per-region caches, a bump
 /// allocator for table placement, and access-cost resolution.
+///
+/// All topology lookups — which (unit, region) edge applies, which
+/// region has a cache — are resolved to plain vector indices at
+/// construction, so [`MemorySim::access`] is straight array arithmetic.
+/// The seed scanned the LNIC edge list (hundreds of edges on the
+/// Netronome profile) on *every* access, which dominated whole-trace
+/// simulations with per-byte payload loops.
 #[derive(Debug)]
 pub struct MemorySim {
-    /// Cache per region that declares one.
-    caches: HashMap<MemId, Cache>,
-    /// Cache hit latencies per region.
-    hit_latency: HashMap<MemId, u64>,
+    /// Cache per region that declares one, indexed by `MemId.0`.
+    caches: Vec<Option<Cache>>,
+    /// Cache hit latency per region (0 where there is no cache).
+    hit_latency: Vec<u64>,
     /// Bump-allocation cursor per region.
-    cursor: HashMap<MemId, u64>,
+    cursor: Vec<u64>,
+    /// Raw access latency for every (unit, region) pair, unit-major:
+    /// the region's base latency, plus the extra from the first
+    /// matching `MemAccess` edge (same precedence as
+    /// [`Lnic::try_access_latency`], which scans edges in order).
+    raw: Vec<u64>,
+    /// Bulk streaming cost per byte, per region.
+    bulk_per_byte: Vec<f64>,
+    n_mems: usize,
 }
 
 impl MemorySim {
-    /// Initialize caches from the LNIC's region descriptors.
+    /// Initialize caches and the latency matrix from the LNIC.
     pub fn new(nic: &Lnic) -> Self {
-        let mut caches = HashMap::new();
-        let mut hit_latency = HashMap::new();
+        let n_mems = nic.memories().len();
+        let n_units = nic.units().len();
+        let mut caches: Vec<Option<Cache>> = Vec::with_capacity(n_mems);
+        let mut hit_latency = vec![0u64; n_mems];
+        let mut bulk_per_byte = vec![0.0; n_mems];
+        let mut raw = vec![0u64; n_units * n_mems];
         for (i, m) in nic.memories().iter().enumerate() {
+            caches.push(m.cache.map(|c| Cache::new(c.capacity, c.line, c.ways)));
             if let Some(c) = m.cache {
-                caches.insert(MemId(i), Cache::new(c.capacity, c.line, c.ways));
-                hit_latency.insert(MemId(i), c.hit_latency);
+                hit_latency[i] = c.hit_latency;
+            }
+            bulk_per_byte[i] = m.bulk_per_byte;
+            for u in 0..n_units {
+                raw[u * n_mems + i] = m.latency;
             }
         }
-        MemorySim { caches, hit_latency, cursor: HashMap::new() }
+        let mut filled = vec![false; n_units * n_mems];
+        for e in nic.edges() {
+            if let EdgeKind::MemAccess { unit, mem, extra_latency } = e.kind {
+                let slot = unit.0 * n_mems + mem.0;
+                if !filled[slot] {
+                    filled[slot] = true;
+                    raw[slot] = nic.memories()[mem.0].latency + extra_latency;
+                }
+            }
+        }
+        MemorySim {
+            caches,
+            hit_latency,
+            cursor: vec![0; n_mems],
+            raw,
+            bulk_per_byte,
+            n_mems,
+        }
     }
 
     /// Allocate `bytes` in `region`, returning the base address.
     /// Addresses are region-local; regions never alias.
     pub fn alloc(&mut self, region: MemId, bytes: u64) -> u64 {
-        let cur = self.cursor.entry(region).or_insert(0);
+        let cur = &mut self.cursor[region.0];
         let base = *cur;
         *cur += bytes.max(1);
         base
     }
 
+    /// Raw (uncached) latency from `unit` to `region`, edge extras
+    /// included — the pre-resolved equivalent of
+    /// `nic.try_access_latency(unit, region).unwrap_or(region.latency)`.
+    #[inline]
+    pub fn raw_latency(&self, unit: UnitId, region: MemId) -> u64 {
+        self.raw[unit.0 * self.n_mems + region.0]
+    }
+
+    /// Bulk streaming cost per byte of `region`.
+    #[inline]
+    pub fn bulk_per_byte(&self, region: MemId) -> f64 {
+        self.bulk_per_byte[region.0]
+    }
+
     /// Cost in cycles of accessing `bytes` at `addr` in `region`, issued
     /// from `unit`. Walks cache lines where the region is cached; each
     /// line is an independent hit/miss.
-    pub fn access(&mut self, nic: &Lnic, unit: UnitId, region: MemId, addr: u64, bytes: u64) -> u64 {
-        let raw = nic
-            .try_access_latency(unit, region)
-            .unwrap_or(nic.memory(region).latency);
-        match self.caches.get_mut(&region) {
+    pub fn access(&mut self, unit: UnitId, region: MemId, addr: u64, bytes: u64) -> u64 {
+        let raw = self.raw[unit.0 * self.n_mems + region.0];
+        match &mut self.caches[region.0] {
             None => {
                 // One transaction covers up to a 64-byte burst; larger
                 // transfers stream at the region's bulk rate.
                 let extra = bytes.saturating_sub(64);
-                raw + (nic.memory(region).bulk_per_byte * extra as f64).round() as u64
+                raw + (self.bulk_per_byte[region.0] * extra as f64).round() as u64
             }
             Some(cache) => {
-                let hit_lat = self.hit_latency[&region];
+                let hit_lat = self.hit_latency[region.0];
                 let line = cache.line() as u64;
                 let first = addr / line;
                 let last = (addr + bytes.max(1) - 1) / line;
@@ -151,19 +202,19 @@ impl MemorySim {
 
     /// Cache statistics of a region, if it has a cache.
     pub fn cache_stats(&self, region: MemId) -> Option<(u64, u64)> {
-        self.caches.get(&region).map(|c| c.stats())
+        self.caches[region.0].as_ref().map(|c| c.stats())
     }
 
     /// Remove `region`'s cache entirely (fault injection: a disabled
     /// cache controller). Accesses then pay the raw region latency.
     pub fn disable_cache(&mut self, region: MemId) {
-        self.caches.remove(&region);
-        self.hit_latency.remove(&region);
+        self.caches[region.0] = None;
+        self.hit_latency[region.0] = 0;
     }
 
     /// Flush `region`'s cache, if it has one (fault injection: thrash).
     pub fn flush_cache(&mut self, region: MemId) {
-        if let Some(c) = self.caches.get_mut(&region) {
+        if let Some(c) = &mut self.caches[region.0] {
             c.flush();
         }
     }
@@ -223,8 +274,8 @@ mod tests {
         let mut mem = MemorySim::new(&nic);
         let npu = nic.unit_named("npu0_0").unwrap();
         let imem = nic.memory_named("imem").unwrap();
-        assert_eq!(mem.access(&nic, npu, imem, 0, 8), 250);
-        assert_eq!(mem.access(&nic, npu, imem, 0, 8), 250); // no cache: same
+        assert_eq!(mem.access(npu, imem, 0, 8), 250);
+        assert_eq!(mem.access(npu, imem, 0, 8), 250); // no cache: same
     }
 
     #[test]
@@ -233,8 +284,8 @@ mod tests {
         let mut mem = MemorySim::new(&nic);
         let npu = nic.unit_named("npu0_0").unwrap();
         let emem = nic.memory_named("emem").unwrap();
-        let cold = mem.access(&nic, npu, emem, 4096, 8);
-        let warm = mem.access(&nic, npu, emem, 4096, 8);
+        let cold = mem.access(npu, emem, 4096, 8);
+        let warm = mem.access(npu, emem, 4096, 8);
         assert_eq!(cold, 500);
         assert_eq!(warm, 150);
     }
@@ -246,9 +297,9 @@ mod tests {
         let npu = nic.unit_named("npu0_0").unwrap();
         let emem = nic.memory_named("emem").unwrap();
         // 256 bytes = 4 lines, all cold.
-        assert_eq!(mem.access(&nic, npu, emem, 0, 256), 4 * 500);
+        assert_eq!(mem.access(npu, emem, 0, 256), 4 * 500);
         // Warm now.
-        assert_eq!(mem.access(&nic, npu, emem, 0, 256), 4 * 150);
+        assert_eq!(mem.access(npu, emem, 0, 256), 4 * 150);
     }
 
     #[test]
@@ -268,6 +319,6 @@ mod tests {
         let npu = nic.unit_named("npu0_0").unwrap();
         let own = nic.memory_named("ctm0").unwrap();
         let remote = nic.memory_named("ctm1").unwrap();
-        assert!(mem.access(&nic, npu, remote, 0, 8) > mem.access(&nic, npu, own, 0, 8));
+        assert!(mem.access(npu, remote, 0, 8) > mem.access(npu, own, 0, 8));
     }
 }

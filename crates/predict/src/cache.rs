@@ -22,6 +22,21 @@ pub fn state_region_hit(
     region: &clara_microbench::MemEst,
     workload: &WorkloadProfile,
 ) -> f64 {
+    state_region_hit_shared(state, region, workload, &mut None)
+}
+
+/// [`state_region_hit`] with a caller-owned Zipf table. Building the
+/// cumulative Zipf mass is O(flows) with a `powf` per rank — at 100k
+/// flows it dwarfs everything else in the hit model — but it depends
+/// only on `(flows, zipf_alpha)`, so one table serves every (state,
+/// region) pair of a prediction. Lazily built: uniform workloads that
+/// fit in cache never pay for it.
+fn state_region_hit_shared(
+    state: &StateSpec,
+    region: &clara_microbench::MemEst,
+    workload: &WorkloadProfile,
+    zipf: &mut Option<Zipf>,
+) -> f64 {
     let Some(cache) = &region.cache else { return 0.0 };
     // Content-addressed state (LPM rule tables, DPI automata arrays):
     // accesses draw (approximately uniformly) from the table's lines.
@@ -49,8 +64,8 @@ pub fn state_region_hit(
     if touched <= resident_entries {
         return 1.0;
     }
-    let zipf = Zipf::new(workload.flows.max(1), workload.zipf_alpha.max(0.0));
-    zipf.mass(resident_entries as usize)
+    zipf.get_or_insert_with(|| Zipf::new(workload.flows.max(1), workload.zipf_alpha.max(0.0)))
+        .mass(resident_entries as usize)
 }
 
 /// Hit matrix `[state][region]` for the mapping ILP.
@@ -59,21 +74,42 @@ pub fn state_hit_matrix(
     params: &NicParameters,
     workload: &WorkloadProfile,
 ) -> Vec<Vec<f64>> {
-    states
+    hit_model(states, params, workload).0
+}
+
+/// The full cache model for one prediction: the `[state][region]` hit
+/// matrix plus the flow-cache engine hit ratio, sharing a single Zipf
+/// table across every cell.
+pub fn hit_model(
+    states: &[StateSpec],
+    params: &NicParameters,
+    workload: &WorkloadProfile,
+) -> (Vec<Vec<f64>>, f64) {
+    let mut zipf = None;
+    let matrix = states
         .iter()
         .map(|s| {
             params
                 .mems
                 .iter()
-                .map(|m| state_region_hit(s, m, workload))
+                .map(|m| state_region_hit_shared(s, m, workload, &mut zipf))
                 .collect()
         })
-        .collect()
+        .collect();
+    (matrix, fc_hit_shared(params, workload, &mut zipf))
 }
 
 /// Expected flow-cache engine hit ratio: the mass of flows that fit in
 /// the engine's (estimated) entry capacity.
 pub fn fc_hit_ratio(params: &NicParameters, workload: &WorkloadProfile) -> f64 {
+    fc_hit_shared(params, workload, &mut None)
+}
+
+fn fc_hit_shared(
+    params: &NicParameters,
+    workload: &WorkloadProfile,
+    zipf: &mut Option<Zipf>,
+) -> f64 {
     if !params.flow_cache_entries.is_finite() || params.flow_cache_entries <= 0.0 {
         return 0.0;
     }
@@ -82,8 +118,8 @@ pub fn fc_hit_ratio(params: &NicParameters, workload: &WorkloadProfile) -> f64 {
     if (flows as f64) <= capacity {
         return 1.0;
     }
-    let zipf = Zipf::new(flows, workload.zipf_alpha.max(0.0));
-    zipf.mass(capacity as usize)
+    zipf.get_or_insert_with(|| Zipf::new(flows, workload.zipf_alpha.max(0.0)))
+        .mass(capacity as usize)
 }
 
 #[cfg(test)]

@@ -32,11 +32,13 @@ pub mod interfere;
 pub mod partial;
 pub mod predictor;
 pub mod queueing;
+pub mod sweep;
 
 pub use cache::{fc_hit_ratio, state_hit_matrix};
 pub use classes::{enumerate_classes, PacketClass};
 pub use interfere::{predict_sliced, SliceSpec};
 pub use partial::{predict_partial, HostParams, PartialPlan};
-pub use clara_map::{MappingQuality, SolveBudget};
+pub use clara_map::{MappingQuality, SolveBudget, SolverConfig};
 pub use predictor::{predict, predict_with_options, ClassPrediction, PredictError, PredictOptions, Prediction};
 pub use queueing::{accel_wait, pool_wait};
+pub use sweep::{run_sweep, SweepScenario};

@@ -1,6 +1,5 @@
 //! The main prediction pipeline.
 
-use crate::cache::{fc_hit_ratio, state_hit_matrix};
 use crate::classes::{enumerate_classes, PacketClass};
 use crate::queueing::{accel_wait, pool_wait};
 use clara_cir::CirModule;
@@ -8,8 +7,8 @@ use clara_dataflow::{extract, DataflowGraph, DfNode};
 use clara_lang::StateKind;
 use clara_lnic::AccelKind;
 use clara_map::{
-    node_compute_cost, solve_mapping_with_budget, state_access_cost, CostCtx, MapError, MapInput,
-    Mapping, SolveBudget, StateClass, StateSpec, UnitChoice,
+    node_compute_cost, solve_mapping_with_config, state_access_cost, CostCtx, MapError, MapInput,
+    Mapping, SolveBudget, SolverConfig, StateClass, StateSpec, UnitChoice,
 };
 use clara_microbench::NicParameters;
 use clara_workload::WorkloadProfile;
@@ -148,6 +147,11 @@ pub struct PredictOptions {
     /// (incumbent, then greedy) instead of erroring; the resulting
     /// [`Prediction::mapping`] carries the quality tag.
     pub budget: SolveBudget,
+    /// Algorithmic solver knobs; the default enables the fast path
+    /// (flat tableau, warm starts, memoization), while
+    /// [`SolverConfig::baseline`] reproduces the seed solver for
+    /// benchmarking.
+    pub solver: SolverConfig,
 }
 
 /// Predict the performance of `module` on the NIC described by `params`
@@ -160,6 +164,35 @@ pub fn predict(
     predict_with_options(module, params, workload, PredictOptions::default())
 }
 
+/// The workload-derived inputs of a prediction that do *not* depend on
+/// the offered rate or the porting strategy: packet classes (CIR
+/// interpreter runs), state specs, and the cache model. Computing these
+/// dominates a prediction's cost, so sweeps share one `Prepared` across
+/// every grid cell with the same non-rate workload fields (see
+/// [`crate::sweep`]). Keep the inputs read here in sync with the sweep's
+/// sharing key.
+#[derive(Debug, Clone)]
+pub(crate) struct Prepared {
+    pub(crate) classes: Vec<crate::classes::PacketClass>,
+    pub(crate) states: Vec<StateSpec>,
+    pub(crate) state_hit: Vec<Vec<f64>>,
+    pub(crate) fc_hit: f64,
+}
+
+/// Compute the rate-independent inputs: reads `module`, `params`, and
+/// the workload's class mix (`tcp_share`, `syn_share`), `avg_payload`,
+/// `flows`, and `zipf_alpha` — never `rate_pps`.
+pub(crate) fn prepare(
+    module: &CirModule,
+    params: &NicParameters,
+    workload: &WorkloadProfile,
+) -> Prepared {
+    let classes = enumerate_classes(module, workload);
+    let states = state_specs(module);
+    let (state_hit, fc_hit) = crate::cache::hit_model(&states, params, workload);
+    Prepared { classes, states, state_hit, fc_hit }
+}
+
 /// [`predict`] under an explicit porting strategy.
 pub fn predict_with_options(
     module: &CirModule,
@@ -167,13 +200,27 @@ pub fn predict_with_options(
     workload: &WorkloadProfile,
     options: PredictOptions,
 ) -> Result<Prediction, PredictError> {
+    let prepared = prepare(module, params, workload);
+    predict_prepared(module, params, workload, &options, &prepared)
+}
+
+/// The rate- and strategy-dependent tail of a prediction: mapping ILP,
+/// queueing, pricing. Pure in `prepared`, so sweeps may share one
+/// `Prepared` across cells.
+pub(crate) fn predict_prepared(
+    module: &CirModule,
+    params: &NicParameters,
+    workload: &WorkloadProfile,
+    options: &PredictOptions,
+    prepared: &Prepared,
+) -> Result<Prediction, PredictError> {
     let mut graph = extract(module);
-    let classes = enumerate_classes(module, workload);
-    let states = state_specs(module);
+    let Prepared { classes, states, state_hit, fc_hit } = prepared;
+    let (fc_hit, classes) = (*fc_hit, classes.as_slice());
 
     // Workload-average node weights for the mapping objective.
     let mut avg_weights = vec![0.0f64; graph.nodes.len()];
-    for class in &classes {
+    for class in classes {
         for (i, node) in graph.nodes.iter().enumerate() {
             avg_weights[i] += class.share * node_weight(node, &class.block_weights);
         }
@@ -182,8 +229,6 @@ pub fn predict_with_options(
         node.weight = *w;
     }
 
-    let state_hit = state_hit_matrix(&states, params, workload);
-    let fc_hit = fc_hit_ratio(params, workload);
     let input = MapInput {
         graph: &graph,
         states: states.clone(),
@@ -194,16 +239,16 @@ pub fn predict_with_options(
         fc_hit,
         dpi_hit: DPI_HIT_DEFAULT,
         forbid_accels: options.software_only,
-        pinned: resolve_pins(&options, module, params)?,
+        pinned: resolve_pins(options, module, params)?,
     };
-    let mapping = solve_mapping_with_budget(&input, &options.budget)?;
+    let mapping = solve_mapping_with_config(&input, &options.budget, &options.solver)?;
 
     // Shared-resource demand per packet (class-averaged) for queueing and
     // throughput.
     let avg_ctx = CostCtx {
         params,
         payload: workload.avg_payload,
-        state_hit: &state_hit,
+        state_hit,
         fc_hit,
         dpi_hit: DPI_HIT_DEFAULT,
     };
@@ -214,7 +259,7 @@ pub fn predict_with_options(
         let mut per_exec = node_compute_cost(node, unit, &avg_ctx);
         for state in node.touched_states() {
             let s = state.0 as usize;
-            per_exec += state_access_cost(node, s, mapping.state_mem[s], unit, &states, &avg_ctx);
+            per_exec += state_access_cost(node, s, mapping.state_mem[s], unit, states, &avg_ctx);
         }
         match unit {
             UnitChoice::Accel(kind) => {
@@ -237,9 +282,9 @@ pub fn predict_with_options(
     let mut per_class = Vec::with_capacity(classes.len());
     let mut avg_latency = 0.0f64;
     let mut avg_energy_cycles = 0.0f64;
-    for class in &classes {
+    for class in classes {
         let latency = price_class(
-            class, &graph, &mapping, &states, params, &state_hit, fc_hit, &accel_rho, pool_rho,
+            class, &graph, &mapping, states, params, state_hit, fc_hit, &accel_rho, pool_rho,
             pool_servers,
         );
         avg_latency += class.share * latency;
