@@ -10,9 +10,14 @@
 //! Argument parsing is hand-rolled (no CLI crates). Failures exit with a
 //! category-specific code so scripts can tell bad invocations from bad
 //! inputs: 2 = usage, 3 = file I/O, 4 = NF frontend error, 5 = lowering
-//! error, 6 = prediction error, 7 = workload error.
+//! error, 6 = prediction error, 7 = workload error. Supervised sweeps
+//! additionally exit 8 when some cells failed and 9 when every cell
+//! failed — the sweep itself completes and reports either way.
 
-use clara_core::{run_sweep, Clara, ClaraError, PredictOptions, SweepScenario, WorkloadProfile};
+use clara_core::{
+    run_sweep_supervised, CellOutcome, CellResult, Clara, ClaraError, PredictOptions, RunClass,
+    SupervisorConfig, SweepScenario, WorkloadProfile,
+};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -41,9 +46,16 @@ SWEEP FLAGS (defaults give a 4×4×4 = 64-cell grid):
   --payloads <a,b,..> payload axis    (default 100,300,700,1400)
   --flows <a,b,..>    flow-count axis (default 100,1000,10000,100000)
   --threads <n>       worker threads; 0 = all cores, 1 = sequential (default 0)
+  --deadline <ms>     per-cell wall-clock budget; expiring cells degrade or time out
+  --checkpoint <file> save completed cells as they finish (atomic JSON)
+  --resume <file>     load a checkpoint and recompute only unfinished cells
+                      (also keeps checkpointing to the same file)
+  --fail-fast         cancel remaining cells after the first failure
+  --no-retry          skip the one retry of failed cells under a tighter budget
 
 EXIT CODES:
   0 ok | 2 usage | 3 file I/O | 4 NF frontend | 5 lowering | 6 prediction | 7 workload
+  8 sweep finished with some failed cells | 9 sweep finished with every cell failed
 ";
 
 /// A categorized CLI failure; the category decides the exit code.
@@ -54,6 +66,11 @@ enum CliError {
     Io(String),
     /// The analysis/prediction pipeline rejected the inputs.
     Pipeline(ClaraError),
+    /// A supervised sweep finished, but some cells failed. The table was
+    /// already printed; the message is the one-line summary.
+    SweepPartial(String),
+    /// A supervised sweep finished with *every* cell failed.
+    SweepFailed(String),
 }
 
 impl CliError {
@@ -65,6 +82,8 @@ impl CliError {
             CliError::Pipeline(ClaraError::Lower(_)) => 5,
             CliError::Pipeline(ClaraError::Predict(_)) => 6,
             CliError::Pipeline(ClaraError::Workload(_)) => 7,
+            CliError::SweepPartial(_) => 8,
+            CliError::SweepFailed(_) => 9,
         }
     }
 }
@@ -72,7 +91,10 @@ impl CliError {
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CliError::Usage(msg) | CliError::Io(msg) => write!(f, "{msg}"),
+            CliError::Usage(msg)
+            | CliError::Io(msg)
+            | CliError::SweepPartial(msg)
+            | CliError::SweepFailed(msg) => write!(f, "{msg}"),
             CliError::Pipeline(e) => write!(f, "{e}"),
         }
     }
@@ -295,6 +317,22 @@ fn sweep(args: &[String]) -> Result<(), CliError> {
             .map_err(|_| CliError::Usage(format!("bad --threads `{v}`")))?,
         None => 0,
     };
+    let deadline_ms: Option<u64> = match flag_value(args, "--deadline") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| CliError::Usage(format!("bad --deadline `{v}`")))?,
+        ),
+        None => None,
+    };
+    let config = SupervisorConfig {
+        threads,
+        deadline_ms,
+        retry: !args.iter().any(|a| a == "--no-retry"),
+        fail_fast: args.iter().any(|a| a == "--fail-fast"),
+        checkpoint: flag_value(args, "--checkpoint").map(Into::into),
+        resume: flag_value(args, "--resume").map(Into::into),
+        ..SupervisorConfig::default()
+    };
 
     // Every grid cell is validated before the (slow) parameter
     // extraction, so a bad axis value exits 7 without waiting.
@@ -329,7 +367,8 @@ fn sweep(args: &[String]) -> Result<(), CliError> {
         })
         .collect();
 
-    let results = run_sweep(&scenarios, threads);
+    let sweep = run_sweep_supervised(&scenarios, &config)
+        .map_err(|e| CliError::Io(e.to_string()))?;
 
     println!(
         "sweep of `{}` on {} ({} cells):",
@@ -341,15 +380,45 @@ fn sweep(args: &[String]) -> Result<(), CliError> {
         "{:>8} {:>7} {:>7} | {:>12} {:>10} bottleneck",
         "rate", "payload", "flows", "lat(cyc)", "tput(Mpps)"
     );
-    for (sc, res) in scenarios.iter().zip(&results) {
-        let p = res.as_ref().map_err(|e| ClaraError::from(e.clone()))?;
-        println!(
-            "{} | {:>12.0} {:>10.2} {}",
-            sc.label,
-            p.avg_latency_cycles,
-            p.throughput_pps / 1e6,
-            p.bottleneck
-        );
+    for (sc, res) in scenarios.iter().zip(&sweep.results) {
+        match res {
+            CellResult::Fresh(p) => println!(
+                "{} | {:>12.0} {:>10.2} {}",
+                sc.label,
+                p.avg_latency_cycles,
+                p.throughput_pps / 1e6,
+                p.bottleneck
+            ),
+            CellResult::Resumed(s) => println!(
+                "{} | {:>12.0} {:>10.2} {} (resumed)",
+                sc.label,
+                s.avg_latency_cycles,
+                s.throughput_pps / 1e6,
+                s.bottleneck
+            ),
+            CellResult::Failed(e) => println!("{} | failed: {e}", sc.label),
+            CellResult::Skipped => println!("{} | skipped (run cancelled)", sc.label),
+        }
     }
-    Ok(())
+
+    let report = &sweep.report;
+    let resumed = report
+        .cells
+        .iter()
+        .filter(|c| matches!(c.outcome, CellOutcome::Resumed))
+        .count();
+    let summary = format!(
+        "sweep: {} ok ({} resumed), {} failed",
+        report.ok_count(),
+        resumed,
+        report.failed_count()
+    );
+    match report.class() {
+        RunClass::AllOk => {
+            println!("{summary}");
+            Ok(())
+        }
+        RunClass::Partial => Err(CliError::SweepPartial(summary)),
+        RunClass::AllFailed => Err(CliError::SweepFailed(summary)),
+    }
 }

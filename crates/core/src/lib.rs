@@ -49,11 +49,13 @@ use core::fmt;
 pub use clara_cir::CirModule;
 pub use clara_dataflow::DataflowGraph;
 pub use clara_lnic::{AccelKind, Lnic};
-pub use clara_map::{Mapping, MappingQuality, SolveBudget, SolverConfig, UnitChoice};
+pub use clara_map::{Mapping, MappingQuality, RunDeadline, SolveBudget, SolverConfig, UnitChoice};
 pub use clara_microbench::{extract_parameters, NicParameters};
 pub use clara_predict::{
-    predict_partial, predict_sliced, run_sweep, ClassPrediction, HostParams, PartialPlan,
-    PredictOptions, Prediction, SliceSpec, SweepScenario,
+    predict_partial, predict_sliced, run_sweep, run_sweep_supervised, CellOutcome, CellReport,
+    CellResult, CellSummary, Checkpoint, ClassPrediction, HostParams, PartialPlan, PredictOptions,
+    Prediction, RunClass, RunReport, SliceSpec, SupervisedSweep, SupervisorConfig, SupervisorError,
+    SweepScenario,
 };
 pub use clara_workload::{Arrival, SizeDist, Trace, TraceGenerator, WorkloadError, WorkloadProfile};
 

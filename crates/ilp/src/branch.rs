@@ -14,6 +14,7 @@
 //! - relaxations are memoized by the node's bound vector, so a bound
 //!   vector reached along two branching paths is solved once.
 
+use crate::deadline::RunDeadline;
 use crate::model::{Model, RelaxWorkspace, Sense, Solution, SolveError, SolverConfig};
 use crate::simplex::Basis;
 use std::cmp::Ordering;
@@ -70,17 +71,25 @@ fn bounds_key(bounds: &[(f64, f64)]) -> Vec<u64> {
     key
 }
 
-/// Branch-and-bound with a deterministic node-expansion budget.
+/// Branch-and-bound with a deterministic node-expansion budget and a
+/// cooperative wall-clock deadline.
 ///
-/// Anytime behavior: when `max_nodes` expansions are spent, the best
-/// incumbent found so far is returned (flagged unproven); only if *no*
-/// integer-feasible point was seen does the solve fail with
-/// [`SolveError::Limit`]. An emptied heap means the incumbent (if any)
-/// is proven optimal.
+/// Anytime behavior: when `max_nodes` expansions are spent — or the
+/// [`RunDeadline`] expires — the best incumbent found so far is returned
+/// (flagged unproven); only if *no* integer-feasible point was seen does
+/// the solve fail, with [`SolveError::Limit`] for an exhausted budget or
+/// [`SolveError::TimedOut`] for an expired deadline. An emptied heap
+/// means the incumbent (if any) is proven optimal.
+///
+/// The deadline is checked before every node expansion and inside the
+/// simplex pivot loops (except under `reference_lp`, where the preserved
+/// seed solver runs undeadlined and only the node-granularity check
+/// applies).
 pub(crate) fn solve_ilp(
     model: &Model,
     max_nodes: usize,
     config: &SolverConfig,
+    deadline: &RunDeadline,
 ) -> Result<Solution, SolveError> {
     let sense_sign = match model.sense {
         Sense::Minimize => 1.0,
@@ -98,8 +107,13 @@ pub(crate) fn solve_ilp(
     let mut incumbent: Option<(Vec<f64>, f64)> = None; // (values, min-oriented obj)
     let mut nodes = 0usize;
     let mut exhausted = false;
+    let mut timed_out = false;
 
     while let Some(node) = heap.pop() {
+        if deadline.expired() {
+            timed_out = true;
+            break;
+        }
         nodes += 1;
         if nodes > max_nodes {
             exhausted = true;
@@ -119,15 +133,17 @@ pub(crate) fn solve_ilp(
                     Some(ws) => {
                         let warm = if config.warm_start { node.basis.as_deref() } else { None };
                         model
-                            .solve_relaxation_warm(ws, &node.bounds, warm)
+                            .solve_relaxation_warm(ws, &node.bounds, warm, deadline)
                             .map(|(v, o, b)| (v, o, b.map(Rc::new)))
                     }
                     None => model
                         .solve_relaxation_reference(&node.bounds)
                         .map(|(v, o)| (v, o, None)),
                 };
+                // A timeout says nothing about the subproblem, only about
+                // the clock: never memoize it.
                 if let Some(k) = key {
-                    if memo.len() < MEMO_CAP {
+                    if memo.len() < MEMO_CAP && !matches!(fresh, Err(SolveError::TimedOut)) {
                         memo.insert(k, fresh.clone());
                     }
                 }
@@ -138,6 +154,10 @@ pub(crate) fn solve_ilp(
             Ok(r) => r,
             Err(SolveError::Infeasible) => continue,
             Err(SolveError::Unbounded) => return Err(SolveError::Unbounded),
+            Err(SolveError::TimedOut) => {
+                timed_out = true;
+                break;
+            }
             Err(e) => return Err(e),
         };
         let min_obj = sense_sign * objective;
@@ -188,12 +208,13 @@ pub(crate) fn solve_ilp(
         }
     }
 
-    match (incumbent, exhausted) {
+    match (incumbent, exhausted || timed_out) {
         (Some((values, min_obj)), false) => Ok(Solution::new(values, sense_sign * min_obj)),
         (Some((values, min_obj)), true) => {
             Ok(Solution::incumbent(values, sense_sign * min_obj))
         }
         (None, false) => Err(SolveError::Infeasible),
+        (None, true) if timed_out => Err(SolveError::TimedOut),
         (None, true) => Err(SolveError::Limit),
     }
 }

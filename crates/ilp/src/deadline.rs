@@ -1,0 +1,118 @@
+//! Cooperative wall-clock deadlines and cancellation.
+//!
+//! A [`RunDeadline`] bounds *how long* a solve may run, orthogonal to
+//! [`crate::SolveBudget`] (which bounds *how much* work is done, in
+//! deterministic node counts). Budgets give reproducible cutoffs;
+//! deadlines give hard latency guarantees for interactive sweeps where a
+//! degenerate cell must not hang a worker thread.
+//!
+//! The deadline is checked cooperatively at loop boundaries — every
+//! branch-and-bound node expansion and every ~64 simplex pivots — so an
+//! expired deadline surfaces within microseconds, not mid-pivot. The
+//! optional cancel token lets a supervisor revoke a whole batch of
+//! solves at once (e.g. `--fail-fast` after the first hard failure).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A wall-clock budget plus an optional shared cancellation token.
+///
+/// `Default` (and [`RunDeadline::none`]) never expires; checks against
+/// it are branch-predictable no-ops, so unlimited callers pay nothing.
+#[derive(Debug, Clone, Default)]
+pub struct RunDeadline {
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl RunDeadline {
+    /// No deadline and no cancel token: never expires.
+    pub fn none() -> Self {
+        RunDeadline::default()
+    }
+
+    /// Expire `budget` from now.
+    pub fn within(budget: Duration) -> Self {
+        RunDeadline { deadline: Some(Instant::now() + budget), cancel: None }
+    }
+
+    /// Expire `ms` milliseconds from now; `None` means no deadline.
+    pub fn within_ms(ms: Option<u64>) -> Self {
+        match ms {
+            Some(ms) => RunDeadline::within(Duration::from_millis(ms)),
+            None => RunDeadline::none(),
+        }
+    }
+
+    /// Attach a shared cancel token; [`RunDeadline::expired`] becomes
+    /// true as soon as the token is set, regardless of the clock.
+    pub fn with_cancel(mut self, token: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Whether neither a clock deadline nor a cancel token is armed.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.cancel.is_none()
+    }
+
+    /// Whether the cancel token (if any) has been raised. Distinguishes
+    /// "the batch was revoked" from "this solve ran out of time".
+    pub fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
+    }
+
+    /// Whether this solve should stop now: cancelled or past deadline.
+    pub fn expired(&self) -> bool {
+        if self.cancelled() {
+            return true;
+        }
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_expires() {
+        let d = RunDeadline::none();
+        assert!(d.is_unlimited());
+        assert!(!d.expired());
+        assert!(!d.cancelled());
+    }
+
+    #[test]
+    fn zero_budget_expires_immediately() {
+        let d = RunDeadline::within(Duration::from_millis(0));
+        assert!(!d.is_unlimited());
+        assert!(d.expired());
+        assert!(!d.cancelled(), "clock expiry is not cancellation");
+    }
+
+    #[test]
+    fn generous_budget_not_yet_expired() {
+        let d = RunDeadline::within(Duration::from_secs(3600));
+        assert!(!d.expired());
+    }
+
+    #[test]
+    fn within_ms_none_is_unlimited() {
+        assert!(RunDeadline::within_ms(None).is_unlimited());
+        assert!(RunDeadline::within_ms(Some(0)).expired());
+    }
+
+    #[test]
+    fn cancel_token_expires_without_clock() {
+        let token = Arc::new(AtomicBool::new(false));
+        let d = RunDeadline::none().with_cancel(Arc::clone(&token));
+        assert!(!d.expired());
+        token.store(true, Ordering::Relaxed);
+        assert!(d.expired());
+        assert!(d.cancelled());
+    }
+}

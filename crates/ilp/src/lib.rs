@@ -38,6 +38,7 @@
 //! assert_eq!(sol.value(c).round(), 0.0);
 //! ```
 
+pub mod deadline;
 pub mod expr;
 pub mod model;
 pub mod simplex;
@@ -48,5 +49,6 @@ mod tableau;
 #[doc(hidden)]
 pub mod reference;
 
+pub use deadline::RunDeadline;
 pub use expr::{LinExpr, Var};
 pub use model::{Model, Rel, SolveBudget, SolveError, Solution, SolverConfig};

@@ -2,6 +2,7 @@
 //! entry point.
 
 use crate::branch;
+use crate::deadline::RunDeadline;
 use crate::expr::{LinExpr, Var};
 use crate::simplex::{self, Basis, LpResult, Row};
 use core::fmt;
@@ -48,6 +49,10 @@ pub enum SolveError {
     Unbounded,
     /// Branch-and-bound node or simplex iteration limits were exceeded.
     Limit,
+    /// A cooperative [`RunDeadline`] expired (or its cancel token was
+    /// raised) before any integer-feasible point was found. When an
+    /// incumbent exists at expiry, it is returned unproven instead.
+    TimedOut,
     /// A variable was declared with inconsistent bounds (`lo > hi`) or a
     /// non-finite bound where one is required.
     BadBounds(String),
@@ -59,6 +64,7 @@ impl fmt::Display for SolveError {
             SolveError::Infeasible => write!(f, "problem is infeasible"),
             SolveError::Unbounded => write!(f, "objective is unbounded"),
             SolveError::Limit => write!(f, "solver limits exceeded"),
+            SolveError::TimedOut => write!(f, "solve deadline exceeded"),
             SolveError::BadBounds(v) => write!(f, "bad bounds on variable {v}"),
         }
     }
@@ -280,6 +286,19 @@ impl Model {
         budget: &SolveBudget,
         config: &SolverConfig,
     ) -> Result<Solution, SolveError> {
+        self.solve_with_limits(budget, config, &RunDeadline::none())
+    }
+
+    /// Solve under an explicit budget, [`SolverConfig`], and cooperative
+    /// [`RunDeadline`]. An expired deadline degrades exactly like an
+    /// exhausted budget: the best incumbent is returned unproven, or —
+    /// with no incumbent — the solve fails with [`SolveError::TimedOut`].
+    pub fn solve_with_limits(
+        &self,
+        budget: &SolveBudget,
+        config: &SolverConfig,
+        deadline: &RunDeadline,
+    ) -> Result<Solution, SolveError> {
         for v in &self.vars {
             if v.lo > v.hi || v.lo.is_nan() || v.hi.is_nan() || v.lo == f64::INFINITY {
                 return Err(SolveError::BadBounds(v.name.clone()));
@@ -292,13 +311,13 @@ impl Model {
             }
         }
         if self.vars.iter().any(|v| v.integer) {
-            branch::solve_ilp(self, budget.max_nodes, config)
+            branch::solve_ilp(self, budget.max_nodes, config, deadline)
         } else {
             let bounds: Vec<(f64, f64)> = self.vars.iter().map(|v| (v.lo, v.hi)).collect();
             let solved = if config.reference_lp {
                 self.solve_relaxation_reference(&bounds)
             } else {
-                self.solve_relaxation(&bounds)
+                self.solve_relaxation_limited(&bounds, deadline)
             };
             solved.map(|(values, objective)| Solution::new(values, objective))
         }
@@ -392,23 +411,26 @@ impl Model {
         (values, objective)
     }
 
-    /// Solve the LP relaxation under explicit per-variable bounds,
-    /// returning values in original variable space and the objective in
-    /// the model's sense.
-    pub(crate) fn solve_relaxation(
+    /// Solve the LP relaxation under explicit per-variable bounds and a
+    /// cooperative deadline, returning values in original variable space
+    /// and the objective in the model's sense.
+    pub(crate) fn solve_relaxation_limited(
         &self,
         bounds: &[(f64, f64)],
+        deadline: &RunDeadline,
     ) -> Result<(Vec<f64>, f64), SolveError> {
         let b = self.build_relaxation(bounds);
-        match simplex::solve_lp(b.num_cols, &b.rows, &b.obj) {
+        match simplex::solve_lp_limited(b.num_cols, &b.rows, &b.obj, None, deadline).0 {
             LpResult::Optimal { x, .. } => Ok(self.lift(bounds, &b.col_of, &x)),
             LpResult::Infeasible => Err(SolveError::Infeasible),
             LpResult::Unbounded => Err(SolveError::Unbounded),
             LpResult::IterationLimit => Err(SolveError::Limit),
+            LpResult::TimedOut => Err(SolveError::TimedOut),
         }
     }
 
-    /// [`Model::solve_relaxation`] through the preserved seed solver.
+    /// [`Model::solve_relaxation_limited`] through the preserved seed
+    /// solver (which takes no deadline).
     pub(crate) fn solve_relaxation_reference(
         &self,
         bounds: &[(f64, f64)],
@@ -418,7 +440,9 @@ impl Model {
             LpResult::Optimal { x, .. } => Ok(self.lift(bounds, &b.col_of, &x)),
             LpResult::Infeasible => Err(SolveError::Infeasible),
             LpResult::Unbounded => Err(SolveError::Unbounded),
-            LpResult::IterationLimit => Err(SolveError::Limit),
+            // The seed solver takes no deadline; its iteration cap is the
+            // only way it stops early, and TimedOut is unreachable.
+            LpResult::IterationLimit | LpResult::TimedOut => Err(SolveError::Limit),
         }
     }
 
@@ -464,12 +488,15 @@ impl Model {
         ws: &mut RelaxWorkspace,
         bounds: &[(f64, f64)],
         warm: Option<&Basis>,
+        deadline: &RunDeadline,
     ) -> Result<(Vec<f64>, f64, Option<Basis>), SolveError> {
         if !ws.matches(bounds) {
-            return self.solve_relaxation(bounds).map(|(v, o)| (v, o, None));
+            return self
+                .solve_relaxation_limited(bounds, deadline)
+                .map(|(v, o)| (v, o, None));
         }
         ws.bind(bounds);
-        match simplex::solve_lp_warm(ws.num_cols, &ws.rows, &ws.obj, warm) {
+        match simplex::solve_lp_limited(ws.num_cols, &ws.rows, &ws.obj, warm, deadline) {
             (LpResult::Optimal { x, .. }, basis) => {
                 let (values, objective) = self.lift(bounds, &ws.col_of, &x);
                 Ok((values, objective, basis))
@@ -477,6 +504,7 @@ impl Model {
             (LpResult::Infeasible, _) => Err(SolveError::Infeasible),
             (LpResult::Unbounded, _) => Err(SolveError::Unbounded),
             (LpResult::IterationLimit, _) => Err(SolveError::Limit),
+            (LpResult::TimedOut, _) => Err(SolveError::TimedOut),
         }
     }
 }
@@ -687,13 +715,59 @@ mod tests {
         let root: Vec<(f64, f64)> = m.vars.iter().map(|v| (v.lo, v.hi)).collect();
         let mut ws = m.relax_workspace(&root);
 
-        let (v0, o0, basis) = m.solve_relaxation_warm(&mut ws, &root, None).unwrap();
-        let (v0_ref, o0_ref) = m.solve_relaxation(&root).unwrap();
+        let unlimited = RunDeadline::none();
+        let (v0, o0, basis) =
+            m.solve_relaxation_warm(&mut ws, &root, None, &unlimited).unwrap();
+        let (v0_ref, o0_ref) = m.solve_relaxation_limited(&root, &unlimited).unwrap();
         assert!((o0 - o0_ref).abs() < 1e-6, "{v0:?} vs {v0_ref:?}");
 
         let child = vec![(2.0, 10.0), (0.0, 3.0)];
-        let (_, o1, _) = m.solve_relaxation_warm(&mut ws, &child, basis.as_ref()).unwrap();
-        let (_, o1_ref) = m.solve_relaxation(&child).unwrap();
+        let (_, o1, _) = m
+            .solve_relaxation_warm(&mut ws, &child, basis.as_ref(), &unlimited)
+            .unwrap();
+        let (_, o1_ref) = m.solve_relaxation_limited(&child, &unlimited).unwrap();
         assert!((o1 - o1_ref).abs() < 1e-6);
+    }
+
+    /// An expired deadline with no incumbent fails with `TimedOut`; a
+    /// generous deadline changes nothing about the solve.
+    #[test]
+    fn deadline_semantics() {
+        let mut m = Model::maximize();
+        let x = m.binary("x");
+        let y = m.binary("y");
+        m.constraint(2.0 * x + 2.0 * y, Rel::Le, 3.0);
+        m.objective(x + y);
+        let budget = SolveBudget::default();
+        let cfg = SolverConfig::default();
+
+        let expired = RunDeadline::within(std::time::Duration::from_millis(0));
+        assert_eq!(
+            m.solve_with_limits(&budget, &cfg, &expired).unwrap_err(),
+            SolveError::TimedOut
+        );
+
+        let generous = RunDeadline::within(std::time::Duration::from_secs(3600));
+        let s = m.solve_with_limits(&budget, &cfg, &generous).unwrap();
+        assert!(s.is_proven_optimal());
+        assert_eq!(s.objective().round(), 1.0);
+    }
+
+    /// A raised cancel token behaves like an expired deadline.
+    #[test]
+    fn cancel_token_stops_solve() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let mut m = Model::minimize();
+        let x = m.int_var("x", 0, 10);
+        m.constraint(LinExpr::from(x), Rel::Ge, 1.0);
+        m.objective(LinExpr::from(x));
+        let token = Arc::new(AtomicBool::new(true));
+        let d = RunDeadline::none().with_cancel(token);
+        assert_eq!(
+            m.solve_with_limits(&SolveBudget::default(), &SolverConfig::default(), &d)
+                .unwrap_err(),
+            SolveError::TimedOut
+        );
     }
 }

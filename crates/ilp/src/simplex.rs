@@ -21,6 +21,7 @@
 //!   Any numerical trouble (singular basis, shape mismatch, iteration
 //!   cap) silently falls back to the cold two-phase path.
 
+use crate::deadline::RunDeadline;
 use crate::model::Rel;
 use crate::tableau::FlatMat;
 
@@ -34,6 +35,12 @@ const FEAS_TOL: f64 = 1e-7;
 /// Consecutive degenerate pivots tolerated under the Dantzig rule before
 /// switching to Bland's rule (which cannot cycle).
 const DEGEN_SWITCH: usize = 64;
+
+/// Pivot iterations between cooperative [`RunDeadline`] checks. Checking
+/// involves a clock read, so it is amortized over a stride; 64 pivots on
+/// mapping-sized tableaus are well under a millisecond, keeping deadline
+/// overshoot negligible.
+const DEADLINE_STRIDE: usize = 64;
 
 /// Outcome of an LP solve.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,6 +59,9 @@ pub enum LpResult {
     /// The iteration cap was exceeded (should not happen with the Bland
     /// fallback; kept as a defensive backstop).
     IterationLimit,
+    /// A cooperative [`RunDeadline`] expired (or was cancelled) before
+    /// the solve finished.
+    TimedOut,
 }
 
 /// One constraint row: dense coefficients over the structural variables,
@@ -89,22 +99,40 @@ pub fn solve_lp_warm(
     objective: &[f64],
     warm: Option<&Basis>,
 ) -> (LpResult, Option<Basis>) {
+    solve_lp_limited(num_vars, rows, objective, warm, &RunDeadline::none())
+}
+
+/// Like [`solve_lp_warm`], under a cooperative [`RunDeadline`] checked
+/// every [`DEADLINE_STRIDE`] pivots. An expired deadline yields
+/// [`LpResult::TimedOut`] — including from the warm path, which must
+/// *not* fall back to a full cold solve in that case (the fallback would
+/// be exactly the unbounded work the deadline exists to prevent).
+pub fn solve_lp_limited(
+    num_vars: usize,
+    rows: &[Row],
+    objective: &[f64],
+    warm: Option<&Basis>,
+    deadline: &RunDeadline,
+) -> (LpResult, Option<Basis>) {
     assert_eq!(objective.len(), num_vars);
     if let Some(basis) = warm {
         if let Some(mut t) = Flat::build_warm(num_vars, rows, basis) {
-            if let Some(out) = t.solve_warm(objective) {
-                // The warm path only ever claims optimality (everything
-                // else falls back to cold); accept the claim only if the
-                // point actually satisfies the original rows.
-                if matches!(&out.0, LpResult::Optimal { x, .. } if satisfies(rows, x)) {
-                    return out;
+            if let Some(out) = t.solve_warm(objective, deadline) {
+                // The warm path only ever claims optimality or timeout
+                // (everything else falls back to cold); accept an
+                // optimality claim only if the point actually satisfies
+                // the original rows.
+                match &out.0 {
+                    LpResult::Optimal { x, .. } if satisfies(rows, x) => return out,
+                    LpResult::TimedOut => return out,
+                    _ => {}
                 }
             }
         }
         // Shape mismatch, singular basis, iteration cap, or a result
         // that failed verification: re-solve cold.
     }
-    Flat::build_cold(num_vars, rows).solve_cold(objective)
+    Flat::build_cold(num_vars, rows).solve_cold(objective, deadline)
 }
 
 /// Does `x` satisfy every row, up to a tolerance scaled to the row?
@@ -169,12 +197,14 @@ enum Status {
     Optimal,
     Unbounded,
     IterationLimit,
+    TimedOut,
 }
 
 enum DualStatus {
     Feasible,
     Infeasible,
     IterationLimit,
+    TimedOut,
 }
 
 impl Flat {
@@ -291,7 +321,7 @@ impl Flat {
     }
 
     /// Cold path: phase 1 (artificials) then phase 2.
-    fn solve_cold(mut self, objective: &[f64]) -> (LpResult, Option<Basis>) {
+    fn solve_cold(mut self, objective: &[f64], deadline: &RunDeadline) -> (LpResult, Option<Basis>) {
         if self.art_start < self.width {
             // Phase 1: minimize the sum of artificial variables. Their
             // reduced costs under the all-ones artificial cost vector:
@@ -308,11 +338,12 @@ impl Flat {
                     }
                 }
             }
-            match self.primal(&mut rc, self.width) {
+            match self.primal(&mut rc, self.width, deadline) {
                 Status::Optimal => {}
                 // Phase 1 is bounded below by 0; defensive, as the seed.
                 Status::Unbounded => return (LpResult::Infeasible, None),
                 Status::IterationLimit => return (LpResult::IterationLimit, None),
+                Status::TimedOut => return (LpResult::TimedOut, None),
             }
             let residual: f64 = self
                 .basis
@@ -329,7 +360,7 @@ impl Flat {
 
         // Phase 2: original objective; artificials barred from entering.
         let mut rc = self.reduced_costs(objective);
-        match self.primal(&mut rc, self.art_start) {
+        match self.primal(&mut rc, self.art_start, deadline) {
             Status::Optimal => {
                 let (x, obj) = self.extract(objective);
                 let basis = Basis { cols: self.basis };
@@ -337,22 +368,30 @@ impl Flat {
             }
             Status::Unbounded => (LpResult::Unbounded, None),
             Status::IterationLimit => (LpResult::IterationLimit, None),
+            Status::TimedOut => (LpResult::TimedOut, None),
         }
     }
 
     /// Warm path: dual simplex to restore primal feasibility, then a
-    /// primal cleanup pass. `None` means "give up, re-solve cold".
-    fn solve_warm(&mut self, objective: &[f64]) -> Option<(LpResult, Option<Basis>)> {
+    /// primal cleanup pass. `None` means "give up, re-solve cold";
+    /// timeouts are returned as a result, never as `None`, so an expired
+    /// deadline cannot trigger the (expensive) cold fallback.
+    fn solve_warm(
+        &mut self,
+        objective: &[f64],
+        deadline: &RunDeadline,
+    ) -> Option<(LpResult, Option<Basis>)> {
         let mut rc = self.reduced_costs(objective);
-        match self.dual_simplex(&mut rc) {
+        match self.dual_simplex(&mut rc, deadline) {
             DualStatus::Feasible => {}
             // In exact arithmetic this would be an infeasibility
             // certificate, but a refactorized tableau can be degraded
             // enough to fake one — let the cold path decide.
             DualStatus::Infeasible => return None,
             DualStatus::IterationLimit => return None,
+            DualStatus::TimedOut => return Some((LpResult::TimedOut, None)),
         }
-        match self.primal(&mut rc, self.width) {
+        match self.primal(&mut rc, self.width, deadline) {
             Status::Optimal => {
                 // The maintained rc row can drift over a long pivot
                 // sequence; re-derive it and re-check optimality and
@@ -372,6 +411,7 @@ impl Flat {
             // as numerical trouble like everything else.
             Status::Unbounded => None,
             Status::IterationLimit => None,
+            Status::TimedOut => Some((LpResult::TimedOut, None)),
         }
     }
 
@@ -412,11 +452,14 @@ impl Flat {
     /// is Dantzig; after [`DEGEN_SWITCH`] consecutive degenerate pivots
     /// it downgrades to Bland's rule until progress resumes. Columns
     /// `>= bar` may never enter.
-    fn primal(&mut self, rc: &mut [f64], bar: usize) -> Status {
+    fn primal(&mut self, rc: &mut [f64], bar: usize, deadline: &RunDeadline) -> Status {
         let max_iters = self.max_iters();
         let mut degen_run = 0usize;
         let mut bland = false;
-        for _ in 0..max_iters {
+        for iter in 0..max_iters {
+            if iter % DEADLINE_STRIDE == 0 && deadline.expired() {
+                return Status::TimedOut;
+            }
             let entering = if bland {
                 rc[..bar].iter().position(|&r| r < -TOL)
             } else {
@@ -468,9 +511,12 @@ impl Flat {
     /// Dual simplex: the basis is (near-)dual-feasible but some rhs may
     /// be negative. Leaving row is the most negative rhs; entering
     /// column minimizes `rc_j / |a_rj|` over `a_rj < 0`.
-    fn dual_simplex(&mut self, rc: &mut [f64]) -> DualStatus {
+    fn dual_simplex(&mut self, rc: &mut [f64], deadline: &RunDeadline) -> DualStatus {
         let max_iters = self.max_iters();
-        for _ in 0..max_iters {
+        for iter in 0..max_iters {
+            if iter % DEADLINE_STRIDE == 0 && deadline.expired() {
+                return DualStatus::TimedOut;
+            }
             let mut leaving = None;
             let mut most_neg = -FEAS_TOL;
             for i in 0..self.tab.rows() {
@@ -722,6 +768,29 @@ mod tests {
         rows[0].rhs = 2.0;
         let (warm, _) = solve_lp_warm(1, &rows, &[1.0], basis.as_ref());
         assert_eq!(warm, LpResult::Infeasible);
+    }
+
+    #[test]
+    fn expired_deadline_times_out_cold_and_warm() {
+        let rows = vec![
+            row(vec![1.0, 0.0], Rel::Le, 4.0),
+            row(vec![0.0, 2.0], Rel::Le, 12.0),
+            row(vec![3.0, 2.0], Rel::Le, 18.0),
+        ];
+        let obj = [-3.0, -5.0];
+        let (first, basis) = solve_lp_warm(2, &rows, &obj, None);
+        assert!(matches!(first, LpResult::Optimal { .. }));
+
+        let expired = RunDeadline::within(std::time::Duration::from_millis(0));
+        let (cold, b) = solve_lp_limited(2, &rows, &obj, None, &expired);
+        assert_eq!(cold, LpResult::TimedOut);
+        assert!(b.is_none());
+
+        // The warm path must report the timeout rather than silently
+        // re-solving cold (which would defeat the deadline).
+        let (warm, b) = solve_lp_limited(2, &rows, &obj, basis.as_ref(), &expired);
+        assert_eq!(warm, LpResult::TimedOut);
+        assert!(b.is_none());
     }
 
     #[test]

@@ -147,6 +147,11 @@ pub enum MapError {
     Infeasible(String),
     /// The underlying solver failed.
     Solver(clara_ilp::SolveError),
+    /// A [`clara_ilp::RunDeadline`] expired before any feasible mapping
+    /// was found. Deliberately *not* folded into the greedy fallback:
+    /// supervision layers need "ran out of time" kept distinct from
+    /// "proved infeasible" so retries and reports stay truthful.
+    TimedOut,
     /// Input shape error.
     BadInput(String),
     /// An internal invariant was violated (a bug, reported instead of
@@ -159,6 +164,7 @@ impl fmt::Display for MapError {
         match self {
             MapError::Infeasible(m) => write!(f, "mapping infeasible: {m}"),
             MapError::Solver(e) => write!(f, "ILP solver error: {e}"),
+            MapError::TimedOut => write!(f, "mapping deadline exceeded"),
             MapError::BadInput(m) => write!(f, "bad mapping input: {m}"),
             MapError::Internal(m) => write!(f, "internal mapping error: {m}"),
         }
@@ -171,6 +177,7 @@ impl From<clara_ilp::SolveError> for MapError {
     fn from(e: clara_ilp::SolveError) -> Self {
         match e {
             clara_ilp::SolveError::Infeasible => MapError::Infeasible("no feasible placement".into()),
+            clara_ilp::SolveError::TimedOut => MapError::TimedOut,
             other => MapError::Solver(other),
         }
     }

@@ -3,7 +3,7 @@
 use crate::cost::{eligible_units, node_compute_cost, state_access_cost, CostCtx};
 use crate::greedy::greedy_map;
 use crate::input::{MapError, MapInput, Mapping, MappingQuality, UnitChoice};
-use clara_ilp::{LinExpr, Model, Rel, SolveBudget, SolveError, SolverConfig, Var};
+use clara_ilp::{LinExpr, Model, Rel, RunDeadline, SolveBudget, SolveError, SolverConfig, Var};
 use clara_lnic::AccelKind;
 
 /// Fraction of cluster SRAM reserved for packet buffers rather than NF
@@ -44,7 +44,26 @@ pub fn solve_mapping_with_config(
     budget: &SolveBudget,
     config: &SolverConfig,
 ) -> Result<Mapping, MapError> {
-    match solve_mapping_ilp(input, budget, config) {
+    solve_mapping_with_limits(input, budget, config, &RunDeadline::none())
+}
+
+/// [`solve_mapping_with_config`] under a cooperative [`RunDeadline`].
+///
+/// The degradation ladder still applies while time remains: an exhausted
+/// node budget with an incumbent yields [`MappingQuality::Incumbent`],
+/// and infeasible/budget-limited solves fall back to the greedy mapper.
+/// An *expired deadline* with an incumbent also degrades to
+/// [`MappingQuality::Incumbent`]; without one it returns
+/// [`MapError::TimedOut`] — never the greedy fallback, because "out of
+/// time" must stay distinguishable from "proved infeasible" for the
+/// supervision layer's retry and reporting logic.
+pub fn solve_mapping_with_limits(
+    input: &MapInput<'_>,
+    budget: &SolveBudget,
+    config: &SolverConfig,
+    deadline: &RunDeadline,
+) -> Result<Mapping, MapError> {
+    match solve_mapping_ilp(input, budget, config, deadline) {
         Ok(mapping) => Ok(mapping),
         Err(err @ (MapError::Infeasible(_) | MapError::Solver(SolveError::Limit))) => {
             greedy_map(input).map_err(|_| err)
@@ -58,6 +77,7 @@ fn solve_mapping_ilp(
     input: &MapInput<'_>,
     budget: &SolveBudget,
     config: &SolverConfig,
+    deadline: &RunDeadline,
 ) -> Result<Mapping, MapError> {
     let graph = input.graph;
     let params = input.params;
@@ -252,7 +272,9 @@ fn solve_mapping_ilp(
     }
 
     model.objective(objective);
-    let solution = model.solve_with_config(budget, config).map_err(MapError::from)?;
+    let solution = model
+        .solve_with_limits(budget, config, deadline)
+        .map_err(MapError::from)?;
 
     let node_unit: Vec<UnitChoice> = x
         .iter()

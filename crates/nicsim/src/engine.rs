@@ -12,6 +12,7 @@
 use crate::fault::{FaultPlan, TRUNCATED_PAYLOAD_BYTES};
 use crate::memory::{Cache, MemorySim};
 use crate::program::{MicroOp, NicProgram, Stage, StageUnit};
+use crate::watchdog::{Watchdog, DEADLINE_STRIDE};
 use clara_lnic::{AccelCost, AccelKind, ComputeClass, Lnic, MemId, MemKind, UnitId};
 use clara_workload::Trace;
 use std::cmp::Reverse;
@@ -22,7 +23,7 @@ use std::collections::BinaryHeap;
 /// entirely, but the tails of larger packets will spill to the EMEM").
 const CTM_RESIDENCY_BYTES: u64 = 1024;
 
-/// Errors from simulation setup.
+/// Errors from simulation setup or supervision.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// The program failed validation.
@@ -33,6 +34,21 @@ pub enum SimError {
     MissingAccelerator(String),
     /// The NIC has no general-purpose cores.
     NoThreads,
+    /// A packet blew the watchdog's cycle budget — the program asked for
+    /// effectively unbounded work (see [`crate::Watchdog`]).
+    Watchdog {
+        /// Index of the offending packet in the trace.
+        packet: usize,
+        /// Stage whose cost crossed the limit.
+        stage: String,
+        /// Cycles the packet had consumed when tripped (saturating).
+        cycles: u64,
+        /// The limit it crossed.
+        limit: u64,
+    },
+    /// The watchdog's wall-clock deadline passed (or the run was
+    /// cancelled) before the trace finished.
+    TimedOut,
 }
 
 impl core::fmt::Display for SimError {
@@ -42,6 +58,12 @@ impl core::fmt::Display for SimError {
             SimError::UnknownRegion(r) => write!(f, "unknown memory region `{r}`"),
             SimError::MissingAccelerator(k) => write!(f, "NIC lacks accelerator `{k}`"),
             SimError::NoThreads => write!(f, "NIC has no general-purpose threads"),
+            SimError::Watchdog { packet, stage, cycles, limit } => write!(
+                f,
+                "watchdog: packet {packet} consumed {cycles} cycles in stage `{stage}` \
+                 (limit {limit})"
+            ),
+            SimError::TimedOut => write!(f, "simulation deadline exceeded"),
         }
     }
 }
@@ -137,6 +159,25 @@ pub fn simulate_with_faults(
     prog: &NicProgram,
     trace: &Trace,
     faults: &FaultPlan,
+) -> Result<SimResult, SimError> {
+    simulate_supervised(nic, prog, trace, faults, &Watchdog::default())
+}
+
+/// Run `prog` over `trace` on `nic` under a [`FaultPlan`] and a
+/// [`Watchdog`].
+///
+/// The watchdog turns unbounded work into errors instead of hangs: a
+/// packet whose stages exceed the per-packet cycle cap (or push the run
+/// past the total cap) ends the run with [`SimError::Watchdog`], and an
+/// expired wall-clock deadline or cancel token ends it with
+/// [`SimError::TimedOut`]. Default caps are far above any legitimate
+/// program, so `simulate`/`simulate_with_faults` results are unchanged.
+pub fn simulate_supervised(
+    nic: &Lnic,
+    prog: &NicProgram,
+    trace: &Trace,
+    faults: &FaultPlan,
+    watchdog: &Watchdog,
 ) -> Result<SimResult, SimError> {
     prog.validate().map_err(SimError::BadProgram)?;
 
@@ -267,8 +308,16 @@ pub fn simulate_with_faults(
     let mut completions: Vec<u64> = Vec::with_capacity(trace.len());
     let mut fc_hits = 0u64;
     let mut fc_misses = 0u64;
+    let pkt_limit = watchdog.packet_limit();
+    let total_limit = watchdog.total_limit();
 
     for (pkt_idx, tp) in trace.iter().enumerate() {
+        // Wall-clock supervision is polled on a stride: cheap enough to
+        // leave on for every run, fine-grained enough that a cancelled
+        // simulation stops within ~a thousand packets.
+        if pkt_idx % DEADLINE_STRIDE == 0 && watchdog.expired() {
+            return Err(SimError::TimedOut);
+        }
         let arrival = to_cycles(tp.ts_ns);
         first_arrival.get_or_insert(arrival);
 
@@ -325,6 +374,7 @@ pub fn simulate_with_faults(
         }
 
         let mut cur = start + ingress.map(|h| h.latency).unwrap_or(0);
+        let mut pkt_cycles = 0u64;
         for (si, stage) in prog.stages.iter().enumerate() {
             let cost = stage_cost(
                 nic,
@@ -345,13 +395,33 @@ pub fn simulate_with_faults(
                 fc_engine_cycles,
                 stage_stalls[si],
             )?;
-            stage_totals[si] += cost;
-            cur += cost;
+            // Saturating accumulation: an adversarial stage can produce
+            // costs near u64::MAX; the watchdog must see "huge", not a
+            // wrapped-around small number.
+            pkt_cycles = pkt_cycles.saturating_add(cost);
+            if pkt_cycles > pkt_limit {
+                return Err(SimError::Watchdog {
+                    packet: pkt_idx,
+                    stage: stage.name.clone(),
+                    cycles: pkt_cycles,
+                    limit: pkt_limit,
+                });
+            }
+            stage_totals[si] = stage_totals[si].saturating_add(cost);
+            cur = cur.saturating_add(cost);
         }
         cur += egress.map(|h| h.latency).unwrap_or(0);
 
         threads[tid].free_at = cur;
-        busy_cycles += cur - start;
+        busy_cycles = busy_cycles.saturating_add(cur - start);
+        if busy_cycles > total_limit {
+            return Err(SimError::Watchdog {
+                packet: pkt_idx,
+                stage: "<run total>".into(),
+                cycles: busy_cycles,
+                limit: total_limit,
+            });
+        }
         completions.push(cur);
         latencies.push(cur - arrival);
     }
@@ -483,7 +553,7 @@ fn stage_cost(
             let has_fpu = u.has_fpu;
             let mut total = 0u64;
             for op in &stage.ops {
-                total += match op {
+                total = total.saturating_add(match op {
                     MicroOp::Compute { cycles } => *cycles,
                     MicroOp::ParseHeader => cost.parse_header,
                     MicroOp::MetadataMod { count } => count * cost.metadata_mod,
@@ -509,9 +579,16 @@ fn stage_cost(
                         walk + t.entries * 2 * cost.alu
                     }
                     MicroOp::StreamPayload { table, loop_overhead } => {
-                        let mut cycles = cost.stream_cycles(payload_len as usize)
-                            + loop_overhead * payload_len;
-                        cycles += residence_cost(mem, unit, ctm, emem, payload_len);
+                        // Saturating: `loop_overhead × payload_len` is the
+                        // program's knob, and a hostile program can push the
+                        // product past u64. Saturation keeps the cost "huge"
+                        // so the watchdog trips, instead of wrapping to a
+                        // small number (or panicking in debug builds).
+                        let mut cycles = cost
+                            .stream_cycles(payload_len as usize)
+                            .saturating_add(loop_overhead.saturating_mul(payload_len));
+                        cycles =
+                            cycles.saturating_add(residence_cost(mem, unit, ctm, emem, payload_len));
                         if let Some(ti) = table {
                             // Per-byte automaton transition: a dependent
                             // random access into the transition table.
@@ -525,7 +602,8 @@ fn stage_cost(
                                 state = mix(state ^ byte ^ (i << 32));
                                 let idx = state % t.entries;
                                 let addr = t.base + idx * t.entry_bytes;
-                                cycles += mem.access(unit, t.mem, addr, t.entry_bytes.min(8));
+                                cycles = cycles
+                                    .saturating_add(mem.access(unit, t.mem, addr, t.entry_bytes.min(8)));
                             }
                         }
                         cycles
@@ -539,7 +617,7 @@ fn stage_cost(
                     MicroOp::FloatOps { count } => {
                         count * if has_fpu { cost.float_native } else { cost.float_emulation }
                     }
-                };
+                });
             }
             Ok(total)
         }
@@ -1166,6 +1244,96 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, SimError::NoThreads);
+    }
+
+    #[test]
+    fn adversarial_stream_payload_trips_watchdog_not_a_spin() {
+        // §satellite: a StreamPayload whose loop_overhead × payload_len
+        // product is astronomically large must become a counted error —
+        // under default caps — rather than wrapping the cycle math or
+        // simulating for hours.
+        let nic = nic();
+        let prog = npu_stage(vec![MicroOp::StreamPayload {
+            table: None,
+            loop_overhead: u64::MAX / 2,
+        }]);
+        let t = TraceGenerator::new(23)
+            .packets(10)
+            .sizes(SizeDist::Fixed(1400))
+            .syn_on_first(false)
+            .generate();
+        let err = simulate(&nic, &prog, &t).unwrap_err();
+        match err {
+            SimError::Watchdog { packet, ref stage, cycles, limit } => {
+                assert_eq!(packet, 0, "first packet must trip the cap");
+                assert_eq!(stage, "s");
+                assert!(cycles > limit);
+                assert_eq!(limit, crate::watchdog::DEFAULT_PACKET_CYCLES);
+            }
+            other => panic!("expected Watchdog, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tiny_caps_trip_on_legitimate_programs() {
+        let nic = nic();
+        let prog = npu_stage(vec![MicroOp::ParseHeader]);
+        let t = trace(100);
+
+        let per_packet = Watchdog { max_cycles_per_packet: Some(10), ..Watchdog::new() };
+        assert!(matches!(
+            simulate_supervised(&nic, &prog, &t, &FaultPlan::none(), &per_packet),
+            Err(SimError::Watchdog { packet: 0, .. })
+        ));
+
+        // A total cap below the aggregate cost trips partway through the
+        // trace, attributing the packet that crossed it.
+        let total = Watchdog { max_total_cycles: Some(1_000), ..Watchdog::new() };
+        match simulate_supervised(&nic, &prog, &t, &FaultPlan::none(), &total) {
+            Err(SimError::Watchdog { packet, stage, .. }) => {
+                assert!(packet > 0, "several packets fit under 1000 cycles");
+                assert_eq!(stage, "<run total>");
+            }
+            other => panic!("expected total-cap Watchdog, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_and_cancel_token_time_out() {
+        let nic = nic();
+        let prog = npu_stage(vec![MicroOp::ParseHeader]);
+        let t = trace(10);
+        let expired =
+            Watchdog { deadline: Some(std::time::Instant::now()), ..Watchdog::new() };
+        assert!(matches!(
+            simulate_supervised(&nic, &prog, &t, &FaultPlan::none(), &expired),
+            Err(SimError::TimedOut)
+        ));
+        let token = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let cancelled = Watchdog { cancel: Some(token), ..Watchdog::new() };
+        assert!(matches!(
+            simulate_supervised(&nic, &prog, &t, &FaultPlan::none(), &cancelled),
+            Err(SimError::TimedOut)
+        ));
+    }
+
+    #[test]
+    fn default_watchdog_leaves_results_bit_unchanged() {
+        // The supervised path with default caps must be invisible:
+        // identical latencies and energy to the plain entry points.
+        let nic = nic();
+        let prog = npu_stage(vec![
+            MicroOp::ParseHeader,
+            MicroOp::Hash { count: 2 },
+            MicroOp::StreamPayload { table: None, loop_overhead: 2 },
+        ]);
+        let t = trace(300);
+        let plain = simulate(&nic, &prog, &t).unwrap();
+        let supervised =
+            simulate_supervised(&nic, &prog, &t, &FaultPlan::none(), &Watchdog::new()).unwrap();
+        assert_eq!(plain.latencies, supervised.latencies);
+        assert_eq!(plain.energy_mj.to_bits(), supervised.energy_mj.to_bits());
+        assert_eq!(plain.per_stage_cycles, supervised.per_stage_cycles);
     }
 
     #[test]

@@ -55,9 +55,11 @@ pub mod engine;
 pub mod fault;
 pub mod memory;
 pub mod program;
+pub mod watchdog;
 
 pub use clara_lnic::AccelKind;
-pub use engine::{simulate, simulate_with_faults, SimError, SimResult};
+pub use engine::{simulate, simulate_supervised, simulate_with_faults, SimError, SimResult};
 pub use fault::{FaultPlan, TRUNCATED_PAYLOAD_BYTES};
 pub use memory::{Cache, MemorySim};
 pub use program::{BytesSpec, MicroOp, NicProgram, Stage, StageUnit, TableCfg};
+pub use watchdog::Watchdog;

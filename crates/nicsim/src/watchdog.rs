@@ -1,0 +1,107 @@
+//! Run-away protection for the simulator: cycle caps and a wall-clock
+//! deadline that convert "the simulation will effectively never finish"
+//! into a counted, reported error.
+//!
+//! The event loop is untrusted-input-adjacent: a program built from a
+//! hostile or buggy lowering can ask for astronomically expensive work
+//! (e.g. a [`crate::program::MicroOp::StreamPayload`] whose
+//! `loop_overhead × payload_len` product approaches `u64::MAX`). Without
+//! a watchdog the run either spins for hours or silently wraps its cycle
+//! arithmetic; with one, the first packet to blow its cycle budget ends
+//! the run with [`crate::SimError::Watchdog`] naming the packet, stage,
+//! and limit.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Cycle and wall-clock limits for one simulation run.
+///
+/// The defaults are far above anything a legitimate program reaches
+/// (the paper-eval NFs cost thousands of cycles per packet, the default
+/// per-packet cap is 10^9) so existing results are bit-unchanged, while
+/// adversarial inputs trip the cap in the first packet.
+#[derive(Debug, Clone, Default)]
+pub struct Watchdog {
+    /// Maximum simulated cycles any one packet may consume across all
+    /// stages. `None` = the built-in default cap.
+    pub max_cycles_per_packet: Option<u64>,
+    /// Maximum simulated busy cycles for the whole run.
+    /// `None` = the built-in default cap.
+    pub max_total_cycles: Option<u64>,
+    /// Wall-clock deadline; checked periodically (not per packet).
+    pub deadline: Option<Instant>,
+    /// Cooperative cancel token; checked with the deadline.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+/// Built-in per-packet cycle cap (≈ 1.25 s of simulated time at 0.8 GHz
+/// for a *single packet* — orders of magnitude past any real NF).
+pub const DEFAULT_PACKET_CYCLES: u64 = 1_000_000_000;
+
+/// Built-in whole-run busy-cycle cap.
+pub const DEFAULT_TOTAL_CYCLES: u64 = 1 << 50;
+
+/// How often (in packets) the wall-clock deadline is polled.
+pub(crate) const DEADLINE_STRIDE: usize = 1024;
+
+impl Watchdog {
+    /// The default caps, no wall-clock deadline.
+    pub fn new() -> Self {
+        Watchdog::default()
+    }
+
+    /// Effective per-packet cap.
+    pub fn packet_limit(&self) -> u64 {
+        self.max_cycles_per_packet.unwrap_or(DEFAULT_PACKET_CYCLES)
+    }
+
+    /// Effective whole-run cap.
+    pub fn total_limit(&self) -> u64 {
+        self.max_total_cycles.unwrap_or(DEFAULT_TOTAL_CYCLES)
+    }
+
+    /// Whether the wall-clock budget is spent or the run was cancelled.
+    pub fn expired(&self) -> bool {
+        if let Some(c) = &self.cancel {
+            if c.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn defaults_are_generous_and_never_expired() {
+        let wd = Watchdog::new();
+        assert_eq!(wd.packet_limit(), DEFAULT_PACKET_CYCLES);
+        assert_eq!(wd.total_limit(), DEFAULT_TOTAL_CYCLES);
+        assert!(!wd.expired());
+    }
+
+    #[test]
+    fn past_deadline_expires() {
+        let wd = Watchdog { deadline: Some(Instant::now()), ..Watchdog::new() };
+        assert!(wd.expired());
+        let wd = Watchdog {
+            deadline: Some(Instant::now() + Duration::from_secs(3600)),
+            ..Watchdog::new()
+        };
+        assert!(!wd.expired());
+    }
+
+    #[test]
+    fn cancel_token_expires_without_clock() {
+        let token = Arc::new(AtomicBool::new(false));
+        let wd = Watchdog { cancel: Some(Arc::clone(&token)), ..Watchdog::new() };
+        assert!(!wd.expired());
+        token.store(true, Ordering::Relaxed);
+        assert!(wd.expired());
+    }
+}

@@ -27,18 +27,25 @@
 //!    yields the average.
 
 pub mod cache;
+pub mod checkpoint;
 pub mod classes;
 pub mod interfere;
 pub mod partial;
 pub mod predictor;
 pub mod queueing;
+pub mod supervisor;
 pub mod sweep;
 
 pub use cache::{fc_hit_ratio, state_hit_matrix};
+pub use checkpoint::{scenario_hash, CellSummary, Checkpoint};
 pub use classes::{enumerate_classes, PacketClass};
 pub use interfere::{predict_sliced, SliceSpec};
 pub use partial::{predict_partial, HostParams, PartialPlan};
-pub use clara_map::{MappingQuality, SolveBudget, SolverConfig};
+pub use clara_map::{MappingQuality, RunDeadline, SolveBudget, SolverConfig};
 pub use predictor::{predict, predict_with_options, ClassPrediction, PredictError, PredictOptions, Prediction};
 pub use queueing::{accel_wait, pool_wait};
+pub use supervisor::{
+    run_sweep_supervised, CellOutcome, CellReport, CellResult, RunClass, RunReport,
+    SupervisedSweep, SupervisorConfig, SupervisorError,
+};
 pub use sweep::{run_sweep, SweepScenario};

@@ -7,8 +7,8 @@ use clara_dataflow::{extract, DataflowGraph, DfNode};
 use clara_lang::StateKind;
 use clara_lnic::AccelKind;
 use clara_map::{
-    node_compute_cost, solve_mapping_with_config, state_access_cost, CostCtx, MapError, MapInput,
-    Mapping, SolveBudget, SolverConfig, StateClass, StateSpec, UnitChoice,
+    node_compute_cost, solve_mapping_with_limits, state_access_cost, CostCtx, MapError, MapInput,
+    Mapping, RunDeadline, SolveBudget, SolverConfig, StateClass, StateSpec, UnitChoice,
 };
 use clara_microbench::NicParameters;
 use clara_workload::WorkloadProfile;
@@ -26,12 +26,43 @@ const DPI_HIT_DEFAULT: f64 = 0.2;
 pub enum PredictError {
     /// Mapping failed.
     Map(MapError),
+    /// The cell's [`RunDeadline`] expired before a mapping was found.
+    TimedOut,
+    /// The run's cancel token was raised while this cell was in flight
+    /// (e.g. `--fail-fast` after a sibling's hard failure). The cell was
+    /// abandoned, not tried and failed.
+    Cancelled,
+    /// The cell's prediction panicked; the panic was caught at the sweep
+    /// boundary so sibling cells were unaffected.
+    Panicked {
+        /// Index of the panicking cell in the sweep's scenario order.
+        cell: usize,
+        /// The panic payload, stringified (`&str`/`String` payloads are
+        /// preserved verbatim).
+        payload: String,
+    },
+    /// The cell's result slot was never filled — its worker died without
+    /// reporting. Should be unreachable now that cells are
+    /// panic-isolated; kept so a future worker bug degrades to a
+    /// per-cell error instead of a process abort.
+    Lost {
+        /// Index of the lost cell in the sweep's scenario order.
+        cell: usize,
+    },
 }
 
 impl core::fmt::Display for PredictError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             PredictError::Map(e) => write!(f, "mapping failed: {e}"),
+            PredictError::TimedOut => write!(f, "prediction deadline exceeded"),
+            PredictError::Cancelled => write!(f, "prediction cancelled"),
+            PredictError::Panicked { cell, payload } => {
+                write!(f, "cell {cell} panicked: {payload}")
+            }
+            PredictError::Lost { cell } => {
+                write!(f, "cell {cell} lost: worker died without reporting")
+            }
         }
     }
 }
@@ -40,7 +71,10 @@ impl std::error::Error for PredictError {}
 
 impl From<MapError> for PredictError {
     fn from(e: MapError) -> Self {
-        PredictError::Map(e)
+        match e {
+            MapError::TimedOut => PredictError::TimedOut,
+            other => PredictError::Map(other),
+        }
     }
 }
 
@@ -152,6 +186,16 @@ pub struct PredictOptions {
     /// [`SolverConfig::baseline`] reproduces the seed solver for
     /// benchmarking.
     pub solver: SolverConfig,
+    /// Wall-clock budget for this cell's solve, in milliseconds. `None`
+    /// (the default) means unlimited. On expiry the mapper returns its
+    /// incumbent (tagged [`clara_map::MappingQuality::Incumbent`]) if it
+    /// has one, else the cell fails with [`PredictError::TimedOut`].
+    pub deadline_ms: Option<u64>,
+    /// Test hook: panic inside the prediction instead of predicting.
+    /// Exercises the sweep's panic isolation without contriving an
+    /// organically panicking input.
+    #[doc(hidden)]
+    pub inject_panic: bool,
 }
 
 /// Predict the performance of `module` on the NIC described by `params`
@@ -214,6 +258,24 @@ pub(crate) fn predict_prepared(
     options: &PredictOptions,
     prepared: &Prepared,
 ) -> Result<Prediction, PredictError> {
+    let deadline = RunDeadline::within_ms(options.deadline_ms);
+    predict_prepared_limited(module, params, workload, options, prepared, &deadline)
+}
+
+/// [`predict_prepared`] with the [`RunDeadline`] supplied by the caller
+/// instead of armed from `options.deadline_ms` — the supervisor arms one
+/// deadline-plus-cancel-token pair per cell and needs the token shared.
+pub(crate) fn predict_prepared_limited(
+    module: &CirModule,
+    params: &NicParameters,
+    workload: &WorkloadProfile,
+    options: &PredictOptions,
+    prepared: &Prepared,
+    deadline: &RunDeadline,
+) -> Result<Prediction, PredictError> {
+    if options.inject_panic {
+        panic!("injected panic (test hook)");
+    }
     let mut graph = extract(module);
     let Prepared { classes, states, state_hit, fc_hit } = prepared;
     let (fc_hit, classes) = (*fc_hit, classes.as_slice());
@@ -241,7 +303,13 @@ pub(crate) fn predict_prepared(
         forbid_accels: options.software_only,
         pinned: resolve_pins(options, module, params)?,
     };
-    let mapping = solve_mapping_with_config(&input, &options.budget, &options.solver)?;
+    let mapping = solve_mapping_with_limits(&input, &options.budget, &options.solver, deadline)
+        .map_err(|e| match e {
+            // A cell stopped by the shared cancel token was abandoned,
+            // not genuinely out of time — report it as such.
+            MapError::TimedOut if deadline.cancelled() => PredictError::Cancelled,
+            other => PredictError::from(other),
+        })?;
 
     // Shared-resource demand per packet (class-averaged) for queueing and
     // throughput.

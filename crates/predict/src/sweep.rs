@@ -9,12 +9,22 @@
 //! Determinism: results are written to per-scenario slots, so the output
 //! order equals the input order and is bit-identical to a sequential
 //! run regardless of thread count or scheduling.
+//!
+//! Fault containment: each cell runs under `catch_unwind`, so one
+//! panicking prediction becomes that cell's [`PredictError::Panicked`]
+//! instead of unwinding the whole `thread::scope` and aborting every
+//! sibling. See [`crate::supervisor`] for deadlines, retries, and
+//! checkpoint/resume on top of this.
 
-use crate::predictor::{predict_prepared, prepare, PredictError, PredictOptions, Prediction, Prepared};
+use crate::predictor::{
+    predict_prepared_limited, prepare, PredictError, PredictOptions, Prediction, Prepared,
+};
 use clara_cir::CirModule;
+use clara_map::RunDeadline;
 use clara_microbench::NicParameters;
 use clara_workload::WorkloadProfile;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
@@ -40,6 +50,16 @@ pub struct SweepScenario<'a> {
 /// (`rate_pps` deliberately excluded — cells differing only in offered
 /// rate share one `Prepared`). Must stay in sync with what
 /// [`prepare`] consumes.
+///
+/// # Pointer identity
+///
+/// `module` and `params` are *addresses*, not contents. That is sound
+/// only because [`SweepScenario`] borrows both for the sweep's entire
+/// lifetime (`'a` outlives the `PrepShare`), so no address can be freed
+/// and reused for a different module mid-sweep. Do not build `PrepKey`s
+/// from temporaries or across independent sweep invocations; the
+/// debug-build fingerprint check in [`PrepShare`] exists to catch
+/// exactly that kind of refactor going wrong.
 #[derive(PartialEq, Eq, Hash)]
 struct PrepKey {
     module: usize,
@@ -68,6 +88,120 @@ impl PrepKey {
     }
 }
 
+/// Cheap content fingerprint backing the debug assertion on
+/// [`PrepKey`]'s pointer-identity assumption: if two scenarios alias the
+/// same addresses they must also describe the same module/NIC.
+#[cfg(debug_assertions)]
+#[derive(PartialEq, Debug, Clone)]
+struct PrepFingerprint {
+    module_name: String,
+    module_states: usize,
+    nic_name: String,
+    nic_mems: usize,
+}
+
+#[cfg(debug_assertions)]
+impl PrepFingerprint {
+    fn of(sc: &SweepScenario<'_>) -> Self {
+        PrepFingerprint {
+            module_name: sc.module.name.clone(),
+            module_states: sc.module.states.len(),
+            nic_name: sc.params.nic_name.clone(),
+            nic_mems: sc.params.mems.len(),
+        }
+    }
+}
+
+/// The shared rate-independent inputs of a sweep: one [`Prepared`] slot
+/// per distinct [`PrepKey`], lazily filled by whichever worker reaches
+/// that key first. Shared between the plain [`run_sweep`] and the
+/// supervised sweep so both resolve identical `Prepared` values (and
+/// therefore bit-identical predictions).
+pub(crate) struct PrepShare {
+    /// Scenario index → prep slot index.
+    prep_of: Vec<usize>,
+    preps: Vec<OnceLock<Prepared>>,
+}
+
+impl PrepShare {
+    pub(crate) fn build(scenarios: &[SweepScenario<'_>]) -> Self {
+        let mut prep_ids: HashMap<PrepKey, usize> = HashMap::new();
+        let mut prep_of: Vec<usize> = Vec::with_capacity(scenarios.len());
+        #[cfg(debug_assertions)]
+        let mut fingerprints: Vec<PrepFingerprint> = Vec::new();
+        for sc in scenarios {
+            let n = prep_ids.len();
+            let id = *prep_ids.entry(PrepKey::of(sc)).or_insert(n);
+            #[cfg(debug_assertions)]
+            {
+                let fp = PrepFingerprint::of(sc);
+                if id == fingerprints.len() {
+                    fingerprints.push(fp);
+                } else {
+                    debug_assert_eq!(
+                        fingerprints[id], fp,
+                        "PrepKey pointer-identity violated: two scenarios share \
+                         module/params addresses but describe different contents"
+                    );
+                }
+            }
+            prep_of.push(id);
+        }
+        let preps = (0..prep_ids.len()).map(|_| OnceLock::new()).collect();
+        PrepShare { prep_of, preps }
+    }
+
+    /// The shared `Prepared` for scenario `i`, computing it on first use.
+    ///
+    /// A panic inside [`prepare`] leaves the `OnceLock` *empty* (not
+    /// poisoned), so a retry of the same cell recomputes it cleanly.
+    pub(crate) fn prepared(&self, scenarios: &[SweepScenario<'_>], i: usize) -> &Prepared {
+        let sc = &scenarios[i];
+        self.preps[self.prep_of[i]].get_or_init(|| prepare(sc.module, sc.params, &sc.workload))
+    }
+}
+
+/// Run scenario `i` with panics contained to the cell, honoring the
+/// cell's own `deadline_ms` option (the plain sweep path).
+pub(crate) fn run_cell_isolated(
+    scenarios: &[SweepScenario<'_>],
+    share: &PrepShare,
+    i: usize,
+) -> Result<Prediction, PredictError> {
+    let deadline = RunDeadline::within_ms(scenarios[i].options.deadline_ms);
+    run_cell_supervised(scenarios, share, i, &deadline)
+}
+
+/// Run scenario `i` with panics contained to the cell, under an
+/// externally armed deadline/cancel token (the supervised path —
+/// [`crate::supervisor`] combines its run-wide deadline and cancel
+/// token with the cell's own options before calling this).
+pub(crate) fn run_cell_supervised(
+    scenarios: &[SweepScenario<'_>],
+    share: &PrepShare,
+    i: usize,
+    deadline: &RunDeadline,
+) -> Result<Prediction, PredictError> {
+    // AssertUnwindSafe: on panic every value touched by the closure is
+    // discarded except the shared `PrepShare`, and a panicking
+    // `get_or_init` leaves its `OnceLock` empty rather than torn.
+    catch_unwind(AssertUnwindSafe(|| {
+        let sc = &scenarios[i];
+        let prepared = share.prepared(scenarios, i);
+        predict_prepared_limited(sc.module, sc.params, &sc.workload, &sc.options, prepared, deadline)
+    }))
+    .unwrap_or_else(|payload| {
+        let payload = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        Err(PredictError::Panicked { cell: i, payload })
+    })
+}
+
 /// Run every scenario and return predictions in input order.
 ///
 /// The expensive rate-independent inputs (CIR interpreter class
@@ -81,6 +215,11 @@ impl PrepKey {
 /// results). Worker threads pull scenarios from a shared counter, so an
 /// expensive cell never blocks the rest of its stripe; output order
 /// equals input order regardless of scheduling.
+///
+/// A cell that panics yields [`PredictError::Panicked`] for that cell
+/// only; siblings complete normally. A slot left unfilled by a dead
+/// worker (unreachable today) degrades to [`PredictError::Lost`] rather
+/// than aborting the process.
 pub fn run_sweep<'a>(
     scenarios: &[SweepScenario<'a>],
     threads: usize,
@@ -90,23 +229,11 @@ pub fn run_sweep<'a>(
         n => n,
     };
 
-    // One shared slot per distinct rate-independent input set.
-    let mut prep_ids: HashMap<PrepKey, usize> = HashMap::new();
-    let mut prep_of: Vec<usize> = Vec::with_capacity(scenarios.len());
-    for sc in scenarios {
-        let n = prep_ids.len();
-        prep_of.push(*prep_ids.entry(PrepKey::of(sc)).or_insert(n));
-    }
-    let preps: Vec<OnceLock<Prepared>> = (0..prep_ids.len()).map(|_| OnceLock::new()).collect();
-
-    let run_one = |i: usize| {
-        let sc = &scenarios[i];
-        let prepared = preps[prep_of[i]]
-            .get_or_init(|| prepare(sc.module, sc.params, &sc.workload));
-        predict_prepared(sc.module, sc.params, &sc.workload, &sc.options, prepared)
-    };
+    let share = PrepShare::build(scenarios);
     if threads <= 1 || scenarios.len() <= 1 {
-        return (0..scenarios.len()).map(run_one).collect();
+        return (0..scenarios.len())
+            .map(|i| run_cell_isolated(scenarios, &share, i))
+            .collect();
     }
 
     let next = AtomicUsize::new(0);
@@ -120,13 +247,17 @@ pub fn run_sweep<'a>(
                     break;
                 }
                 // A slot is claimed by exactly one worker; set cannot fail.
-                let _ = slots[i].set(run_one(i));
+                let _ = slots[i].set(run_cell_isolated(scenarios, &share, i));
             });
         }
     });
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("every sweep slot filled"))
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .unwrap_or(Err(PredictError::Lost { cell: i }))
+        })
         .collect()
 }
 
@@ -137,6 +268,7 @@ mod tests {
     use clara_lang::frontend;
     use clara_lnic::profiles;
     use clara_microbench::extract_parameters;
+    use proptest::prelude::*;
     use std::sync::OnceLock as Cell;
 
     fn params() -> &'static NicParameters {
@@ -205,5 +337,79 @@ mod tests {
         assert!(out[0].is_ok());
         assert!(out[1].is_err(), "bad pin must fail only its own cell");
         assert!(out[2].is_ok());
+    }
+
+    #[test]
+    fn panicking_cell_is_isolated() {
+        let m = module();
+        let p = params();
+        let mut scenarios = grid(&m, p);
+        scenarios[2].options.inject_panic = true;
+        for threads in [1, 4] {
+            let out = run_sweep(&scenarios, threads);
+            assert!(out[0].is_ok());
+            assert!(out[1].is_ok());
+            match &out[2] {
+                Err(PredictError::Panicked { cell: 2, payload }) => {
+                    assert!(payload.contains("injected panic"), "{payload}");
+                }
+                other => panic!("expected Panicked for cell 2, got {other:?}"),
+            }
+            assert!(out[3].is_ok());
+        }
+    }
+
+    /// Sequential all-healthy reference results, as bit patterns of
+    /// `(avg_latency_cycles, throughput_pps)`. Predictions are pure
+    /// functions of scenario *contents*, so one cached baseline is valid
+    /// for every freshly lowered copy of the same module.
+    fn baseline_bits() -> &'static Vec<(u64, u64)> {
+        static B: Cell<Vec<(u64, u64)>> = Cell::new();
+        B.get_or_init(|| {
+            let m = module();
+            let p = params();
+            run_sweep(&grid(&m, p), 1)
+                .into_iter()
+                .map(|r| {
+                    let r = r.unwrap();
+                    (r.avg_latency_cycles.to_bits(), r.throughput_pps.to_bits())
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+        /// Randomly injected panics never lose or reorder sibling
+        /// results: every healthy cell stays bit-identical to its
+        /// sequential all-healthy counterpart, and every panicking cell
+        /// reports its own index.
+        #[test]
+        fn random_panic_masks_never_corrupt_siblings(mask in proptest::collection::vec(any::<bool>(), 4)) {
+            let m = module();
+            let p = params();
+            let baseline = baseline_bits();
+
+            let mut scenarios = grid(&m, p);
+            for (sc, &panic_me) in scenarios.iter_mut().zip(&mask) {
+                sc.options.inject_panic = panic_me;
+            }
+            let out = run_sweep(&scenarios, 4);
+            prop_assert_eq!(out.len(), scenarios.len());
+            for (i, res) in out.iter().enumerate() {
+                if mask[i] {
+                    match res {
+                        Err(PredictError::Panicked { cell, .. }) => prop_assert_eq!(*cell, i),
+                        other => return Err(TestCaseError::fail(format!(
+                            "cell {i} should have panicked, got {other:?}"
+                        ))),
+                    }
+                } else {
+                    let got = res.as_ref().unwrap();
+                    prop_assert_eq!(baseline[i].0, got.avg_latency_cycles.to_bits());
+                    prop_assert_eq!(baseline[i].1, got.throughput_pps.to_bits());
+                }
+            }
+        }
     }
 }
