@@ -1,7 +1,7 @@
 //! Solve→sweep hot-path benchmark: seed-equivalent baseline vs the fast
-//! path, emitted as `BENCH_pipeline.json`.
+//! path, emitted as `BENCH_pipeline.json` + `BENCH_nicsim.json`.
 //!
-//! Two measurements:
+//! Three measurements:
 //!
 //! 1. **`ilp_single_solve`** — one budgeted branch-and-bound solve of a
 //!    generalized-assignment instance, dense seed solver
@@ -14,15 +14,25 @@
 //!    profiles, Zipf cache model) + the fast solver, fanned across
 //!    worker threads. The parallel path is also checked bit-identical
 //!    against a sequential run of the same configuration.
+//! 3. **`nicsim_sweep_64`** — the same grid simulated as "Actual"
+//!    curves: DPI's per-byte automaton scan (uncached IMEM). Baseline is
+//!    the seed simulator path — materialize each cell's trace, fresh
+//!    allocations, exact per-packet stage costs. Optimized is the
+//!    streamed + signature-memoized + scratch-reusing path, checked
+//!    bit-identical to exact on every cell (emitted as
+//!    `BENCH_nicsim.json`).
 //!
 //! ```text
-//! pipeline_bench [--quick] [-o BENCH_pipeline.json]
+//! pipeline_bench [--quick] [-o BENCH_pipeline.json] [--sim-o BENCH_nicsim.json]
 //! ```
 //!
 //! `--quick` shrinks the instance and runs each side once (CI smoke);
 //! the default takes the median of repeated runs.
 
 use clara_bench::{solver_stress_model, sweep_grid, sweep_scenarios};
+use clara_core::sim::{
+    simulate_configured, simulate_streamed, FaultPlan, SimConfig, SimScratch, Watchdog,
+};
 use clara_core::{run_sweep, Prediction, SolveBudget, SolverConfig};
 use std::time::Instant;
 
@@ -47,6 +57,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
         .unwrap_or("BENCH_pipeline.json");
+    let sim_out_path = args
+        .iter()
+        .position(|a| a == "--sim-o")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_nicsim.json");
 
     // --- 1. single budgeted ILP solve -----------------------------------
     let (tasks, units) = if quick { (10, 4) } else { (14, 5) };
@@ -121,6 +137,103 @@ fn main() {
     assert!(identical, "parallel sweep diverged from sequential");
     eprintln!("  parallel output bit-identical to sequential: yes");
 
+    // --- 3. simulator validation sweep ----------------------------------
+    // The same 4×4×4 grid, but as the "Actual" side of a validation run:
+    // every cell simulated through DPI's per-byte automaton scan with the
+    // transition table in uncached IMEM — the workload class the
+    // signature memoization collapses from O(payload) to O(1) per packet.
+    let sim_packets = if quick { 400 } else { 2_000 };
+    let sim_runs = if quick { 1 } else { 3 };
+    let sim_grid = sweep_grid(per_axis);
+    let program = clara_core::nfs::dpi::ported(65_536, "imem");
+    let nic = clara_bench::netronome();
+    let faults = FaultPlan::none();
+    let wd = Watchdog::new();
+    eprintln!(
+        "nicsim_sweep_{}: {sim_packets} packets/cell, {sim_runs} run(s)/side",
+        sim_grid.len()
+    );
+
+    // Seed behavior: materialize each cell's trace and pay the exact
+    // per-packet stage costs with fresh allocations per run.
+    let sim_base_ms = median_ms(sim_runs, || {
+        for wl in &sim_grid {
+            let trace = wl.to_trace(sim_packets, 42);
+            simulate_configured(nic, &program, &trace, &faults, &wd, &SimConfig::exact())
+                .expect("baseline cell simulates");
+        }
+    });
+    // Optimized: streamed traces, memoized stage costs, one scratch
+    // reused across all 64 cells.
+    let mut scratch = SimScratch::new();
+    let sim_fast_ms = median_ms(sim_runs, || {
+        for wl in &sim_grid {
+            simulate_streamed(
+                nic,
+                &program,
+                wl.to_trace_stream(sim_packets, 42),
+                &faults,
+                &wd,
+                &SimConfig::default(),
+                &mut scratch,
+            )
+            .expect("optimized cell simulates");
+        }
+    });
+    let sim_speedup = sim_base_ms / sim_fast_ms;
+    eprintln!(
+        "  baseline(exact) {sim_base_ms:.0} ms  optimized {sim_fast_ms:.0} ms  ({sim_speedup:.2}x)"
+    );
+
+    // Fidelity: the optimized path must be bit-identical to the exact
+    // path on every cell — latencies, counters, and float bits.
+    let mut sim_identical = true;
+    for wl in &sim_grid {
+        let trace = wl.to_trace(sim_packets, 42);
+        let exact = simulate_configured(nic, &program, &trace, &faults, &wd, &SimConfig::exact())
+            .expect("exact cell simulates");
+        let fast = simulate_streamed(
+            nic,
+            &program,
+            wl.to_trace_stream(sim_packets, 42),
+            &faults,
+            &wd,
+            &SimConfig::default(),
+            &mut scratch,
+        )
+        .expect("memoized cell simulates");
+        sim_identical &= scratch.latencies() == exact.latencies.as_slice()
+            && fast.completed == exact.completed
+            && fast.dropped == exact.dropped
+            && fast.flow_cache == exact.flow_cache
+            && fast.emem_cache == exact.emem_cache
+            && fast.energy_mj.to_bits() == exact.energy_mj.to_bits()
+            && fast.achieved_pps.to_bits() == exact.achieved_pps.to_bits()
+            && fast.p99_latency_cycles.to_bits() == exact.p99_latency_cycles.to_bits();
+    }
+    assert!(sim_identical, "memoized/streamed simulation diverged from the exact path");
+    eprintln!("  memoized+streamed output bit-identical to exact: yes");
+
+    let sim_json = format!(
+        r#"{{
+  "bench": "nicsim",
+  "quick": {quick},
+  "program": "dpi (65536-state automaton, imem)",
+  "sweep": {{
+    "cells": {sim_cells},
+    "packets_per_cell": {sim_packets},
+    "baseline_exact_ms": {sim_base_ms:.1},
+    "optimized_ms": {sim_fast_ms:.1},
+    "speedup": {sim_speedup:.2},
+    "identical_to_exact": {sim_identical}
+  }}
+}}
+"#,
+        sim_cells = sim_grid.len(),
+    );
+    std::fs::write(sim_out_path, &sim_json).expect("write nicsim benchmark json");
+    eprintln!("wrote {sim_out_path}");
+
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let json = format!(
         r#"{{
@@ -148,4 +261,5 @@ fn main() {
     std::fs::write(out_path, &json).expect("write benchmark json");
     eprintln!("wrote {out_path}");
     print!("{json}");
+    print!("{sim_json}");
 }

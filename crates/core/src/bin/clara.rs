@@ -15,8 +15,9 @@
 //! failed — the sweep itself completes and reports either way.
 
 use clara_core::{
-    run_sweep_supervised, CellOutcome, CellResult, Clara, ClaraError, PredictOptions, RunClass,
-    SupervisorConfig, SweepScenario, WorkloadProfile,
+    run_sweep_supervised, run_validation_sweep, CellOutcome, CellResult, Clara, ClaraError,
+    PredictOptions, RunClass, SupervisorConfig, SweepScenario, ValidationConfig, ValidationResult,
+    WorkloadProfile,
 };
 use std::process::ExitCode;
 
@@ -29,9 +30,13 @@ USAGE:
   clara predict <nf.nfc> (--nic <profile> | --params <file>) [workload flags]
   clara hints   <nf.nfc> (--nic <profile> | --params <file>) [workload flags]
   clara sweep   <nf.nfc> (--nic <profile> | --params <file>) [sweep flags]
+  clara validate <nf> [--nic <profile>] [validate flags]
 
 NIC PROFILES:
   netronome | soc | asic        (built-in LNIC models)
+
+CORPUS NFS (for `validate`, which needs the hand-ported form too):
+  nat | dpi | firewall | lpm | hh | vnf
 
 WORKLOAD FLAGS (defaults = the paper's 60 kpps / 300 B / 1k flows):
   --rate <pps>        offered load in packets per second
@@ -52,6 +57,14 @@ SWEEP FLAGS (defaults give a 4×4×4 = 64-cell grid):
                       (also keeps checkpointing to the same file)
   --fail-fast         cancel remaining cells after the first failure
   --no-retry          skip the one retry of failed cells under a tighter budget
+
+VALIDATE FLAGS (predicted-vs-simulated error per grid cell):
+  --rates / --payloads / --flows   grid axes, as for sweep (default 4x4x4 = 64)
+  --threads <n>       worker threads; 0 = all cores, 1 = sequential (default 0)
+  --packets <n>       simulated packets per cell (default 4000)
+  --seed <n>          trace-generation seed (default 42)
+  --exact             run the simulator's unmemoized seed path (fidelity audit)
+  -o <file>           write the per-cell JSON report here (`-` = stdout)
 
 EXIT CODES:
   0 ok | 2 usage | 3 file I/O | 4 NF frontend | 5 lowering | 6 prediction | 7 workload
@@ -130,6 +143,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "predict" => predict(&args[1..], false),
         "hints" => predict(&args[1..], true),
         "sweep" => sweep(&args[1..]),
+        "validate" => validate(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -414,6 +428,224 @@ fn sweep(args: &[String]) -> Result<(), CliError> {
         report.failed_count()
     );
     match report.class() {
+        RunClass::AllOk => {
+            println!("{summary}");
+            Ok(())
+        }
+        RunClass::Partial => Err(CliError::SweepPartial(summary)),
+        RunClass::AllFailed => Err(CliError::SweepFailed(summary)),
+    }
+}
+
+/// The corpus NF named on the command line, in both forms validation
+/// needs: unported source for the predictor, hand-ported program for
+/// the simulator.
+fn corpus_nf(name: &str) -> Result<(String, clara_core::sim::NicProgram), CliError> {
+    use clara_core::nfs;
+    Ok(match name {
+        "nat" => (nfs::nat::source(), nfs::nat::ported()),
+        "dpi" => (nfs::dpi::source(65_536), nfs::dpi::ported(65_536, "emem")),
+        "firewall" | "fw" => (nfs::firewall::source(65_536), nfs::firewall::ported(65_536, "emem")),
+        "lpm" => (nfs::lpm::source(10_000), nfs::lpm::ported_flow_cache(10_000)),
+        "hh" | "heavy-hitter" => (nfs::heavy_hitter::source(4_096), nfs::heavy_hitter::ported(4_096)),
+        "vnf" => (
+            nfs::vnf::source(nfs::vnf::AUTOMATON_ENTRIES, nfs::vnf::STAT_BUCKETS),
+            nfs::vnf::ported(),
+        ),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown corpus NF `{other}` (try nat, dpi, firewall, lpm, hh, vnf)"
+            )))
+        }
+    })
+}
+
+/// Escape a string for embedding in a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a validation run as the per-cell JSON artifact.
+fn validation_json(
+    nf: &str,
+    nic: &str,
+    config: &ValidationConfig,
+    sweep: &clara_core::ValidationSweep,
+) -> String {
+    let mut cells = String::new();
+    for (i, cell) in sweep.cells.iter().enumerate() {
+        if i > 0 {
+            cells.push_str(",\n");
+        }
+        match cell {
+            ValidationResult::Ok(c) => cells.push_str(&format!(
+                "    {{\"status\": \"ok\", \"rate_pps\": {}, \"payload\": {}, \"flows\": {}, \
+                 \"predicted_cycles\": {:.3}, \"actual_cycles\": {:.3}, \"rel_error\": {:.6}, \
+                 \"quality\": \"{}\", \"completed\": {}}}",
+                c.rate_pps,
+                c.avg_payload,
+                c.flows,
+                c.predicted_cycles,
+                c.actual_cycles,
+                c.rel_error(),
+                json_escape(&c.quality),
+                c.completed,
+            )),
+            ValidationResult::Failed(e) => cells.push_str(&format!(
+                "    {{\"status\": \"failed\", \"error\": \"{}\"}}",
+                json_escape(e)
+            )),
+        }
+    }
+    let mean = match sweep.mean_error() {
+        Some(e) => format!("{e:.6}"),
+        None => "null".into(),
+    };
+    format!(
+        "{{\n  \"nf\": \"{}\",\n  \"nic\": \"{}\",\n  \"packets_per_cell\": {},\n  \
+         \"seed\": {},\n  \"sim_path\": \"{}\",\n  \"mean_abs_rel_error\": {mean},\n  \
+         \"cells\": [\n{cells}\n  ]\n}}\n",
+        json_escape(nf),
+        json_escape(nic),
+        config.packets,
+        config.seed,
+        if config.sim.memoize { "memoized" } else { "exact" },
+    )
+}
+
+fn validate(args: &[String]) -> Result<(), CliError> {
+    // First positional argument = the NF name; skip flags and their values.
+    let mut nf_name = None;
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a.starts_with('-') {
+            // Every value-taking flag skips its operand; bare switches
+            // (`--exact`) don't take one.
+            i += if a == "--exact" { 1 } else { 2 };
+        } else {
+            nf_name = Some(a.clone());
+            break;
+        }
+    }
+    let nf_name = nf_name
+        .ok_or_else(|| CliError::Usage("need a corpus NF name (e.g. `clara validate nat`)".into()))?;
+    let (source, program) = corpus_nf(&nf_name)?;
+    let rates = axis(args, "--rates", &[20_000.0, 60_000.0, 200_000.0, 600_000.0])?;
+    let payloads = axis(args, "--payloads", &[100.0, 300.0, 700.0, 1400.0])?;
+    let flows = axis(args, "--flows", &[100.0, 1_000.0, 10_000.0, 100_000.0])?;
+    let parse_num = |name: &str, default: u64| -> Result<u64, CliError> {
+        match flag_value(args, name) {
+            Some(v) => v.parse().map_err(|_| CliError::Usage(format!("bad {name} `{v}`"))),
+            None => Ok(default),
+        }
+    };
+    let mut config = ValidationConfig {
+        threads: parse_num("--threads", 0)? as usize,
+        packets: parse_num("--packets", 4_000)? as usize,
+        seed: parse_num("--seed", 42)?,
+        ..ValidationConfig::default()
+    };
+    if args.iter().any(|a| a == "--exact") {
+        config.sim = clara_core::sim::SimConfig::exact();
+    }
+
+    // Grid cells are validated before the (slow) parameter extraction.
+    let mut grid = Vec::with_capacity(rates.len() * payloads.len() * flows.len());
+    for &rate in &rates {
+        for &payload in &payloads {
+            for &n_flows in &flows {
+                let mut wl = WorkloadProfile::paper_default();
+                wl.rate_pps = rate;
+                wl.avg_payload = payload;
+                wl.max_payload = payload as usize;
+                wl.flows = n_flows as usize;
+                wl.validate().map_err(ClaraError::from)?;
+                grid.push(wl);
+            }
+        }
+    }
+
+    // Simulation runs on an LNIC profile, so `--params` alone is not
+    // enough here; the profile defaults to the paper's NIC.
+    let nic = nic_by_name(flag_value(args, "--nic").unwrap_or("netronome"))?;
+    let clara = if flag_value(args, "--params").is_some() {
+        build_clara(args)?
+    } else {
+        eprintln!("extracting parameters for `{}`...", nic.name);
+        Clara::new(&nic)
+    };
+    let analysis = clara_core::analyze_source(&source)?;
+    program
+        .validate()
+        .map_err(|e| CliError::Io(format!("corpus program `{nf_name}` invalid: {e}")))?;
+
+    let sweep = run_validation_sweep(
+        &analysis.module,
+        clara.params(),
+        &nic,
+        &program,
+        &grid,
+        &config,
+    );
+
+    println!(
+        "validation of `{nf_name}` on {} ({} cells, {} packets/cell, {} path):",
+        nic.name,
+        grid.len(),
+        config.packets,
+        if config.sim.memoize { "memoized" } else { "exact" },
+    );
+    println!(
+        "{:>8} {:>7} {:>7} | {:>12} {:>12} {:>7}",
+        "rate", "payload", "flows", "predicted", "actual", "err"
+    );
+    for cell in &sweep.cells {
+        match cell {
+            ValidationResult::Ok(c) => println!(
+                "{:>8} {:>7} {:>7} | {:>12.0} {:>12.0} {:>6.1}%",
+                c.rate_pps as u64,
+                c.avg_payload as u64,
+                c.flows,
+                c.predicted_cycles,
+                c.actual_cycles,
+                c.rel_error() * 100.0,
+            ),
+            ValidationResult::Failed(e) => println!("failed: {e}"),
+        }
+    }
+    if let Some(mean) = sweep.mean_error() {
+        println!("mean abs. error over healthy cells: {:.1}%", mean * 100.0);
+    }
+
+    if let Some(path) = flag_value(args, "-o") {
+        let json = validation_json(&nf_name, &nic.name, &config, &sweep);
+        if path == "-" {
+            print!("{json}");
+        } else {
+            std::fs::write(path, &json)
+                .map_err(|e| CliError::Io(format!("cannot write `{path}`: {e}")))?;
+            eprintln!("wrote {path}");
+        }
+    }
+
+    let summary = format!(
+        "validate: {} ok, {} failed",
+        sweep.report.ok_count(),
+        sweep.report.failed_count()
+    );
+    match sweep.report.class() {
         RunClass::AllOk => {
             println!("{summary}");
             Ok(())

@@ -52,10 +52,11 @@ pub use clara_lnic::{AccelKind, Lnic};
 pub use clara_map::{Mapping, MappingQuality, RunDeadline, SolveBudget, SolverConfig, UnitChoice};
 pub use clara_microbench::{extract_parameters, NicParameters};
 pub use clara_predict::{
-    predict_partial, predict_sliced, run_sweep, run_sweep_supervised, CellOutcome, CellReport,
-    CellResult, CellSummary, Checkpoint, ClassPrediction, HostParams, PartialPlan, PredictOptions,
-    Prediction, RunClass, RunReport, SliceSpec, SupervisedSweep, SupervisorConfig, SupervisorError,
-    SweepScenario,
+    predict_partial, predict_sliced, run_sweep, run_sweep_supervised, run_validation_sweep,
+    validation_grid, CellOutcome, CellReport, CellResult, CellSummary, Checkpoint, ClassPrediction,
+    HostParams, PartialPlan, PredictOptions, Prediction, RunClass, RunReport, SliceSpec,
+    SupervisedSweep, SupervisorConfig, SupervisorError, SweepScenario, ValidationCell,
+    ValidationConfig, ValidationResult, ValidationSweep,
 };
 pub use clara_workload::{Arrival, SizeDist, Trace, TraceGenerator, WorkloadError, WorkloadProfile};
 

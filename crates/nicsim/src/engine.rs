@@ -14,9 +14,9 @@ use crate::memory::{Cache, MemorySim};
 use crate::program::{MicroOp, NicProgram, Stage, StageUnit};
 use crate::watchdog::{Watchdog, DEADLINE_STRIDE};
 use clara_lnic::{AccelCost, AccelKind, ComputeClass, Lnic, MemId, MemKind, UnitId};
-use clara_workload::Trace;
+use clara_workload::{Trace, TracePacket};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
 /// Packets larger than this have their payload tail spilled to EMEM
 /// (paper §3.2: "packets smaller than 1 kB will reside in the CTM
@@ -142,6 +142,134 @@ struct AccelRt {
 const ACCEL_KINDS: [AccelKind; 4] =
     [AccelKind::Checksum, AccelKind::Crypto, AccelKind::FlowCache, AccelKind::Lpm];
 
+/// Engine tuning knobs, mirroring `SolverConfig` on the solve side: the
+/// default is the fast path, and the seed-exact path stays one call away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Memoize stage costs by signature (stage, placement, payload
+    /// length). Stages whose cost can depend on shared mutable state —
+    /// caches, the flow cache, accelerator queues — are never memoized,
+    /// so results are bit-identical to the exact path either way.
+    pub memoize: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { memoize: true }
+    }
+}
+
+impl SimConfig {
+    /// The seed-equivalent configuration: every stage cost recomputed
+    /// from scratch for every packet. Kept as the fidelity baseline
+    /// (the bench's identity check runs memoized vs. exact).
+    pub fn exact() -> Self {
+        SimConfig { memoize: false }
+    }
+}
+
+/// Reusable arenas for repeated simulation runs.
+///
+/// A sweep of N runs performs O(1) heap allocations per run instead of
+/// O(packets): latencies, completions, percentile scratch, per-thread
+/// state, the pending-start heap, and the memo tables all retain their
+/// capacity across [`simulate_streamed`] calls. A fresh `SimScratch` is
+/// equivalent to a reused one — reuse never changes results.
+#[derive(Default)]
+pub struct SimScratch {
+    latencies: Vec<u64>,
+    completions: Vec<u64>,
+    select: Vec<u64>,
+    stage_totals: Vec<u64>,
+    pending: BinaryHeap<Reverse<u64>>,
+    threads: Vec<ThreadRt>,
+    classes: Vec<StageClass>,
+    fixed_memo: HashMap<(u32, u32), u64>,
+    payload_memo: HashMap<(u32, u32, u64), u64>,
+}
+
+impl SimScratch {
+    /// An empty scratch; arenas grow on first use and are kept after.
+    pub fn new() -> Self {
+        SimScratch::default()
+    }
+
+    /// Per-packet latencies (cycles, arrival order) of the last
+    /// [`simulate_streamed`] run — left here rather than copied into
+    /// [`SimResult::latencies`] so the streamed path stays allocation-free.
+    pub fn latencies(&self) -> &[u64] {
+        &self.latencies
+    }
+}
+
+/// How a stage's cost may vary across packets, decided once per run
+/// (after fault application — e.g. disabling the EMEM cache makes its
+/// tables signature-pure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum StageClass {
+    /// Cost depends only on the executing unit: memo key (stage, unit).
+    Fixed,
+    /// Cost additionally depends on the (possibly truncated) payload
+    /// length: memo key (stage, unit, payload_len).
+    PayloadPure,
+    /// Cost can read or write shared mutable state (a cache, the flow
+    /// cache, an accelerator queue): recomputed for every packet.
+    Live,
+}
+
+/// Classify a stage for memoization. A stage is memoized only if *every*
+/// op in it is signature-pure; a single live op makes the whole stage
+/// live. Accesses to uncached regions cost `raw + bulk·(bytes − 64)`
+/// regardless of address or history, so table ops are pure exactly when
+/// the table has no flow-cache front and its region has no cache.
+fn classify_stage(stage: &Stage, tables: &[TableRt], mem: &MemorySim) -> StageClass {
+    if !matches!(stage.unit, StageUnit::Npu) {
+        return StageClass::Live; // accelerator queues are stateful
+    }
+    let mut class = StageClass::Fixed;
+    for op in &stage.ops {
+        let op_class = match op {
+            MicroOp::Compute { .. }
+            | MicroOp::ParseHeader
+            | MicroOp::MetadataMod { .. }
+            | MicroOp::Hash { .. }
+            | MicroOp::FloatOps { .. } => StageClass::Fixed,
+            MicroOp::TableLookup { table } | MicroOp::TableWrite { table } => {
+                let t = &tables[*table];
+                if t.fc.is_none() && !mem.has_cache(t.mem) {
+                    StageClass::Fixed
+                } else {
+                    StageClass::Live
+                }
+            }
+            MicroOp::CounterUpdate { table } | MicroOp::LinearScan { table } => {
+                if mem.has_cache(tables[*table].mem) {
+                    StageClass::Live
+                } else {
+                    StageClass::Fixed
+                }
+            }
+            // Payload streaming and software checksums read the packet's
+            // residence (raw latency + bulk rate, never a cache), so they
+            // are pure in (unit, payload_len). A transition table adds a
+            // per-byte access, pure only if its region is uncached.
+            MicroOp::StreamPayload { table: None, .. } | MicroOp::ChecksumSw => {
+                StageClass::PayloadPure
+            }
+            MicroOp::StreamPayload { table: Some(t), .. } => {
+                if mem.has_cache(tables[*t].mem) {
+                    StageClass::Live
+                } else {
+                    StageClass::PayloadPure
+                }
+            }
+            MicroOp::AccelCall { .. } => StageClass::Live,
+        };
+        class = class.max(op_class);
+    }
+    class
+}
+
 /// Run `prog` over `trace` on `nic` with healthy hardware.
 pub fn simulate(nic: &Lnic, prog: &NicProgram, trace: &Trace) -> Result<SimResult, SimError> {
     simulate_with_faults(nic, prog, trace, &FaultPlan::none())
@@ -179,7 +307,75 @@ pub fn simulate_supervised(
     faults: &FaultPlan,
     watchdog: &Watchdog,
 ) -> Result<SimResult, SimError> {
+    simulate_configured(nic, prog, trace, faults, watchdog, &SimConfig::default())
+}
+
+/// [`simulate_supervised`] with an explicit [`SimConfig`]: the entry
+/// point that chooses between the memoized default and
+/// [`SimConfig::exact`], the seed-equivalent recompute-everything path.
+pub fn simulate_configured(
+    nic: &Lnic,
+    prog: &NicProgram,
+    trace: &Trace,
+    faults: &FaultPlan,
+    watchdog: &Watchdog,
+    config: &SimConfig,
+) -> Result<SimResult, SimError> {
+    let mut scratch = SimScratch::new();
+    let mut r = run_sim(nic, prog, trace.iter().cloned(), faults, watchdog, config, &mut scratch)?;
+    r.latencies = std::mem::take(&mut scratch.latencies);
+    Ok(r)
+}
+
+/// Run `prog` over a lazily produced packet stream, reusing `scratch`
+/// arenas across calls — the sweep hot path: no trace materialization,
+/// O(1) allocations per run.
+///
+/// `packets` must yield arrivals in non-decreasing timestamp order
+/// ([`Trace`] iteration and [`clara_workload::TraceStream`] both
+/// guarantee this); regressions are clamped to the running maximum,
+/// exactly as [`Trace::push`] would have clamped them, so streaming a
+/// generator is bit-identical to materializing it first.
+///
+/// Per-packet latencies are left in the scratch
+/// ([`SimScratch::latencies`]); [`SimResult::latencies`] comes back
+/// empty so the run allocates nothing per packet.
+pub fn simulate_streamed<I>(
+    nic: &Lnic,
+    prog: &NicProgram,
+    packets: I,
+    faults: &FaultPlan,
+    watchdog: &Watchdog,
+    config: &SimConfig,
+    scratch: &mut SimScratch,
+) -> Result<SimResult, SimError>
+where
+    I: IntoIterator<Item = TracePacket>,
+{
+    run_sim(nic, prog, packets.into_iter(), faults, watchdog, config, scratch)
+}
+
+fn run_sim<I: Iterator<Item = TracePacket>>(
+    nic: &Lnic,
+    prog: &NicProgram,
+    packets: I,
+    faults: &FaultPlan,
+    watchdog: &Watchdog,
+    config: &SimConfig,
+    scratch: &mut SimScratch,
+) -> Result<SimResult, SimError> {
     prog.validate().map_err(SimError::BadProgram)?;
+    let SimScratch {
+        latencies,
+        completions,
+        select,
+        stage_totals,
+        pending,
+        threads,
+        classes,
+        fixed_memo,
+        payload_memo,
+    } = scratch;
 
     let mut mem = MemorySim::new(nic);
 
@@ -261,7 +457,7 @@ pub fn simulate_supervised(
         .iter()
         .position(|m| m.kind == MemKind::ClusterSram)
         .map(MemId);
-    let mut threads: Vec<ThreadRt> = Vec::new();
+    threads.clear();
     for (i, u) in nic.units().iter().enumerate() {
         if u.class == ComputeClass::GeneralCore {
             let ctm = u
@@ -296,30 +492,50 @@ pub fn simulate_supervised(
     let stage_stalls: Vec<u64> =
         prog.stages.iter().map(|s| faults.accel_stall_for(&s.unit)).collect();
 
-    let mut latencies: Vec<u64> = Vec::with_capacity(trace.len());
-    let mut stage_totals = vec![0u64; prog.stages.len()];
+    // Memoization classes are decided once per run, after faults have
+    // been applied to the memory system (a disabled EMEM cache makes its
+    // tables signature-pure). Memo tables are cleared — signatures are
+    // only valid within one (nic, program, faults) combination — but keep
+    // their capacity.
+    classes.clear();
+    if config.memoize {
+        classes.extend(prog.stages.iter().map(|s| classify_stage(s, &tables, &mem)));
+    } else {
+        classes.extend(prog.stages.iter().map(|_| StageClass::Live));
+    }
+    fixed_memo.clear();
+    payload_memo.clear();
+
+    latencies.clear();
+    completions.clear();
+    stage_totals.clear();
+    stage_totals.resize(prog.stages.len(), 0u64);
+    pending.clear();
     let mut dropped = 0usize;
     let mut accel_drops = 0usize;
     let mut corrupt_drops = 0usize;
     let mut truncated = 0usize;
     let mut busy_cycles = 0u64;
-    let mut pending_starts: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
-    let mut first_arrival = None;
-    let mut completions: Vec<u64> = Vec::with_capacity(trace.len());
+    let mut offered = 0usize;
+    let mut last_arrival = 0u64;
     let mut fc_hits = 0u64;
     let mut fc_misses = 0u64;
     let pkt_limit = watchdog.packet_limit();
     let total_limit = watchdog.total_limit();
 
-    for (pkt_idx, tp) in trace.iter().enumerate() {
+    for (pkt_idx, tp) in packets.enumerate() {
+        offered += 1;
         // Wall-clock supervision is polled on a stride: cheap enough to
         // leave on for every run, fine-grained enough that a cancelled
         // simulation stops within ~a thousand packets.
         if pkt_idx % DEADLINE_STRIDE == 0 && watchdog.expired() {
             return Err(SimError::TimedOut);
         }
-        let arrival = to_cycles(tp.ts_ns);
-        first_arrival.get_or_insert(arrival);
+        // Arrivals from a Trace or TraceStream are already monotone; the
+        // clamp is a no-op there and makes raw iterators behave as if
+        // they had been materialized through Trace::push first.
+        let arrival = to_cycles(tp.ts_ns).max(last_arrival);
+        last_arrival = arrival;
 
         // Fault injection: corrupt frames fail the ingress CRC check and
         // are discarded before queueing.
@@ -335,10 +551,10 @@ pub fn simulate_supervised(
         }
 
         // Ingress queue: packets that arrived earlier but have not started.
-        while pending_starts.peek().is_some_and(|&Reverse(s)| s <= arrival) {
-            pending_starts.pop();
+        while pending.peek().is_some_and(|&Reverse(s)| s <= arrival) {
+            pending.pop();
         }
-        if pending_starts.len() >= ingress_capacity {
+        if pending.len() >= ingress_capacity {
             dropped += 1;
             continue;
         }
@@ -349,7 +565,14 @@ pub fn simulate_supervised(
         let flow_hash = tp.spec.flow.hash64();
         let tid = (mix(flow_hash ^ 0x5a5a) % threads.len() as u64) as usize;
         let start = arrival.max(threads[tid].free_at);
-        pending_starts.push(Reverse(start));
+        // Only future starts can ever occupy the queue: arrivals are
+        // monotone, so an entry with `start <= arrival` would be drained
+        // by the pop loop above before any later capacity check could see
+        // it. Skipping the push is therefore exact, and in the unloaded
+        // case the heap stays empty entirely.
+        if start > arrival {
+            pending.push(Reverse(start));
+        }
         let unit = threads[tid].unit;
         let ctm = threads[tid].ctm;
 
@@ -376,25 +599,50 @@ pub fn simulate_supervised(
         let mut cur = start + ingress.map(|h| h.latency).unwrap_or(0);
         let mut pkt_cycles = 0u64;
         for (si, stage) in prog.stages.iter().enumerate() {
-            let cost = stage_cost(
-                nic,
-                &mut mem,
-                &mut tables,
-                &mut accels,
-                stage,
-                unit,
-                ctm,
-                cur,
-                payload_len,
-                wire_len,
-                flow_hash,
-                payload_seed,
-                emem,
-                &mut fc_hits,
-                &mut fc_misses,
-                fc_engine_cycles,
-                stage_stalls[si],
-            )?;
+            // Signature memoization: a pure stage's cost is computed once
+            // per (stage, unit[, payload]) signature by the exact code
+            // path below, then replayed — bit-identical by construction.
+            let memo_hit = match classes[si] {
+                StageClass::Fixed => fixed_memo.get(&(si as u32, unit.0 as u32)).copied(),
+                StageClass::PayloadPure => {
+                    payload_memo.get(&(si as u32, unit.0 as u32, payload_len)).copied()
+                }
+                StageClass::Live => None,
+            };
+            let cost = match memo_hit {
+                Some(c) => c,
+                None => {
+                    let c = stage_cost(
+                        nic,
+                        &mut mem,
+                        &mut tables,
+                        &mut accels,
+                        stage,
+                        unit,
+                        ctm,
+                        cur,
+                        payload_len,
+                        wire_len,
+                        flow_hash,
+                        payload_seed,
+                        emem,
+                        &mut fc_hits,
+                        &mut fc_misses,
+                        fc_engine_cycles,
+                        stage_stalls[si],
+                    )?;
+                    match classes[si] {
+                        StageClass::Fixed => {
+                            fixed_memo.insert((si as u32, unit.0 as u32), c);
+                        }
+                        StageClass::PayloadPure => {
+                            payload_memo.insert((si as u32, unit.0 as u32, payload_len), c);
+                        }
+                        StageClass::Live => {}
+                    }
+                    c
+                }
+            };
             // Saturating accumulation: an adversarial stage can produce
             // costs near u64::MAX; the watchdog must see "huge", not a
             // wrapped-around small number.
@@ -427,18 +675,20 @@ pub fn simulate_supervised(
     }
 
     // Order statistics via selection instead of a full sort: `latencies`
-    // is returned to the caller in arrival order, so one scratch buffer
-    // is partitioned for p50/p99 and then reused for the completion
-    // quartiles — the seed cloned and fully sorted both vectors.
+    // stays in arrival order, so the borrowed `select` scratch is
+    // partitioned for p50/p99 and then reused for the completion
+    // quartiles — the seed cloned and fully sorted both vectors, an
+    // O(packets) allocation per run even outside sweeps.
     let completed = latencies.len();
-    let mut scratch = latencies.clone();
+    select.clear();
+    select.extend_from_slice(latencies);
     let (avg, p50, p99, max_lat) = if completed == 0 {
         (0.0, 0.0, 0.0, 0.0)
     } else {
         let avg = latencies.iter().sum::<u64>() as f64 / completed as f64;
         let idx = |p: f64| ((completed - 1) as f64 * p) as usize;
         let (i50, i99) = (idx(0.5), idx(0.99));
-        let (below, v99, _) = scratch.select_nth_unstable(i99);
+        let (below, v99, _) = select.select_nth_unstable(i99);
         let p99 = *v99;
         let p50 = if i50 == i99 { p99 } else { *below.select_nth_unstable(i50).1 };
         let max = *latencies.iter().max().unwrap();
@@ -450,9 +700,9 @@ pub fn simulate_supervised(
     let (span_cycles, span_count) = if completions.is_empty() {
         (0, 0.0)
     } else {
-        scratch.clear();
-        scratch.extend_from_slice(&completions);
-        let (below, hi_v, _) = scratch.select_nth_unstable(hi);
+        select.clear();
+        select.extend_from_slice(completions);
+        let (below, hi_v, _) = select.select_nth_unstable(hi);
         let hi_v = *hi_v;
         let lo_v = if lo == hi { hi_v } else { *below.select_nth_unstable(lo).1 };
         if hi > lo && hi_v > lo_v {
@@ -464,10 +714,9 @@ pub fn simulate_supervised(
         }
     };
     let span_secs = nic.cycles_to_ns(span_cycles as f64) * 1e-9;
-    let _ = first_arrival;
 
     Ok(SimResult {
-        packets: trace.len(),
+        packets: offered,
         completed,
         dropped,
         accel_drops,
@@ -482,7 +731,7 @@ pub fn simulate_supervised(
         per_stage_cycles: prog
             .stages
             .iter()
-            .zip(&stage_totals)
+            .zip(stage_totals.iter())
             .map(|(s, &t)| {
                 (s.name.clone(), if completed == 0 { 0.0 } else { t as f64 / completed as f64 })
             })
@@ -490,7 +739,9 @@ pub fn simulate_supervised(
         flow_cache: (fc_hits, fc_misses),
         emem_cache: emem.and_then(|e| mem.cache_stats(e)),
         energy_mj: busy_cycles as f64 * nic.nj_per_cycle * 1e-6,
-        latencies,
+        // The streamed path leaves per-packet latencies in the scratch
+        // (`SimScratch::latencies`); `simulate_configured` moves them in.
+        latencies: Vec::new(),
     })
 }
 
@@ -1358,5 +1609,237 @@ mod tests {
         assert_eq!(r.per_stage_cycles.len(), 2);
         assert!((r.per_stage_cycles[0].1 - 150.0).abs() < 1.0);
         assert!((r.per_stage_cycles[1].1 - 12.0).abs() < 1.0);
+    }
+
+    /// Every observable field must match bit-for-bit (floats compared by
+    /// bits: memoization and streaming are exact rewrites, not
+    /// approximations).
+    fn assert_bit_identical(a: &SimResult, b: &SimResult, what: &str) {
+        assert_eq!(a.packets, b.packets, "{what}: packets");
+        assert_eq!(a.completed, b.completed, "{what}: completed");
+        assert_eq!(a.dropped, b.dropped, "{what}: dropped");
+        assert_eq!(a.accel_drops, b.accel_drops, "{what}: accel_drops");
+        assert_eq!(a.corrupt_drops, b.corrupt_drops, "{what}: corrupt_drops");
+        assert_eq!(a.truncated, b.truncated, "{what}: truncated");
+        assert_eq!(
+            a.avg_latency_cycles.to_bits(),
+            b.avg_latency_cycles.to_bits(),
+            "{what}: avg"
+        );
+        assert_eq!(a.p50_latency_cycles.to_bits(), b.p50_latency_cycles.to_bits(), "{what}: p50");
+        assert_eq!(a.p99_latency_cycles.to_bits(), b.p99_latency_cycles.to_bits(), "{what}: p99");
+        assert_eq!(a.max_latency_cycles.to_bits(), b.max_latency_cycles.to_bits(), "{what}: max");
+        assert_eq!(a.achieved_pps.to_bits(), b.achieved_pps.to_bits(), "{what}: pps");
+        assert_eq!(a.flow_cache, b.flow_cache, "{what}: flow_cache");
+        assert_eq!(a.emem_cache, b.emem_cache, "{what}: emem_cache");
+        assert_eq!(a.energy_mj.to_bits(), b.energy_mj.to_bits(), "{what}: energy");
+        assert_eq!(a.per_stage_cycles.len(), b.per_stage_cycles.len(), "{what}: stages");
+        for (x, y) in a.per_stage_cycles.iter().zip(&b.per_stage_cycles) {
+            assert_eq!(x.0, y.0, "{what}: stage name");
+            assert_eq!(x.1.to_bits(), y.1.to_bits(), "{what}: stage cycles");
+        }
+    }
+
+    /// A corpus of programs spanning every memoization class: pure
+    /// payload streaming over an uncached automaton, flow-cache-fronted
+    /// lookups, cached-EMEM counters, linear scans, an accelerator stage.
+    fn fidelity_corpus() -> Vec<NicProgram> {
+        vec![
+            NicProgram {
+                name: "dpi".into(),
+                tables: vec![TableCfg {
+                    name: "automaton".into(),
+                    mem: "imem".into(),
+                    entry_bytes: 8,
+                    entries: 4096,
+                    use_flow_cache: false,
+                }],
+                stages: vec![Stage {
+                    name: "scan".into(),
+                    unit: StageUnit::Npu,
+                    ops: vec![
+                        MicroOp::ParseHeader,
+                        MicroOp::StreamPayload { table: Some(0), loop_overhead: 10 },
+                    ],
+                }],
+            },
+            NicProgram {
+                name: "nat".into(),
+                tables: vec![TableCfg {
+                    name: "flows".into(),
+                    mem: "emem".into(),
+                    entry_bytes: 24,
+                    entries: 65_536,
+                    use_flow_cache: true,
+                }],
+                stages: vec![
+                    Stage {
+                        name: "rewrite".into(),
+                        unit: StageUnit::Npu,
+                        ops: vec![
+                            MicroOp::ParseHeader,
+                            MicroOp::Hash { count: 1 },
+                            MicroOp::TableLookup { table: 0 },
+                            MicroOp::MetadataMod { count: 3 },
+                            MicroOp::ChecksumSw,
+                        ],
+                    },
+                    Stage {
+                        name: "ck".into(),
+                        unit: StageUnit::Accel(AccelKind::Checksum),
+                        ops: vec![MicroOp::AccelCall { bytes: BytesSpec::Frame }],
+                    },
+                ],
+            },
+            NicProgram {
+                name: "stats".into(),
+                tables: vec![
+                    TableCfg {
+                        name: "counters".into(),
+                        mem: "emem".into(),
+                        entry_bytes: 8,
+                        entries: 1024,
+                        use_flow_cache: false,
+                    },
+                    TableCfg {
+                        name: "rules".into(),
+                        mem: "imem".into(),
+                        entry_bytes: 16,
+                        entries: 512,
+                        use_flow_cache: false,
+                    },
+                ],
+                stages: vec![Stage {
+                    name: "count".into(),
+                    unit: StageUnit::Npu,
+                    ops: vec![
+                        MicroOp::CounterUpdate { table: 0 },
+                        MicroOp::LinearScan { table: 1 },
+                        MicroOp::TableWrite { table: 1 },
+                        MicroOp::FloatOps { count: 2 },
+                    ],
+                }],
+            },
+        ]
+    }
+
+    #[test]
+    fn memoized_is_bit_identical_to_exact() {
+        let nic = nic();
+        let t = TraceGenerator::new(31)
+            .packets(1500)
+            .flows(300)
+            .zipf(1.1)
+            .sizes(SizeDist::imix())
+            .tcp_share(0.8)
+            .generate();
+        for prog in fidelity_corpus() {
+            for faults in [
+                FaultPlan::none(),
+                FaultPlan { disable_emem_cache: true, ..FaultPlan::none() },
+                FaultPlan { thrash_emem_cache: true, ..FaultPlan::none() },
+                FaultPlan { truncate_every: 3, corrupt_every: 7, ..FaultPlan::none() },
+                FaultPlan {
+                    accel_stall: vec![(AccelKind::Checksum, 500)],
+                    dead_threads: 100,
+                    ..FaultPlan::none()
+                },
+            ] {
+                let wd = Watchdog::new();
+                let fast =
+                    simulate_configured(&nic, &prog, &t, &faults, &wd, &SimConfig::default())
+                        .unwrap();
+                let exact =
+                    simulate_configured(&nic, &prog, &t, &faults, &wd, &SimConfig::exact())
+                        .unwrap();
+                let what = format!("{} under {:?}", prog.name, faults);
+                assert_bit_identical(&fast, &exact, &what);
+                assert_eq!(fast.latencies, exact.latencies, "{what}: latencies");
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_matches_materialized_trace() {
+        let nic = nic();
+        let gen = TraceGenerator::new(37)
+            .packets(1200)
+            .flows(150)
+            .sizes(SizeDist::imix())
+            .arrival(clara_workload::Arrival::Poisson)
+            .syn_on_first(false);
+        let trace = gen.generate();
+        let mut scratch = SimScratch::new();
+        for prog in fidelity_corpus() {
+            let eager = simulate(&nic, &prog, &trace).unwrap();
+            let lazy = simulate_streamed(
+                &nic,
+                &prog,
+                gen.stream(),
+                &FaultPlan::none(),
+                &Watchdog::new(),
+                &SimConfig::default(),
+                &mut scratch,
+            )
+            .unwrap();
+            assert_bit_identical(&eager, &lazy, &prog.name);
+            // Latencies live in the scratch on the streamed path.
+            assert!(lazy.latencies.is_empty());
+            assert_eq!(scratch.latencies(), &eager.latencies[..], "{}", prog.name);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_never_changes_results() {
+        // One scratch across runs of *different* programs, NICs, and
+        // traces must equal fresh-scratch runs: arenas carry capacity,
+        // never state.
+        let nics = [nic(), profiles::soc_armada()];
+        let mut reused = SimScratch::new();
+        for round in 0..2 {
+            for n in &nics {
+                for prog in fidelity_corpus() {
+                    // Skip programs placing tables in regions this NIC lacks.
+                    if prog.tables.iter().any(|t| n.memory_named(&t.mem).is_none()) {
+                        continue;
+                    }
+                    let gen = TraceGenerator::new(41 + round)
+                        .packets(400)
+                        .flows(64)
+                        .sizes(SizeDist::Fixed(700));
+                    let mut fresh = SimScratch::new();
+                    let cfg = SimConfig::default();
+                    let (fp, wd) = (FaultPlan::none(), Watchdog::new());
+                    let a =
+                        simulate_streamed(n, &prog, gen.stream(), &fp, &wd, &cfg, &mut reused)
+                            .unwrap();
+                    let lat_a = reused.latencies().to_vec();
+                    let b = simulate_streamed(n, &prog, gen.stream(), &fp, &wd, &cfg, &mut fresh)
+                        .unwrap();
+                    assert_bit_identical(&a, &b, &prog.name);
+                    assert_eq!(lat_a, fresh.latencies());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn watchdog_trips_identically_with_memoization() {
+        // The per-packet cap must see the same saturating totals on the
+        // memoized path, including the stage attribution.
+        let nic = nic();
+        let prog = npu_stage(vec![MicroOp::StreamPayload {
+            table: None,
+            loop_overhead: u64::MAX / 2,
+        }]);
+        let t = TraceGenerator::new(23)
+            .packets(10)
+            .sizes(SizeDist::Fixed(1400))
+            .syn_on_first(false)
+            .generate();
+        let wd = Watchdog::new();
+        let fast = simulate_configured(&nic, &prog, &t, &FaultPlan::none(), &wd, &SimConfig::default());
+        let exact = simulate_configured(&nic, &prog, &t, &FaultPlan::none(), &wd, &SimConfig::exact());
+        assert_eq!(fast.unwrap_err(), exact.unwrap_err());
     }
 }

@@ -58,7 +58,10 @@ pub mod program;
 pub mod watchdog;
 
 pub use clara_lnic::AccelKind;
-pub use engine::{simulate, simulate_supervised, simulate_with_faults, SimError, SimResult};
+pub use engine::{
+    simulate, simulate_configured, simulate_streamed, simulate_supervised, simulate_with_faults,
+    SimConfig, SimError, SimResult, SimScratch,
+};
 pub use fault::{FaultPlan, TRUNCATED_PAYLOAD_BYTES};
 pub use memory::{Cache, MemorySim};
 pub use program::{BytesSpec, MicroOp, NicProgram, Stage, StageUnit, TableCfg};

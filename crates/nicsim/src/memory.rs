@@ -205,6 +205,15 @@ impl MemorySim {
         self.caches[region.0].as_ref().map(|c| c.stats())
     }
 
+    /// Whether `region` currently has a cache in front of it. Accesses to
+    /// uncached regions are history- and address-independent (raw latency
+    /// plus the bulk rate), which is what makes them memoizable by
+    /// signature in the engine.
+    #[inline]
+    pub fn has_cache(&self, region: MemId) -> bool {
+        self.caches[region.0].is_some()
+    }
+
     /// Remove `region`'s cache entirely (fault injection: a disabled
     /// cache controller). Accesses then pay the raw region latency.
     pub fn disable_cache(&mut self, region: MemId) {

@@ -1,7 +1,10 @@
 //! Property tests on simulator invariants.
 
 use clara_lnic::profiles;
-use clara_nicsim::{simulate, MicroOp, NicProgram, Stage, StageUnit, TableCfg};
+use clara_nicsim::{
+    simulate, simulate_configured, AccelKind, FaultPlan, MicroOp, NicProgram, SimConfig, Stage,
+    StageUnit, TableCfg, Watchdog,
+};
 use clara_workload::{SizeDist, TraceGenerator};
 use proptest::prelude::*;
 
@@ -11,6 +14,55 @@ fn prog(ops: Vec<MicroOp>, tables: Vec<TableCfg>) -> NicProgram {
         tables,
         stages: vec![Stage { name: "s".into(), unit: StageUnit::Npu, ops }],
     }
+}
+
+/// Three tables spanning the memoization classes: uncached IMEM,
+/// cached EMEM, and flow-cache-fronted EMEM.
+fn prop_tables() -> Vec<TableCfg> {
+    vec![
+        TableCfg {
+            name: "imem_t".into(),
+            mem: "imem".into(),
+            entry_bytes: 8,
+            entries: 2048,
+            use_flow_cache: false,
+        },
+        TableCfg {
+            name: "emem_t".into(),
+            mem: "emem".into(),
+            entry_bytes: 16,
+            entries: 8192,
+            use_flow_cache: false,
+        },
+        TableCfg {
+            name: "fc_t".into(),
+            mem: "emem".into(),
+            entry_bytes: 24,
+            entries: 4096,
+            use_flow_cache: true,
+        },
+    ]
+}
+
+/// Any NPU micro-op over the three [`prop_tables`] tables.
+fn arb_op() -> impl Strategy<Value = MicroOp> {
+    prop_oneof![
+        (1u64..5_000).prop_map(|cycles| MicroOp::Compute { cycles }),
+        Just(MicroOp::ParseHeader),
+        (1u64..8).prop_map(|count| MicroOp::MetadataMod { count }),
+        (1u64..4).prop_map(|count| MicroOp::Hash { count }),
+        (0usize..3).prop_map(|table| MicroOp::TableLookup { table }),
+        (0usize..3).prop_map(|table| MicroOp::TableWrite { table }),
+        (0usize..3).prop_map(|table| MicroOp::CounterUpdate { table }),
+        (0usize..2).prop_map(|table| MicroOp::LinearScan { table }),
+        (0u64..20).prop_map(|loop_overhead| MicroOp::StreamPayload { table: None, loop_overhead }),
+        (0usize..3, 0u64..20).prop_map(|(t, loop_overhead)| MicroOp::StreamPayload {
+            table: Some(t),
+            loop_overhead,
+        }),
+        Just(MicroOp::ChecksumSw),
+        (1u64..5).prop_map(|count| MicroOp::FloatOps { count }),
+    ]
 }
 
 proptest! {
@@ -115,6 +167,81 @@ proptest! {
             .unwrap()
             .avg_latency_cycles;
         prop_assert!(with - without >= 250.0 - 1e-9, "marginal lookup {}", with - without);
+    }
+
+    /// Signature memoization is an exact rewrite: random (program, trace,
+    /// fault-plan, watchdog) quadruples must simulate bit-identically with
+    /// memoization on vs. off — same latencies, same counters, same energy
+    /// bits, and the same error when a tight cycle cap trips.
+    #[test]
+    fn memoization_is_bit_exact(
+        stages in proptest::collection::vec(proptest::collection::vec(arb_op(), 1..4), 1..3),
+        seed in any::<u64>(),
+        packets in 50usize..250,
+        flows in 1usize..300,
+        payload in 0usize..1500,
+        rate in 10_000.0f64..2_000_000.0,
+        fault_knobs in (
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+            0u64..5,
+            0u64..5,
+            0usize..500,
+        ),
+        caps in (
+            prop_oneof![Just(None), (1usize..32).prop_map(Some)],
+            prop_oneof![Just(None), (10_000u64..500_000).prop_map(Some)],
+        ),
+    ) {
+        let (disable_emem, thrash_emem, fc_outage, corrupt_every, truncate_every, dead_threads) =
+            fault_knobs;
+        let (ingress_capacity, pkt_cap) = caps;
+        let nic = profiles::netronome_agilio_cx40();
+        let prog = NicProgram {
+            name: "prop".into(),
+            tables: prop_tables(),
+            stages: stages
+                .into_iter()
+                .enumerate()
+                .map(|(i, ops)| Stage { name: format!("s{i}"), unit: StageUnit::Npu, ops })
+                .collect(),
+        };
+        let trace = TraceGenerator::new(seed)
+            .packets(packets)
+            .flows(flows)
+            .rate_pps(rate)
+            .sizes(SizeDist::Fixed(payload))
+            .generate();
+        let faults = FaultPlan {
+            accel_outage: if fc_outage { vec![AccelKind::FlowCache] } else { vec![] },
+            disable_emem_cache: disable_emem,
+            thrash_emem_cache: thrash_emem,
+            corrupt_every,
+            truncate_every,
+            dead_threads,
+            ingress_capacity,
+            ..FaultPlan::none()
+        };
+        let wd = Watchdog { max_cycles_per_packet: pkt_cap, ..Watchdog::new() };
+        let fast = simulate_configured(&nic, &prog, &trace, &faults, &wd, &SimConfig::default());
+        let exact = simulate_configured(&nic, &prog, &trace, &faults, &wd, &SimConfig::exact());
+        match (fast, exact) {
+            (Ok(f), Ok(e)) => {
+                prop_assert_eq!(f.latencies, e.latencies);
+                prop_assert_eq!(f.completed, e.completed);
+                prop_assert_eq!(f.dropped, e.dropped);
+                prop_assert_eq!(f.accel_drops, e.accel_drops);
+                prop_assert_eq!(f.corrupt_drops, e.corrupt_drops);
+                prop_assert_eq!(f.truncated, e.truncated);
+                prop_assert_eq!(f.flow_cache, e.flow_cache);
+                prop_assert_eq!(f.emem_cache, e.emem_cache);
+                prop_assert_eq!(f.energy_mj.to_bits(), e.energy_mj.to_bits());
+                prop_assert_eq!(f.achieved_pps.to_bits(), e.achieved_pps.to_bits());
+                prop_assert_eq!(f.p99_latency_cycles.to_bits(), e.p99_latency_cycles.to_bits());
+            }
+            (fast, exact) => prop_assert_eq!(fast.map(|_| ()), exact.map(|_| ())),
+        }
     }
 
     /// Determinism: identical runs produce identical results.

@@ -35,6 +35,7 @@ pub mod predictor;
 pub mod queueing;
 pub mod supervisor;
 pub mod sweep;
+pub mod validate;
 
 pub use cache::{fc_hit_ratio, state_hit_matrix};
 pub use checkpoint::{scenario_hash, CellSummary, Checkpoint};
@@ -49,3 +50,7 @@ pub use supervisor::{
     SupervisedSweep, SupervisorConfig, SupervisorError,
 };
 pub use sweep::{run_sweep, SweepScenario};
+pub use validate::{
+    run_validation_sweep, validation_grid, ValidationCell, ValidationConfig, ValidationResult,
+    ValidationSweep,
+};

@@ -1,0 +1,406 @@
+//! Predicted-vs-simulated validation sweeps (the paper's Figure-3-style
+//! accuracy evidence, grid-shaped).
+//!
+//! A validation run takes one NF twice — the *lowered* form the
+//! predictor prices and the *ported* [`NicProgram`] the simulator
+//! executes — and sweeps both over a workload grid. Each cell predicts
+//! the mean per-packet latency, then measures it by simulating a
+//! generated trace, and reports the relative error between the two: the
+//! per-cell analogue of the paper's §4 accuracy tables.
+//!
+//! The fan-out mirrors [`crate::supervisor`]: a claim counter plus
+//! write-once slots under `std::thread::scope`, one cell per claim, with
+//! every cell panic-isolated so a bad (workload, program) pairing
+//! degrades to that cell's failure instead of killing the run. Each
+//! worker owns a single [`SimScratch`] reused across all the cells it
+//! claims, and feeds the simulator from
+//! [`WorkloadProfile::to_trace_stream`] — no trace is ever materialized,
+//! and steady-state simulation allocates O(1) per cell. Healthy-cell
+//! results are bit-identical between a sequential run (`threads: 1`) and
+//! any parallel schedule: cells are pure and scratch reuse never changes
+//! simulator output.
+
+use crate::predictor::{predict_with_options, PredictOptions};
+use crate::supervisor::{CellOutcome, RunReport};
+use clara_cir::CirModule;
+use clara_lnic::Lnic;
+use clara_microbench::NicParameters;
+use clara_nicsim::{simulate_streamed, FaultPlan, NicProgram, SimConfig, SimScratch, Watchdog};
+use clara_workload::WorkloadProfile;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Policy knobs for one validation sweep.
+#[derive(Debug, Clone)]
+pub struct ValidationConfig {
+    /// Worker threads; `0` = available parallelism.
+    pub threads: usize,
+    /// Packets simulated per cell (predictions are closed-form; the
+    /// simulated side needs enough packets to reach steady state).
+    pub packets: usize,
+    /// Trace-generation seed, shared by every cell.
+    pub seed: u64,
+    /// Simulator configuration; [`SimConfig::exact`] forces the
+    /// unmemoized seed path for fidelity audits.
+    pub sim: SimConfig,
+    /// Prediction options applied to every cell.
+    pub options: PredictOptions,
+}
+
+impl Default for ValidationConfig {
+    fn default() -> Self {
+        ValidationConfig {
+            threads: 0,
+            packets: 4_000,
+            seed: 42,
+            sim: SimConfig::default(),
+            options: PredictOptions::default(),
+        }
+    }
+}
+
+/// One healthy cell: a workload point with both numbers attached.
+#[derive(Debug, Clone)]
+pub struct ValidationCell {
+    /// Human-readable cell label (`rate=… payload=… flows=…`).
+    pub label: String,
+    /// Offered rate of the cell's workload, packets per second.
+    pub rate_pps: f64,
+    /// Mean payload bytes of the cell's workload.
+    pub avg_payload: f64,
+    /// Concurrent flow count of the cell's workload.
+    pub flows: usize,
+    /// Clara's predicted mean per-packet latency, cycles.
+    pub predicted_cycles: f64,
+    /// Simulated steady-state mean latency (tail half of the trace, the
+    /// same estimator the paper's figures use), cycles.
+    pub actual_cycles: f64,
+    /// Mapping quality tag of the prediction (`optimal`, `incumbent`, …).
+    pub quality: String,
+    /// Packets the simulator completed (vs. dropped) in this cell.
+    pub completed: usize,
+}
+
+impl ValidationCell {
+    /// Relative prediction error of this cell.
+    pub fn rel_error(&self) -> f64 {
+        (self.predicted_cycles - self.actual_cycles).abs() / self.actual_cycles.max(1.0)
+    }
+}
+
+/// What one cell of a validation sweep produced.
+#[derive(Debug, Clone)]
+pub enum ValidationResult {
+    /// Both sides ran; numbers attached.
+    Ok(ValidationCell),
+    /// Prediction or simulation failed (message says which and why).
+    Failed(String),
+}
+
+/// The outcome of [`run_validation_sweep`].
+#[derive(Debug)]
+pub struct ValidationSweep {
+    /// Per-cell results, in grid order.
+    pub cells: Vec<ValidationResult>,
+    /// Per-cell outcomes folded into the supervisor's run report, so
+    /// callers classify exit codes exactly as they do for plain sweeps.
+    pub report: RunReport,
+}
+
+impl ValidationSweep {
+    /// Mean absolute relative error over the healthy cells (the §4
+    /// aggregate accuracy metric). `None` when no cell succeeded.
+    pub fn mean_error(&self) -> Option<f64> {
+        let errs: Vec<f64> = self
+            .cells
+            .iter()
+            .filter_map(|c| match c {
+                ValidationResult::Ok(cell) => Some(cell.rel_error()),
+                ValidationResult::Failed(_) => None,
+            })
+            .collect();
+        if errs.is_empty() {
+            None
+        } else {
+            Some(errs.iter().sum::<f64>() / errs.len() as f64)
+        }
+    }
+}
+
+/// The default validation grid: `per_axis`³ cells over offered rate ×
+/// payload size × flow count, the same axes (and values) as the
+/// pipeline bench's sweep so the two artifacts describe the same space.
+pub fn validation_grid(per_axis: usize) -> Vec<WorkloadProfile> {
+    let rates = [20_000.0, 60_000.0, 200_000.0, 600_000.0];
+    let payloads = [100.0, 300.0, 700.0, 1400.0];
+    let flows = [100usize, 1_000, 10_000, 100_000];
+    let n = per_axis.clamp(1, 4);
+    let mut grid = Vec::with_capacity(n * n * n);
+    for &rate in &rates[..n] {
+        for &payload in &payloads[..n] {
+            for &f in &flows[..n] {
+                grid.push(WorkloadProfile {
+                    rate_pps: rate,
+                    avg_payload: payload,
+                    max_payload: payload as usize,
+                    flows: f,
+                    ..WorkloadProfile::paper_default()
+                });
+            }
+        }
+    }
+    grid
+}
+
+/// Label a grid cell the way sweep scenarios are labelled.
+fn cell_label(wl: &WorkloadProfile) -> String {
+    format!("rate={} payload={} flows={}", wl.rate_pps, wl.avg_payload, wl.flows)
+}
+
+/// Predict and simulate every cell of `grid`, in parallel, returning
+/// per-cell prediction error.
+///
+/// `module` is the lowered NF the predictor prices; `program` is the
+/// ported form the simulator executes on `nic`. Both sides of a cell see
+/// the same [`WorkloadProfile`] — the predictor through its closed-form
+/// pipeline, the simulator through a streamed seeded trace.
+pub fn run_validation_sweep(
+    module: &CirModule,
+    params: &NicParameters,
+    nic: &Lnic,
+    program: &NicProgram,
+    grid: &[WorkloadProfile],
+    config: &ValidationConfig,
+) -> ValidationSweep {
+    let threads = match config.threads {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    };
+    let faults = FaultPlan::none();
+    let watchdog = Watchdog::new();
+
+    let run_one = |i: usize, scratch: &mut SimScratch| -> ValidationResult {
+        let wl = &grid[i];
+        // AssertUnwindSafe: `run_sim` resets every scratch arena before
+        // use, so a panic mid-cell cannot leak torn state into the
+        // worker's next cell.
+        catch_unwind(AssertUnwindSafe(|| {
+            let p = match predict_with_options(module, params, wl, config.options.clone()) {
+                Ok(p) => p,
+                Err(e) => return ValidationResult::Failed(format!("predict: {e}")),
+            };
+            let stream = wl.to_trace_stream(config.packets, config.seed);
+            let sim = match simulate_streamed(
+                nic, program, stream, &faults, &watchdog, &config.sim, scratch,
+            ) {
+                Ok(r) => r,
+                Err(e) => return ValidationResult::Failed(format!("simulate: {e}")),
+            };
+            // Steady state: discard the cold-start half, as the paper's
+            // 1M-packet hardware averages do implicitly.
+            let lat = scratch.latencies();
+            let tail = &lat[lat.len() / 2..];
+            let actual = tail.iter().sum::<u64>() as f64 / tail.len().max(1) as f64;
+            ValidationResult::Ok(ValidationCell {
+                label: cell_label(wl),
+                rate_pps: wl.rate_pps,
+                avg_payload: wl.avg_payload,
+                flows: wl.flows,
+                predicted_cycles: p.avg_latency_cycles,
+                actual_cycles: actual,
+                quality: p.mapping.quality.to_string(),
+                completed: sim.completed,
+            })
+        }))
+        .unwrap_or_else(|payload| {
+            let payload = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            ValidationResult::Failed(format!("panicked: {payload}"))
+        })
+    };
+
+    // Claim counter + write-once slots, exactly the supervised sweep's
+    // scheme; each worker reuses one scratch across all its cells.
+    let next = AtomicUsize::new(0);
+    let slots: Vec<OnceLock<ValidationResult>> = (0..grid.len()).map(|_| OnceLock::new()).collect();
+    if threads <= 1 || grid.len() <= 1 {
+        let mut scratch = SimScratch::new();
+        for (i, slot) in slots.iter().enumerate() {
+            let _ = slot.set(run_one(i, &mut scratch));
+        }
+    } else {
+        std::thread::scope(|s| {
+            for _ in 0..threads.min(grid.len()) {
+                s.spawn(|| {
+                    let mut scratch = SimScratch::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= grid.len() {
+                            break;
+                        }
+                        let _ = slots[i].set(run_one(i, &mut scratch));
+                    }
+                });
+            }
+        });
+    }
+    let cells: Vec<ValidationResult> = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or(ValidationResult::Failed("lost: worker died without reporting".into()))
+        })
+        .collect();
+
+    let mut report = RunReport::default();
+    for (wl, cell) in grid.iter().zip(&cells) {
+        let outcome = match cell {
+            ValidationResult::Ok(c) => {
+                CellOutcome::Ok { quality: c.quality.clone(), retried: false }
+            }
+            ValidationResult::Failed(e) => {
+                CellOutcome::Failed { error: e.clone(), retried: false }
+            }
+        };
+        report.record(&cell_label(wl), outcome);
+    }
+    ValidationSweep { cells, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supervisor::RunClass;
+    use clara_lang::frontend;
+    use clara_lnic::profiles;
+    use clara_microbench::extract_parameters;
+    use clara_nicsim::{MicroOp, Stage, StageUnit, TableCfg};
+
+    fn nat_module() -> CirModule {
+        let src = r#"nf nat {
+            state flow_table: map<u64, u64>[65536];
+            fn handle(pkt: packet) -> action {
+                dpdk.parse_headers(pkt);
+                let entry: u64 = flow_table.lookup(hash(pkt.src_ip, pkt.src_port));
+                let ck: u16 = checksum(pkt);
+                return forward;
+            } }"#;
+        clara_cir::lower(&frontend(src).unwrap()).unwrap()
+    }
+
+    fn nat_program() -> NicProgram {
+        NicProgram {
+            name: "nat".into(),
+            tables: vec![TableCfg {
+                name: "flow_table".into(),
+                mem: "emem".into(),
+                entry_bytes: 16,
+                entries: 65_536,
+                use_flow_cache: true,
+            }],
+            stages: vec![Stage {
+                name: "rewrite".into(),
+                unit: StageUnit::Npu,
+                ops: vec![
+                    MicroOp::ParseHeader,
+                    MicroOp::Hash { count: 1 },
+                    MicroOp::TableLookup { table: 0 },
+                    MicroOp::MetadataMod { count: 3 },
+                    MicroOp::ChecksumSw,
+                ],
+            }],
+        }
+    }
+
+    fn small_config(threads: usize) -> ValidationConfig {
+        ValidationConfig { threads, packets: 600, ..ValidationConfig::default() }
+    }
+
+    #[test]
+    fn healthy_sweep_is_all_ok_with_finite_errors() {
+        let nic = profiles::netronome_agilio_cx40();
+        let params = extract_parameters(&nic);
+        let module = nat_module();
+        let program = nat_program();
+        let grid = validation_grid(2);
+        assert_eq!(grid.len(), 8);
+        let sweep =
+            run_validation_sweep(&module, &params, &nic, &program, &grid, &small_config(1));
+        assert_eq!(sweep.report.class(), RunClass::AllOk);
+        for cell in &sweep.cells {
+            let ValidationResult::Ok(c) = cell else { panic!("expected Ok, got {cell:?}") };
+            assert!(c.predicted_cycles > 0.0);
+            assert!(c.actual_cycles > 0.0);
+            assert!(c.rel_error().is_finite());
+            assert!(c.completed > 0);
+        }
+        assert!(sweep.mean_error().unwrap().is_finite());
+    }
+
+    #[test]
+    fn parallel_fanout_is_bit_identical_to_sequential() {
+        let nic = profiles::netronome_agilio_cx40();
+        let params = extract_parameters(&nic);
+        let module = nat_module();
+        let program = nat_program();
+        let grid = validation_grid(2);
+        let seq =
+            run_validation_sweep(&module, &params, &nic, &program, &grid, &small_config(1));
+        let par =
+            run_validation_sweep(&module, &params, &nic, &program, &grid, &small_config(4));
+        for (a, b) in seq.cells.iter().zip(&par.cells) {
+            let (ValidationResult::Ok(a), ValidationResult::Ok(b)) = (a, b) else {
+                panic!("expected both Ok, got {a:?} vs {b:?}")
+            };
+            assert_eq!(a.predicted_cycles.to_bits(), b.predicted_cycles.to_bits());
+            assert_eq!(a.actual_cycles.to_bits(), b.actual_cycles.to_bits());
+            assert_eq!(a.completed, b.completed);
+            assert_eq!(a.label, b.label);
+        }
+    }
+
+    #[test]
+    fn exact_sim_config_matches_memoized_default() {
+        let nic = profiles::netronome_agilio_cx40();
+        let params = extract_parameters(&nic);
+        let module = nat_module();
+        let program = nat_program();
+        let grid = validation_grid(1);
+        let fast =
+            run_validation_sweep(&module, &params, &nic, &program, &grid, &small_config(1));
+        let exact_cfg =
+            ValidationConfig { sim: SimConfig::exact(), ..small_config(1) };
+        let exact = run_validation_sweep(&module, &params, &nic, &program, &grid, &exact_cfg);
+        for (a, b) in fast.cells.iter().zip(&exact.cells) {
+            let (ValidationResult::Ok(a), ValidationResult::Ok(b)) = (a, b) else {
+                panic!("expected both Ok, got {a:?} vs {b:?}")
+            };
+            assert_eq!(a.actual_cycles.to_bits(), b.actual_cycles.to_bits());
+        }
+    }
+
+    #[test]
+    fn bad_program_degrades_to_failed_cell_not_a_crash() {
+        let nic = profiles::netronome_agilio_cx40();
+        let params = extract_parameters(&nic);
+        let module = nat_module();
+        // A table in a region the Netronome profile does not have: the
+        // simulator panics per cell; the sweep must contain it.
+        let mut program = nat_program();
+        program.tables[0].mem = "hbm".into();
+        let grid = validation_grid(1);
+        let sweep =
+            run_validation_sweep(&module, &params, &nic, &program, &grid, &small_config(2));
+        assert_eq!(sweep.report.class(), RunClass::AllFailed);
+        for cell in &sweep.cells {
+            assert!(matches!(cell, ValidationResult::Failed(_)), "got {cell:?}");
+        }
+        assert!(sweep.mean_error().is_none());
+    }
+}

@@ -183,48 +183,99 @@ impl TraceGenerator {
         }
     }
 
+    /// Lazily generate the trace, one packet per `next()` call.
+    ///
+    /// The stream yields exactly the sequence [`Self::generate`] would
+    /// materialize — same RNG draw order, same monotone timestamps — so
+    /// simulators can consume packets without ever holding a full
+    /// `Vec<TracePacket>`. `generate` is implemented as
+    /// `stream().collect()`, so the two paths cannot drift.
+    pub fn stream(&self) -> TraceStream {
+        TraceStream {
+            rng: StdRng::seed_from_u64(self.seed),
+            zipf: Zipf::new(self.flows, self.zipf_alpha),
+            mean_gap_ns: 1e9 / self.rate_pps,
+            ts: 0.0,
+            last_ts_ns: 0,
+            seen: HashSet::new(),
+            remaining: self.packets,
+            gen: self.clone(),
+        }
+    }
+
     /// Generate the trace.
     pub fn generate(&self) -> Trace {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let zipf = Zipf::new(self.flows, self.zipf_alpha);
-        let mean_gap_ns = 1e9 / self.rate_pps;
-        let mut ts = 0.0f64;
-        let mut seen: HashSet<usize> = HashSet::new();
-        let mut trace = Trace::new();
-
-        for _ in 0..self.packets {
-            let flow_idx = zipf.sample(&mut rng);
-            let tuple = self.flow_tuple(flow_idx);
-            let payload_len = self.sizes.sample(&mut rng);
-            let first = seen.insert(flow_idx);
-
-            let mut spec = PacketSpec {
-                flow: tuple,
-                payload_len,
-                tcp_flags: TcpFlags(TcpFlags::ACK),
-                payload_seed: (flow_idx & 0xff) as u8,
-            };
-            if tuple.proto == Proto::Tcp && first && self.syn_on_first {
-                spec.tcp_flags = TcpFlags(TcpFlags::SYN);
-                spec.payload_len = 0; // SYNs carry no payload
-            }
-            if tuple.proto == Proto::Udp {
-                spec.tcp_flags = TcpFlags::default();
-            }
-
-            trace.push(TracePacket { ts_ns: ts as u64, spec });
-            let gap = match self.arrival {
-                Arrival::Constant => mean_gap_ns,
-                Arrival::Poisson => {
-                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-                    -mean_gap_ns * u.ln()
-                }
-            };
-            ts += gap;
-        }
-        trace
+        self.stream().collect()
     }
 }
+
+/// A lazy trace source: the iterator form of [`TraceGenerator::generate`].
+///
+/// Timestamps are clamped to be monotonically non-decreasing exactly as
+/// [`Trace::push`] would clamp them, so `stream().collect::<Trace>()` is
+/// bit-identical to the materialized trace and consumers (e.g. the
+/// simulator) may rely on arrival order without buffering the schedule.
+pub struct TraceStream {
+    gen: TraceGenerator,
+    rng: StdRng,
+    zipf: Zipf,
+    mean_gap_ns: f64,
+    ts: f64,
+    last_ts_ns: u64,
+    seen: HashSet<usize>,
+    remaining: usize,
+}
+
+impl Iterator for TraceStream {
+    type Item = TracePacket;
+
+    fn next(&mut self) -> Option<TracePacket> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+
+        let flow_idx = self.zipf.sample(&mut self.rng);
+        let tuple = self.gen.flow_tuple(flow_idx);
+        let payload_len = self.gen.sizes.sample(&mut self.rng);
+        let first = self.seen.insert(flow_idx);
+
+        let mut spec = PacketSpec {
+            flow: tuple,
+            payload_len,
+            tcp_flags: TcpFlags(TcpFlags::ACK),
+            payload_seed: (flow_idx & 0xff) as u8,
+        };
+        if tuple.proto == Proto::Tcp && first && self.gen.syn_on_first {
+            spec.tcp_flags = TcpFlags(TcpFlags::SYN);
+            spec.payload_len = 0; // SYNs carry no payload
+        }
+        if tuple.proto == Proto::Udp {
+            spec.tcp_flags = TcpFlags::default();
+        }
+
+        // Same regression clamp as Trace::push, applied at the source.
+        let ts_ns = (self.ts as u64).max(self.last_ts_ns);
+        self.last_ts_ns = ts_ns;
+
+        let gap = match self.gen.arrival {
+            Arrival::Constant => self.mean_gap_ns,
+            Arrival::Poisson => {
+                let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+                -self.mean_gap_ns * u.ln()
+            }
+        };
+        self.ts += gap;
+
+        Some(TracePacket { ts_ns, spec })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for TraceStream {}
 
 #[cfg(test)]
 mod tests {
@@ -327,6 +378,53 @@ mod tests {
         for _ in 0..100 {
             let s = imix.sample(&mut rng);
             assert!([40usize, 576, 1460].contains(&s));
+        }
+    }
+
+    #[test]
+    fn stream_matches_generate() {
+        // The lazy and eager paths must realize the identical packet
+        // sequence: count, timestamps (rate), flow tuples, payloads, flags.
+        for (seed, arrival, sizes) in [
+            (11, Arrival::Constant, SizeDist::Fixed(300)),
+            (12, Arrival::Poisson, SizeDist::imix()),
+            (13, Arrival::Poisson, SizeDist::Uniform(64, 1400)),
+        ] {
+            let g = TraceGenerator::new(seed)
+                .packets(2500)
+                .flows(257)
+                .zipf(1.1)
+                .arrival(arrival)
+                .tcp_share(0.7)
+                .sizes(sizes)
+                .rate_pps(250_000.0);
+            let eager = g.generate();
+            let lazy: Trace = g.stream().collect();
+            assert_eq!(eager.len(), lazy.len());
+            assert_eq!(eager.stats(), lazy.stats());
+            for (a, b) in eager.iter().zip(lazy.iter()) {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_reports_exact_length() {
+        let g = TraceGenerator::new(7).packets(123);
+        let mut s = g.stream();
+        assert_eq!(s.len(), 123);
+        s.next();
+        assert_eq!(s.len(), 122);
+        assert_eq!(s.count(), 122);
+    }
+
+    #[test]
+    fn stream_timestamps_monotone() {
+        let g = TraceGenerator::new(8).packets(4000).arrival(Arrival::Poisson);
+        let mut last = 0u64;
+        for p in g.stream() {
+            assert!(p.ts_ns >= last);
+            last = p.ts_ns;
         }
     }
 

@@ -38,7 +38,7 @@ pub mod profile;
 pub mod trace;
 pub mod zipf;
 
-pub use gen::{Arrival, SizeDist, TraceGenerator};
+pub use gen::{Arrival, SizeDist, TraceGenerator, TraceStream};
 pub use profile::{WorkloadError, WorkloadProfile};
 pub use trace::{Trace, TracePacket, TraceStats};
 pub use zipf::Zipf;

@@ -167,6 +167,13 @@ impl WorkloadProfile {
 
     /// Expand this profile into a concrete trace of `packets` packets.
     pub fn to_trace(&self, packets: usize, seed: u64) -> Trace {
+        self.to_trace_stream(packets, seed).collect()
+    }
+
+    /// Lazily expand this profile into a stream of `packets` packets:
+    /// the iterator counterpart of [`Self::to_trace`], realizing the
+    /// identical packet sequence without materializing it.
+    pub fn to_trace_stream(&self, packets: usize, seed: u64) -> crate::gen::TraceStream {
         TraceGenerator::new(seed)
             .packets(packets)
             .flows(self.flows.max(1))
@@ -175,7 +182,7 @@ impl WorkloadProfile {
             .tcp_share(self.tcp_share.clamp(0.0, 1.0))
             .sizes(SizeDist::Fixed(self.avg_payload.round() as usize))
             .syn_on_first(self.syn_share > 0.0)
-            .generate()
+            .stream()
     }
 
     /// Expected wire bytes per packet (payload + IPv4/transport/Ethernet
