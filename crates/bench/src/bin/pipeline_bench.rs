@@ -31,7 +31,8 @@
 
 use clara_bench::{solver_stress_model, sweep_grid, sweep_scenarios};
 use clara_core::sim::{
-    simulate_configured, simulate_streamed, FaultPlan, SimConfig, SimScratch, Watchdog,
+    simulate_configured, simulate_streamed, simulate_streamed_instrumented, FaultPlan, SimConfig,
+    SimInstruments, SimScratch, Watchdog,
 };
 use clara_core::{run_sweep, Prediction, SolveBudget, SolverConfig};
 use std::time::Instant;
@@ -214,6 +215,71 @@ fn main() {
     assert!(sim_identical, "memoized/streamed simulation diverged from the exact path");
     eprintln!("  memoized+streamed output bit-identical to exact: yes");
 
+    // Telemetry: rerun the grid with full simulator instrumentation and
+    // assert observation changed nothing — every counter conserved,
+    // every result bit-identical to the uninstrumented run. The timing
+    // row documents what instrumentation costs when you opt in (the
+    // disabled sink is the `optimized_ms` row above: `simulate_streamed`
+    // passes no instruments at all).
+    let sim_tele_ms = median_ms(sim_runs, || {
+        for wl in &sim_grid {
+            let mut instr = SimInstruments::new();
+            simulate_streamed_instrumented(
+                nic,
+                &program,
+                wl.to_trace_stream(sim_packets, 42),
+                &faults,
+                &wd,
+                &SimConfig::default(),
+                &mut scratch,
+                &mut instr,
+            )
+            .expect("instrumented cell simulates");
+        }
+    });
+    let mut tele_identical = true;
+    let mut tele_conserved = true;
+    for wl in &sim_grid {
+        let plain = simulate_streamed(
+            nic,
+            &program,
+            wl.to_trace_stream(sim_packets, 42),
+            &faults,
+            &wd,
+            &SimConfig::default(),
+            &mut scratch,
+        )
+        .expect("plain cell simulates");
+        let plain_latencies = scratch.latencies().to_vec();
+        let mut instr = SimInstruments::new();
+        let seen = simulate_streamed_instrumented(
+            nic,
+            &program,
+            wl.to_trace_stream(sim_packets, 42),
+            &faults,
+            &wd,
+            &SimConfig::default(),
+            &mut scratch,
+            &mut instr,
+        )
+        .expect("instrumented cell simulates");
+        tele_identical &= scratch.latencies() == plain_latencies.as_slice()
+            && seen.completed == plain.completed
+            && seen.dropped == plain.dropped
+            && seen.flow_cache == plain.flow_cache
+            && seen.emem_cache == plain.emem_cache
+            && seen.energy_mj.to_bits() == plain.energy_mj.to_bits()
+            && seen.achieved_pps.to_bits() == plain.achieved_pps.to_bits();
+        tele_conserved &= instr.stats.conserved()
+            && instr.stats.injected == seen.packets as u64
+            && instr.stats.completed == seen.completed as u64;
+    }
+    assert!(tele_identical, "instrumented simulation diverged from the uninstrumented path");
+    assert!(tele_conserved, "telemetry counters failed packet conservation");
+    eprintln!(
+        "  instrumented {sim_tele_ms:.0} ms, bit-identical to uninstrumented: yes, conserved: yes"
+    );
+
     let sim_json = format!(
         r#"{{
   "bench": "nicsim",
@@ -225,7 +291,10 @@ fn main() {
     "baseline_exact_ms": {sim_base_ms:.1},
     "optimized_ms": {sim_fast_ms:.1},
     "speedup": {sim_speedup:.2},
-    "identical_to_exact": {sim_identical}
+    "identical_to_exact": {sim_identical},
+    "instrumented_ms": {sim_tele_ms:.1},
+    "identical_with_telemetry": {tele_identical},
+    "telemetry_conserved": {tele_conserved}
   }}
 }}
 "#,

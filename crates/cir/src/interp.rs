@@ -1,7 +1,7 @@
 //! A CIR interpreter with path profiling.
 //!
-//! Clara's §3.5 prediction step "simulate[s] the execution for the set of
-//! packets, and identif[ies] how a packet traverses the parameterized
+//! Clara's §3.5 prediction step "simulate\[s\] the execution for the set of
+//! packets, and identif\[ies\] how a packet traverses the parameterized
 //! LNIC". This interpreter provides the traversal half: given a packet
 //! description and a state oracle it executes the lowered `handle`
 //! function and records a [`PathProfile`] — how many times each basic

@@ -10,7 +10,7 @@
 //!
 //! The crate also provides:
 //!
-//! * [`cfg`] — CFG analyses (successors/predecessors, reachability,
+//! * [`mod@cfg`] — CFG analyses (successors/predecessors, reachability,
 //!   dominators, natural-loop detection) used by the dataflow extraction.
 //! * [`interp`] — a CIR interpreter that executes a function against a
 //!   packet description and a state oracle, recording a *path profile*

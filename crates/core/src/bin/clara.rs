@@ -15,9 +15,9 @@
 //! failed — the sweep itself completes and reports either way.
 
 use clara_core::{
-    run_sweep_supervised, run_validation_sweep, CellOutcome, CellResult, Clara, ClaraError,
-    PredictOptions, RunClass, SupervisorConfig, SweepScenario, ValidationConfig, ValidationResult,
-    WorkloadProfile,
+    exit_codes, predict_with_sink, run_sweep_supervised, run_validation_sweep, CellOutcome,
+    CellResult, Clara, ClaraError, PredictOptions, RunClass, Sink, SolveStats, SupervisorConfig,
+    SweepScenario, TelemetryReport, ValidationConfig, ValidationResult, WorkloadProfile,
 };
 use std::process::ExitCode;
 
@@ -31,6 +31,7 @@ USAGE:
   clara hints   <nf.nfc> (--nic <profile> | --params <file>) [workload flags]
   clara sweep   <nf.nfc> (--nic <profile> | --params <file>) [sweep flags]
   clara validate <nf> [--nic <profile>] [validate flags]
+  clara profile <nf> [--nic <profile>] [profile flags]
 
 NIC PROFILES:
   netronome | soc | asic        (built-in LNIC models)
@@ -66,10 +67,27 @@ VALIDATE FLAGS (predicted-vs-simulated error per grid cell):
   --exact             run the simulator's unmemoized seed path (fidelity audit)
   -o <file>           write the per-cell JSON report here (`-` = stdout)
 
-EXIT CODES:
-  0 ok | 2 usage | 3 file I/O | 4 NF frontend | 5 lowering | 6 prediction | 7 workload
-  8 sweep finished with some failed cells | 9 sweep finished with every cell failed
+PROFILE FLAGS (one-cell predict + instrumented simulate of a corpus NF):
+  --packets <n>       simulated packets (default 2000)
+  --seed <n>          trace-generation seed (default 42)
+  --exact             run the simulator's unmemoized seed path
+  --trace-packets <n> packets recorded in the stage timeline (default 32)
+  --trace <file>      write a Chrome trace-event JSON of the first packets
+                      (open in Perfetto or chrome://tracing)
+  plus the workload flags above
+
+TELEMETRY (predict | sweep | validate | profile):
+  --telemetry <file>  collect pipeline spans plus solver/simulator counters
+                      and write a TelemetryReport JSON; observation only —
+                      results are bit-identical with or without it
 ";
+
+/// The full help text: the static usage block plus the exit-code table,
+/// which is generated from [`exit_codes::TABLE`] so help, README, and
+/// the process exit status can never disagree.
+fn usage() -> String {
+    format!("{USAGE}\nEXIT CODES:\n{}", exit_codes::table())
+}
 
 /// A categorized CLI failure; the category decides the exit code.
 enum CliError {
@@ -89,14 +107,14 @@ enum CliError {
 impl CliError {
     fn exit_code(&self) -> u8 {
         match self {
-            CliError::Usage(_) => 2,
-            CliError::Io(_) => 3,
-            CliError::Pipeline(ClaraError::Frontend(_)) => 4,
-            CliError::Pipeline(ClaraError::Lower(_)) => 5,
-            CliError::Pipeline(ClaraError::Predict(_)) => 6,
-            CliError::Pipeline(ClaraError::Workload(_)) => 7,
-            CliError::SweepPartial(_) => 8,
-            CliError::SweepFailed(_) => 9,
+            CliError::Usage(_) => exit_codes::USAGE,
+            CliError::Io(_) => exit_codes::IO,
+            CliError::Pipeline(ClaraError::Frontend(_)) => exit_codes::FRONTEND,
+            CliError::Pipeline(ClaraError::Lower(_)) => exit_codes::LOWER,
+            CliError::Pipeline(ClaraError::Predict(_)) => exit_codes::PREDICT,
+            CliError::Pipeline(ClaraError::Workload(_)) => exit_codes::WORKLOAD,
+            CliError::SweepPartial(_) => exit_codes::SWEEP_PARTIAL,
+            CliError::SweepFailed(_) => exit_codes::SWEEP_FAILED,
         }
     }
 }
@@ -126,7 +144,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             if matches!(e, CliError::Usage(_)) {
-                eprintln!("\n{USAGE}");
+                eprintln!("\n{}", usage());
             }
             ExitCode::from(e.exit_code())
         }
@@ -144,8 +162,9 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "hints" => predict(&args[1..], true),
         "sweep" => sweep(&args[1..]),
         "validate" => validate(&args[1..]),
+        "profile" => profile(&args[1..]),
         "--help" | "-h" | "help" => {
-            println!("{USAGE}");
+            println!("{}", usage());
             Ok(())
         }
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
@@ -270,6 +289,17 @@ fn analyze(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Write a [`TelemetryReport`] to `path` (`-` = stdout).
+fn write_telemetry(path: &str, report: &TelemetryReport) -> Result<(), CliError> {
+    if path == "-" {
+        print!("{}", report.to_json());
+    } else {
+        report.save(std::path::Path::new(path)).map_err(CliError::Io)?;
+        eprintln!("wrote telemetry to {path}");
+    }
+    Ok(())
+}
+
 fn predict(args: &[String], hints: bool) -> Result<(), CliError> {
     let source = read_source(args)?;
     // Workload flags are validated before the (slow) parameter extraction.
@@ -280,7 +310,19 @@ fn predict(args: &[String], hints: bool) -> Result<(), CliError> {
         println!("{text}");
         return Ok(());
     }
-    let p = clara.predict(&source, &wl)?;
+    // The disabled sink is a no-op, so the untelemetried path pays
+    // nothing; the enabled path never perturbs the prediction.
+    let telemetry_path = flag_value(args, "--telemetry");
+    let mut sink = if telemetry_path.is_some() { Sink::memory() } else { Sink::disabled() };
+    let analysis = sink.span("frontend+lower", || clara_core::analyze_source(&source))?;
+    let p = predict_with_sink(
+        &analysis.module,
+        clara.params(),
+        &wl,
+        PredictOptions::default(),
+        &mut sink,
+    )
+    .map_err(|e| CliError::Pipeline(ClaraError::from(e)))?;
     println!("predicted on {}:", clara.params().nic_name);
     println!(
         "  avg latency : {:.0} cycles ({:.2} µs)",
@@ -301,6 +343,17 @@ fn predict(args: &[String], hints: bool) -> Result<(), CliError> {
         p.bottleneck
     );
     println!("  energy      : {:.0} nJ/packet", p.energy_nj_per_packet);
+    if let Some(path) = telemetry_path {
+        let report = TelemetryReport {
+            solver: Some(p.mapping.stats.clone()),
+            ..TelemetryReport::from_sink(&sink)
+        }
+        .with_context("command", "predict")
+        .with_context("nf", &analysis.module.name)
+        .with_context("nic", &clara.params().nic_name)
+        .with_context("workload", &wl.summary());
+        write_telemetry(path, &report)?;
+    }
     Ok(())
 }
 
@@ -366,7 +419,9 @@ fn sweep(args: &[String]) -> Result<(), CliError> {
     }
 
     let clara = build_clara(args)?;
-    let analysis = clara_core::analyze_source(&source)?;
+    let telemetry_path = flag_value(args, "--telemetry");
+    let mut sink = if telemetry_path.is_some() { Sink::memory() } else { Sink::disabled() };
+    let analysis = sink.span("frontend+lower", || clara_core::analyze_source(&source))?;
     let scenarios: Vec<SweepScenario<'_>> = grid
         .into_iter()
         .map(|wl| SweepScenario {
@@ -381,7 +436,8 @@ fn sweep(args: &[String]) -> Result<(), CliError> {
         })
         .collect();
 
-    let sweep = run_sweep_supervised(&scenarios, &config)
+    let sweep = sink
+        .span("supervised-sweep", || run_sweep_supervised(&scenarios, &config))
         .map_err(|e| CliError::Io(e.to_string()))?;
 
     println!(
@@ -427,6 +483,27 @@ fn sweep(args: &[String]) -> Result<(), CliError> {
         resumed,
         report.failed_count()
     );
+    if let Some(path) = telemetry_path {
+        // Run-level solver stats: the sum over freshly computed cells
+        // (resumed cells carry no mapping to account).
+        let mut solver: Option<SolveStats> = None;
+        for res in &sweep.results {
+            if let CellResult::Fresh(p) = res {
+                match &mut solver {
+                    Some(s) => s.merge(&p.mapping.stats),
+                    None => solver = Some(p.mapping.stats.clone()),
+                }
+            }
+        }
+        sink.count("cells_ok", report.ok_count() as u64);
+        sink.count("cells_failed", report.failed_count() as u64);
+        let telemetry = TelemetryReport { solver, ..TelemetryReport::from_sink(&sink) }
+            .with_context("command", "sweep")
+            .with_context("nf", &analysis.module.name)
+            .with_context("nic", &clara.params().nic_name)
+            .with_context("cells", &scenarios.len().to_string());
+        write_telemetry(path, &telemetry)?;
+    }
     match report.class() {
         RunClass::AllOk => {
             println!("{summary}");
@@ -508,19 +585,32 @@ fn validation_json(
             )),
         }
     }
-    let mean = match sweep.mean_error() {
+    let opt = |v: Option<f64>| match v {
         Some(e) => format!("{e:.6}"),
         None => "null".into(),
     };
+    let s = sweep.error_summary();
+    let summary = format!(
+        "{{\"ok_cells\": {}, \"failed_cells\": {}, \"rel_error\": {{\"mean\": {}, \
+         \"p50\": {}, \"p95\": {}, \"max\": {}}}}}",
+        s.ok_cells,
+        s.failed_cells,
+        opt(s.mean),
+        opt(s.p50),
+        opt(s.p95),
+        opt(s.max),
+    );
     format!(
         "{{\n  \"nf\": \"{}\",\n  \"nic\": \"{}\",\n  \"packets_per_cell\": {},\n  \
-         \"seed\": {},\n  \"sim_path\": \"{}\",\n  \"mean_abs_rel_error\": {mean},\n  \
+         \"seed\": {},\n  \"sim_path\": \"{}\",\n  \"mean_abs_rel_error\": {},\n  \
+         \"summary\": {summary},\n  \
          \"cells\": [\n{cells}\n  ]\n}}\n",
         json_escape(nf),
         json_escape(nic),
         config.packets,
         config.seed,
         if config.sim.memoize { "memoized" } else { "exact" },
+        opt(sweep.mean_error()),
     )
 }
 
@@ -551,10 +641,12 @@ fn validate(args: &[String]) -> Result<(), CliError> {
             None => Ok(default),
         }
     };
+    let telemetry_path = flag_value(args, "--telemetry");
     let mut config = ValidationConfig {
         threads: parse_num("--threads", 0)? as usize,
         packets: parse_num("--packets", 4_000)? as usize,
         seed: parse_num("--seed", 42)?,
+        telemetry: telemetry_path.is_some(),
         ..ValidationConfig::default()
     };
     if args.iter().any(|a| a == "--exact") {
@@ -586,19 +678,15 @@ fn validate(args: &[String]) -> Result<(), CliError> {
         eprintln!("extracting parameters for `{}`...", nic.name);
         Clara::new(&nic)
     };
-    let analysis = clara_core::analyze_source(&source)?;
+    let mut sink = if telemetry_path.is_some() { Sink::memory() } else { Sink::disabled() };
+    let analysis = sink.span("frontend+lower", || clara_core::analyze_source(&source))?;
     program
         .validate()
         .map_err(|e| CliError::Io(format!("corpus program `{nf_name}` invalid: {e}")))?;
 
-    let sweep = run_validation_sweep(
-        &analysis.module,
-        clara.params(),
-        &nic,
-        &program,
-        &grid,
-        &config,
-    );
+    let sweep = sink.span("validation-sweep", || {
+        run_validation_sweep(&analysis.module, clara.params(), &nic, &program, &grid, &config)
+    });
 
     println!(
         "validation of `{nf_name}` on {} ({} cells, {} packets/cell, {} path):",
@@ -625,8 +713,16 @@ fn validate(args: &[String]) -> Result<(), CliError> {
             ValidationResult::Failed(e) => println!("failed: {e}"),
         }
     }
-    if let Some(mean) = sweep.mean_error() {
-        println!("mean abs. error over healthy cells: {:.1}%", mean * 100.0);
+    let es = sweep.error_summary();
+    if let (Some(mean), Some(p50), Some(p95), Some(max)) = (es.mean, es.p50, es.p95, es.max) {
+        println!(
+            "rel. error over {} healthy cells: mean {:.1}%  p50 {:.1}%  p95 {:.1}%  max {:.1}%",
+            es.ok_cells,
+            mean * 100.0,
+            p50 * 100.0,
+            p95 * 100.0,
+            max * 100.0,
+        );
     }
 
     if let Some(path) = flag_value(args, "-o") {
@@ -638,6 +734,18 @@ fn validate(args: &[String]) -> Result<(), CliError> {
                 .map_err(|e| CliError::Io(format!("cannot write `{path}`: {e}")))?;
             eprintln!("wrote {path}");
         }
+    }
+
+    if let Some(path) = telemetry_path {
+        let (solver, sim) = sweep.merged_stats();
+        sink.count("cells_ok", sweep.report.ok_count() as u64);
+        sink.count("cells_failed", sweep.report.failed_count() as u64);
+        let telemetry = TelemetryReport { solver, sim, ..TelemetryReport::from_sink(&sink) }
+            .with_context("command", "validate")
+            .with_context("nf", &nf_name)
+            .with_context("nic", &nic.name)
+            .with_context("cells", &grid.len().to_string());
+        write_telemetry(path, &telemetry)?;
     }
 
     let summary = format!(
@@ -653,4 +761,178 @@ fn validate(args: &[String]) -> Result<(), CliError> {
         RunClass::Partial => Err(CliError::SweepPartial(summary)),
         RunClass::AllFailed => Err(CliError::SweepFailed(summary)),
     }
+}
+
+/// `clara profile <nf>`: predict one cell, simulate it instrumented, and
+/// print where the cycles went — pipeline phases, solver counters,
+/// per-stage simulated cycles, island occupancy, and accelerator queues.
+/// `--trace` additionally exports the first packets as Chrome
+/// trace-event JSON for Perfetto.
+fn profile(args: &[String]) -> Result<(), CliError> {
+    use clara_core::sim::{
+        simulate_streamed_instrumented, FaultPlan, SimConfig, SimInstruments, SimScratch, Watchdog,
+    };
+
+    // First positional argument = the corpus NF; `--exact` is the only
+    // bare switch, every other flag takes a value.
+    let mut nf_name = None;
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a.starts_with('-') {
+            i += if a == "--exact" { 1 } else { 2 };
+        } else {
+            nf_name = Some(a.clone());
+            break;
+        }
+    }
+    let nf_name = nf_name
+        .ok_or_else(|| CliError::Usage("need a corpus NF name (e.g. `clara profile dpi`)".into()))?;
+    let (source, program) = corpus_nf(&nf_name)?;
+    let wl = workload(args)?;
+    let parse_num = |name: &str, default: u64| -> Result<u64, CliError> {
+        match flag_value(args, name) {
+            Some(v) => v.parse().map_err(|_| CliError::Usage(format!("bad {name} `{v}`"))),
+            None => Ok(default),
+        }
+    };
+    let packets = parse_num("--packets", 2_000)? as usize;
+    let seed = parse_num("--seed", 42)?;
+    let trace_packets = parse_num("--trace-packets", 32)?;
+    let sim_config = if args.iter().any(|a| a == "--exact") {
+        SimConfig::exact()
+    } else {
+        SimConfig::default()
+    };
+
+    let nic = nic_by_name(flag_value(args, "--nic").unwrap_or("netronome"))?;
+    let clara = if flag_value(args, "--params").is_some() {
+        build_clara(args)?
+    } else {
+        eprintln!("extracting parameters for `{}`...", nic.name);
+        Clara::new(&nic)
+    };
+
+    // Profiling exists to observe, so the sink is always on here.
+    let mut sink = Sink::memory();
+    let analysis = sink.span("frontend+lower", || clara_core::analyze_source(&source))?;
+    program
+        .validate()
+        .map_err(|e| CliError::Io(format!("corpus program `{nf_name}` invalid: {e}")))?;
+    let p = predict_with_sink(
+        &analysis.module,
+        clara.params(),
+        &wl,
+        PredictOptions::default(),
+        &mut sink,
+    )
+    .map_err(|e| CliError::Pipeline(ClaraError::from(e)))?;
+
+    let faults = FaultPlan::none();
+    let watchdog = Watchdog::new();
+    let mut scratch = SimScratch::new();
+    let mut instr = SimInstruments::with_timeline(trace_packets);
+    let stream = wl.to_trace_stream(packets, seed);
+    let sim = sink
+        .span("simulate", || {
+            simulate_streamed_instrumented(
+                &nic, &program, stream, &faults, &watchdog, &sim_config, &mut scratch, &mut instr,
+            )
+        })
+        .map_err(|e| CliError::Io(format!("simulate `{nf_name}`: {e}")))?;
+    let stats = &instr.stats;
+
+    println!(
+        "profile of `{nf_name}` on {} ({packets} packets, {} path)",
+        nic.name,
+        if sim_config.memoize { "memoized" } else { "exact" },
+    );
+    println!("workload: {}", wl.summary());
+
+    println!("\npipeline phases (wall-clock):");
+    let mut spans = sink.spans().to_vec();
+    spans.sort_by_key(|s| s.start_us);
+    for s in &spans {
+        println!("  {:indent$}{:<18} {:>8} µs", "", s.name, s.dur_us, indent = (s.depth - 1) * 2);
+    }
+    println!("\nsolver: {}", p.mapping.stats.summary());
+
+    println!("\nper-stage simulated cycles (mean per packet):");
+    let total: f64 = sim.per_stage_cycles.iter().map(|(_, c)| c).sum();
+    for (name, cycles) in &sim.per_stage_cycles {
+        println!(
+            "  {:<20} {:>10.1} {:>6.1}%",
+            name,
+            cycles,
+            if total > 0.0 { cycles / total * 100.0 } else { 0.0 },
+        );
+    }
+    println!("  {:<20} {:>10.1} (avg latency {:.0} cycles)", "total", total, sim.avg_latency_cycles);
+
+    println!("\n{}", stats.summary());
+    for is in &stats.islands {
+        println!(
+            "  island {}: {} threads, {:.1}% busy",
+            is.island,
+            is.threads,
+            is.occupancy(stats.span_cycles) * 100.0,
+        );
+    }
+    for ml in &stats.mem_levels {
+        if ml.accesses > 0 {
+            println!("  mem {:<6} {:>10} accesses", ml.name, ml.accesses);
+        }
+    }
+    if let Some(rate) = stats.emem_hit_rate() {
+        println!(
+            "  emem cache: {} hits / {} misses ({:.1}%)",
+            stats.emem_cache_hits,
+            stats.emem_cache_misses,
+            rate * 100.0,
+        );
+    }
+    for ac in &stats.accels {
+        println!(
+            "  accel {:<10} {} calls, {} busy cyc, {} HOL-stall cyc, queue high-water {}",
+            ac.name, ac.calls, ac.busy_cycles, ac.hol_stall_cycles, ac.queue_highwater,
+        );
+    }
+    println!("  switch fabric: {} transfers", stats.switch_transfers);
+    println!(
+        "\npredicted {:.0} cycles vs simulated {:.0} (rel. error {:.1}%)",
+        p.avg_latency_cycles,
+        sim.avg_latency_cycles,
+        (p.avg_latency_cycles - sim.avg_latency_cycles).abs() / sim.avg_latency_cycles.max(1.0)
+            * 100.0,
+    );
+
+    if let Some(path) = flag_value(args, "--trace") {
+        if let Some(timeline) = instr.timeline.as_ref() {
+            let json = timeline.to_chrome(clara.params().freq_ghz).to_json();
+            if path == "-" {
+                print!("{json}");
+            } else {
+                std::fs::write(path, &json)
+                    .map_err(|e| CliError::Io(format!("cannot write `{path}`: {e}")))?;
+                eprintln!(
+                    "wrote Chrome trace to {path} ({} events; open in Perfetto or chrome://tracing)",
+                    timeline.spans.len(),
+                );
+            }
+        }
+    }
+    if let Some(path) = flag_value(args, "--telemetry") {
+        let telemetry = TelemetryReport {
+            solver: Some(p.mapping.stats.clone()),
+            sim: Some(stats.clone()),
+            ..TelemetryReport::from_sink(&sink)
+        }
+        .with_context("command", "profile")
+        .with_context("nf", &nf_name)
+        .with_context("nic", &nic.name)
+        .with_context("workload", &wl.summary())
+        .with_context("packets", &packets.to_string());
+        write_telemetry(path, &telemetry)?;
+    }
+    Ok(())
 }

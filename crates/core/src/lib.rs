@@ -52,11 +52,12 @@ pub use clara_lnic::{AccelKind, Lnic};
 pub use clara_map::{Mapping, MappingQuality, RunDeadline, SolveBudget, SolverConfig, UnitChoice};
 pub use clara_microbench::{extract_parameters, NicParameters};
 pub use clara_predict::{
-    predict_partial, predict_sliced, run_sweep, run_sweep_supervised, run_validation_sweep,
-    validation_grid, CellOutcome, CellReport, CellResult, CellSummary, Checkpoint, ClassPrediction,
-    HostParams, PartialPlan, PredictOptions, Prediction, RunClass, RunReport, SliceSpec,
-    SupervisedSweep, SupervisorConfig, SupervisorError, SweepScenario, ValidationCell,
-    ValidationConfig, ValidationResult, ValidationSweep,
+    predict_partial, predict_sliced, predict_with_sink, run_sweep, run_sweep_supervised,
+    run_validation_sweep, validation_grid, CellOutcome, CellReport, CellResult, CellSummary,
+    Checkpoint, ClassPrediction, ErrorSummary, HostParams, PartialPlan, PredictOptions, Prediction,
+    RunClass, RunReport, SliceSpec, Sink, SimStats, SolveStats, SupervisedSweep, SupervisorConfig,
+    SupervisorError, SweepScenario, TelemetryReport, ValidationCell, ValidationConfig,
+    ValidationResult, ValidationSweep,
 };
 pub use clara_workload::{Arrival, SizeDist, Trace, TraceGenerator, WorkloadError, WorkloadProfile};
 
@@ -74,6 +75,49 @@ pub mod sim {
 /// The NF corpus used by the paper's evaluation (re-exported).
 pub mod nfs {
     pub use clara_nfs::*;
+}
+
+/// The `clara` CLI's exit codes — one shared definition for the binary,
+/// its `--help` text, the README table, and CI scripts. Codes are
+/// stable: scripts may match on them.
+pub mod exit_codes {
+    /// Success.
+    pub const OK: u8 = 0;
+    /// Bad invocation: unknown command, flag, or flag value.
+    pub const USAGE: u8 = 2;
+    /// A file could not be read, written, or parsed.
+    pub const IO: u8 = 3;
+    /// The NF source failed to parse or type-check.
+    pub const FRONTEND: u8 = 4;
+    /// Lowering to CIR failed.
+    pub const LOWER: u8 = 5;
+    /// Mapping or prediction failed.
+    pub const PREDICT: u8 = 6;
+    /// The workload profile is malformed.
+    pub const WORKLOAD: u8 = 7;
+    /// A sweep/validation finished, but some cells failed.
+    pub const SWEEP_PARTIAL: u8 = 8;
+    /// A sweep/validation finished with every cell failed.
+    pub const SWEEP_FAILED: u8 = 9;
+
+    /// `(code, meaning)` rows, in code order.
+    pub const TABLE: &[(u8, &str)] = &[
+        (OK, "success"),
+        (USAGE, "usage error (bad command, flag, or value)"),
+        (IO, "file I/O or parameter-file parse error"),
+        (FRONTEND, "NF frontend (parse/type) error"),
+        (LOWER, "CIR lowering error"),
+        (PREDICT, "mapping or prediction error"),
+        (WORKLOAD, "malformed workload profile"),
+        (SWEEP_PARTIAL, "sweep/validate finished with some cells failed"),
+        (SWEEP_FAILED, "sweep/validate finished with every cell failed"),
+    ];
+
+    /// The table rendered for `--help` and docs, one `  code  meaning`
+    /// line per row.
+    pub fn table() -> String {
+        TABLE.iter().map(|(code, meaning)| format!("  {code}  {meaning}\n")).collect()
+    }
 }
 
 /// Errors from the end-to-end pipeline.
@@ -317,6 +361,15 @@ mod tests {
         wl.flows = 0;
         let err = clara().porting_hints(FW, &wl).unwrap_err();
         assert!(matches!(err, ClaraError::Workload(_)), "{err}");
+    }
+
+    #[test]
+    fn exit_code_table_is_complete_and_ordered() {
+        let codes: Vec<u8> = exit_codes::TABLE.iter().map(|(c, _)| *c).collect();
+        assert_eq!(codes, vec![0, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let table = exit_codes::table();
+        assert_eq!(table.lines().count(), exit_codes::TABLE.len());
+        assert!(table.contains("  8  sweep/validate finished with some cells failed"));
     }
 
     #[test]

@@ -16,7 +16,8 @@
 
 use crate::deadline::RunDeadline;
 use crate::model::{Model, RelaxWorkspace, Sense, Solution, SolveError, SolverConfig};
-use crate::simplex::Basis;
+use crate::simplex::{counters, Basis};
+use clara_telemetry::SolveStats;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 use std::rc::Rc;
@@ -108,6 +109,12 @@ pub(crate) fn solve_ilp(
     let mut nodes = 0usize;
     let mut exhausted = false;
     let mut timed_out = false;
+    // Telemetry: LP-layer work is read as a thread-local delta around
+    // the solve; node/memo/trajectory attribution is tracked here.
+    // Deterministic — keyed on node counts, never wall-clock.
+    let lp_base = counters::snapshot();
+    let mut memo_hits = 0u64;
+    let mut trajectory: Vec<(u64, f64)> = Vec::new();
 
     while let Some(node) = heap.pop() {
         if deadline.expired() {
@@ -127,7 +134,10 @@ pub(crate) fn solve_ilp(
         }
         let key = config.memoize.then(|| bounds_key(&node.bounds));
         let relaxed: Relaxed = match key.as_ref().and_then(|k| memo.get(k)) {
-            Some(hit) => hit.clone(),
+            Some(hit) => {
+                memo_hits += 1;
+                hit.clone()
+            }
             None => {
                 let fresh: Relaxed = match &mut ws {
                     Some(ws) => {
@@ -186,6 +196,7 @@ pub(crate) fn solve_ilp(
                         snapped[i] = snapped[i].round();
                     }
                 }
+                trajectory.push((nodes as u64, sense_sign * min_obj));
                 incumbent = Some((snapped, min_obj));
             }
             Some((i, _)) => {
@@ -208,10 +219,23 @@ pub(crate) fn solve_ilp(
         }
     }
 
+    let lp = counters::since(lp_base);
+    let stats = |proven: bool| SolveStats {
+        nodes_explored: nodes as u64,
+        lp_solves: lp.lp_solves,
+        simplex_pivots: lp.pivots,
+        warm_start_hits: lp.warm_hits,
+        warm_start_misses: lp.warm_misses,
+        memo_hits,
+        incumbent_trajectory: trajectory.clone(),
+        proven_optimal: proven,
+    };
     match (incumbent, exhausted || timed_out) {
-        (Some((values, min_obj)), false) => Ok(Solution::new(values, sense_sign * min_obj)),
+        (Some((values, min_obj)), false) => {
+            Ok(Solution::new(values, sense_sign * min_obj).with_stats(stats(true)))
+        }
         (Some((values, min_obj)), true) => {
-            Ok(Solution::incumbent(values, sense_sign * min_obj))
+            Ok(Solution::incumbent(values, sense_sign * min_obj).with_stats(stats(false)))
         }
         (None, false) => Err(SolveError::Infeasible),
         (None, true) if timed_out => Err(SolveError::TimedOut),

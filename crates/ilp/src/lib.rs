@@ -17,7 +17,7 @@
 //! tableau is stored flat (one allocation, row-major) and re-solves in
 //! branch-and-bound are warm-started from the parent basis and memoized
 //! by bound vector; [`SolverConfig::baseline`] switches all of that off
-//! and runs the preserved seed solver ([`reference`]) for differential
+//! and runs the preserved seed solver ([`mod@reference`]) for differential
 //! testing and benchmarking.
 //!
 //! # Example: a 0/1 knapsack
@@ -49,6 +49,7 @@ mod tableau;
 #[doc(hidden)]
 pub mod reference;
 
+pub use clara_telemetry::SolveStats;
 pub use deadline::RunDeadline;
 pub use expr::{LinExpr, Var};
 pub use model::{Model, Rel, SolveBudget, SolveError, Solution, SolverConfig};

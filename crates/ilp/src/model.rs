@@ -4,7 +4,8 @@
 use crate::branch;
 use crate::deadline::RunDeadline;
 use crate::expr::{LinExpr, Var};
-use crate::simplex::{self, Basis, LpResult, Row};
+use crate::simplex::{self, counters, Basis, LpResult, Row};
+use clara_telemetry::SolveStats;
 use core::fmt;
 
 /// Relation between a linear expression and its right-hand side.
@@ -150,6 +151,7 @@ pub struct Solution {
     values: Vec<f64>,
     objective: f64,
     proven_optimal: bool,
+    stats: SolveStats,
 }
 
 impl Solution {
@@ -181,12 +183,25 @@ impl Solution {
         self.proven_optimal
     }
 
+    /// Solver telemetry for this solve: LP relaxations run, simplex
+    /// pivots, warm-start hits/misses, and the incumbent-objective
+    /// trajectory. Deterministic (counts work, never wall-clock), so
+    /// identical solves report identical stats.
+    pub fn stats(&self) -> &SolveStats {
+        &self.stats
+    }
+
     pub(crate) fn new(values: Vec<f64>, objective: f64) -> Self {
-        Solution { values, objective, proven_optimal: true }
+        Solution { values, objective, proven_optimal: true, stats: SolveStats::default() }
     }
 
     pub(crate) fn incumbent(values: Vec<f64>, objective: f64) -> Self {
-        Solution { values, objective, proven_optimal: false }
+        Solution { values, objective, proven_optimal: false, stats: SolveStats::default() }
+    }
+
+    pub(crate) fn with_stats(mut self, stats: SolveStats) -> Self {
+        self.stats = stats;
+        self
     }
 }
 
@@ -314,12 +329,23 @@ impl Model {
             branch::solve_ilp(self, budget.max_nodes, config, deadline)
         } else {
             let bounds: Vec<(f64, f64)> = self.vars.iter().map(|v| (v.lo, v.hi)).collect();
+            let lp_base = counters::snapshot();
             let solved = if config.reference_lp {
                 self.solve_relaxation_reference(&bounds)
             } else {
                 self.solve_relaxation_limited(&bounds, deadline)
             };
-            solved.map(|(values, objective)| Solution::new(values, objective))
+            let lp = counters::since(lp_base);
+            solved.map(|(values, objective)| {
+                Solution::new(values, objective).with_stats(SolveStats {
+                    lp_solves: lp.lp_solves,
+                    simplex_pivots: lp.pivots,
+                    warm_start_hits: lp.warm_hits,
+                    warm_start_misses: lp.warm_misses,
+                    proven_optimal: true,
+                    ..SolveStats::default()
+                })
+            })
         }
     }
 

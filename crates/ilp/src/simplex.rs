@@ -8,7 +8,7 @@
 //! Compared to the seed solver (preserved in [`crate::reference`]):
 //!
 //! - the tableau lives in one contiguous row-major allocation
-//!   ([`crate::tableau::FlatMat`]) instead of `Vec<Vec<f64>>`;
+//!   (`FlatMat`) instead of `Vec<Vec<f64>>`;
 //! - the reduced-cost row is maintained incrementally across pivots
 //!   instead of being recomputed (an O(m·width) scan) per iteration;
 //! - the entering rule is Dantzig (most negative reduced cost), falling
@@ -24,6 +24,76 @@
 use crate::deadline::RunDeadline;
 use crate::model::Rel;
 use crate::tableau::FlatMat;
+
+/// Thread-local LP work counters, read by branch-and-bound to build a
+/// [`clara_telemetry::SolveStats`] without threading an out-parameter
+/// through every simplex signature.
+///
+/// Each counter is a plain [`std::cell::Cell`] increment — no atomics,
+/// no allocation — so the hot pivot loop pays a single thread-local add.
+/// A solve runs on one thread start to finish (sweep cells never migrate
+/// mid-solve), so a snapshot/delta pair around a solve attributes work
+/// exactly.
+pub(crate) mod counters {
+    use std::cell::Cell;
+
+    thread_local! {
+        static PIVOTS: Cell<u64> = const { Cell::new(0) };
+        static LP_SOLVES: Cell<u64> = const { Cell::new(0) };
+        static WARM_HITS: Cell<u64> = const { Cell::new(0) };
+        static WARM_MISSES: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// A point-in-time reading of this thread's counters.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub(crate) struct LpCounters {
+        pub(crate) pivots: u64,
+        pub(crate) lp_solves: u64,
+        pub(crate) warm_hits: u64,
+        pub(crate) warm_misses: u64,
+    }
+
+    /// Read the current totals.
+    pub(crate) fn snapshot() -> LpCounters {
+        LpCounters {
+            pivots: PIVOTS.with(Cell::get),
+            lp_solves: LP_SOLVES.with(Cell::get),
+            warm_hits: WARM_HITS.with(Cell::get),
+            warm_misses: WARM_MISSES.with(Cell::get),
+        }
+    }
+
+    /// Work done since `base` was snapshotted (same thread).
+    pub(crate) fn since(base: LpCounters) -> LpCounters {
+        let now = snapshot();
+        LpCounters {
+            pivots: now.pivots.wrapping_sub(base.pivots),
+            lp_solves: now.lp_solves.wrapping_sub(base.lp_solves),
+            warm_hits: now.warm_hits.wrapping_sub(base.warm_hits),
+            warm_misses: now.warm_misses.wrapping_sub(base.warm_misses),
+        }
+    }
+
+    #[inline]
+    pub(super) fn add_pivot() {
+        PIVOTS.with(|c| c.set(c.get().wrapping_add(1)));
+    }
+
+    #[inline]
+    pub(super) fn add_lp_solve() {
+        LP_SOLVES.with(|c| c.set(c.get().wrapping_add(1)));
+    }
+
+    #[inline]
+    pub(super) fn add_warm_hit() {
+        WARM_HITS.with(|c| c.set(c.get().wrapping_add(1)));
+    }
+
+    #[inline]
+    pub(super) fn add_warm_miss() {
+        WARM_MISSES.with(|c| c.set(c.get().wrapping_add(1)));
+    }
+}
 
 /// Numerical tolerance for feasibility and optimality tests.
 pub const TOL: f64 = 1e-9;
@@ -103,7 +173,7 @@ pub fn solve_lp_warm(
 }
 
 /// Like [`solve_lp_warm`], under a cooperative [`RunDeadline`] checked
-/// every [`DEADLINE_STRIDE`] pivots. An expired deadline yields
+/// every `DEADLINE_STRIDE` pivots. An expired deadline yields
 /// [`LpResult::TimedOut`] — including from the warm path, which must
 /// *not* fall back to a full cold solve in that case (the fallback would
 /// be exactly the unbounded work the deadline exists to prevent).
@@ -115,6 +185,7 @@ pub fn solve_lp_limited(
     deadline: &RunDeadline,
 ) -> (LpResult, Option<Basis>) {
     assert_eq!(objective.len(), num_vars);
+    counters::add_lp_solve();
     if let Some(basis) = warm {
         if let Some(mut t) = Flat::build_warm(num_vars, rows, basis) {
             if let Some(out) = t.solve_warm(objective, deadline) {
@@ -123,7 +194,10 @@ pub fn solve_lp_limited(
                 // optimality claim only if the point actually satisfies
                 // the original rows.
                 match &out.0 {
-                    LpResult::Optimal { x, .. } if satisfies(rows, x) => return out,
+                    LpResult::Optimal { x, .. } if satisfies(rows, x) => {
+                        counters::add_warm_hit();
+                        return out;
+                    }
                     LpResult::TimedOut => return out,
                     _ => {}
                 }
@@ -131,6 +205,7 @@ pub fn solve_lp_limited(
         }
         // Shape mismatch, singular basis, iteration cap, or a result
         // that failed verification: re-solve cold.
+        counters::add_warm_miss();
     }
     Flat::build_cold(num_vars, rows).solve_cold(objective, deadline)
 }
@@ -601,8 +676,11 @@ impl Flat {
         }
     }
 
-    /// Pivot and keep the maintained reduced-cost row in sync.
+    /// Pivot and keep the maintained reduced-cost row in sync. Every
+    /// primal and dual simplex pivot funnels through here, so this is
+    /// the single telemetry choke point for pivot counting.
     fn pivot_rc(&mut self, row: usize, col: usize, rc: &mut [f64]) {
+        counters::add_pivot();
         let factor = rc[col];
         self.pivot(row, col);
         if factor != 0.0 {

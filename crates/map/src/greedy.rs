@@ -90,6 +90,7 @@ pub fn greedy_map(input: &MapInput<'_>) -> Result<Mapping, MapError> {
         state_mem,
         latency_cycles: total,
         quality: MappingQuality::GreedyFallback,
+        stats: clara_ilp::SolveStats::default(),
     })
 }
 

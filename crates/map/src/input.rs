@@ -119,6 +119,11 @@ pub struct Mapping {
     pub latency_cycles: f64,
     /// Confidence in this mapping (see [`MappingQuality`]).
     pub quality: MappingQuality,
+    /// Solver telemetry (nodes explored, pivots, warm-start hits, the
+    /// incumbent trajectory). All-zero for greedy-fallback mappings.
+    /// Deterministic, so it never breaks `Mapping` equality between
+    /// identically-configured solves.
+    pub stats: clara_ilp::SolveStats,
 }
 
 impl Mapping {

@@ -41,4 +41,4 @@ pub use solve::{
     solve_mapping, solve_mapping_with_budget, solve_mapping_with_config, solve_mapping_with_limits,
 };
 
-pub use clara_ilp::{RunDeadline, SolveBudget, SolverConfig};
+pub use clara_ilp::{RunDeadline, SolveBudget, SolveStats, SolverConfig};

@@ -304,7 +304,13 @@ fn solve_mapping_ilp(
     } else {
         MappingQuality::Incumbent
     };
-    Ok(Mapping { node_unit, state_mem, latency_cycles: solution.objective(), quality })
+    Ok(Mapping {
+        node_unit,
+        state_mem,
+        latency_cycles: solution.objective(),
+        quality,
+        stats: solution.stats().clone(),
+    })
 }
 
 #[cfg(test)]

@@ -14,9 +14,10 @@ use crate::memory::{Cache, MemorySim};
 use crate::program::{MicroOp, NicProgram, Stage, StageUnit};
 use crate::watchdog::{Watchdog, DEADLINE_STRIDE};
 use clara_lnic::{AccelCost, AccelKind, ComputeClass, Lnic, MemId, MemKind, UnitId};
+use clara_telemetry::{AccelStats, IslandStats, MemLevelStats, SimStats, StageTimeline};
 use clara_workload::{Trace, TracePacket};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 /// Packets larger than this have their payload tail spilled to EMEM
 /// (paper §3.2: "packets smaller than 1 kB will reside in the CTM
@@ -202,6 +203,48 @@ impl SimScratch {
     }
 }
 
+/// Opt-in observation state for one simulation run.
+///
+/// Instrumentation is strictly *read-only* with respect to simulation
+/// state: every counter observes a value the engine computes anyway, so
+/// an instrumented run is bit-identical to an uninstrumented one (the
+/// `prop_telemetry` suite asserts this over random programs, traces,
+/// and fault plans). A successful run overwrites [`Self::stats`] except
+/// for `watchdog_trips`, which belongs to the supervising caller (a
+/// tripped run returns an error before stats are assembled).
+#[derive(Debug, Default)]
+pub struct SimInstruments {
+    /// Aggregated counters, filled when the run completes.
+    pub stats: SimStats,
+    /// Per-packet stage timeline, recorded when present.
+    pub timeline: Option<StageTimeline>,
+}
+
+impl SimInstruments {
+    /// Counters only, no timeline.
+    pub fn new() -> Self {
+        SimInstruments::default()
+    }
+
+    /// Counters plus a stage timeline covering the first `packets`
+    /// packets of the trace.
+    pub fn with_timeline(packets: u64) -> Self {
+        SimInstruments { stats: SimStats::default(), timeline: Some(StageTimeline::first(packets)) }
+    }
+}
+
+/// Observation state for one accelerator's single-server queue.
+#[derive(Debug, Default)]
+struct AccelProbe {
+    calls: u64,
+    busy_cycles: u64,
+    hol_stall_cycles: u64,
+    queue_highwater: u64,
+    /// Completion times of calls submitted but not yet drained at the
+    /// most recent submission instant.
+    inflight: VecDeque<u64>,
+}
+
 /// How a stage's cost may vary across packets, decided once per run
 /// (after fault application — e.g. disabling the EMEM cache makes its
 /// tables signature-pure).
@@ -322,7 +365,37 @@ pub fn simulate_configured(
     config: &SimConfig,
 ) -> Result<SimResult, SimError> {
     let mut scratch = SimScratch::new();
-    let mut r = run_sim(nic, prog, trace.iter().cloned(), faults, watchdog, config, &mut scratch)?;
+    let mut r =
+        run_sim(nic, prog, trace.iter().cloned(), faults, watchdog, config, &mut scratch, None)?;
+    r.latencies = std::mem::take(&mut scratch.latencies);
+    Ok(r)
+}
+
+/// [`simulate_configured`] with a [`SimInstruments`] attached: the run
+/// fills `instruments.stats` (and the timeline, when one is present)
+/// while producing a [`SimResult`] bit-identical to the uninstrumented
+/// entry points.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_instrumented(
+    nic: &Lnic,
+    prog: &NicProgram,
+    trace: &Trace,
+    faults: &FaultPlan,
+    watchdog: &Watchdog,
+    config: &SimConfig,
+    instruments: &mut SimInstruments,
+) -> Result<SimResult, SimError> {
+    let mut scratch = SimScratch::new();
+    let mut r = run_sim(
+        nic,
+        prog,
+        trace.iter().cloned(),
+        faults,
+        watchdog,
+        config,
+        &mut scratch,
+        Some(instruments),
+    )?;
     r.latencies = std::mem::take(&mut scratch.latencies);
     Ok(r)
 }
@@ -352,9 +425,30 @@ pub fn simulate_streamed<I>(
 where
     I: IntoIterator<Item = TracePacket>,
 {
-    run_sim(nic, prog, packets.into_iter(), faults, watchdog, config, scratch)
+    run_sim(nic, prog, packets.into_iter(), faults, watchdog, config, scratch, None)
 }
 
+/// [`simulate_streamed`] with a [`SimInstruments`] attached — the sweep
+/// hot path with telemetry: O(1) allocations per run plus whatever the
+/// timeline records.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_streamed_instrumented<I>(
+    nic: &Lnic,
+    prog: &NicProgram,
+    packets: I,
+    faults: &FaultPlan,
+    watchdog: &Watchdog,
+    config: &SimConfig,
+    scratch: &mut SimScratch,
+    instruments: &mut SimInstruments,
+) -> Result<SimResult, SimError>
+where
+    I: IntoIterator<Item = TracePacket>,
+{
+    run_sim(nic, prog, packets.into_iter(), faults, watchdog, config, scratch, Some(instruments))
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_sim<I: Iterator<Item = TracePacket>>(
     nic: &Lnic,
     prog: &NicProgram,
@@ -363,6 +457,7 @@ fn run_sim<I: Iterator<Item = TracePacket>>(
     watchdog: &Watchdog,
     config: &SimConfig,
     scratch: &mut SimScratch,
+    mut instruments: Option<&mut SimInstruments>,
 ) -> Result<SimResult, SimError> {
     prog.validate().map_err(SimError::BadProgram)?;
     let SimScratch {
@@ -477,6 +572,39 @@ fn run_sim<I: Iterator<Item = TracePacket>>(
     if threads.is_empty() {
         return Err(SimError::NoThreads);
     }
+
+    // Observation-only setup. Everything below this block feeds the
+    // optional SimInstruments and never flows back into costs, so the
+    // uninstrumented path pays a single `is_some()` check per packet.
+    let mut probes: Option<[AccelProbe; 4]> =
+        instruments.is_some().then(<[AccelProbe; 4]>::default);
+    let mut thread_island: Vec<usize> = Vec::new();
+    let mut island_busy: Vec<u64> = Vec::new();
+    let mut island_threads: Vec<u64> = Vec::new();
+    if instruments.is_some() {
+        for t in threads.iter() {
+            let isl = nic.unit(t.unit).island.unwrap_or(0);
+            if isl >= island_busy.len() {
+                island_busy.resize(isl + 1, 0);
+                island_threads.resize(isl + 1, 0);
+            }
+            thread_island.push(isl);
+            island_threads[isl] += 1;
+        }
+    }
+    // Stage unit labels, precomputed only when a timeline will use them.
+    let stage_unit_labels: Vec<String> =
+        if instruments.as_ref().is_some_and(|i| i.timeline.is_some()) {
+            prog.stages
+                .iter()
+                .map(|s| match s.unit {
+                    StageUnit::Npu => "npu".to_string(),
+                    StageUnit::Accel(kind) => kind.to_string(),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
 
     // Hubs: first hub is ingress, second (if any) egress.
     let ingress = nic.hubs().first();
@@ -630,6 +758,7 @@ fn run_sim<I: Iterator<Item = TracePacket>>(
                         &mut fc_misses,
                         fc_engine_cycles,
                         stage_stalls[si],
+                        probes.as_mut(),
                     )?;
                     match classes[si] {
                         StageClass::Fixed => {
@@ -656,11 +785,31 @@ fn run_sim<I: Iterator<Item = TracePacket>>(
                 });
             }
             stage_totals[si] = stage_totals[si].saturating_add(cost);
+            // Timeline: `cur` is the stage's start on the packet's
+            // critical path, `cost` its duration — valid for memoized
+            // stages too, whose replayed cost is bit-identical.
+            if let Some(i) = instruments.as_deref_mut() {
+                if let Some(tl) = i.timeline.as_mut() {
+                    if tl.wants(pkt_idx as u64) {
+                        tl.record(
+                            pkt_idx as u64,
+                            &stage.name,
+                            &stage_unit_labels[si],
+                            tid as u32,
+                            cur,
+                            cost,
+                        );
+                    }
+                }
+            }
             cur = cur.saturating_add(cost);
         }
         cur += egress.map(|h| h.latency).unwrap_or(0);
 
         threads[tid].free_at = cur;
+        if instruments.is_some() {
+            island_busy[thread_island[tid]] += cur - start;
+        }
         busy_cycles = busy_cycles.saturating_add(cur - start);
         if busy_cycles > total_limit {
             return Err(SimError::Watchdog {
@@ -714,6 +863,77 @@ fn run_sim<I: Iterator<Item = TracePacket>>(
         }
     };
     let span_secs = nic.cycles_to_ns(span_cycles as f64) * 1e-9;
+
+    // Assemble telemetry. Every counter mirrors a local the result is
+    // built from (or a read-only probe of run state), so conservation —
+    // injected == completed + drops by cause — is structural.
+    if let Some(instr) = instruments {
+        let trips = instr.stats.watchdog_trips;
+        let accel_stats: Vec<AccelStats> = probes
+            .take()
+            .map(|probes| {
+                ACCEL_KINDS
+                    .iter()
+                    .zip(probes.iter())
+                    .filter(|(_, p)| p.calls > 0)
+                    .map(|(kind, p)| AccelStats {
+                        name: kind.to_string(),
+                        calls: p.calls,
+                        busy_cycles: p.busy_cycles,
+                        hol_stall_cycles: p.hol_stall_cycles,
+                        queue_highwater: p.queue_highwater,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let accel_calls: u64 = accel_stats.iter().map(|a| a.calls).sum();
+        // Fabric traffic: accesses to shared (non-island) memory levels
+        // plus accelerator invocations. Cross-island CTM reads ride the
+        // same fabric but are not separable from local ones here.
+        let shared_accesses: u64 = nic
+            .memories()
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| {
+                matches!(m.kind, MemKind::Internal | MemKind::External | MemKind::HostDram)
+            })
+            .map(|(i, _)| mem.access_count(MemId(i)))
+            .sum();
+        let (emem_hits, emem_misses) = emem.and_then(|e| mem.cache_stats(e)).unwrap_or((0, 0));
+        instr.stats = SimStats {
+            injected: offered as u64,
+            completed: completed as u64,
+            truncated: truncated as u64,
+            overflow_drops: dropped as u64,
+            fault_corrupt_drops: corrupt_drops as u64,
+            fault_accel_drops: accel_drops as u64,
+            watchdog_trips: trips,
+            islands: island_busy
+                .iter()
+                .zip(island_threads.iter())
+                .enumerate()
+                .map(|(i, (&busy, &thr))| IslandStats {
+                    island: i,
+                    threads: thr,
+                    busy_cycles: busy,
+                })
+                .collect(),
+            mem_levels: nic
+                .memories()
+                .iter()
+                .enumerate()
+                .map(|(i, m)| MemLevelStats {
+                    name: m.name.clone(),
+                    accesses: mem.access_count(MemId(i)),
+                })
+                .collect(),
+            emem_cache_hits: emem_hits,
+            emem_cache_misses: emem_misses,
+            accels: accel_stats,
+            switch_transfers: shared_accesses + accel_calls,
+            span_cycles: completions.iter().copied().max().unwrap_or(0),
+        };
+    }
 
     Ok(SimResult {
         packets: offered,
@@ -772,6 +992,7 @@ fn stage_cost(
     fc_misses: &mut u64,
     fc_engine_cycles: u64,
     accel_stall: u64,
+    probes: Option<&mut [AccelProbe; 4]>,
 ) -> Result<u64, SimError> {
     match stage.unit {
         StageUnit::Accel(kind) => {
@@ -783,6 +1004,7 @@ fn stage_cost(
                 per_byte: 0.5,
                 queue_capacity: 32,
             });
+            let mut probe = probes.map(|p| &mut p[kind as usize]);
             let mut total = 0u64;
             let mut server_free = accel.free_at;
             for op in &stage.ops {
@@ -790,9 +1012,23 @@ fn stage_cost(
                 let n = bytes.resolve(payload_len, wire_len);
                 // A wedged engine stalls for extra cycles on every call.
                 let service = curve.service_cycles(n as usize) + accel_stall;
-                let begin = (stage_start + total).max(server_free);
-                let wait = begin - (stage_start + total);
+                let submit = stage_start + total;
+                let begin = submit.max(server_free);
+                let wait = begin - submit;
                 server_free = begin + service;
+                if let Some(p) = probe.as_deref_mut() {
+                    p.calls += 1;
+                    p.busy_cycles += service;
+                    p.hol_stall_cycles += wait;
+                    // Queue depth at submission: earlier calls not yet
+                    // drained, plus this one (the entry in service
+                    // counts).
+                    while p.inflight.front().is_some_and(|&t| t <= submit) {
+                        p.inflight.pop_front();
+                    }
+                    p.inflight.push_back(begin + service);
+                    p.queue_highwater = p.queue_highwater.max(p.inflight.len() as u64);
+                }
                 total += wait + service;
             }
             accel.free_at = server_free;
@@ -1227,6 +1463,106 @@ mod tests {
         let b = simulate(&nic, &prog, &t).unwrap();
         assert_eq!(a.latencies, b.latencies);
         assert_eq!(a.energy_mj, b.energy_mj);
+    }
+
+    #[test]
+    fn instrumented_run_is_bit_identical_and_conserved() {
+        let nic = nic();
+        // A cached EMEM table and an accelerator stage so every counter
+        // family has traffic; a fault plan so drops have causes.
+        let prog = NicProgram {
+            name: "dpi".into(),
+            tables: vec![TableCfg {
+                name: "t".into(),
+                mem: "emem".into(),
+                entry_bytes: 16,
+                entries: 4096,
+                use_flow_cache: false,
+            }],
+            stages: vec![
+                Stage {
+                    name: "lookup".into(),
+                    unit: StageUnit::Npu,
+                    ops: vec![MicroOp::ParseHeader, MicroOp::TableLookup { table: 0 }],
+                },
+                Stage {
+                    name: "ck".into(),
+                    unit: StageUnit::Accel(AccelKind::Checksum),
+                    ops: vec![MicroOp::AccelCall { bytes: BytesSpec::Frame }],
+                },
+            ],
+        };
+        let t = trace(800);
+        let faults = FaultPlan { corrupt_every: 7, ..FaultPlan::none() };
+        let wd = Watchdog::default();
+        let cfg = SimConfig::default();
+        let plain = simulate_configured(&nic, &prog, &t, &faults, &wd, &cfg).unwrap();
+        let mut instr = SimInstruments::with_timeline(5);
+        let seen = simulate_instrumented(&nic, &prog, &t, &faults, &wd, &cfg, &mut instr).unwrap();
+
+        // Telemetry never perturbs results.
+        assert_eq!(plain.latencies, seen.latencies);
+        assert_eq!(plain.energy_mj.to_bits(), seen.energy_mj.to_bits());
+        assert_eq!(plain.emem_cache, seen.emem_cache);
+
+        // Counters mirror the result and conserve packets by cause.
+        let s = &instr.stats;
+        assert!(s.conserved(), "{s:?}");
+        assert_eq!(s.injected, seen.packets as u64);
+        assert_eq!(s.completed, seen.completed as u64);
+        assert_eq!(s.fault_corrupt_drops, seen.corrupt_drops as u64);
+        assert_eq!(
+            (s.emem_cache_hits, s.emem_cache_misses),
+            seen.emem_cache.unwrap_or((0, 0))
+        );
+        assert!(s.emem_hit_rate().is_some());
+        assert!(s.islands.iter().any(|i| i.busy_cycles > 0));
+        assert!(s.mem_levels.iter().any(|m| m.name == "emem" && m.accesses > 0));
+        assert_eq!(s.accels.len(), 1);
+        assert!(s.accels[0].calls > 0 && s.accels[0].queue_highwater >= 1);
+        assert!(s.switch_transfers > 0);
+
+        // The timeline covers exactly the first 5 packets, both stages.
+        let tl = instr.timeline.unwrap();
+        assert!(tl.spans.iter().all(|sp| sp.packet < 5));
+        assert_eq!(tl.spans.len(), 10, "2 stages x 5 recorded packets");
+        assert!(tl.spans.iter().any(|sp| sp.unit == "checksum"));
+    }
+
+    #[test]
+    fn instrumented_streamed_matches_instrumented_exact() {
+        let nic = nic();
+        let prog = npu_stage(vec![MicroOp::ParseHeader, MicroOp::Hash { count: 2 }]);
+        let t = trace(400);
+        let wd = Watchdog::default();
+        let mut a = SimInstruments::new();
+        let ra = simulate_instrumented(
+            &nic,
+            &prog,
+            &t,
+            &FaultPlan::none(),
+            &wd,
+            &SimConfig::exact(),
+            &mut a,
+        )
+        .unwrap();
+        let mut scratch = SimScratch::new();
+        let mut b = SimInstruments::new();
+        let rb = simulate_streamed_instrumented(
+            &nic,
+            &prog,
+            t.iter().cloned(),
+            &FaultPlan::none(),
+            &wd,
+            &SimConfig::exact(),
+            &mut scratch,
+            &mut b,
+        )
+        .unwrap();
+        assert_eq!(ra.latencies, scratch.latencies);
+        assert_eq!(ra.avg_latency_cycles.to_bits(), rb.avg_latency_cycles.to_bits());
+        assert_eq!(a.stats, b.stats);
+        assert!(a.stats.conserved());
     }
 
     #[test]

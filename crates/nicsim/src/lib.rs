@@ -58,9 +58,11 @@ pub mod program;
 pub mod watchdog;
 
 pub use clara_lnic::AccelKind;
+pub use clara_telemetry::{SimStats, StageTimeline};
 pub use engine::{
-    simulate, simulate_configured, simulate_streamed, simulate_supervised, simulate_with_faults,
-    SimConfig, SimError, SimResult, SimScratch,
+    simulate, simulate_configured, simulate_instrumented, simulate_streamed,
+    simulate_streamed_instrumented, simulate_supervised, simulate_with_faults, SimConfig, SimError,
+    SimInstruments, SimResult, SimScratch,
 };
 pub use fault::{FaultPlan, TRUNCATED_PAYLOAD_BYTES};
 pub use memory::{Cache, MemorySim};

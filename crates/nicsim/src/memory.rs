@@ -109,6 +109,9 @@ pub struct MemorySim {
     raw: Vec<u64>,
     /// Bulk streaming cost per byte, per region.
     bulk_per_byte: Vec<f64>,
+    /// Accesses issued per region (telemetry; never feeds back into
+    /// costs).
+    accesses: Vec<u64>,
     n_mems: usize,
 }
 
@@ -147,6 +150,7 @@ impl MemorySim {
             cursor: vec![0; n_mems],
             raw,
             bulk_per_byte,
+            accesses: vec![0; n_mems],
             n_mems,
         }
     }
@@ -178,6 +182,7 @@ impl MemorySim {
     /// from `unit`. Walks cache lines where the region is cached; each
     /// line is an independent hit/miss.
     pub fn access(&mut self, unit: UnitId, region: MemId, addr: u64, bytes: u64) -> u64 {
+        self.accesses[region.0] += 1;
         let raw = self.raw[unit.0 * self.n_mems + region.0];
         match &mut self.caches[region.0] {
             None => {
@@ -203,6 +208,14 @@ impl MemorySim {
     /// Cache statistics of a region, if it has a cache.
     pub fn cache_stats(&self, region: MemId) -> Option<(u64, u64)> {
         self.caches[region.0].as_ref().map(|c| c.stats())
+    }
+
+    /// Accesses issued against `region` so far. Counts *computed*
+    /// accesses: stage-cost memoization in the engine replays costs
+    /// without re-touching the memory model, so memoized runs report
+    /// fewer accesses than [`crate::SimConfig::exact`] runs.
+    pub fn access_count(&self, region: MemId) -> u64 {
+        self.accesses[region.0]
     }
 
     /// Whether `region` currently has a cache in front of it. Accesses to

@@ -43,7 +43,11 @@ pub use classes::{enumerate_classes, PacketClass};
 pub use interfere::{predict_sliced, SliceSpec};
 pub use partial::{predict_partial, HostParams, PartialPlan};
 pub use clara_map::{MappingQuality, RunDeadline, SolveBudget, SolverConfig};
-pub use predictor::{predict, predict_with_options, ClassPrediction, PredictError, PredictOptions, Prediction};
+pub use clara_telemetry::{Sink, SimStats, SolveStats, TelemetryReport};
+pub use predictor::{
+    predict, predict_with_options, predict_with_sink, ClassPrediction, PredictError,
+    PredictOptions, Prediction,
+};
 pub use queueing::{accel_wait, pool_wait};
 pub use supervisor::{
     run_sweep_supervised, CellOutcome, CellReport, CellResult, RunClass, RunReport,
@@ -51,6 +55,6 @@ pub use supervisor::{
 };
 pub use sweep::{run_sweep, SweepScenario};
 pub use validate::{
-    run_validation_sweep, validation_grid, ValidationCell, ValidationConfig, ValidationResult,
-    ValidationSweep,
+    run_validation_sweep, validation_grid, ErrorSummary, ValidationCell, ValidationConfig,
+    ValidationResult, ValidationSweep,
 };

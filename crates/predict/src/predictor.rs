@@ -248,6 +248,35 @@ pub fn predict_with_options(
     predict_prepared(module, params, workload, &options, &prepared)
 }
 
+/// [`predict_with_options`] with telemetry: the two pipeline phases run
+/// inside [`clara_telemetry::Sink`] spans (`predict.prepare` — classes,
+/// state specs, cache model; `predict.solve` — mapping ILP, queueing,
+/// pricing) and the solver's counters land in the sink. With
+/// [`clara_telemetry::Sink::Disabled`] this is exactly
+/// [`predict_with_options`]: spans run their closures directly and the
+/// counter calls are no-ops.
+pub fn predict_with_sink(
+    module: &CirModule,
+    params: &NicParameters,
+    workload: &WorkloadProfile,
+    options: PredictOptions,
+    sink: &mut clara_telemetry::Sink,
+) -> Result<Prediction, PredictError> {
+    let prepared = sink.span("predict.prepare", || prepare(module, params, workload));
+    let result = sink
+        .span("predict.solve", || predict_prepared(module, params, workload, &options, &prepared));
+    if let Ok(p) = &result {
+        let st = &p.mapping.stats;
+        sink.count("ilp.nodes_explored", st.nodes_explored);
+        sink.count("ilp.lp_solves", st.lp_solves);
+        sink.count("ilp.simplex_pivots", st.simplex_pivots);
+        sink.count("ilp.warm_start_hits", st.warm_start_hits);
+        sink.count("ilp.warm_start_misses", st.warm_start_misses);
+        sink.count("ilp.memo_hits", st.memo_hits);
+    }
+    result
+}
+
 /// The rate- and strategy-dependent tail of a prediction: mapping ILP,
 /// queueing, pricing. Pure in `prepared`, so sweeps may share one
 /// `Prepared` across cells.

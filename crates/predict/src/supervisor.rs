@@ -135,6 +135,10 @@ pub struct CellReport {
     pub label: String,
     /// How it ended.
     pub outcome: CellOutcome,
+    /// Compact telemetry summary (solver counters, and simulator
+    /// counters when the run collected them). `None` for cells with no
+    /// fresh computation (resumed, skipped, failed before solving).
+    pub telemetry: Option<String>,
 }
 
 /// Aggregated fate of every cell in a supervised run.
@@ -160,7 +164,17 @@ impl RunReport {
     /// Append an externally observed outcome (e.g. a simulator-watchdog
     /// failure from a stage outside the sweep itself).
     pub fn record(&mut self, label: &str, outcome: CellOutcome) {
-        self.cells.push(CellReport { label: label.to_string(), outcome });
+        self.record_with_telemetry(label, outcome, None);
+    }
+
+    /// [`RunReport::record`] with a telemetry summary attached.
+    pub fn record_with_telemetry(
+        &mut self,
+        label: &str,
+        outcome: CellOutcome,
+        telemetry: Option<String>,
+    ) {
+        self.cells.push(CellReport { label: label.to_string(), outcome, telemetry });
     }
 
     /// Number of successful cells (fresh or resumed).
@@ -334,6 +348,10 @@ pub fn run_sweep_supervised(
             .map(|((sc, res), &r)| CellReport {
                 label: sc.label.clone(),
                 outcome: CellOutcome::of(res, r),
+                telemetry: match res {
+                    CellResult::Fresh(p) => Some(p.mapping.stats.summary()),
+                    _ => None,
+                },
             })
             .collect(),
     };

@@ -206,7 +206,7 @@ pub(crate) fn run_cell_supervised(
 ///
 /// The expensive rate-independent inputs (CIR interpreter class
 /// profiles, Zipf cache model) are computed once per *unique*
-/// [`PrepKey`] and shared — a 4×4×4 rate/payload/flows grid does the
+/// `PrepKey` and shared — a 4×4×4 rate/payload/flows grid does the
 /// interpreter work 16 times, not 64. Because predictions are pure
 /// functions of those shared inputs, sharing never changes a result.
 ///

@@ -25,7 +25,11 @@ use crate::supervisor::{CellOutcome, RunReport};
 use clara_cir::CirModule;
 use clara_lnic::Lnic;
 use clara_microbench::NicParameters;
-use clara_nicsim::{simulate_streamed, FaultPlan, NicProgram, SimConfig, SimScratch, Watchdog};
+use clara_nicsim::{
+    simulate_streamed, simulate_streamed_instrumented, FaultPlan, NicProgram, SimConfig,
+    SimInstruments, SimScratch, Watchdog,
+};
+use clara_telemetry::{SimStats, SolveStats};
 use clara_workload::WorkloadProfile;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -46,6 +50,12 @@ pub struct ValidationConfig {
     pub sim: SimConfig,
     /// Prediction options applied to every cell.
     pub options: PredictOptions,
+    /// Collect per-cell telemetry: simulator counters in each
+    /// [`ValidationCell::sim_stats`] and a summary line on each
+    /// [`crate::supervisor::CellReport`]. Off by default; instrumented cells are
+    /// bit-identical to uninstrumented ones (telemetry never feeds back),
+    /// so this only adds observation cost.
+    pub telemetry: bool,
 }
 
 impl Default for ValidationConfig {
@@ -56,6 +66,7 @@ impl Default for ValidationConfig {
             seed: 42,
             sim: SimConfig::default(),
             options: PredictOptions::default(),
+            telemetry: false,
         }
     }
 }
@@ -80,6 +91,11 @@ pub struct ValidationCell {
     pub quality: String,
     /// Packets the simulator completed (vs. dropped) in this cell.
     pub completed: usize,
+    /// Solver telemetry of the cell's prediction (always filled: the
+    /// mapping carries it whether or not telemetry collection is on).
+    pub solve: SolveStats,
+    /// Simulator counters, when [`ValidationConfig::telemetry`] was on.
+    pub sim_stats: Option<SimStats>,
 }
 
 impl ValidationCell {
@@ -90,6 +106,11 @@ impl ValidationCell {
 }
 
 /// What one cell of a validation sweep produced.
+// `Ok` is by far the common variant in a healthy sweep, so the cell
+// stays inline rather than boxed — the per-element size is paid either
+// way inside `Vec<ValidationResult>`, and boxing would add an
+// allocation per healthy cell.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum ValidationResult {
     /// Both sides ran; numbers attached.
@@ -108,11 +129,36 @@ pub struct ValidationSweep {
     pub report: RunReport,
 }
 
+/// Aggregate accuracy summary of a validation sweep: cell counts by
+/// outcome plus the distribution of per-cell relative errors.
+#[derive(Debug, Clone, Default)]
+pub struct ErrorSummary {
+    /// Cells where both sides ran.
+    pub ok_cells: usize,
+    /// Cells that failed (predict, simulate, or panic).
+    pub failed_cells: usize,
+    /// Mean relative error over healthy cells; `None` when none.
+    pub mean: Option<f64>,
+    /// Median relative error; `None` when no cell succeeded.
+    pub p50: Option<f64>,
+    /// 95th-percentile relative error; `None` when no cell succeeded.
+    pub p95: Option<f64>,
+    /// Worst relative error; `None` when no cell succeeded.
+    pub max: Option<f64>,
+}
+
 impl ValidationSweep {
     /// Mean absolute relative error over the healthy cells (the §4
     /// aggregate accuracy metric). `None` when no cell succeeded.
     pub fn mean_error(&self) -> Option<f64> {
-        let errs: Vec<f64> = self
+        self.error_summary().mean
+    }
+
+    /// The aggregate accuracy block: ok/failed counts and the
+    /// p50/p95/max relative-error distribution over healthy cells.
+    /// Percentiles use the nearest-rank method over the sorted errors.
+    pub fn error_summary(&self) -> ErrorSummary {
+        let mut errs: Vec<f64> = self
             .cells
             .iter()
             .filter_map(|c| match c {
@@ -120,11 +166,46 @@ impl ValidationSweep {
                 ValidationResult::Failed(_) => None,
             })
             .collect();
+        errs.sort_by(|a, b| a.total_cmp(b));
+        let failed_cells = self.cells.len() - errs.len();
         if errs.is_empty() {
-            None
-        } else {
-            Some(errs.iter().sum::<f64>() / errs.len() as f64)
+            return ErrorSummary { ok_cells: 0, failed_cells, ..ErrorSummary::default() };
         }
+        let pct = |q: f64| {
+            let idx = ((errs.len() as f64 * q).ceil() as usize).clamp(1, errs.len()) - 1;
+            errs[idx]
+        };
+        ErrorSummary {
+            ok_cells: errs.len(),
+            failed_cells,
+            mean: Some(errs.iter().sum::<f64>() / errs.len() as f64),
+            p50: Some(pct(0.50)),
+            p95: Some(pct(0.95)),
+            max: errs.last().copied(),
+        }
+    }
+
+    /// Fold per-cell telemetry into one run-level view: summed solver
+    /// stats over healthy cells, and merged simulator counters when the
+    /// sweep ran with [`ValidationConfig::telemetry`]. `(None, None)`
+    /// when no cell succeeded.
+    pub fn merged_stats(&self) -> (Option<SolveStats>, Option<SimStats>) {
+        let mut solve: Option<SolveStats> = None;
+        let mut sim: Option<SimStats> = None;
+        for cell in &self.cells {
+            let ValidationResult::Ok(c) = cell else { continue };
+            match &mut solve {
+                Some(s) => s.merge(&c.solve),
+                None => solve = Some(c.solve.clone()),
+            }
+            if let Some(cs) = &c.sim_stats {
+                match &mut sim {
+                    Some(s) => s.merge(cs),
+                    None => sim = Some(cs.clone()),
+                }
+            }
+        }
+        (solve, sim)
     }
 }
 
@@ -191,11 +272,21 @@ pub fn run_validation_sweep(
                 Err(e) => return ValidationResult::Failed(format!("predict: {e}")),
             };
             let stream = wl.to_trace_stream(config.packets, config.seed);
-            let sim = match simulate_streamed(
-                nic, program, stream, &faults, &watchdog, &config.sim, scratch,
-            ) {
-                Ok(r) => r,
-                Err(e) => return ValidationResult::Failed(format!("simulate: {e}")),
+            let (sim, sim_stats) = if config.telemetry {
+                let mut instr = SimInstruments::new();
+                match simulate_streamed_instrumented(
+                    nic, program, stream, &faults, &watchdog, &config.sim, scratch, &mut instr,
+                ) {
+                    Ok(r) => (r, Some(instr.stats)),
+                    Err(e) => return ValidationResult::Failed(format!("simulate: {e}")),
+                }
+            } else {
+                match simulate_streamed(
+                    nic, program, stream, &faults, &watchdog, &config.sim, scratch,
+                ) {
+                    Ok(r) => (r, None),
+                    Err(e) => return ValidationResult::Failed(format!("simulate: {e}")),
+                }
             };
             // Steady state: discard the cold-start half, as the paper's
             // 1M-packet hardware averages do implicitly.
@@ -211,6 +302,8 @@ pub fn run_validation_sweep(
                 actual_cycles: actual,
                 quality: p.mapping.quality.to_string(),
                 completed: sim.completed,
+                solve: p.mapping.stats.clone(),
+                sim_stats,
             })
         }))
         .unwrap_or_else(|payload| {
@@ -260,15 +353,19 @@ pub fn run_validation_sweep(
 
     let mut report = RunReport::default();
     for (wl, cell) in grid.iter().zip(&cells) {
-        let outcome = match cell {
-            ValidationResult::Ok(c) => {
-                CellOutcome::Ok { quality: c.quality.clone(), retried: false }
-            }
+        let (outcome, telemetry) = match cell {
+            ValidationResult::Ok(c) => (
+                CellOutcome::Ok { quality: c.quality.clone(), retried: false },
+                Some(match &c.sim_stats {
+                    Some(s) => format!("{} | {}", c.solve.summary(), s.summary()),
+                    None => c.solve.summary(),
+                }),
+            ),
             ValidationResult::Failed(e) => {
-                CellOutcome::Failed { error: e.clone(), retried: false }
+                (CellOutcome::Failed { error: e.clone(), retried: false }, None)
             }
         };
-        report.record(&cell_label(wl), outcome);
+        report.record_with_telemetry(&cell_label(wl), outcome, telemetry);
     }
     ValidationSweep { cells, report }
 }
@@ -383,6 +480,48 @@ mod tests {
             };
             assert_eq!(a.actual_cycles.to_bits(), b.actual_cycles.to_bits());
         }
+    }
+
+    #[test]
+    fn telemetry_sweep_is_bit_identical_and_carries_stats() {
+        let nic = profiles::netronome_agilio_cx40();
+        let params = extract_parameters(&nic);
+        let module = nat_module();
+        let program = nat_program();
+        let grid = validation_grid(2);
+        let plain =
+            run_validation_sweep(&module, &params, &nic, &program, &grid, &small_config(1));
+        let tele_cfg = ValidationConfig { telemetry: true, ..small_config(1) };
+        let tele = run_validation_sweep(&module, &params, &nic, &program, &grid, &tele_cfg);
+        for (a, b) in plain.cells.iter().zip(&tele.cells) {
+            let (ValidationResult::Ok(a), ValidationResult::Ok(b)) = (a, b) else {
+                panic!("expected both Ok, got {a:?} vs {b:?}")
+            };
+            // Telemetry must never perturb either side of a cell.
+            assert_eq!(a.predicted_cycles.to_bits(), b.predicted_cycles.to_bits());
+            assert_eq!(a.actual_cycles.to_bits(), b.actual_cycles.to_bits());
+            assert_eq!(a.completed, b.completed);
+            let st = b.sim_stats.as_ref().expect("telemetry run fills sim_stats");
+            assert!(st.conserved(), "{st:?}");
+            assert_eq!(st.completed as usize, b.completed);
+            assert!(a.sim_stats.is_none());
+        }
+        let summary = tele.error_summary();
+        assert_eq!((summary.ok_cells, summary.failed_cells), (8, 0));
+        assert!(summary.p50.unwrap() <= summary.p95.unwrap());
+        assert!(summary.p95.unwrap() <= summary.max.unwrap());
+        assert_eq!(summary.mean, tele.mean_error());
+        let (solve, sim) = tele.merged_stats();
+        assert!(solve.unwrap().nodes_explored > 0);
+        let sim = sim.unwrap();
+        assert!(sim.conserved());
+        assert_eq!(sim.injected, 8 * 600);
+        // Per-cell telemetry summaries ride on the run report.
+        assert!(tele
+            .report
+            .cells
+            .iter()
+            .all(|c| c.telemetry.as_deref().is_some_and(|t| t.contains("sim:"))));
     }
 
     #[test]

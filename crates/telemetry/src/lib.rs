@@ -1,0 +1,46 @@
+//! Observability primitives for the Clara pipeline.
+//!
+//! Clara's pitch is performance *clarity*, so its own pipeline must not
+//! be a black box: when a prediction misses the simulator by 10% or a
+//! sweep cell times out, the developer needs to see where cycles, solver
+//! nodes, and wall-clock went. This crate provides the vocabulary every
+//! other layer speaks:
+//!
+//! * [`Sink`] — a pluggable span/counter collector. The
+//!   [`Sink::Disabled`] variant is a no-op whose cost is one enum-tag
+//!   branch per call site; the hot paths (solver pivots, per-packet
+//!   simulation) never pay for observability they did not ask for. The
+//!   benchmark suite asserts the disabled sink leaves results and
+//!   runtimes unchanged.
+//! * [`SolveStats`] — what the branch-and-bound ILP solver did: nodes
+//!   explored, LP solves, simplex pivots, warm-start hits/misses,
+//!   relaxation-memo hits, and the incumbent-objective trajectory.
+//!   Deterministic by construction (keyed on node counts, never on
+//!   wall-clock), so identical solves report identical stats.
+//! * [`SimStats`] — what the NIC simulator observed: per-island thread
+//!   occupancy, per-memory-level access counts, EMEM cache hit rate,
+//!   accelerator queue high-water marks and HOL-blocking stalls,
+//!   switch-fabric transfers, and drops broken down by cause. Packet
+//!   conservation (`injected == completed + drops`) is checkable via
+//!   [`SimStats::conserved`].
+//! * [`TelemetryReport`] — the aggregate of all of the above, serialized
+//!   as hand-rolled JSON in the same offline-friendly style as the sweep
+//!   checkpoint code (the workspace takes no serde dependency).
+//! * [`StageTimeline`] / [`ChromeTrace`] — an opt-in per-packet stage
+//!   timeline that exports Chrome trace-event JSON, viewable in Perfetto
+//!   or `chrome://tracing`.
+//!
+//! Telemetry is strictly *read-only* with respect to results: nothing in
+//! this crate feeds back into solver or simulator decisions, so an
+//! instrumented run is bit-identical to an uninstrumented one (asserted
+//! by tests and the benchmark harness across the workspace).
+
+pub mod report;
+pub mod sink;
+pub mod stats;
+pub mod trace;
+
+pub use report::{json_escape, TelemetryReport};
+pub use sink::{MemorySink, Sink, SpanRecord};
+pub use stats::{AccelStats, IslandStats, MemLevelStats, SimStats, SolveStats};
+pub use trace::{ChromeTrace, StageSpan, StageTimeline, TraceEvent};

@@ -138,6 +138,16 @@ impl WorkloadProfile {
         }
     }
 
+    /// Compact one-line description of the profile, for report context
+    /// lines and telemetry headers.
+    pub fn summary(&self) -> String {
+        format!(
+            "rate={}pps payload={}B flows={} tcp={:.2} syn={:.2} zipf={}",
+            self.rate_pps, self.avg_payload, self.flows, self.tcp_share, self.syn_share,
+            self.zipf_alpha,
+        )
+    }
+
     /// Derive a profile from a concrete trace.
     ///
     /// Flow skew is estimated by matching the observed fraction of traffic
@@ -239,6 +249,12 @@ mod tests {
     fn paper_default_validates() {
         assert_eq!(WorkloadProfile::paper_default().validate(), Ok(()));
         assert!(WorkloadProfile::new(1_000, 1.0, 0.0, 300.0, 300, 60_000.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn summary_names_every_axis() {
+        let s = WorkloadProfile::paper_default().summary();
+        assert_eq!(s, "rate=60000pps payload=300B flows=1000 tcp=1.00 syn=0.00 zipf=0");
     }
 
     #[test]
