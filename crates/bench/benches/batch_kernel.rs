@@ -1,0 +1,93 @@
+//! Criterion benchmarks of the batched stage-cost kernel: the same
+//! 64-cell DPI simulation grid the `pipeline_bench` emitter times,
+//! measured per configuration so the speedup decomposes — exact
+//! per-packet costing, scalar memoization, the batched struct-of-arrays
+//! kernel, and the batched kernel fed by the rate-independent trace
+//! cache. Every variant is bit-identical to exact (pinned by the
+//! identity corpus and property tests); only the time differs.
+
+use clara_core::sim::{
+    simulate_configured, simulate_streamed, FaultPlan, SimConfig, SimScratch, Watchdog,
+};
+use clara_workload::TraceCache;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn batch_kernel(c: &mut Criterion) {
+    let grid = clara_bench::sweep_grid(4);
+    let packets = 500;
+    let program = clara_core::nfs::dpi::ported(65_536, "imem");
+    let nic = clara_bench::netronome();
+    let faults = FaultPlan::none();
+    let wd = Watchdog::new();
+
+    let mut group = c.benchmark_group("nicsim_grid_64x500");
+
+    group.bench_function("exact", |b| {
+        b.iter(|| {
+            for wl in &grid {
+                let trace = wl.to_trace(packets, 42);
+                simulate_configured(nic, &program, &trace, &faults, &wd, &SimConfig::exact())
+                    .unwrap();
+            }
+        })
+    });
+
+    let scalar = SimConfig { batch: false, ..SimConfig::default() };
+    let mut scratch = SimScratch::new();
+    group.bench_function("scalar_memoized", |b| {
+        b.iter(|| {
+            for wl in &grid {
+                simulate_streamed(
+                    nic,
+                    &program,
+                    wl.to_trace_stream(packets, 42),
+                    &faults,
+                    &wd,
+                    &scalar,
+                    &mut scratch,
+                )
+                .unwrap();
+            }
+        })
+    });
+
+    group.bench_function("batched", |b| {
+        b.iter(|| {
+            for wl in &grid {
+                simulate_streamed(
+                    nic,
+                    &program,
+                    wl.to_trace_stream(packets, 42),
+                    &faults,
+                    &wd,
+                    &SimConfig::default(),
+                    &mut scratch,
+                )
+                .unwrap();
+            }
+        })
+    });
+
+    let cache = TraceCache::new();
+    group.bench_function("batched+trace_cache", |b| {
+        b.iter(|| {
+            for wl in &grid {
+                simulate_streamed(
+                    nic,
+                    &program,
+                    cache.stream(wl, packets, 42),
+                    &faults,
+                    &wd,
+                    &SimConfig::default(),
+                    &mut scratch,
+                )
+                .unwrap();
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, batch_kernel);
+criterion_main!(benches);

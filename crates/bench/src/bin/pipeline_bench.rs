@@ -35,6 +35,7 @@ use clara_core::sim::{
     SimInstruments, SimScratch, Watchdog,
 };
 use clara_core::{run_sweep, Prediction, SolveBudget, SolverConfig};
+use clara_workload::TraceCache;
 use std::time::Instant;
 
 fn median_ms(runs: usize, mut f: impl FnMut()) -> f64 {
@@ -138,6 +139,18 @@ fn main() {
     assert!(identical, "parallel sweep diverged from sequential");
     eprintln!("  parallel output bit-identical to sequential: yes");
 
+    // Cross-cell warm starting: every non-donor cell of each prep group
+    // should have accepted its donor's seed. Zero hits means the seeds
+    // silently fell back — fail loudly instead of shipping a benchmark
+    // that quietly measures the cold path.
+    let cell_warm_hits: u64 = par.iter().map(|p| p.mapping.stats.cell_warm_hits).sum();
+    let cell_warm_misses: u64 = par.iter().map(|p| p.mapping.stats.cell_warm_misses).sum();
+    assert!(
+        cell_warm_hits > 0,
+        "no sweep cell accepted a cross-cell warm start (hits=0, misses={cell_warm_misses})"
+    );
+    eprintln!("  cross-cell warm starts: {cell_warm_hits} hits / {cell_warm_misses} misses");
+
     // --- 3. simulator validation sweep ----------------------------------
     // The same 4×4×4 grid, but as the "Actual" side of a validation run:
     // every cell simulated through DPI's per-byte automaton scan with the
@@ -164,15 +177,18 @@ fn main() {
                 .expect("baseline cell simulates");
         }
     });
-    // Optimized: streamed traces, memoized stage costs, one scratch
-    // reused across all 64 cells.
+    // Optimized: streamed traces, batched+memoized stage costs, one
+    // scratch reused across all 64 cells, and rate-independent trace
+    // bodies shared across the rate axis (the grid's 64 cells generate
+    // only 16 distinct bodies; the other 48 replay with new timestamps).
     let mut scratch = SimScratch::new();
+    let trace_cache = TraceCache::new();
     let sim_fast_ms = median_ms(sim_runs, || {
         for wl in &sim_grid {
             simulate_streamed(
                 nic,
                 &program,
-                wl.to_trace_stream(sim_packets, 42),
+                trace_cache.stream(wl, sim_packets, 42),
                 &faults,
                 &wd,
                 &SimConfig::default(),
@@ -196,7 +212,7 @@ fn main() {
         let fast = simulate_streamed(
             nic,
             &program,
-            wl.to_trace_stream(sim_packets, 42),
+            trace_cache.stream(wl, sim_packets, 42),
             &faults,
             &wd,
             &SimConfig::default(),
@@ -227,7 +243,7 @@ fn main() {
             simulate_streamed_instrumented(
                 nic,
                 &program,
-                wl.to_trace_stream(sim_packets, 42),
+                trace_cache.stream(wl, sim_packets, 42),
                 &faults,
                 &wd,
                 &SimConfig::default(),
@@ -239,11 +255,12 @@ fn main() {
     });
     let mut tele_identical = true;
     let mut tele_conserved = true;
+    let mut batch_packets = 0u64;
     for wl in &sim_grid {
         let plain = simulate_streamed(
             nic,
             &program,
-            wl.to_trace_stream(sim_packets, 42),
+            trace_cache.stream(wl, sim_packets, 42),
             &faults,
             &wd,
             &SimConfig::default(),
@@ -255,7 +272,7 @@ fn main() {
         let seen = simulate_streamed_instrumented(
             nic,
             &program,
-            wl.to_trace_stream(sim_packets, 42),
+            trace_cache.stream(wl, sim_packets, 42),
             &faults,
             &wd,
             &SimConfig::default(),
@@ -273,17 +290,25 @@ fn main() {
         tele_conserved &= instr.stats.conserved()
             && instr.stats.injected == seen.packets as u64
             && instr.stats.completed == seen.completed as u64;
+        batch_packets += instr.stats.batch_packets;
     }
     assert!(tele_identical, "instrumented simulation diverged from the uninstrumented path");
     assert!(tele_conserved, "telemetry counters failed packet conservation");
+    // Silent-fallback guard: the batched stage-cost kernel must have
+    // actually costed packets, or `optimized_ms` is measuring the
+    // scalar path while claiming the batched one.
+    let batch_used = batch_packets > 0;
+    assert!(batch_used, "batched stage-cost kernel was never used (batch_packets=0)");
     eprintln!(
         "  instrumented {sim_tele_ms:.0} ms, bit-identical to uninstrumented: yes, conserved: yes"
     );
 
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let sim_json = format!(
         r#"{{
   "bench": "nicsim",
   "quick": {quick},
+  "threads_available": {threads},
   "program": "dpi (65536-state automaton, imem)",
   "sweep": {{
     "cells": {sim_cells},
@@ -292,18 +317,25 @@ fn main() {
     "optimized_ms": {sim_fast_ms:.1},
     "speedup": {sim_speedup:.2},
     "identical_to_exact": {sim_identical},
+    "batch_used": {batch_used},
+    "batch_packets": {batch_packets},
+    "trace_cache_bodies": {trace_bodies},
     "instrumented_ms": {sim_tele_ms:.1},
     "identical_with_telemetry": {tele_identical},
     "telemetry_conserved": {tele_conserved}
+  }},
+  "warm_start": {{
+    "cell_hits": {cell_warm_hits},
+    "cell_misses": {cell_warm_misses}
   }}
 }}
 "#,
         sim_cells = sim_grid.len(),
+        trace_bodies = trace_cache.len(),
     );
     std::fs::write(sim_out_path, &sim_json).expect("write nicsim benchmark json");
     eprintln!("wrote {sim_out_path}");
 
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let json = format!(
         r#"{{
   "bench": "pipeline",
@@ -321,7 +353,9 @@ fn main() {
     "baseline_sequential_ms": {sweep_base_ms:.1},
     "optimized_parallel_ms": {sweep_fast_ms:.1},
     "speedup": {sweep_speedup:.2},
-    "parallel_identical_to_sequential": {identical}
+    "parallel_identical_to_sequential": {identical},
+    "cell_warm_hits": {cell_warm_hits},
+    "cell_warm_misses": {cell_warm_misses}
   }}
 }}
 "#,

@@ -483,18 +483,23 @@ fn sweep(args: &[String]) -> Result<(), CliError> {
         resumed,
         report.failed_count()
     );
-    if let Some(path) = telemetry_path {
-        // Run-level solver stats: the sum over freshly computed cells
-        // (resumed cells carry no mapping to account).
-        let mut solver: Option<SolveStats> = None;
-        for res in &sweep.results {
-            if let CellResult::Fresh(p) = res {
-                match &mut solver {
-                    Some(s) => s.merge(&p.mapping.stats),
-                    None => solver = Some(p.mapping.stats.clone()),
-                }
+    // Run-level solver stats: the sum over freshly computed cells
+    // (resumed cells carry no mapping to account). Printed on every
+    // sweep — the `cell-warm=` ratio is how a reader checks that
+    // cross-cell warm starting actually engaged, not silently fell back.
+    let mut solver: Option<SolveStats> = None;
+    for res in &sweep.results {
+        if let CellResult::Fresh(p) = res {
+            match &mut solver {
+                Some(s) => s.merge(&p.mapping.stats),
+                None => solver = Some(p.mapping.stats.clone()),
             }
         }
+    }
+    if let Some(s) = &solver {
+        println!("solver: {}", s.summary());
+    }
+    if let Some(path) = telemetry_path {
         sink.count("cells_ok", report.ok_count() as u64);
         sink.count("cells_failed", report.failed_count() as u64);
         let telemetry = TelemetryReport { solver, ..TelemetryReport::from_sink(&sink) }
@@ -522,6 +527,9 @@ fn corpus_nf(name: &str) -> Result<(String, clara_core::sim::NicProgram), CliErr
     Ok(match name {
         "nat" => (nfs::nat::source(), nfs::nat::ported()),
         "dpi" => (nfs::dpi::source(65_536), nfs::dpi::ported(65_536, "emem")),
+        // The automaton in uncached IMEM: every stage is signature-pure,
+        // so this variant exercises the batched stage-cost kernel.
+        "dpi-imem" => (nfs::dpi::source(65_536), nfs::dpi::ported(65_536, "imem")),
         "firewall" | "fw" => (nfs::firewall::source(65_536), nfs::firewall::ported(65_536, "emem")),
         "lpm" => (nfs::lpm::source(10_000), nfs::lpm::ported_flow_cache(10_000)),
         "hh" | "heavy-hitter" => (nfs::heavy_hitter::source(4_096), nfs::heavy_hitter::ported(4_096)),
@@ -531,7 +539,7 @@ fn corpus_nf(name: &str) -> Result<(String, clara_core::sim::NicProgram), CliErr
         ),
         other => {
             return Err(CliError::Usage(format!(
-                "unknown corpus NF `{other}` (try nat, dpi, firewall, lpm, hh, vnf)"
+                "unknown corpus NF `{other}` (try nat, dpi, dpi-imem, firewall, lpm, hh, vnf)"
             )))
         }
     })
@@ -831,7 +839,15 @@ fn profile(args: &[String]) -> Result<(), CliError> {
     let faults = FaultPlan::none();
     let watchdog = Watchdog::new();
     let mut scratch = SimScratch::new();
-    let mut instr = SimInstruments::with_timeline(trace_packets);
+    // A packet timeline needs the per-packet scalar replay, which
+    // disables the batched stage-cost kernel — only pay that when the
+    // user actually asked for a `--trace` export. A default profile run
+    // exercises (and reports, via `batch=`) the batched path.
+    let mut instr = if flag_value(args, "--trace").is_some() {
+        SimInstruments::with_timeline(trace_packets)
+    } else {
+        SimInstruments::new()
+    };
     let stream = wl.to_trace_stream(packets, seed);
     let sim = sink
         .span("simulate", || {
@@ -845,7 +861,11 @@ fn profile(args: &[String]) -> Result<(), CliError> {
     println!(
         "profile of `{nf_name}` on {} ({packets} packets, {} path)",
         nic.name,
-        if sim_config.memoize { "memoized" } else { "exact" },
+        match (sim_config.batch, sim_config.memoize) {
+            (true, _) => "batched+memoized",
+            (false, true) => "memoized",
+            (false, false) => "exact",
+        },
     );
     println!("workload: {}", wl.summary());
 
@@ -898,6 +918,19 @@ fn profile(args: &[String]) -> Result<(), CliError> {
         );
     }
     println!("  switch fabric: {} transfers", stats.switch_transfers);
+    println!(
+        "  batch kernel: {} of {} packets costed in batch{}",
+        stats.batch_packets,
+        stats.injected,
+        if stats.batch_packets == 0 {
+            " (stateful stages or timeline tracing force the scalar path)"
+        } else {
+            ""
+        },
+    );
+    if stats.island_packets > 0 {
+        println!("  island-parallel DES: {} packets", stats.island_packets);
+    }
     println!(
         "\npredicted {:.0} cycles vs simulated {:.0} (rel. error {:.1}%)",
         p.avg_latency_cycles,

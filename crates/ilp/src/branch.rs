@@ -15,7 +15,7 @@
 //!   vector reached along two branching paths is solved once.
 
 use crate::deadline::RunDeadline;
-use crate::model::{Model, RelaxWorkspace, Sense, Solution, SolveError, SolverConfig};
+use crate::model::{IlpSeed, Model, Rel, RelaxWorkspace, Sense, Solution, SolveError, SolverConfig};
 use crate::simplex::{counters, Basis};
 use clara_telemetry::SolveStats;
 use std::cmp::Ordering;
@@ -23,6 +23,11 @@ use std::collections::{BinaryHeap, HashMap};
 use std::rc::Rc;
 
 const INT_TOL: f64 = 1e-6;
+
+/// Tolerance for accepting a cross-solve seed as feasible. Matches the
+/// simplex feasibility tolerance: a point this close to every constraint
+/// would also be accepted as an LP vertex.
+const FEAS_TOL: f64 = 1e-6;
 
 /// Stop inserting into the relaxation memo past this many entries: the
 /// map is a speed-up, not a correctness requirement, and unbounded
@@ -72,6 +77,49 @@ fn bounds_key(bounds: &[(f64, f64)]) -> Vec<u64> {
     key
 }
 
+/// Verify a cross-solve seed against *this* model: same variable count,
+/// finite values, integral on integer variables, within the root bounds,
+/// and satisfying every constraint. Returns the integer-snapped point
+/// with its objective under this model's coefficients (the donor's
+/// objective is meaningless here — neighboring sweep cells share
+/// structure, not costs). `None` means the seed is rejected and the
+/// solve proceeds cold — acceptance is verify-or-fall-back, never trust.
+fn verify_seed(model: &Model, bounds: &[(f64, f64)], seed: &IlpSeed) -> Option<(Vec<f64>, f64)> {
+    if seed.values.len() != model.vars.len() {
+        return None;
+    }
+    let mut x = seed.values.clone();
+    for (i, v) in model.vars.iter().enumerate() {
+        if !x[i].is_finite() {
+            return None;
+        }
+        if v.integer {
+            let r = x[i].round();
+            if (x[i] - r).abs() > INT_TOL {
+                return None;
+            }
+            x[i] = r;
+        }
+        let (lo, hi) = bounds[i];
+        if x[i] < lo - FEAS_TOL || x[i] > hi + FEAS_TOL {
+            return None;
+        }
+    }
+    for con in &model.constraints {
+        let lhs = con.expr.eval(&x);
+        let ok = match con.rel {
+            Rel::Le => lhs <= con.rhs + FEAS_TOL,
+            Rel::Ge => lhs >= con.rhs - FEAS_TOL,
+            Rel::Eq => (lhs - con.rhs).abs() <= FEAS_TOL,
+        };
+        if !ok {
+            return None;
+        }
+    }
+    let objective = model.objective.eval(&x);
+    Some((x, objective))
+}
+
 /// Branch-and-bound with a deterministic node-expansion budget and a
 /// cooperative wall-clock deadline.
 ///
@@ -91,6 +139,7 @@ pub(crate) fn solve_ilp(
     max_nodes: usize,
     config: &SolverConfig,
     deadline: &RunDeadline,
+    seed: Option<&IlpSeed>,
 ) -> Result<Solution, SolveError> {
     let sense_sign = match model.sense {
         Sense::Minimize => 1.0,
@@ -102,10 +151,10 @@ pub(crate) fn solve_ilp(
         (!config.reference_lp).then(|| model.relax_workspace(&root_bounds));
     let mut memo: HashMap<Vec<u64>, Relaxed> = HashMap::new();
 
-    let mut heap = BinaryHeap::new();
-    heap.push(Node { bounds: root_bounds, bound: f64::NEG_INFINITY, basis: None });
-
     let mut incumbent: Option<(Vec<f64>, f64)> = None; // (values, min-oriented obj)
+    // The basis behind the current incumbent, exported so the *next*
+    // structurally similar solve can seed from this one.
+    let mut incumbent_basis: Option<Rc<Basis>> = None;
     let mut nodes = 0usize;
     let mut exhausted = false;
     let mut timed_out = false;
@@ -114,7 +163,39 @@ pub(crate) fn solve_ilp(
     // Deterministic — keyed on node counts, never wall-clock.
     let lp_base = counters::snapshot();
     let mut memo_hits = 0u64;
+    let mut cell_warm_hits = 0u64;
+    let mut cell_warm_misses = 0u64;
     let mut trajectory: Vec<(u64, f64)> = Vec::new();
+
+    // Cross-solve seeding: verify the donor point against this model; on
+    // acceptance it becomes the initial incumbent (an upper bound that
+    // prunes from node one) and its basis warm-starts the root
+    // relaxation. The simplex layer re-verifies any warm basis against
+    // the actual rows (`satisfies`) and falls back to a cold solve, so a
+    // stale donor basis costs a miss, never a wrong answer. Under
+    // `reference_lp` the seed is ignored entirely: the baseline config
+    // must reproduce the seed solver's behaviour exactly.
+    let mut root_basis: Option<Rc<Basis>> = None;
+    if let Some(seed) = seed {
+        if config.reference_lp {
+            // Neither hit nor miss: the baseline never looks at seeds.
+        } else {
+            match verify_seed(model, &root_bounds, seed) {
+                Some((snapped, objective)) => {
+                    let min_obj = sense_sign * objective;
+                    trajectory.push((0, objective));
+                    incumbent = Some((snapped, min_obj));
+                    incumbent_basis = seed.basis.clone().map(Rc::new);
+                    root_basis = incumbent_basis.clone();
+                    cell_warm_hits = 1;
+                }
+                None => cell_warm_misses = 1,
+            }
+        }
+    }
+
+    let mut heap = BinaryHeap::new();
+    heap.push(Node { bounds: root_bounds, bound: f64::NEG_INFINITY, basis: root_basis });
 
     while let Some(node) = heap.pop() {
         if deadline.expired() {
@@ -198,6 +279,7 @@ pub(crate) fn solve_ilp(
                 }
                 trajectory.push((nodes as u64, sense_sign * min_obj));
                 incumbent = Some((snapped, min_obj));
+                incumbent_basis = basis;
             }
             Some((i, _)) => {
                 // One clone for the down-child; the up-child takes the
@@ -227,19 +309,28 @@ pub(crate) fn solve_ilp(
         warm_start_hits: lp.warm_hits,
         warm_start_misses: lp.warm_misses,
         memo_hits,
+        cell_warm_hits,
+        cell_warm_misses,
         incumbent_trajectory: trajectory.clone(),
         proven_optimal: proven,
     };
+    let export_basis = incumbent_basis.map(|b| (*b).clone());
     match (incumbent, exhausted || timed_out) {
-        (Some((values, min_obj)), false) => {
-            Ok(Solution::new(values, sense_sign * min_obj).with_stats(stats(true)))
-        }
-        (Some((values, min_obj)), true) => {
-            Ok(Solution::incumbent(values, sense_sign * min_obj).with_stats(stats(false)))
+        (Some((values, min_obj)), false) => Ok(Solution::new(values, sense_sign * min_obj)
+            .with_seed_basis(export_basis)
+            .with_stats(stats(true))),
+        // A donated seed accelerates a search; it never substitutes for
+        // one. If the clock expired before a single node was explored,
+        // returning the seed as "our" incumbent would mask the timeout,
+        // so an instantly-expired solve fails exactly as it would cold.
+        (Some((values, min_obj)), true) if nodes > 0 => {
+            Ok(Solution::incumbent(values, sense_sign * min_obj)
+                .with_seed_basis(export_basis)
+                .with_stats(stats(false)))
         }
         (None, false) => Err(SolveError::Infeasible),
-        (None, true) if timed_out => Err(SolveError::TimedOut),
-        (None, true) => Err(SolveError::Limit),
+        (_, _) if timed_out => Err(SolveError::TimedOut),
+        (_, _) => Err(SolveError::Limit),
     }
 }
 
@@ -302,6 +393,141 @@ mod tests {
             let total: i64 = (0..3).map(|u| s.int_value(x[t][u])).sum();
             assert_eq!(total, 1);
         }
+    }
+
+    /// The generalized-assignment model the seeding tests share: 4
+    /// tasks × 3 units, unit costs shifted by `cost_shift` so two
+    /// instances are structurally identical but priced differently —
+    /// exactly the relation between adjacent sweep cells.
+    #[allow(clippy::needless_range_loop)] // index loops mirror the matrix statement
+    fn seeded_model(cost_shift: f64) -> Model {
+        let mut m = Model::minimize();
+        let mut x = vec![vec![]; 4];
+        for t in 0..4 {
+            for u in 0..3 {
+                x[t].push(m.binary(format!("x{t}{u}")));
+            }
+            m.constraint(
+                LinExpr::sum(x[t].iter().map(|&v| LinExpr::from(v))),
+                Rel::Eq,
+                1.0,
+            );
+        }
+        for u in 0..3 {
+            m.constraint(
+                LinExpr::sum((0..4).map(|t| LinExpr::from(x[t][u]))),
+                Rel::Le,
+                2.0,
+            );
+        }
+        let obj = LinExpr::sum((0..4).flat_map(|t| (0..3).map(move |u| (t, u))).map(
+            |(t, u)| (((t * 5 + u * 7) % 9 + 1) as f64 + cost_shift * (u as f64)) * x[t][u],
+        ));
+        m.objective(obj);
+        m
+    }
+
+    #[test]
+    fn seeded_solve_counts_a_hit_and_agrees_with_cold() {
+        use crate::{RunDeadline, SolveBudget};
+        let donor = seeded_model(0.0);
+        let cold = donor.solve().unwrap();
+        let seed = cold.export_seed();
+
+        // A structurally identical model with shifted costs: the seed
+        // is feasible here, so it must verify (hit) and the seeded
+        // optimum must equal the cold optimum of the receiving model.
+        let receiver = seeded_model(0.3);
+        let unseeded = receiver.solve().unwrap();
+        let seeded = receiver
+            .solve_seeded(
+                &SolveBudget::unlimited(),
+                &SolverConfig::default(),
+                &RunDeadline::none(),
+                Some(&seed),
+            )
+            .unwrap();
+        assert_eq!(seeded.stats().cell_warm_hits, 1);
+        assert_eq!(seeded.stats().cell_warm_misses, 0);
+        assert!(seeded.is_proven_optimal());
+        assert!(
+            (seeded.objective() - unseeded.objective()).abs() < 1e-6,
+            "seeded {} vs cold {}",
+            seeded.objective(),
+            unseeded.objective()
+        );
+    }
+
+    #[test]
+    fn bad_seed_is_a_counted_miss_not_an_error() {
+        use crate::{IlpSeed, RunDeadline, SolveBudget};
+        let m = seeded_model(0.0);
+        let cold = m.solve().unwrap();
+        // Wrong variable count: rejected before anything else.
+        let bad = IlpSeed { values: vec![1.0; 3], basis: None };
+        let s = m
+            .solve_seeded(
+                &SolveBudget::unlimited(),
+                &SolverConfig::default(),
+                &RunDeadline::none(),
+                Some(&bad),
+            )
+            .unwrap();
+        assert_eq!(s.stats().cell_warm_hits, 0);
+        assert_eq!(s.stats().cell_warm_misses, 1);
+        assert!((s.objective() - cold.objective()).abs() < 1e-6);
+
+        // Right shape, infeasible point (violates the Eq rows): also a
+        // miss, also the cold answer.
+        let infeasible = IlpSeed { values: vec![0.0; 12], basis: None };
+        let s = m
+            .solve_seeded(
+                &SolveBudget::unlimited(),
+                &SolverConfig::default(),
+                &RunDeadline::none(),
+                Some(&infeasible),
+            )
+            .unwrap();
+        assert_eq!(s.stats().cell_warm_hits, 0);
+        assert_eq!(s.stats().cell_warm_misses, 1);
+        assert!((s.objective() - cold.objective()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn baseline_config_ignores_seeds_entirely() {
+        use crate::{RunDeadline, SolveBudget};
+        let m = seeded_model(0.0);
+        let seed = m.solve().unwrap().export_seed();
+        let s = m
+            .solve_seeded(
+                &SolveBudget::unlimited(),
+                &SolverConfig::baseline(),
+                &RunDeadline::none(),
+                Some(&seed),
+            )
+            .unwrap();
+        // The reference path neither accepts nor rejects: no counters.
+        assert_eq!(s.stats().cell_warm_hits, 0);
+        assert_eq!(s.stats().cell_warm_misses, 0);
+    }
+
+    #[test]
+    fn seed_never_masks_an_expired_deadline() {
+        use crate::{RunDeadline, SolveBudget};
+        let m = seeded_model(0.0);
+        let seed = m.solve().unwrap().export_seed();
+        // Deadline already expired: even with a verified seed in hand,
+        // zero nodes were explored, so the solve must report the
+        // timeout exactly as an unseeded solve would.
+        let err = m
+            .solve_seeded(
+                &SolveBudget::unlimited(),
+                &SolverConfig::default(),
+                &RunDeadline::within_ms(Some(0)),
+                Some(&seed),
+            )
+            .unwrap_err();
+        assert_eq!(err, SolveError::TimedOut);
     }
 
     #[test]

@@ -52,4 +52,4 @@ pub mod reference;
 pub use clara_telemetry::SolveStats;
 pub use deadline::RunDeadline;
 pub use expr::{LinExpr, Var};
-pub use model::{Model, Rel, SolveBudget, SolveError, Solution, SolverConfig};
+pub use model::{IlpSeed, Model, Rel, SolveBudget, SolveError, Solution, SolverConfig};

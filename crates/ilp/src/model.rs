@@ -145,6 +145,37 @@ impl Default for SolverConfig {
     }
 }
 
+/// A cross-solve warm-start seed: the solution point (and, when
+/// branch-and-bound found one, the optimal LP basis behind it) of a
+/// previously solved, structurally similar model.
+///
+/// Sweeps produce long runs of models that share variables and
+/// constraints and differ only in coefficients — neighboring grid cells
+/// of a prediction sweep, for instance. Passing the previous cell's seed
+/// to [`Model::solve_seeded`] lets branch-and-bound start with a
+/// verified incumbent (pruning from node one) and a warm root basis
+/// instead of solving cold.
+///
+/// Safety: the receiving solve *verifies* the seed against its own
+/// bounds, integrality, and constraints before using it, and recomputes
+/// the objective under its own coefficients; the simplex layer
+/// independently re-verifies the basis against the actual rows. A seed
+/// from an arbitrarily different model is therefore at worst a counted
+/// miss, never a wrong answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IlpSeed {
+    pub(crate) values: Vec<f64>,
+    pub(crate) basis: Option<Basis>,
+}
+
+impl IlpSeed {
+    /// Number of variables in the donor model (a seed only ever matches
+    /// a model with the same count).
+    pub fn num_vars(&self) -> usize {
+        self.values.len()
+    }
+}
+
 /// A solved assignment.
 #[derive(Debug, Clone)]
 pub struct Solution {
@@ -152,6 +183,9 @@ pub struct Solution {
     objective: f64,
     proven_optimal: bool,
     stats: SolveStats,
+    /// Basis behind the final incumbent, when branch-and-bound produced
+    /// one — exported through [`Solution::export_seed`].
+    seed_basis: Option<Basis>,
 }
 
 impl Solution {
@@ -191,16 +225,39 @@ impl Solution {
         &self.stats
     }
 
+    /// Package this solution as a warm-start seed for the next
+    /// structurally similar solve (see [`IlpSeed`]).
+    pub fn export_seed(&self) -> IlpSeed {
+        IlpSeed { values: self.values.clone(), basis: self.seed_basis.clone() }
+    }
+
     pub(crate) fn new(values: Vec<f64>, objective: f64) -> Self {
-        Solution { values, objective, proven_optimal: true, stats: SolveStats::default() }
+        Solution {
+            values,
+            objective,
+            proven_optimal: true,
+            stats: SolveStats::default(),
+            seed_basis: None,
+        }
     }
 
     pub(crate) fn incumbent(values: Vec<f64>, objective: f64) -> Self {
-        Solution { values, objective, proven_optimal: false, stats: SolveStats::default() }
+        Solution {
+            values,
+            objective,
+            proven_optimal: false,
+            stats: SolveStats::default(),
+            seed_basis: None,
+        }
     }
 
     pub(crate) fn with_stats(mut self, stats: SolveStats) -> Self {
         self.stats = stats;
+        self
+    }
+
+    pub(crate) fn with_seed_basis(mut self, basis: Option<Basis>) -> Self {
+        self.seed_basis = basis;
         self
     }
 }
@@ -314,6 +371,23 @@ impl Model {
         config: &SolverConfig,
         deadline: &RunDeadline,
     ) -> Result<Solution, SolveError> {
+        self.solve_seeded(budget, config, deadline, None)
+    }
+
+    /// [`Model::solve_with_limits`] with an optional cross-solve warm
+    /// start: the previous structurally similar solve's [`IlpSeed`]
+    /// (from [`Solution::export_seed`]) becomes the initial incumbent
+    /// and root basis after verification against *this* model. A
+    /// rejected seed (wrong shape, infeasible here) is counted as a
+    /// `cell_warm_miss` and the solve proceeds exactly as unseeded.
+    /// Pure-LP models and [`SolverConfig::baseline`] ignore the seed.
+    pub fn solve_seeded(
+        &self,
+        budget: &SolveBudget,
+        config: &SolverConfig,
+        deadline: &RunDeadline,
+        seed: Option<&IlpSeed>,
+    ) -> Result<Solution, SolveError> {
         for v in &self.vars {
             if v.lo > v.hi || v.lo.is_nan() || v.hi.is_nan() || v.lo == f64::INFINITY {
                 return Err(SolveError::BadBounds(v.name.clone()));
@@ -326,7 +400,7 @@ impl Model {
             }
         }
         if self.vars.iter().any(|v| v.integer) {
-            branch::solve_ilp(self, budget.max_nodes, config, deadline)
+            branch::solve_ilp(self, budget.max_nodes, config, deadline, seed)
         } else {
             let bounds: Vec<(f64, f64)> = self.vars.iter().map(|v| (v.lo, v.hi)).collect();
             let lp_base = counters::snapshot();

@@ -91,6 +91,7 @@ pub fn greedy_map(input: &MapInput<'_>) -> Result<Mapping, MapError> {
         latency_cycles: total,
         quality: MappingQuality::GreedyFallback,
         stats: clara_ilp::SolveStats::default(),
+        ilp_seed: None,
     })
 }
 

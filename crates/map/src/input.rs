@@ -124,6 +124,11 @@ pub struct Mapping {
     /// Deterministic, so it never breaks `Mapping` equality between
     /// identically-configured solves.
     pub stats: clara_ilp::SolveStats,
+    /// Warm-start seed for the next structurally similar solve (the
+    /// solved point plus the incumbent's LP basis). `None` for greedy
+    /// fallbacks, which have no ILP solution to export. Deterministic
+    /// like `stats`.
+    pub ilp_seed: Option<clara_ilp::IlpSeed>,
 }
 
 impl Mapping {

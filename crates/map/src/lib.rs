@@ -38,7 +38,8 @@ pub use cost::{node_compute_cost, state_access_cost, CostCtx};
 pub use greedy::greedy_map;
 pub use input::{MapError, MapInput, Mapping, MappingQuality, StateClass, StateSpec, UnitChoice};
 pub use solve::{
-    solve_mapping, solve_mapping_with_budget, solve_mapping_with_config, solve_mapping_with_limits,
+    solve_mapping, solve_mapping_seeded, solve_mapping_with_budget, solve_mapping_with_config,
+    solve_mapping_with_limits,
 };
 
-pub use clara_ilp::{RunDeadline, SolveBudget, SolveStats, SolverConfig};
+pub use clara_ilp::{IlpSeed, RunDeadline, SolveBudget, SolveStats, SolverConfig};

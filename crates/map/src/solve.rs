@@ -63,7 +63,23 @@ pub fn solve_mapping_with_limits(
     config: &SolverConfig,
     deadline: &RunDeadline,
 ) -> Result<Mapping, MapError> {
-    match solve_mapping_ilp(input, budget, config, deadline) {
+    solve_mapping_seeded(input, budget, config, deadline, None)
+}
+
+/// [`solve_mapping_with_limits`] with an optional cross-cell warm-start
+/// seed — the [`Mapping::ilp_seed`] exported by a structurally similar
+/// solve (e.g. an adjacent sweep cell over the same NF). The seed is
+/// verified against this cell's model before use and silently dropped
+/// when it does not fit; acceptance is visible in the mapping's
+/// `stats.cell_warm_hits` / `cell_warm_misses` counters.
+pub fn solve_mapping_seeded(
+    input: &MapInput<'_>,
+    budget: &SolveBudget,
+    config: &SolverConfig,
+    deadline: &RunDeadline,
+    seed: Option<&clara_ilp::IlpSeed>,
+) -> Result<Mapping, MapError> {
+    match solve_mapping_ilp(input, budget, config, deadline, seed) {
         Ok(mapping) => Ok(mapping),
         Err(err @ (MapError::Infeasible(_) | MapError::Solver(SolveError::Limit))) => {
             greedy_map(input).map_err(|_| err)
@@ -78,6 +94,7 @@ fn solve_mapping_ilp(
     budget: &SolveBudget,
     config: &SolverConfig,
     deadline: &RunDeadline,
+    seed: Option<&clara_ilp::IlpSeed>,
 ) -> Result<Mapping, MapError> {
     let graph = input.graph;
     let params = input.params;
@@ -273,7 +290,7 @@ fn solve_mapping_ilp(
 
     model.objective(objective);
     let solution = model
-        .solve_with_limits(budget, config, deadline)
+        .solve_seeded(budget, config, deadline, seed)
         .map_err(MapError::from)?;
 
     let node_unit: Vec<UnitChoice> = x
@@ -310,6 +327,7 @@ fn solve_mapping_ilp(
         latency_cycles: solution.objective(),
         quality,
         stats: solution.stats().clone(),
+        ilp_seed: Some(solution.export_seed()),
     })
 }
 

@@ -1,0 +1,505 @@
+//! Batched struct-of-arrays evaluation of signature-pure runs.
+//!
+//! The scalar engine walks packets one at a time, paying per packet for
+//! dispatch hashing, memo lookups, and the stage loop even when every
+//! stage's cost is a pure function of (executing unit, payload length).
+//! This module evaluates such runs columnwise instead:
+//!
+//! 1. **Ingest** — the trace is materialized into row + column arenas
+//!    (arrival cycles with the monotonicity clamp, dispatch thread,
+//!    effective payload length after truncation faults).
+//! 2. **Classify** — threads are grouped into *cost-equivalence unit
+//!    groups* (units whose cost model, FPU, residence CTM latency, and
+//!    per-table-region latencies agree produce identical stage costs),
+//!    and each packet maps to a `(group, payload length)` class. Each
+//!    class's per-stage costs are computed once, by the exact
+//!    [`stage_cost`] the scalar path uses — the memo is consulted per
+//!    unique length, not per packet.
+//! 3. **Merge** — a tight sequential recurrence replays the ingress
+//!    queue, per-thread `free_at` chains, and both watchdog limits in
+//!    packet order, emitting completions and latencies.
+//!
+//! With [`crate::SimConfig::islands`], step 3's per-thread start/finish
+//! chains are computed island-parallel first: threads only interact
+//! through the ingress queue and the run-total watchdog, and both are
+//! verified in the sequential merge afterwards, so the parallel phase
+//! is exact whenever the merge accepts it.
+//!
+//! **Fidelity contract**: every result this module produces is
+//! bit-identical to the scalar loop. Saturating per-packet sums of
+//! non-negative costs equal `min(true_sum, u64::MAX)` independent of
+//! association, so per-class totals replayed per packet are exact; any
+//! condition that breaks the closed form — an ingress-queue overflow
+//! drop (which skips a thread's `free_at` update), or cycle counts near
+//! the `u64` saturation region — makes [`run_batched`] return
+//! `Ok(None)` and the engine replays the scalar loop from the same
+//! rows. Falling back is always safe; completing the batch is only done
+//! when it is provably exact.
+
+use crate::engine::{mix, stage_cost, AccelRt, SimError, TableRt, ThreadRt};
+use crate::fault::{FaultPlan, TRUNCATED_PAYLOAD_BYTES};
+use crate::memory::MemorySim;
+use crate::program::NicProgram;
+use crate::watchdog::{Watchdog, DEADLINE_STRIDE};
+use clara_lnic::{Lnic, MemId, UnitId};
+use clara_workload::TracePacket;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Sentinel class ids for statically dropped rows.
+const CLASS_CORRUPT: u32 = u32::MAX;
+const CLASS_OFFLINE: u32 = u32::MAX - 1;
+
+/// Finish times are only trusted while far from the saturation region:
+/// below this bound, plain and saturating u64 adds agree, so the
+/// per-class closed form equals the scalar per-stage chain.
+const SAFE_CYCLES: u128 = 1 << 63;
+
+/// Column arenas and class tables, retained across runs by
+/// [`crate::SimScratch`].
+#[derive(Default)]
+pub(crate) struct BatchScratch {
+    /// Arrival cycle per row (monotonicity clamp already applied).
+    arrivals: Vec<u64>,
+    /// Dispatch thread per row (valid only for classed rows).
+    tids: Vec<u32>,
+    /// Class id per row, or a `CLASS_*` drop sentinel.
+    class_of: Vec<u32>,
+    /// Unique effective payload lengths, in first-encounter order.
+    lens: Vec<u64>,
+    /// Cost-equivalence group per thread.
+    tid_group: Vec<u32>,
+    /// Representative `(unit, ctm)` per group.
+    group_reps: Vec<(UnitId, Option<MemId>)>,
+    /// `(unit index, group)` memo while grouping.
+    unit_groups: Vec<(usize, u32)>,
+    /// `(signature, group)` memo while grouping.
+    signatures: Vec<(String, u32)>,
+    /// Per-class costs, indexed `len_idx * group_count + group`.
+    classes: Vec<ClassCost>,
+    /// Completed packets per class, for the stage-total closed form.
+    class_count: Vec<u64>,
+    /// Island id per thread (islands mode).
+    tid_island: Vec<u32>,
+    /// Per-row start/finish columns (islands mode).
+    starts: Vec<u64>,
+    fins: Vec<u64>,
+}
+
+/// Cost of one `(unit group, payload length)` class.
+#[derive(Default, Clone)]
+struct ClassCost {
+    computed: bool,
+    /// Per-stage costs from the exact scalar `stage_cost`.
+    per_stage: Vec<u64>,
+    /// True (unsaturated) ingress + stages + egress total.
+    total: u128,
+    /// First stage whose saturating running sum crossed the per-packet
+    /// watchdog limit, with the sum at that point.
+    trip: Option<(u32, u64)>,
+    /// The saturating chain diverged from the true sum without
+    /// tripping: only possible with a disabled per-packet limit, and
+    /// the closed form no longer holds — force the scalar fallback.
+    risk: bool,
+}
+
+/// Everything one batched run needs, borrowed from the engine's setup.
+pub(crate) struct BatchRun<'a> {
+    pub nic: &'a Lnic,
+    pub prog: &'a NicProgram,
+    pub faults: &'a FaultPlan,
+    pub watchdog: &'a Watchdog,
+    pub rows: &'a [TracePacket],
+    pub emem: Option<MemId>,
+    pub fc_engine_cycles: u64,
+    pub offline_required: bool,
+    pub ingress_lat: u64,
+    pub egress_lat: u64,
+    pub ingress_capacity: usize,
+    pub stage_stalls: &'a [u64],
+    pub freq: f64,
+    pub pkt_limit: u64,
+    pub total_limit: u64,
+    pub use_islands: bool,
+    pub mem: &'a mut MemorySim,
+    pub tables: &'a mut Vec<TableRt>,
+    pub accels: &'a mut [Option<AccelRt>; 4],
+    pub threads: &'a mut [ThreadRt],
+    pub pending: &'a mut BinaryHeap<Reverse<u64>>,
+    pub latencies: &'a mut Vec<u64>,
+    pub completions: &'a mut Vec<u64>,
+    pub stage_totals: &'a mut [u64],
+    pub fc_hits: &'a mut u64,
+    pub fc_misses: &'a mut u64,
+    pub scratch: &'a mut BatchScratch,
+    pub thread_island: &'a [usize],
+    pub island_busy: &'a mut [u64],
+    pub instrumented: bool,
+}
+
+/// Counters a completed batch hands back to the engine's epilogue.
+#[derive(Default)]
+pub(crate) struct BatchTally {
+    pub offered: usize,
+    pub accel_drops: usize,
+    pub corrupt_drops: usize,
+    pub truncated: usize,
+    pub busy_cycles: u64,
+    pub batch_packets: u64,
+    pub island_packets: u64,
+}
+
+/// A unit's cost signature: every per-unit input [`stage_cost`] can
+/// read on an NPU stage. Units with equal signatures produce equal
+/// stage costs for every (stage, payload length), so one representative
+/// computation covers the whole group.
+fn unit_signature(
+    nic: &Lnic,
+    mem: &MemorySim,
+    tables: &[TableRt],
+    unit: UnitId,
+    ctm: Option<MemId>,
+    emem: Option<MemId>,
+) -> String {
+    let u = nic.unit(unit);
+    let mut s = format!("{:?}|fpu:{}", u.cost, u.has_fpu);
+    match ctm {
+        Some(c) => {
+            s += &format!("|ctm:{}:{}", mem.raw_latency(unit, c), mem.bulk_per_byte(c))
+        }
+        None => s += "|ctm:-",
+    }
+    if let Some(e) = emem {
+        s += &format!("|emem:{}:{}", mem.raw_latency(unit, e), mem.bulk_per_byte(e));
+    }
+    for t in tables.iter() {
+        s += &format!("|t:{}", mem.raw_latency(unit, t.mem));
+    }
+    s
+}
+
+/// Run the batched kernel over ingested rows. `Ok(Some(tally))` means
+/// the arenas hold a completed, exact run; `Ok(None)` means the kernel
+/// refused and the caller must replay the scalar loop; `Err` is the
+/// same error the scalar loop would have returned.
+pub(crate) fn run_batched(run: BatchRun<'_>) -> Result<Option<BatchTally>, SimError> {
+    let BatchRun {
+        nic,
+        prog,
+        faults,
+        watchdog,
+        rows,
+        emem,
+        fc_engine_cycles,
+        offline_required,
+        ingress_lat,
+        egress_lat,
+        ingress_capacity,
+        stage_stalls,
+        freq,
+        pkt_limit,
+        total_limit,
+        use_islands,
+        mem,
+        tables,
+        accels,
+        threads,
+        pending,
+        latencies,
+        completions,
+        stage_totals,
+        fc_hits,
+        fc_misses,
+        scratch,
+        thread_island,
+        island_busy,
+        instrumented,
+    } = run;
+
+    // ---- Phase 0: cost-equivalence unit groups --------------------------
+    scratch.tid_group.clear();
+    scratch.group_reps.clear();
+    scratch.unit_groups.clear();
+    scratch.signatures.clear();
+    for t in threads.iter() {
+        let g = match scratch.unit_groups.iter().find(|(u, _)| *u == t.unit.0) {
+            Some(&(_, g)) => g,
+            None => {
+                let sig = unit_signature(nic, mem, tables, t.unit, t.ctm, emem);
+                let g = match scratch.signatures.iter().find(|(s, _)| *s == sig) {
+                    Some(&(_, g)) => g,
+                    None => {
+                        let g = scratch.group_reps.len() as u32;
+                        scratch.group_reps.push((t.unit, t.ctm));
+                        scratch.signatures.push((sig, g));
+                        g
+                    }
+                };
+                scratch.unit_groups.push((t.unit.0, g));
+                g
+            }
+        };
+        scratch.tid_group.push(g);
+    }
+    let group_count = scratch.group_reps.len();
+
+    // ---- Phase 1: columns + per-class costs -----------------------------
+    scratch.arrivals.clear();
+    scratch.tids.clear();
+    scratch.class_of.clear();
+    scratch.lens.clear();
+    scratch.classes.clear();
+    let n_threads = threads.len() as u64;
+    let mut last_arrival = 0u64;
+    let mut truncated = 0usize;
+    for (idx, tp) in rows.iter().enumerate() {
+        // Same conversion and monotonicity clamp as the scalar loop.
+        let arrival = ((tp.ts_ns as f64 * freq).round() as u64).max(last_arrival);
+        last_arrival = arrival;
+        scratch.arrivals.push(arrival);
+        if faults.corrupt_every > 0 && (idx as u64 + 1).is_multiple_of(faults.corrupt_every) {
+            scratch.tids.push(0);
+            scratch.class_of.push(CLASS_CORRUPT);
+            continue;
+        }
+        if offline_required {
+            scratch.tids.push(0);
+            scratch.class_of.push(CLASS_OFFLINE);
+            continue;
+        }
+        let flow_hash = tp.spec.flow.hash64();
+        let tid = (mix(flow_hash ^ 0x5a5a) % n_threads) as usize;
+        scratch.tids.push(tid as u32);
+        let mut len = tp.spec.payload_len as u64;
+        if faults.truncate_every > 0 && (idx as u64 + 1).is_multiple_of(faults.truncate_every) {
+            truncated += 1;
+            len = len.min(TRUNCATED_PAYLOAD_BYTES);
+        }
+        let len_idx = match scratch.lens.iter().position(|&l| l == len) {
+            Some(i) => i,
+            None => {
+                scratch.lens.push(len);
+                scratch
+                    .classes
+                    .resize_with(scratch.lens.len() * group_count, ClassCost::default);
+                scratch.lens.len() - 1
+            }
+        };
+        let cid = len_idx * group_count + scratch.tid_group[tid] as usize;
+        if !scratch.classes[cid].computed {
+            // First encounter: compute per-stage costs through the exact
+            // scalar path. The NPU arm of `stage_cost` never reads the
+            // stage start, and eligibility guarantees every stage is an
+            // NPU stage, so a zero start is exact. Addresses derive from
+            // this packet's flow hash and payload seed; uncached-region
+            // access cost is address-free, so any class member yields
+            // the same costs.
+            let (unit, ctm) = scratch.group_reps[scratch.tid_group[tid] as usize];
+            let mut per_stage = Vec::with_capacity(prog.stages.len());
+            for (si, stage) in prog.stages.iter().enumerate() {
+                per_stage.push(stage_cost(
+                    nic,
+                    mem,
+                    tables,
+                    accels,
+                    stage,
+                    unit,
+                    ctm,
+                    0,
+                    len,
+                    0,
+                    flow_hash,
+                    tp.spec.payload_seed,
+                    emem,
+                    fc_hits,
+                    fc_misses,
+                    fc_engine_cycles,
+                    stage_stalls[si],
+                    None,
+                )?);
+            }
+            let mut chain = 0u64;
+            let mut sum = 0u128;
+            let mut trip = None;
+            for (si, &c) in per_stage.iter().enumerate() {
+                chain = chain.saturating_add(c);
+                sum += c as u128;
+                if trip.is_none() && chain > pkt_limit {
+                    trip = Some((si as u32, chain));
+                }
+            }
+            scratch.classes[cid] = ClassCost {
+                computed: true,
+                risk: trip.is_none() && chain as u128 != sum,
+                total: ingress_lat as u128 + sum + egress_lat as u128,
+                per_stage,
+                trip,
+            };
+        }
+        if scratch.classes[cid].risk {
+            return Ok(None);
+        }
+        scratch.class_of.push(cid as u32);
+    }
+
+    // ---- Phase 2 (islands mode): parallel per-thread chains -------------
+    // Threads only interact through the ingress queue (verified in the
+    // sequential merge; any overflow forces the scalar fallback) and the
+    // watchdogs (replayed in the merge), so per-thread start/finish
+    // recurrences are island-independent and exact.
+    let mut islands_ran = false;
+    if use_islands {
+        scratch.tid_island.clear();
+        for t in threads.iter() {
+            scratch.tid_island.push(nic.unit(t.unit).island.unwrap_or(0) as u32);
+        }
+        let n_islands = scratch.tid_island.iter().copied().max().map_or(0, |m| m + 1);
+        if n_islands > 1 {
+            scratch.starts.clear();
+            scratch.starts.resize(rows.len(), 0);
+            scratch.fins.clear();
+            scratch.fins.resize(rows.len(), 0);
+            let arrivals = &scratch.arrivals;
+            let tids = &scratch.tids;
+            let class_of = &scratch.class_of;
+            let classes = &scratch.classes;
+            let tid_island = &scratch.tid_island;
+            let parts = std::thread::scope(|s| {
+                let workers: Vec<_> = (0..n_islands)
+                    .map(|isl| {
+                        s.spawn(move || {
+                            let mut free_at = vec![0u64; tid_island.len()];
+                            let mut out: Vec<(u32, u64, u64)> = Vec::new();
+                            let mut overflow = false;
+                            for idx in 0..class_of.len() {
+                                if class_of[idx] >= CLASS_OFFLINE {
+                                    continue;
+                                }
+                                let tid = tids[idx] as usize;
+                                if tid_island[tid] != isl {
+                                    continue;
+                                }
+                                let start = arrivals[idx].max(free_at[tid]);
+                                let fin =
+                                    start as u128 + classes[class_of[idx] as usize].total;
+                                if fin >= SAFE_CYCLES {
+                                    overflow = true;
+                                    break;
+                                }
+                                free_at[tid] = fin as u64;
+                                out.push((idx as u32, start, fin as u64));
+                            }
+                            (out, overflow)
+                        })
+                    })
+                    .collect();
+                workers.into_iter().map(|w| w.join()).collect::<Vec<_>>()
+            });
+            for part in parts {
+                let Ok((out, overflow)) = part else {
+                    return Ok(None); // a worker panicked: replay scalar
+                };
+                if overflow {
+                    return Ok(None);
+                }
+                for (idx, start, fin) in out {
+                    scratch.starts[idx as usize] = start;
+                    scratch.fins[idx as usize] = fin;
+                }
+            }
+            islands_ran = true;
+        }
+    }
+
+    // ---- Phase 3: sequential merge --------------------------------------
+    scratch.class_count.clear();
+    scratch.class_count.resize(scratch.classes.len(), 0);
+    pending.clear();
+    let mut tally = BatchTally { offered: rows.len(), truncated, ..BatchTally::default() };
+    let mut busy_cycles = 0u64;
+    for idx in 0..rows.len() {
+        if idx % DEADLINE_STRIDE == 0 && watchdog.expired() {
+            return Err(SimError::TimedOut);
+        }
+        let cid = scratch.class_of[idx];
+        if cid == CLASS_CORRUPT {
+            tally.corrupt_drops += 1;
+            continue;
+        }
+        if cid == CLASS_OFFLINE {
+            tally.accel_drops += 1;
+            continue;
+        }
+        let arrival = scratch.arrivals[idx];
+        while pending.peek().is_some_and(|&Reverse(s)| s <= arrival) {
+            pending.pop();
+        }
+        if pending.len() >= ingress_capacity {
+            // An overflow drop skips the thread's `free_at` update, which
+            // the island chains (and the class closed form under later
+            // arrivals) did not model: replay the scalar loop instead.
+            return Ok(None);
+        }
+        let tid = scratch.tids[idx] as usize;
+        let cls = &scratch.classes[cid as usize];
+        if let Some((si, cycles)) = cls.trip {
+            return Err(SimError::Watchdog {
+                packet: idx,
+                stage: prog.stages[si as usize].name.clone(),
+                cycles,
+                limit: pkt_limit,
+            });
+        }
+        let (start, fin) = if islands_ran {
+            (scratch.starts[idx], scratch.fins[idx])
+        } else {
+            let start = arrival.max(threads[tid].free_at);
+            let fin = start as u128 + cls.total;
+            if fin >= SAFE_CYCLES {
+                return Ok(None);
+            }
+            (start, fin as u64)
+        };
+        if start > arrival {
+            pending.push(Reverse(start));
+        }
+        threads[tid].free_at = fin;
+        let service = fin - start;
+        if instrumented {
+            island_busy[thread_island[tid]] += service;
+        }
+        busy_cycles = busy_cycles.saturating_add(service);
+        if busy_cycles > total_limit {
+            return Err(SimError::Watchdog {
+                packet: idx,
+                stage: "<run total>".into(),
+                cycles: busy_cycles,
+                limit: total_limit,
+            });
+        }
+        scratch.class_count[cid as usize] += 1;
+        completions.push(fin);
+        latencies.push(fin - arrival);
+    }
+
+    // Stage totals via the per-class closed form: a saturating chain of
+    // non-negative u64 adds equals min(true sum, u64::MAX) regardless of
+    // association, so count × cost accumulated in u128 and clamped is
+    // bit-identical to the scalar per-packet accumulation.
+    for (cid, &count) in scratch.class_count.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        for (si, &c) in scratch.classes[cid].per_stage.iter().enumerate() {
+            let sum = stage_totals[si] as u128 + c as u128 * count as u128;
+            stage_totals[si] = u64::try_from(sum).unwrap_or(u64::MAX);
+        }
+    }
+
+    tally.busy_cycles = busy_cycles;
+    tally.batch_packets = latencies.len() as u64;
+    if islands_ran {
+        tally.island_packets = tally.batch_packets;
+    }
+    Ok(Some(tally))
+}

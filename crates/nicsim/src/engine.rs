@@ -112,8 +112,8 @@ pub struct SimResult {
     pub latencies: Vec<u64>,
 }
 
-struct TableRt {
-    mem: MemId,
+pub(crate) struct TableRt {
+    pub(crate) mem: MemId,
     base: u64,
     entry_bytes: u64,
     entries: u64,
@@ -121,18 +121,18 @@ struct TableRt {
     fc: Option<Cache>,
 }
 
-struct ThreadRt {
-    unit: UnitId,
+pub(crate) struct ThreadRt {
+    pub(crate) unit: UnitId,
     /// Packet-residence CTM for this thread's island, resolved once at
     /// setup (the seed re-ran a `format!("ctm{i}")` + name scan for
     /// every NPU stage of every packet).
-    ctm: Option<MemId>,
-    free_at: u64,
+    pub(crate) ctm: Option<MemId>,
+    pub(crate) free_at: u64,
 }
 
 /// One accelerator engine's runtime state, held in a fixed array
 /// indexed by [`AccelKind`] discriminant — no hashing on dispatch.
-struct AccelRt {
+pub(crate) struct AccelRt {
     /// Service curve from the unit's cost model, if it declares one.
     curve: Option<AccelCost>,
     /// When the single-server queue drains (head-of-line blocking).
@@ -152,11 +152,26 @@ pub struct SimConfig {
     /// caches, the flow cache, accelerator queues — are never memoized,
     /// so results are bit-identical to the exact path either way.
     pub memoize: bool,
+    /// Evaluate signature-pure runs through the batched struct-of-arrays
+    /// kernel (the `batch` module): stage costs are computed once per
+    /// (cost-equivalent unit, payload length) class over column arenas
+    /// instead of per packet. Only engaged when *every* stage classifies
+    /// Fixed/PayloadPure; any condition the kernel cannot replay exactly
+    /// (live stages, cache-thrash faults, a stage timeline, queue
+    /// overflow) falls back to the scalar loop, so results are
+    /// bit-identical either way.
+    pub batch: bool,
+    /// Within a batched run, compute the per-thread start/finish
+    /// recurrences island-parallel (threads only interact through the
+    /// ingress queue and run-total watchdog, both replayed in a
+    /// sequential merge). Off by default until a sweep opts in; the
+    /// identity corpus pins islands-on == islands-off == exact.
+    pub islands: bool,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { memoize: true }
+        SimConfig { memoize: true, batch: true, islands: false }
     }
 }
 
@@ -165,7 +180,12 @@ impl SimConfig {
     /// from scratch for every packet. Kept as the fidelity baseline
     /// (the bench's identity check runs memoized vs. exact).
     pub fn exact() -> Self {
-        SimConfig { memoize: false }
+        SimConfig { memoize: false, batch: false, islands: false }
+    }
+
+    /// The default fast path with island-parallel DES enabled on top.
+    pub fn islands() -> Self {
+        SimConfig { islands: true, ..SimConfig::default() }
     }
 }
 
@@ -187,6 +207,11 @@ pub struct SimScratch {
     classes: Vec<StageClass>,
     fixed_memo: HashMap<(u32, u32), u64>,
     payload_memo: HashMap<(u32, u32, u64), u64>,
+    /// Ingested trace rows for the batched path (also the replay source
+    /// when the batch kernel falls back to the scalar loop).
+    rows: Vec<TracePacket>,
+    /// Column arenas and class tables for [`crate::batch`].
+    batch: crate::batch::BatchScratch,
 }
 
 impl SimScratch {
@@ -235,7 +260,7 @@ impl SimInstruments {
 
 /// Observation state for one accelerator's single-server queue.
 #[derive(Debug, Default)]
-struct AccelProbe {
+pub(crate) struct AccelProbe {
     calls: u64,
     busy_cycles: u64,
     hol_stall_cycles: u64,
@@ -249,7 +274,7 @@ struct AccelProbe {
 /// (after fault application — e.g. disabling the EMEM cache makes its
 /// tables signature-pure).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum StageClass {
+pub(crate) enum StageClass {
     /// Cost depends only on the executing unit: memo key (stage, unit).
     Fixed,
     /// Cost additionally depends on the (possibly truncated) payload
@@ -470,6 +495,8 @@ fn run_sim<I: Iterator<Item = TracePacket>>(
         classes,
         fixed_memo,
         payload_memo,
+        rows,
+        batch: batch_scratch,
     } = scratch;
 
     let mut mem = MemorySim::new(nic);
@@ -651,7 +678,123 @@ fn run_sim<I: Iterator<Item = TracePacket>>(
     let pkt_limit = watchdog.packet_limit();
     let total_limit = watchdog.total_limit();
 
-    for (pkt_idx, tp) in packets.enumerate() {
+    // Batched struct-of-arrays path: when every stage is signature-pure
+    // and nothing per-packet needs the scalar replay (no stage timeline,
+    // no per-packet cache thrash), the whole trace is ingested into
+    // column arenas and evaluated per (unit-group, payload-length) class
+    // instead of per packet. Any run the kernel cannot reproduce exactly
+    // falls back to the scalar loop below, replayed over the same rows.
+    let mut batch_packets = 0u64;
+    let mut island_packets = 0u64;
+    let batchable = config.batch
+        && classes.iter().all(|c| *c != StageClass::Live)
+        && !faults.thrash_emem_cache
+        && instruments.as_ref().is_none_or(|i| i.timeline.is_none());
+    enum Source<'r, I> {
+        Live(I),
+        Rows(std::slice::Iter<'r, TracePacket>),
+    }
+    impl<I: Iterator<Item = TracePacket>> Iterator for Source<'_, I> {
+        type Item = TracePacket;
+        fn next(&mut self) -> Option<TracePacket> {
+            match self {
+                Source::Live(i) => i.next(),
+                Source::Rows(r) => r.next().cloned(),
+            }
+        }
+    }
+    let source;
+    if batchable {
+        rows.clear();
+        for (idx, tp) in packets.enumerate() {
+            // Same supervision cadence the scalar loop polls at.
+            if idx % DEADLINE_STRIDE == 0 && watchdog.expired() {
+                return Err(SimError::TimedOut);
+            }
+            rows.push(tp);
+        }
+        let outcome = crate::batch::run_batched(crate::batch::BatchRun {
+            nic,
+            prog,
+            faults,
+            watchdog,
+            rows: &*rows,
+            emem,
+            fc_engine_cycles,
+            offline_required,
+            ingress_lat: ingress.map(|h| h.latency).unwrap_or(0),
+            egress_lat: egress.map(|h| h.latency).unwrap_or(0),
+            ingress_capacity,
+            stage_stalls: &stage_stalls,
+            freq,
+            pkt_limit,
+            total_limit,
+            use_islands: config.islands,
+            mem: &mut mem,
+            tables: &mut tables,
+            accels: &mut accels,
+            threads: &mut threads[..],
+            pending: &mut *pending,
+            latencies: &mut *latencies,
+            completions: &mut *completions,
+            stage_totals: &mut stage_totals[..],
+            fc_hits: &mut fc_hits,
+            fc_misses: &mut fc_misses,
+            scratch: &mut *batch_scratch,
+            thread_island: &thread_island,
+            island_busy: &mut island_busy,
+            instrumented: instruments.is_some(),
+        })?;
+        match outcome {
+            Some(tally) => {
+                offered = tally.offered;
+                accel_drops = tally.accel_drops;
+                corrupt_drops = tally.corrupt_drops;
+                truncated = tally.truncated;
+                busy_cycles = tally.busy_cycles;
+                batch_packets = tally.batch_packets;
+                island_packets = tally.island_packets;
+                // Outputs are already in the arenas; the scalar loop
+                // below sees an empty source and falls through.
+                source = Source::Rows(std::slice::Iter::default());
+            }
+            None => {
+                // Fallback: the kernel refused the run (ingress-queue
+                // overflow, cycle counts near saturation). Reset every
+                // piece of state the attempt touched and replay the
+                // exact scalar loop over the ingested rows. Rare by
+                // construction; fidelity beats speed here.
+                mem = MemorySim::new(nic);
+                if faults.disable_emem_cache {
+                    if let Some(e) = emem {
+                        mem.disable_cache(e);
+                    }
+                }
+                for (t, cfg) in tables.iter_mut().zip(&prog.tables) {
+                    t.base = mem.alloc(t.mem, cfg.size_bytes() as u64);
+                }
+                for t in threads.iter_mut() {
+                    t.free_at = 0;
+                }
+                for b in island_busy.iter_mut() {
+                    *b = 0;
+                }
+                latencies.clear();
+                completions.clear();
+                for s in stage_totals.iter_mut() {
+                    *s = 0;
+                }
+                pending.clear();
+                fc_hits = 0;
+                fc_misses = 0;
+                source = Source::Rows(rows.iter());
+            }
+        }
+    } else {
+        source = Source::Live(packets);
+    }
+
+    for (pkt_idx, tp) in source.enumerate() {
         offered += 1;
         // Wall-clock supervision is polled on a stride: cheap enough to
         // leave on for every run, fine-grained enough that a cancelled
@@ -908,6 +1051,8 @@ fn run_sim<I: Iterator<Item = TracePacket>>(
             fault_corrupt_drops: corrupt_drops as u64,
             fault_accel_drops: accel_drops as u64,
             watchdog_trips: trips,
+            batch_packets,
+            island_packets,
             islands: island_busy
                 .iter()
                 .zip(island_threads.iter())
@@ -966,7 +1111,7 @@ fn run_sim<I: Iterator<Item = TracePacket>>(
 }
 
 /// splitmix64 — deterministic address scrambling.
-fn mix(z: u64) -> u64 {
+pub(crate) fn mix(z: u64) -> u64 {
     let mut z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -974,7 +1119,7 @@ fn mix(z: u64) -> u64 {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn stage_cost(
+pub(crate) fn stage_cost(
     nic: &Lnic,
     mem: &mut MemorySim,
     tables: &mut [TableRt],

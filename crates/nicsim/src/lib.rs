@@ -51,6 +51,7 @@
 //! assert!(result.avg_latency_cycles > 150.0); // at least the parse cost
 //! ```
 
+mod batch;
 pub mod engine;
 pub mod fault;
 pub mod memory;

@@ -2,10 +2,10 @@
 
 use clara_lnic::profiles;
 use clara_nicsim::{
-    simulate, simulate_configured, AccelKind, FaultPlan, MicroOp, NicProgram, SimConfig, Stage,
-    StageUnit, TableCfg, Watchdog,
+    simulate, simulate_configured, AccelKind, FaultPlan, MicroOp, NicProgram, SimConfig, SimError,
+    SimResult, Stage, StageUnit, TableCfg, Watchdog,
 };
-use clara_workload::{SizeDist, TraceGenerator};
+use clara_workload::{SizeDist, Trace, TraceGenerator};
 use proptest::prelude::*;
 
 fn prog(ops: Vec<MicroOp>, tables: Vec<TableCfg>) -> NicProgram {
@@ -63,6 +63,83 @@ fn arb_op() -> impl Strategy<Value = MicroOp> {
         Just(MicroOp::ChecksumSw),
         (1u64..5).prop_map(|count| MicroOp::FloatOps { count }),
     ]
+}
+
+/// The random (program, trace, fault-plan, watchdog) quadruple shared by
+/// the configuration-equivalence properties below.
+#[allow(clippy::too_many_arguments)]
+fn build_case(
+    stages: Vec<Vec<MicroOp>>,
+    seed: u64,
+    packets: usize,
+    flows: usize,
+    payload: usize,
+    rate: f64,
+    fault_knobs: (bool, bool, bool, u64, u64, usize),
+    caps: (Option<usize>, Option<u64>),
+) -> (NicProgram, Trace, FaultPlan, Watchdog) {
+    let (disable_emem, thrash_emem, fc_outage, corrupt_every, truncate_every, dead_threads) =
+        fault_knobs;
+    let (ingress_capacity, pkt_cap) = caps;
+    let prog = NicProgram {
+        name: "prop".into(),
+        tables: prop_tables(),
+        stages: stages
+            .into_iter()
+            .enumerate()
+            .map(|(i, ops)| Stage { name: format!("s{i}"), unit: StageUnit::Npu, ops })
+            .collect(),
+    };
+    let trace = TraceGenerator::new(seed)
+        .packets(packets)
+        .flows(flows)
+        .rate_pps(rate)
+        .sizes(SizeDist::Fixed(payload))
+        .generate();
+    let faults = FaultPlan {
+        accel_outage: if fc_outage { vec![AccelKind::FlowCache] } else { vec![] },
+        disable_emem_cache: disable_emem,
+        thrash_emem_cache: thrash_emem,
+        corrupt_every,
+        truncate_every,
+        dead_threads,
+        ingress_capacity,
+        ..FaultPlan::none()
+    };
+    let wd = Watchdog { max_cycles_per_packet: pkt_cap, ..Watchdog::new() };
+    (prog, trace, faults, wd)
+}
+
+/// Every observable of two simulation outcomes, compared bit-for-bit
+/// (floats via `to_bits`, errors via their rendering).
+fn identical(a: &Result<SimResult, SimError>, b: &Result<SimResult, SimError>) -> bool {
+    match (a, b) {
+        (Ok(x), Ok(y)) => {
+            x.latencies == y.latencies
+                && x.packets == y.packets
+                && x.completed == y.completed
+                && x.dropped == y.dropped
+                && x.accel_drops == y.accel_drops
+                && x.corrupt_drops == y.corrupt_drops
+                && x.truncated == y.truncated
+                && x.flow_cache == y.flow_cache
+                && x.emem_cache == y.emem_cache
+                && x.per_stage_cycles.len() == y.per_stage_cycles.len()
+                && x.per_stage_cycles
+                    .iter()
+                    .zip(&y.per_stage_cycles)
+                    .all(|(p, q)| p.0 == q.0 && p.1.to_bits() == q.1.to_bits())
+                && x.avg_latency_cycles.to_bits() == y.avg_latency_cycles.to_bits()
+                && x.p50_latency_cycles.to_bits() == y.p50_latency_cycles.to_bits()
+                && x.p99_latency_cycles.to_bits() == y.p99_latency_cycles.to_bits()
+                && x.max_latency_cycles.to_bits() == y.max_latency_cycles.to_bits()
+                && x.avg_latency_ns.to_bits() == y.avg_latency_ns.to_bits()
+                && x.achieved_pps.to_bits() == y.achieved_pps.to_bits()
+                && x.energy_mj.to_bits() == y.energy_mj.to_bits()
+        }
+        (Err(x), Err(y)) => x.to_string() == y.to_string(),
+        _ => false,
+    }
 }
 
 proptest! {
@@ -242,6 +319,77 @@ proptest! {
             }
             (fast, exact) => prop_assert_eq!(fast.map(|_| ()), exact.map(|_| ())),
         }
+    }
+
+    /// The batched SoA kernel, the scalar memoized loop, and the exact
+    /// per-packet path are one simulator three ways: on random (program,
+    /// trace, fault-plan) triples all three configurations must agree
+    /// bit-for-bit — including when the kernel refuses a run (live
+    /// stages, cache thrash, queue overflow) and falls back to scalar.
+    #[test]
+    fn batch_scalar_and_exact_agree(
+        stages in proptest::collection::vec(proptest::collection::vec(arb_op(), 1..4), 1..3),
+        seed in any::<u64>(),
+        packets in 50usize..250,
+        flows in 1usize..300,
+        payload in 0usize..1500,
+        rate in 10_000.0f64..2_000_000.0,
+        fault_knobs in (
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+            0u64..5,
+            0u64..5,
+            0usize..500,
+        ),
+        caps in (
+            prop_oneof![Just(None), (1usize..32).prop_map(Some)],
+            prop_oneof![Just(None), (10_000u64..500_000).prop_map(Some)],
+        ),
+    ) {
+        let (prog, trace, faults, wd) =
+            build_case(stages, seed, packets, flows, payload, rate, fault_knobs, caps);
+        let nic = profiles::netronome_agilio_cx40();
+        let batched = simulate_configured(&nic, &prog, &trace, &faults, &wd, &SimConfig::default());
+        let scalar = simulate_configured(
+            &nic, &prog, &trace, &faults, &wd,
+            &SimConfig { batch: false, ..SimConfig::default() },
+        );
+        let exact = simulate_configured(&nic, &prog, &trace, &faults, &wd, &SimConfig::exact());
+        prop_assert!(identical(&batched, &scalar), "batched != scalar memoized");
+        prop_assert!(identical(&scalar, &exact), "scalar memoized != exact");
+    }
+
+    /// Island-parallel DES is an execution strategy, not a semantics:
+    /// random triples simulate bit-identically with islands on vs. off,
+    /// fault plans and watchdog caps included.
+    #[test]
+    fn islands_identical_to_sequential(
+        stages in proptest::collection::vec(proptest::collection::vec(arb_op(), 1..4), 1..3),
+        seed in any::<u64>(),
+        packets in 50usize..250,
+        flows in 1usize..300,
+        payload in 0usize..1500,
+        rate in 10_000.0f64..2_000_000.0,
+        fault_knobs in (
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+            0u64..5,
+            0u64..5,
+            0usize..500,
+        ),
+        caps in (
+            prop_oneof![Just(None), (1usize..32).prop_map(Some)],
+            prop_oneof![Just(None), (10_000u64..500_000).prop_map(Some)],
+        ),
+    ) {
+        let (prog, trace, faults, wd) =
+            build_case(stages, seed, packets, flows, payload, rate, fault_knobs, caps);
+        let nic = profiles::netronome_agilio_cx40();
+        let seq = simulate_configured(&nic, &prog, &trace, &faults, &wd, &SimConfig::default());
+        let par = simulate_configured(&nic, &prog, &trace, &faults, &wd, &SimConfig::islands());
+        prop_assert!(identical(&par, &seq), "islands != sequential");
     }
 
     /// Determinism: identical runs produce identical results.

@@ -121,7 +121,7 @@ proptest! {
             ..FaultPlan::none()
         };
         let wd = Watchdog::default();
-        let cfg = SimConfig { memoize };
+        let cfg = SimConfig { memoize, ..SimConfig::default() };
         let plain = simulate_configured(&nic, &prog, &trace, &faults, &wd, &cfg);
         let mut instr = match timeline {
             Some(n) => SimInstruments::with_timeline(n),

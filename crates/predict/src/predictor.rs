@@ -7,8 +7,8 @@ use clara_dataflow::{extract, DataflowGraph, DfNode};
 use clara_lang::StateKind;
 use clara_lnic::AccelKind;
 use clara_map::{
-    node_compute_cost, solve_mapping_with_limits, state_access_cost, CostCtx, MapError, MapInput,
-    Mapping, RunDeadline, SolveBudget, SolverConfig, StateClass, StateSpec, UnitChoice,
+    node_compute_cost, solve_mapping_seeded, state_access_cost, CostCtx, IlpSeed, MapError,
+    MapInput, Mapping, RunDeadline, SolveBudget, SolverConfig, StateClass, StateSpec, UnitChoice,
 };
 use clara_microbench::NicParameters;
 use clara_workload::WorkloadProfile;
@@ -273,6 +273,8 @@ pub fn predict_with_sink(
         sink.count("ilp.warm_start_hits", st.warm_start_hits);
         sink.count("ilp.warm_start_misses", st.warm_start_misses);
         sink.count("ilp.memo_hits", st.memo_hits);
+        sink.count("ilp.cell_warm_hits", st.cell_warm_hits);
+        sink.count("ilp.cell_warm_misses", st.cell_warm_misses);
     }
     result
 }
@@ -301,6 +303,24 @@ pub(crate) fn predict_prepared_limited(
     options: &PredictOptions,
     prepared: &Prepared,
     deadline: &RunDeadline,
+) -> Result<Prediction, PredictError> {
+    predict_prepared_seeded(module, params, workload, options, prepared, deadline, None)
+}
+
+/// [`predict_prepared_limited`] with an optional cross-cell ILP
+/// warm-start seed (the `mapping.ilp_seed` of a structurally similar
+/// prediction — see [`crate::sweep`]'s star topology). The seed only
+/// accelerates the mapping solve; every other stage is untouched, and a
+/// rejected seed degrades to exactly the unseeded solve.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn predict_prepared_seeded(
+    module: &CirModule,
+    params: &NicParameters,
+    workload: &WorkloadProfile,
+    options: &PredictOptions,
+    prepared: &Prepared,
+    deadline: &RunDeadline,
+    seed: Option<&IlpSeed>,
 ) -> Result<Prediction, PredictError> {
     if options.inject_panic {
         panic!("injected panic (test hook)");
@@ -332,7 +352,7 @@ pub(crate) fn predict_prepared_limited(
         forbid_accels: options.software_only,
         pinned: resolve_pins(options, module, params)?,
     };
-    let mapping = solve_mapping_with_limits(&input, &options.budget, &options.solver, deadline)
+    let mapping = solve_mapping_seeded(&input, &options.budget, &options.solver, deadline, seed)
         .map_err(|e| match e {
             // A cell stopped by the shared cancel token was abandoned,
             // not genuinely out of time — report it as such.

@@ -56,6 +56,11 @@ impl Default for SupervisorConfig {
 }
 
 /// What a supervised cell produced.
+// `Fresh` dwarfs the other variants (a Prediction now carries the
+// exported warm-start seed), but it is also the overwhelmingly common
+// case in a healthy sweep — boxing it would trade an allocation per
+// cell for nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum CellResult {
     /// Computed this run.

@@ -17,10 +17,10 @@
 //! checkpoint/resume on top of this.
 
 use crate::predictor::{
-    predict_prepared_limited, prepare, PredictError, PredictOptions, Prediction, Prepared,
+    predict_prepared_seeded, prepare, PredictError, PredictOptions, Prediction, Prepared,
 };
 use clara_cir::CirModule;
-use clara_map::RunDeadline;
+use clara_map::{IlpSeed, RunDeadline};
 use clara_microbench::NicParameters;
 use clara_workload::WorkloadProfile;
 use std::collections::HashMap;
@@ -121,17 +121,42 @@ pub(crate) struct PrepShare {
     /// Scenario index → prep slot index.
     prep_of: Vec<usize>,
     preps: Vec<OnceLock<Prepared>>,
+    warm: CellWarmStart,
+}
+
+/// Star-topology cross-cell ILP warm starts: each prep group designates
+/// its *first* scenario (in input order) as the seed donor; every other
+/// cell of the group seeds its branch-and-bound from the donor's solved
+/// mapping. The donor itself always solves cold.
+///
+/// Determinism: the donor index is fixed by input order and its seed is
+/// a pure function of the donor scenario's contents (with the panic
+/// test hook stripped), computed on first demand under a `OnceLock` —
+/// so seeding decisions are identical for every thread schedule,
+/// keeping parallel sweeps bit-identical to sequential ones, and a
+/// masked-out (panicking) donor still yields the same seed its healthy
+/// twin would have.
+pub(crate) struct CellWarmStart {
+    /// Prep slot → index of the group's first scenario (the donor).
+    donor_of: Vec<usize>,
+    /// Prep slot → the donor's exported seed. `None` when the donor's
+    /// prediction failed or panicked; siblings then solve cold.
+    seeds: Vec<OnceLock<Option<IlpSeed>>>,
 }
 
 impl PrepShare {
     pub(crate) fn build(scenarios: &[SweepScenario<'_>]) -> Self {
         let mut prep_ids: HashMap<PrepKey, usize> = HashMap::new();
         let mut prep_of: Vec<usize> = Vec::with_capacity(scenarios.len());
+        let mut donor_of: Vec<usize> = Vec::new();
         #[cfg(debug_assertions)]
         let mut fingerprints: Vec<PrepFingerprint> = Vec::new();
-        for sc in scenarios {
+        for (i, sc) in scenarios.iter().enumerate() {
             let n = prep_ids.len();
             let id = *prep_ids.entry(PrepKey::of(sc)).or_insert(n);
+            if id == donor_of.len() {
+                donor_of.push(i);
+            }
             #[cfg(debug_assertions)]
             {
                 let fp = PrepFingerprint::of(sc);
@@ -148,7 +173,8 @@ impl PrepShare {
             prep_of.push(id);
         }
         let preps = (0..prep_ids.len()).map(|_| OnceLock::new()).collect();
-        PrepShare { prep_of, preps }
+        let seeds = (0..prep_ids.len()).map(|_| OnceLock::new()).collect();
+        PrepShare { prep_of, preps, warm: CellWarmStart { donor_of, seeds } }
     }
 
     /// The shared `Prepared` for scenario `i`, computing it on first use.
@@ -158,6 +184,50 @@ impl PrepShare {
     pub(crate) fn prepared(&self, scenarios: &[SweepScenario<'_>], i: usize) -> &Prepared {
         let sc = &scenarios[i];
         self.preps[self.prep_of[i]].get_or_init(|| prepare(sc.module, sc.params, &sc.workload))
+    }
+
+    /// The cross-cell warm-start seed for scenario `i`: `None` for the
+    /// donor itself (it solves cold), otherwise the donor's exported
+    /// seed, computing the donor's prediction on first demand.
+    ///
+    /// The donor computation runs under its own `catch_unwind` and its
+    /// own options-derived deadline, so a panicking, failing, or
+    /// deadline-bound donor costs the group its seed — every sibling
+    /// then solves cold — but never a wrong or schedule-dependent
+    /// result.
+    pub(crate) fn seed_for(
+        &self,
+        scenarios: &[SweepScenario<'_>],
+        i: usize,
+    ) -> Option<IlpSeed> {
+        let slot = self.prep_of[i];
+        let donor = self.warm.donor_of[slot];
+        if donor == i {
+            return None;
+        }
+        self.warm.seeds[slot]
+            .get_or_init(|| {
+                let sc = &scenarios[donor];
+                let mut options = sc.options.clone();
+                options.inject_panic = false;
+                let deadline = RunDeadline::within_ms(options.deadline_ms);
+                catch_unwind(AssertUnwindSafe(|| {
+                    let prepared = self.prepared(scenarios, donor);
+                    predict_prepared_seeded(
+                        sc.module,
+                        sc.params,
+                        &sc.workload,
+                        &options,
+                        prepared,
+                        &deadline,
+                        None,
+                    )
+                    .ok()
+                    .and_then(|p| p.mapping.ilp_seed)
+                }))
+                .unwrap_or(None)
+            })
+            .clone()
     }
 }
 
@@ -188,7 +258,16 @@ pub(crate) fn run_cell_supervised(
     catch_unwind(AssertUnwindSafe(|| {
         let sc = &scenarios[i];
         let prepared = share.prepared(scenarios, i);
-        predict_prepared_limited(sc.module, sc.params, &sc.workload, &sc.options, prepared, deadline)
+        let seed = share.seed_for(scenarios, i);
+        predict_prepared_seeded(
+            sc.module,
+            sc.params,
+            &sc.workload,
+            &sc.options,
+            prepared,
+            deadline,
+            seed.as_ref(),
+        )
     }))
     .unwrap_or_else(|payload| {
         let payload = if let Some(s) = payload.downcast_ref::<&str>() {

@@ -20,10 +20,11 @@
 //! any parallel schedule: cells are pure and scratch reuse never changes
 //! simulator output.
 
-use crate::predictor::{predict_with_options, PredictOptions};
+use crate::predictor::{predict_prepared_seeded, prepare, PredictOptions};
 use crate::supervisor::{CellOutcome, RunReport};
 use clara_cir::CirModule;
 use clara_lnic::Lnic;
+use clara_map::{IlpSeed, RunDeadline};
 use clara_microbench::NicParameters;
 use clara_nicsim::{
     simulate_streamed, simulate_streamed_instrumented, FaultPlan, NicProgram, SimConfig,
@@ -261,13 +262,45 @@ pub fn run_validation_sweep(
     let faults = FaultPlan::none();
     let watchdog = Watchdog::new();
 
+    // Star-topology cross-cell warm start, mirroring the prediction
+    // sweep: the first grid cell is the seed donor for every other
+    // cell's mapping solve. The donor's seed is computed on first demand
+    // (a pure function of `grid[0]`), so seeding decisions — and
+    // therefore results — are identical for every thread schedule.
+    let donor_seed: OnceLock<Option<IlpSeed>> = OnceLock::new();
+    let seed_for = |i: usize| -> Option<IlpSeed> {
+        if i == 0 {
+            return None;
+        }
+        donor_seed
+            .get_or_init(|| {
+                catch_unwind(AssertUnwindSafe(|| {
+                    let wl = &grid[0];
+                    let prepared = prepare(module, params, wl);
+                    let deadline = RunDeadline::within_ms(config.options.deadline_ms);
+                    predict_prepared_seeded(
+                        module, params, wl, &config.options, &prepared, &deadline, None,
+                    )
+                    .ok()
+                    .and_then(|p| p.mapping.ilp_seed)
+                }))
+                .unwrap_or(None)
+            })
+            .clone()
+    };
+
     let run_one = |i: usize, scratch: &mut SimScratch| -> ValidationResult {
         let wl = &grid[i];
         // AssertUnwindSafe: `run_sim` resets every scratch arena before
         // use, so a panic mid-cell cannot leak torn state into the
         // worker's next cell.
         catch_unwind(AssertUnwindSafe(|| {
-            let p = match predict_with_options(module, params, wl, config.options.clone()) {
+            let seed = seed_for(i);
+            let prepared = prepare(module, params, wl);
+            let deadline = RunDeadline::within_ms(config.options.deadline_ms);
+            let p = match predict_prepared_seeded(
+                module, params, wl, &config.options, &prepared, &deadline, seed.as_ref(),
+            ) {
                 Ok(p) => p,
                 Err(e) => return ValidationResult::Failed(format!("predict: {e}")),
             };

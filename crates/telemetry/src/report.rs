@@ -287,6 +287,8 @@ mod tests {
                 simplex_pivots: 456,
                 warm_start_hits: 8,
                 warm_start_misses: 2,
+                cell_warm_hits: 3,
+                cell_warm_misses: 1,
                 memo_hits: 5,
                 incumbent_trajectory: vec![(1, 1200.5), (7, 1100.0)],
                 proven_optimal: true,

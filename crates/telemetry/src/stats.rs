@@ -20,6 +20,13 @@ pub struct SolveStats {
     pub warm_start_misses: u64,
     /// Relaxations answered from the bound-vector memo without any LP.
     pub memo_hits: u64,
+    /// Cross-cell warm starts accepted: the solve was seeded with an
+    /// adjacent sweep cell's incumbent (and root basis) and the seed
+    /// passed feasibility verification.
+    pub cell_warm_hits: u64,
+    /// Cross-cell warm starts offered but rejected (seed infeasible or
+    /// out of bounds for this cell): the solve ran cold.
+    pub cell_warm_misses: u64,
     /// Incumbent improvements as `(nodes_explored_at_improvement,
     /// objective)` pairs — the solver's convergence curve, keyed on node
     /// count (not time) so identical solves record identical
@@ -40,18 +47,22 @@ impl SolveStats {
         self.warm_start_hits += other.warm_start_hits;
         self.warm_start_misses += other.warm_start_misses;
         self.memo_hits += other.memo_hits;
+        self.cell_warm_hits += other.cell_warm_hits;
+        self.cell_warm_misses += other.cell_warm_misses;
         self.proven_optimal &= other.proven_optimal;
     }
 
     /// Compact one-line summary for per-cell report rows.
     pub fn summary(&self) -> String {
         format!(
-            "ilp: nodes={} pivots={} warm={}/{} memo={}",
+            "ilp: nodes={} pivots={} warm={}/{} memo={} cell-warm={}/{}",
             self.nodes_explored,
             self.simplex_pivots,
             self.warm_start_hits,
             self.warm_start_hits + self.warm_start_misses,
             self.memo_hits,
+            self.cell_warm_hits,
+            self.cell_warm_hits + self.cell_warm_misses,
         )
     }
 }
@@ -129,6 +140,13 @@ pub struct SimStats {
     /// that observed the watchdog error; a tripped run reports no other
     /// counters).
     pub watchdog_trips: u64,
+    /// Packets whose costs came from the batched struct-of-arrays
+    /// kernel (equals `completed` when the batch path ran, 0 when the
+    /// scalar loop did — a silent fallback is visible here).
+    pub batch_packets: u64,
+    /// Packets whose per-thread schedule was computed island-parallel
+    /// (subset of `batch_packets`; 0 unless islands mode engaged).
+    pub island_packets: u64,
     /// Per-island thread occupancy.
     pub islands: Vec<IslandStats>,
     /// Per-memory-level access counts.
@@ -153,9 +171,13 @@ impl SimStats {
     }
 
     /// Packet conservation: every injected packet either completed or
-    /// is accounted to exactly one drop cause.
+    /// is accounted to exactly one drop cause, and fast-path counters
+    /// never claim more packets than actually completed (the batch
+    /// kernel covers whole runs, islands mode a subset of batched ones).
     pub fn conserved(&self) -> bool {
         self.injected == self.completed + self.dropped_total()
+            && self.batch_packets <= self.completed
+            && self.island_packets <= self.batch_packets
     }
 
     /// EMEM cache hit rate, or `None` when the cache saw no traffic.
@@ -180,6 +202,8 @@ impl SimStats {
         self.fault_corrupt_drops += other.fault_corrupt_drops;
         self.fault_accel_drops += other.fault_accel_drops;
         self.watchdog_trips += other.watchdog_trips;
+        self.batch_packets += other.batch_packets;
+        self.island_packets += other.island_packets;
         self.emem_cache_hits += other.emem_cache_hits;
         self.emem_cache_misses += other.emem_cache_misses;
         self.switch_transfers += other.switch_transfers;
@@ -215,7 +239,7 @@ impl SimStats {
     /// Compact one-line summary for per-cell report rows.
     pub fn summary(&self) -> String {
         let drops = self.dropped_total();
-        match self.emem_hit_rate() {
+        let mut s = match self.emem_hit_rate() {
             Some(rate) => format!(
                 "sim: injected={} completed={} drops={} emem-hit={:.1}%",
                 self.injected,
@@ -227,7 +251,14 @@ impl SimStats {
                 "sim: injected={} completed={} drops={}",
                 self.injected, self.completed, drops
             ),
+        };
+        if self.batch_packets > 0 {
+            s += &format!(" batch={}", self.batch_packets);
         }
+        if self.island_packets > 0 {
+            s += &format!(" islands={}", self.island_packets);
+        }
+        s
     }
 }
 

@@ -11,7 +11,6 @@ use crate::zipf::Zipf;
 use clara_packet::{FiveTuple, PacketSpec, Proto, TcpFlags};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
 
 /// Packet inter-arrival process.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -197,7 +196,7 @@ impl TraceGenerator {
             mean_gap_ns: 1e9 / self.rate_pps,
             ts: 0.0,
             last_ts_ns: 0,
-            seen: HashSet::new(),
+            seen: FlowSeen::with_flows(self.flows),
             remaining: self.packets,
             gen: self.clone(),
         }
@@ -222,8 +221,29 @@ pub struct TraceStream {
     mean_gap_ns: f64,
     ts: f64,
     last_ts_ns: u64,
-    seen: HashSet<usize>,
+    seen: FlowSeen,
     remaining: usize,
+}
+
+/// First-packet-of-flow tracking as a dense bitset: flow indices are
+/// always `< flows`, so a bit per flow replaces the former `HashSet`
+/// (same `insert` semantics, no hashing on the per-packet path).
+struct FlowSeen {
+    bits: Vec<u64>,
+}
+
+impl FlowSeen {
+    fn with_flows(flows: usize) -> Self {
+        FlowSeen { bits: vec![0; flows.div_ceil(64)] }
+    }
+
+    /// Mark `i` seen; `true` iff it was not seen before.
+    fn insert(&mut self, i: usize) -> bool {
+        let (word, mask) = (i / 64, 1u64 << (i % 64));
+        let fresh = self.bits[word] & mask == 0;
+        self.bits[word] |= mask;
+        fresh
+    }
 }
 
 impl Iterator for TraceStream {

@@ -32,12 +32,14 @@
 //! assert!((profile.tcp_share - 0.8).abs() < 0.1);
 //! ```
 
+pub mod cache;
 pub mod gen;
 pub mod pcap;
 pub mod profile;
 pub mod trace;
 pub mod zipf;
 
+pub use cache::{CachedStream, TraceCache};
 pub use gen::{Arrival, SizeDist, TraceGenerator, TraceStream};
 pub use profile::{WorkloadError, WorkloadProfile};
 pub use trace::{Trace, TracePacket, TraceStats};
