@@ -1,0 +1,258 @@
+//! `clara serve` daemon benchmark, emitted as `BENCH_serve.json`.
+//!
+//! Two phases against an in-process server with a pre-seeded target:
+//!
+//! 1. **steady** — N clients issue sequential `predict` requests over
+//!    the wire and every reply is checked bit-identical to the one-shot
+//!    [`clara_core::Clara::predict`] path. Reports throughput and p50/p95/p99
+//!    request latency plus the session cache's hit rate (after the
+//!    first request per workload class, everything should hit).
+//! 2. **overload** — a deliberately tiny server (one worker, chaos
+//!    slowing every job) is offered 2x its queue capacity in concurrent
+//!    clients. Reports the shed rate and asserts it is nonzero: a
+//!    benchmark where admission control never fires is measuring the
+//!    wrong thing.
+//!
+//! ```text
+//! serve_bench [--quick] [-o BENCH_serve.json]
+//! ```
+//!
+//! `--quick` shrinks request counts for CI smoke. Any correctness
+//! failure (wire drift, zero shed, non-ok replies) panics, so the exit
+//! code is nonzero exactly when the numbers are untrustworthy.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use clara_core::serve::json::Value;
+use clara_core::serve::{reply_codes, ChaosConfig, Client, ServeConfig, Server};
+use clara_core::{Prediction, WorkloadProfile};
+
+fn code_of(reply: &Value) -> u64 {
+    reply.get("code").and_then(Value::as_u64).expect("reply has a code")
+}
+
+fn assert_bit_identical(reply: &Value, direct: &Prediction) {
+    for (key, want) in [
+        ("avg_latency_cycles", direct.avg_latency_cycles),
+        ("avg_latency_ns", direct.avg_latency_ns),
+        ("throughput_pps", direct.throughput_pps),
+        ("energy_nj_per_packet", direct.energy_nj_per_packet),
+    ] {
+        let got = reply
+            .get(key)
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| panic!("reply missing `{key}`: {reply:?}"));
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "`{key}` drifted over the wire: served {got:?}, one-shot {want:?}"
+        );
+    }
+}
+
+fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "-o")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_serve.json");
+
+    eprintln!("serve_bench: extracting NIC parameters...");
+    let clara = clara_bench::clara();
+    let params = Arc::new(clara.params().clone());
+    let nat_source = clara_core::nfs::by_name("nat").expect("corpus has nat").0;
+    let direct = clara
+        .predict(&nat_source, &WorkloadProfile::paper_default())
+        .expect("one-shot prediction succeeds");
+
+    // --- 1. steady state -------------------------------------------------
+    let clients = if quick { 2 } else { 4 };
+    let per_client = if quick { 15 } else { 150 };
+    let server = Server::start(ServeConfig {
+        queue_cap: 64,
+        read_timeout_ms: 30_000,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    server.seed_target("netronome", clara_bench::netronome().clone(), Arc::clone(&params));
+    let addr = server.addr();
+    eprintln!("steady: {clients} clients x {per_client} requests on {addr}");
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let direct = direct.clone();
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                let mut latencies_us = Vec::with_capacity(per_client);
+                for _ in 0..per_client {
+                    let t = Instant::now();
+                    let reply = client
+                        .request(r#"{"op":"predict","nf":"nat"}"#)
+                        .expect("steady request succeeds");
+                    latencies_us.push(t.elapsed().as_micros() as u64);
+                    assert_eq!(code_of(&reply), 0, "{reply:?}");
+                    assert_bit_identical(&reply, &direct);
+                }
+                latencies_us
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u64> =
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect();
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    latencies.sort_unstable();
+    let total = clients * per_client;
+    let throughput_rps = total as f64 / (wall_ms / 1e3);
+    let (p50, p95, p99) = (
+        percentile_us(&latencies, 0.50),
+        percentile_us(&latencies, 0.95),
+        percentile_us(&latencies, 0.99),
+    );
+    server.shutdown();
+    let steady = server.join();
+    let lookups = steady.prepared_hits + steady.prepared_misses;
+    let hit_rate = if lookups == 0 { 0.0 } else { steady.prepared_hits as f64 / lookups as f64 };
+    assert_eq!(steady.completed, total as u64, "lost replies: {steady:?}");
+    assert!(
+        hit_rate > 0.9,
+        "session cache barely hit ({hit_rate:.2}); the steady phase is measuring prepares"
+    );
+    eprintln!(
+        "  {total} requests in {wall_ms:.0} ms  ({throughput_rps:.0} req/s)  \
+         p50 {p50} us  p95 {p95} us  p99 {p99} us  cache hit rate {hit_rate:.3}"
+    );
+    eprintln!("  every reply bit-identical to the one-shot pipeline: yes");
+
+    // --- 2. overload -----------------------------------------------------
+    // One worker, every job slowed 25 ms by chaos, queue of 4: offering
+    // 2x the queue capacity in concurrent clients (each firing
+    // back-to-back) must shed. Panic/kill/truncate chaos stays off so
+    // every reply is readable and the shed rate is attributable to
+    // admission control alone.
+    let queue_cap = 4usize;
+    let concurrency = 2 * queue_cap;
+    let per_conn = if quick { 8 } else { 40 };
+    let chaos = ChaosConfig {
+        panic_per_mille: 0,
+        kill_per_mille: 0,
+        slow_per_mille: 1_000,
+        truncate_per_mille: 0,
+        slow_ms: 25,
+        ..ChaosConfig::with_seed(7)
+    };
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        queue_cap,
+        read_timeout_ms: 30_000,
+        chaos: Some(chaos),
+        ..ServeConfig::default()
+    })
+    .expect("overload server starts");
+    server.seed_target("netronome", clara_bench::netronome().clone(), Arc::clone(&params));
+    let addr = server.addr();
+    eprintln!("overload: {concurrency} clients x {per_conn} requests, 1 worker, queue {queue_cap}");
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..concurrency)
+        .map(|_| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                let mut hints_ms: Vec<u64> = Vec::new();
+                let (mut served, mut shed) = (0u64, 0u64);
+                for _ in 0..per_conn {
+                    let reply = client
+                        .request(r#"{"op":"predict","nf":"nat"}"#)
+                        .expect("overload request gets a reply");
+                    match code_of(&reply) {
+                        0 => served += 1,
+                        code if code == u64::from(reply_codes::OVERLOADED) => {
+                            shed += 1;
+                            hints_ms.push(
+                                reply
+                                    .get("retry_after_ms")
+                                    .and_then(Value::as_u64)
+                                    .expect("overloaded reply carries a retry hint"),
+                            );
+                        }
+                        other => panic!("unexpected reply code {other}: {reply:?}"),
+                    }
+                }
+                (served, shed, hints_ms)
+            })
+        })
+        .collect();
+    let mut served = 0u64;
+    let mut shed = 0u64;
+    let mut hints_ms: Vec<u64> = Vec::new();
+    for h in handles {
+        let (s, d, hints) = h.join().expect("overload client thread");
+        served += s;
+        shed += d;
+        hints_ms.extend(hints);
+    }
+    let overload_wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    server.shutdown();
+    let overload = server.join();
+    let offered = (concurrency * per_conn) as u64;
+    let shed_rate = shed as f64 / offered as f64;
+    assert_eq!(served + shed, offered, "lost replies under overload: {overload:?}");
+    assert!(
+        shed > 0,
+        "no request shed at 2x queue capacity — admission control never fired"
+    );
+    assert!(hints_ms.iter().all(|&h| h >= 1), "retry hints must be at least 1 ms");
+    hints_ms.sort_unstable();
+    let hint_p50 = percentile_us(&hints_ms, 0.50);
+    eprintln!(
+        "  offered {offered} over {overload_wall_ms:.0} ms: served {served}, shed {shed} \
+         (rate {shed_rate:.3}), median retry hint {hint_p50} ms"
+    );
+
+    let threads = thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let json = format!(
+        r#"{{
+  "bench": "serve",
+  "quick": {quick},
+  "threads_available": {threads},
+  "steady": {{
+    "clients": {clients},
+    "requests": {total},
+    "wall_ms": {wall_ms:.1},
+    "throughput_rps": {throughput_rps:.1},
+    "latency_p50_us": {p50},
+    "latency_p95_us": {p95},
+    "latency_p99_us": {p99},
+    "prepared_hit_rate": {hit_rate:.4},
+    "bit_identical_to_oneshot": true
+  }},
+  "overload": {{
+    "workers": 1,
+    "queue_cap": {queue_cap},
+    "concurrency": {concurrency},
+    "offered": {offered},
+    "served": {served},
+    "shed": {shed},
+    "shed_rate": {shed_rate:.4},
+    "median_retry_hint_ms": {hint_p50}
+  }}
+}}
+"#,
+    );
+    std::fs::write(out_path, &json).expect("write serve benchmark json");
+    eprintln!("wrote {out_path}");
+    print!("{json}");
+}

@@ -32,6 +32,7 @@ USAGE:
   clara sweep   <nf.nfc> (--nic <profile> | --params <file>) [sweep flags]
   clara validate <nf> [--nic <profile>] [validate flags]
   clara profile <nf> [--nic <profile>] [profile flags]
+  clara serve   [--nic <profile> | --params <file>] [serve flags]
 
 NIC PROFILES:
   netronome | soc | asic        (built-in LNIC models)
@@ -76,6 +77,22 @@ PROFILE FLAGS (one-cell predict + instrumented simulate of a corpus NF):
                       (open in Perfetto or chrome://tracing)
   plus the workload flags above
 
+SERVE FLAGS (a long-lived prediction daemon over length-prefixed JSON):
+  --addr <host:port>  bind address (default 127.0.0.1:7421; port 0 = any)
+  --workers <n>       worker threads; 0 = half the cores (default 0)
+  --queue <n>         bounded job queue; beyond it requests are shed
+                      with an `overloaded` reply (default 16)
+  --deadline <ms>     default per-request deadline when a request sets
+                      none (default: unlimited)
+  --max-frame <bytes> largest accepted request frame (default 1 MiB)
+  --idle-timeout <ms> close idle/stalled connections (default 5000)
+  --chaos <seed>      inject worker panics, slow-downs, and truncated
+                      replies, deterministically from the seed
+  --telemetry <file>  flush server counters here on drain
+  Drain with SIGTERM/SIGINT or a `{\"op\":\"shutdown\"}` request: the
+  daemon stops accepting, finishes (or deadlines out) admitted jobs,
+  flushes telemetry, and exits 0.
+
 TELEMETRY (predict | sweep | validate | profile):
   --telemetry <file>  collect pipeline spans plus solver/simulator counters
                       and write a TelemetryReport JSON; observation only —
@@ -102,6 +119,8 @@ enum CliError {
     SweepPartial(String),
     /// A supervised sweep finished with *every* cell failed.
     SweepFailed(String),
+    /// The serve daemon could not start (bind failure etc.).
+    Serve(String),
 }
 
 impl CliError {
@@ -115,6 +134,7 @@ impl CliError {
             CliError::Pipeline(ClaraError::Workload(_)) => exit_codes::WORKLOAD,
             CliError::SweepPartial(_) => exit_codes::SWEEP_PARTIAL,
             CliError::SweepFailed(_) => exit_codes::SWEEP_FAILED,
+            CliError::Serve(_) => exit_codes::SERVE,
         }
     }
 }
@@ -125,7 +145,8 @@ impl std::fmt::Display for CliError {
             CliError::Usage(msg)
             | CliError::Io(msg)
             | CliError::SweepPartial(msg)
-            | CliError::SweepFailed(msg) => write!(f, "{msg}"),
+            | CliError::SweepFailed(msg)
+            | CliError::Serve(msg) => write!(f, "{msg}"),
             CliError::Pipeline(e) => write!(f, "{e}"),
         }
     }
@@ -163,6 +184,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "sweep" => sweep(&args[1..]),
         "validate" => validate(&args[1..]),
         "profile" => profile(&args[1..]),
+        "serve" => serve(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -179,12 +201,8 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 }
 
 fn nic_by_name(name: &str) -> Result<clara_core::Lnic, CliError> {
-    Ok(match name {
-        "netronome" => clara_core::profiles::netronome_agilio_cx40(),
-        "soc" => clara_core::profiles::soc_armada(),
-        "asic" => clara_core::profiles::pipeline_asic(),
-        other => return Err(CliError::Usage(format!("unknown NIC profile `{other}`"))),
-    })
+    clara_core::profiles::by_name(name)
+        .ok_or_else(|| CliError::Usage(format!("unknown NIC profile `{name}`")))
 }
 
 fn build_clara(args: &[String]) -> Result<Clara, CliError> {
@@ -523,25 +541,11 @@ fn sweep(args: &[String]) -> Result<(), CliError> {
 /// needs: unported source for the predictor, hand-ported program for
 /// the simulator.
 fn corpus_nf(name: &str) -> Result<(String, clara_core::sim::NicProgram), CliError> {
-    use clara_core::nfs;
-    Ok(match name {
-        "nat" => (nfs::nat::source(), nfs::nat::ported()),
-        "dpi" => (nfs::dpi::source(65_536), nfs::dpi::ported(65_536, "emem")),
-        // The automaton in uncached IMEM: every stage is signature-pure,
-        // so this variant exercises the batched stage-cost kernel.
-        "dpi-imem" => (nfs::dpi::source(65_536), nfs::dpi::ported(65_536, "imem")),
-        "firewall" | "fw" => (nfs::firewall::source(65_536), nfs::firewall::ported(65_536, "emem")),
-        "lpm" => (nfs::lpm::source(10_000), nfs::lpm::ported_flow_cache(10_000)),
-        "hh" | "heavy-hitter" => (nfs::heavy_hitter::source(4_096), nfs::heavy_hitter::ported(4_096)),
-        "vnf" => (
-            nfs::vnf::source(nfs::vnf::AUTOMATON_ENTRIES, nfs::vnf::STAT_BUCKETS),
-            nfs::vnf::ported(),
-        ),
-        other => {
-            return Err(CliError::Usage(format!(
-                "unknown corpus NF `{other}` (try nat, dpi, dpi-imem, firewall, lpm, hh, vnf)"
-            )))
-        }
+    clara_core::nfs::by_name(name).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown corpus NF `{name}` (try {})",
+            clara_core::nfs::CORPUS_NAMES.join(", ")
+        ))
     })
 }
 
@@ -967,5 +971,94 @@ fn profile(args: &[String]) -> Result<(), CliError> {
         .with_context("packets", &packets.to_string());
         write_telemetry(path, &telemetry)?;
     }
+    Ok(())
+}
+
+/// `clara serve`: run the prediction daemon until drained by SIGTERM,
+/// SIGINT, or a `shutdown` request.
+fn serve(args: &[String]) -> Result<(), CliError> {
+    use clara_core::serve::{ChaosConfig, ServeConfig, Server};
+    use std::sync::Arc;
+
+    let parse_num = |v: &str, what: &str| -> Result<u64, CliError> {
+        v.parse().map_err(|_| CliError::Usage(format!("bad {what} `{v}`")))
+    };
+    let mut config = ServeConfig {
+        addr: flag_value(args, "--addr").unwrap_or("127.0.0.1:7421").to_string(),
+        handle_sigterm: true,
+        ..ServeConfig::default()
+    };
+    if let Some(v) = flag_value(args, "--workers") {
+        config.workers = parse_num(v, "--workers")? as usize;
+    }
+    if let Some(v) = flag_value(args, "--queue") {
+        config.queue_cap = (parse_num(v, "--queue")? as usize).max(1);
+    }
+    if let Some(v) = flag_value(args, "--max-frame") {
+        config.max_frame = parse_num(v, "--max-frame")? as usize;
+    }
+    if let Some(v) = flag_value(args, "--idle-timeout") {
+        config.read_timeout_ms = parse_num(v, "--idle-timeout")?;
+    }
+    if let Some(v) = flag_value(args, "--deadline") {
+        config.default_deadline_ms = Some(parse_num(v, "--deadline")?);
+    }
+    if let Some(v) = flag_value(args, "--chaos") {
+        config.chaos = Some(ChaosConfig::with_seed(parse_num(v, "--chaos seed")?));
+    }
+    config.telemetry_path = flag_value(args, "--telemetry").map(Into::into);
+
+    // Resolve the default target up front so the first request doesn't
+    // pay for parameter extraction. `--params` skips extraction; the
+    // profile name it's seeded under is `--nic` (default: the profile
+    // whose full name matches the parameter file).
+    let nic_flag = flag_value(args, "--nic");
+    let (seed_name, lnic, params) = if let Some(path) = flag_value(args, "--params") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Io(format!("cannot read `{path}`: {e}")))?;
+        let params = clara_microbench::from_text(&text)
+            .map_err(|e| CliError::Io(format!("bad parameter file `{path}`: {e}")))?;
+        let short = match nic_flag {
+            Some(name) => name.to_string(),
+            None => ["netronome", "soc", "asic"]
+                .iter()
+                .find(|n| nic_by_name(n).is_ok_and(|l| l.name == params.nic_name))
+                .map(|n| n.to_string())
+                .ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "cannot map parameter file for `{}` to a profile; pass --nic",
+                        params.nic_name
+                    ))
+                })?,
+        };
+        (short.clone(), nic_by_name(&short)?, params)
+    } else {
+        let name = nic_flag.unwrap_or("netronome");
+        let lnic = nic_by_name(name)?;
+        eprintln!("extracting parameters for `{name}` (one-time; use --params to skip)...");
+        let params = clara_core::extract_parameters(&lnic);
+        (name.to_string(), lnic, params)
+    };
+
+    let chaos_note = config
+        .chaos
+        .as_ref()
+        .map(|c| format!(", chaos seed {}", c.seed))
+        .unwrap_or_default();
+    let (queue_cap, workers) = (config.queue_cap, config.workers);
+    let server = Server::start(config).map_err(|e| CliError::Serve(e.to_string()))?;
+    server.seed_target(&seed_name, lnic, Arc::new(params));
+    eprintln!(
+        "clara serve: listening on {} (nic {seed_name}, queue {queue_cap}, workers {}{chaos_note})",
+        server.addr(),
+        if workers == 0 { "auto".to_string() } else { workers.to_string() },
+    );
+    eprintln!("clara serve: drain with SIGTERM or a {{\"op\":\"shutdown\"}} request");
+    let stats = server.join();
+    eprintln!(
+        "clara serve: drained; {} completed, {} shed, {} timed out, {} panicked, {} workers respawned, {} cache hits",
+        stats.completed, stats.shed, stats.timed_out, stats.panicked,
+        stats.workers_respawned, stats.prepared_hits,
+    );
     Ok(())
 }

@@ -77,6 +77,12 @@ pub mod nfs {
     pub use clara_nfs::*;
 }
 
+/// The `clara serve` daemon (re-exported from `clara-serve`): sessions,
+/// protocol, server, and client.
+pub mod serve {
+    pub use clara_serve::*;
+}
+
 /// The `clara` CLI's exit codes — one shared definition for the binary,
 /// its `--help` text, the README table, and CI scripts. Codes are
 /// stable: scripts may match on them.
@@ -99,6 +105,11 @@ pub mod exit_codes {
     pub const SWEEP_PARTIAL: u8 = 8;
     /// A sweep/validation finished with every cell failed.
     pub const SWEEP_FAILED: u8 = 9;
+    /// The `serve` daemon failed to start (e.g. the bind address is in
+    /// use). Per-request serve failures are reply codes on the wire
+    /// (`clara_serve::reply_codes`), not process exits; codes 0–9 there
+    /// mirror this table one-for-one.
+    pub const SERVE: u8 = 10;
 
     /// `(code, meaning)` rows, in code order.
     pub const TABLE: &[(u8, &str)] = &[
@@ -111,6 +122,7 @@ pub mod exit_codes {
         (WORKLOAD, "malformed workload profile"),
         (SWEEP_PARTIAL, "sweep/validate finished with some cells failed"),
         (SWEEP_FAILED, "sweep/validate finished with every cell failed"),
+        (SERVE, "serve daemon failed to start"),
     ];
 
     /// The table rendered for `--help` and docs, one `  code  meaning`
@@ -366,10 +378,37 @@ mod tests {
     #[test]
     fn exit_code_table_is_complete_and_ordered() {
         let codes: Vec<u8> = exit_codes::TABLE.iter().map(|(c, _)| *c).collect();
-        assert_eq!(codes, vec![0, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(codes, vec![0, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
         let table = exit_codes::table();
         assert_eq!(table.lines().count(), exit_codes::TABLE.len());
         assert!(table.contains("  8  sweep/validate finished with some cells failed"));
+    }
+
+    /// The daemon's wire reply codes for pipeline failures mirror the
+    /// CLI's exit codes one-for-one, so clients can treat a daemon
+    /// reply and a one-shot CLI exit identically.
+    #[test]
+    fn serve_reply_codes_mirror_exit_codes() {
+        use serve::reply_codes as rc;
+        for (exit, reply) in [
+            (exit_codes::OK, rc::OK),
+            (exit_codes::USAGE, rc::USAGE),
+            (exit_codes::IO, rc::IO),
+            (exit_codes::FRONTEND, rc::FRONTEND),
+            (exit_codes::LOWER, rc::LOWER),
+            (exit_codes::PREDICT, rc::PREDICT),
+            (exit_codes::WORKLOAD, rc::WORKLOAD),
+            (exit_codes::SWEEP_PARTIAL, rc::SWEEP_PARTIAL),
+            (exit_codes::SWEEP_FAILED, rc::SWEEP_FAILED),
+        ] {
+            assert_eq!(exit, reply);
+        }
+        // Serve-layer degradations live above the exit-code range so
+        // the two tables can never collide.
+        let max_exit = exit_codes::TABLE.iter().map(|(c, _)| *c).max().unwrap();
+        for (code, _) in rc::TABLE.iter().filter(|(c, _)| *c >= 20) {
+            assert!(*code > max_exit);
+        }
     }
 
     #[test]

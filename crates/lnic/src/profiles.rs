@@ -391,6 +391,18 @@ pub fn all_profiles() -> Vec<Lnic> {
     vec![netronome_agilio_cx40(), soc_armada(), pipeline_asic()]
 }
 
+/// Look up a built-in profile by its CLI/protocol name (`netronome`,
+/// `soc`, `asic`). The single resolver shared by the `clara` CLI and the
+/// `clara serve` daemon, so the two can never accept different spellings.
+pub fn by_name(name: &str) -> Option<Lnic> {
+    match name {
+        "netronome" => Some(netronome_agilio_cx40()),
+        "soc" => Some(soc_armada()),
+        "asic" => Some(pipeline_asic()),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -52,6 +52,29 @@ pub(crate) fn paper_workload() -> WorkloadProfile {
     WorkloadProfile::paper_default()
 }
 
+/// Names accepted by [`by_name`], for error messages and `--help` text.
+pub const CORPUS_NAMES: &[&str] = &["nat", "dpi", "dpi-imem", "firewall", "lpm", "hh", "vnf"];
+
+/// Resolve a corpus NF by its CLI/protocol name into both forms a
+/// validation needs: the unported source the predictor analyzes and the
+/// hand-ported program the simulator executes. The single resolver
+/// shared by `clara validate`/`clara profile` and the `clara serve`
+/// daemon's `validate` jobs.
+pub fn by_name(name: &str) -> Option<(String, NicProgram)> {
+    Some(match name {
+        "nat" => (nat::source(), nat::ported()),
+        "dpi" => (dpi::source(65_536), dpi::ported(65_536, "emem")),
+        // The automaton in uncached IMEM: every stage is signature-pure,
+        // so this variant exercises the batched stage-cost kernel.
+        "dpi-imem" => (dpi::source(65_536), dpi::ported(65_536, "imem")),
+        "firewall" | "fw" => (firewall::source(65_536), firewall::ported(65_536, "emem")),
+        "lpm" => (lpm::source(10_000), lpm::ported_flow_cache(10_000)),
+        "hh" | "heavy-hitter" => (heavy_hitter::source(4_096), heavy_hitter::ported(4_096)),
+        "vnf" => (vnf::source(vnf::AUTOMATON_ENTRIES, vnf::STAT_BUCKETS), vnf::ported()),
+        _ => return None,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

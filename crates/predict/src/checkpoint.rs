@@ -99,9 +99,17 @@ impl Checkpoint {
     /// Load a checkpoint from `path`. A missing file is an *empty*
     /// checkpoint (first run of a `--resume` invocation); a truncated or
     /// corrupted file salvages every complete cell object it contains.
+    ///
+    /// Loading is byte-safe: a crash can clip the file at *any* byte,
+    /// including the middle of a multi-byte UTF-8 sequence in a label
+    /// (labels are caller-controlled free text). Reading bytes and
+    /// decoding lossily turns such a tail into replacement characters
+    /// inside the clipped (already unusable) trailing object, instead of
+    /// failing the whole read and silently dropping every salvageable
+    /// cell the way a strict `read_to_string` would.
     pub fn load(path: &Path) -> Checkpoint {
-        match fs::read_to_string(path) {
-            Ok(text) => Checkpoint::parse(&text),
+        match fs::read(path) {
+            Ok(bytes) => Checkpoint::parse(&String::from_utf8_lossy(&bytes)),
             Err(_) => Checkpoint::new(),
         }
     }
@@ -399,6 +407,48 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn truncation_mid_multibyte_sequence_salvages_byte_safely() {
+        // Labels are free text: multi-byte UTF-8 is legal in them, and a
+        // crash mid-write can clip the file at any *byte*, not any char.
+        let mut ck = Checkpoint::new();
+        for i in 0..4u64 {
+            ck.insert(cell(i, &format!("λ-NIC sweep · 東京 №{i} μs")));
+        }
+        let full = ck.to_json().into_bytes();
+        // Clip exactly inside a multi-byte sequence of the *last* cell's
+        // label, so everything before it is intact but the file is no
+        // longer valid UTF-8.
+        let last_multibyte = (0..full.len())
+            .rev()
+            .find(|&i| full[i] >= 0x80 && (full[i] & 0xc0) == 0x80)
+            .expect("labels contain multi-byte chars");
+        let clipped = &full[..last_multibyte];
+        assert!(
+            String::from_utf8(clipped.to_vec()).is_err(),
+            "clip point must split a multi-byte sequence"
+        );
+
+        let path = std::env::temp_dir()
+            .join(format!("clara-ck-multibyte-{}.json", std::process::id()));
+        std::fs::write(&path, clipped).unwrap();
+        let salvaged = Checkpoint::load(&path);
+        let _ = std::fs::remove_file(&path);
+
+        // Every *complete* leading cell survives, bit-for-bit — the old
+        // `read_to_string` loader returned an empty checkpoint here and
+        // silently recomputed the whole grid.
+        assert!(!salvaged.is_empty(), "complete leading cells must be salvaged");
+        for i in 0..4u64 {
+            if let Some(got) = salvaged.get(i) {
+                assert_eq!(got, ck.get(i).unwrap(), "salvaged cell differs");
+            }
+        }
+        // The clipped trailing cell must not have been resurrected from
+        // a half-written label.
+        assert!(salvaged.len() < 4);
     }
 
     #[test]

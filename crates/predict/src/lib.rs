@@ -33,6 +33,7 @@ pub mod interfere;
 pub mod partial;
 pub mod predictor;
 pub mod queueing;
+pub mod session;
 pub mod supervisor;
 pub mod sweep;
 pub mod validate;
@@ -49,6 +50,7 @@ pub use predictor::{
     PredictOptions, Prediction,
 };
 pub use queueing::{accel_wait, pool_wait};
+pub use session::{ClassKey, NfSession, SessionBuildError, SessionStats};
 pub use supervisor::{
     run_sweep_supervised, CellOutcome, CellReport, CellResult, RunClass, RunReport,
     SupervisedSweep, SupervisorConfig, SupervisorError,

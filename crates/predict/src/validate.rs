@@ -51,6 +51,12 @@ pub struct ValidationConfig {
     pub sim: SimConfig,
     /// Prediction options applied to every cell.
     pub options: PredictOptions,
+    /// Watchdog for every cell's simulation. The default caps are far
+    /// above legitimate programs; a server threads its per-request
+    /// wall-clock deadline (and drain cancel token) through here so a
+    /// slow simulation stops cooperatively instead of outliving its
+    /// request.
+    pub watchdog: Watchdog,
     /// Collect per-cell telemetry: simulator counters in each
     /// [`ValidationCell::sim_stats`] and a summary line on each
     /// [`crate::supervisor::CellReport`]. Off by default; instrumented cells are
@@ -67,6 +73,7 @@ impl Default for ValidationConfig {
             seed: 42,
             sim: SimConfig::default(),
             options: PredictOptions::default(),
+            watchdog: Watchdog::new(),
             telemetry: false,
         }
     }
@@ -260,7 +267,7 @@ pub fn run_validation_sweep(
         n => n,
     };
     let faults = FaultPlan::none();
-    let watchdog = Watchdog::new();
+    let watchdog = config.watchdog.clone();
 
     // Star-topology cross-cell warm start, mirroring the prediction
     // sweep: the first grid cell is the seed donor for every other

@@ -1,0 +1,141 @@
+//! Deterministic fault injection for the daemon.
+//!
+//! `clara serve --chaos <seed>` turns every robustness path into a path
+//! that actually runs: workers panic mid-job, workers die *after* a job
+//! (exercising supervisor respawn, not just per-job catch), jobs slow
+//! down (exercising deadlines and queue backpressure), and reply frames
+//! get truncated (exercising client-side framing errors). All decisions
+//! come from one seeded LCG, so a failing chaos run reproduces exactly
+//! from its seed.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Per-mille probabilities for each injected fault.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// RNG seed; the whole run replays from it.
+    pub seed: u64,
+    /// ‰ of jobs that panic mid-prediction (per-job isolation path).
+    pub panic_per_mille: u32,
+    /// ‰ of jobs after which the worker thread dies (respawn path).
+    pub kill_per_mille: u32,
+    /// ‰ of jobs delayed before processing (deadline/backpressure path).
+    pub slow_per_mille: u32,
+    /// Injected delay for a slow job.
+    pub slow_ms: u64,
+    /// ‰ of replies cut mid-frame (client framing-error path).
+    pub truncate_per_mille: u32,
+}
+
+impl ChaosConfig {
+    /// Defaults aggressive enough that a few hundred requests hit every
+    /// path: 1 in 8 jobs panic, 1 in 16 kill their worker, 1 in 8 run
+    /// slow, 1 in 32 replies truncate.
+    pub fn with_seed(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            panic_per_mille: 125,
+            kill_per_mille: 63,
+            slow_per_mille: 125,
+            slow_ms: 30,
+            truncate_per_mille: 31,
+        }
+    }
+}
+
+/// Faults chosen for one job.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobChaos {
+    /// Sleep this long before processing.
+    pub slow: Option<Duration>,
+    /// Panic inside the prediction (caught per-job; structured reply).
+    pub panic_job: bool,
+    /// Panic *after* replying (escapes the per-job catch; the
+    /// supervisor must respawn the worker).
+    pub kill_worker: bool,
+}
+
+/// The seeded fault source shared by workers and connection threads.
+#[derive(Debug)]
+pub struct Chaos {
+    config: ChaosConfig,
+    state: Mutex<u64>,
+}
+
+impl Chaos {
+    pub fn new(config: ChaosConfig) -> Self {
+        // Splash the seed so small seeds don't start in a low-entropy
+        // regime of the LCG.
+        let state = Mutex::new(config.seed ^ 0x9e37_79b9_7f4a_7c15);
+        Chaos { config, state }
+    }
+
+    pub fn config(&self) -> &ChaosConfig {
+        &self.config
+    }
+
+    /// One LCG step; returns a value uniform in `0..1000`.
+    fn roll(&self) -> u32 {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        *s = s
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        ((*s >> 33) % 1000) as u32
+    }
+
+    fn hit(&self, per_mille: u32) -> bool {
+        self.roll() < per_mille
+    }
+
+    /// Decide this job's faults.
+    pub fn decide_job(&self) -> JobChaos {
+        JobChaos {
+            slow: self
+                .hit(self.config.slow_per_mille)
+                .then(|| Duration::from_millis(self.config.slow_ms)),
+            panic_job: self.hit(self.config.panic_per_mille),
+            kill_worker: self.hit(self.config.kill_per_mille),
+        }
+    }
+
+    /// Whether to truncate this reply frame.
+    pub fn truncate_reply(&self) -> bool {
+        self.hit(self.config.truncate_per_mille)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let a = Chaos::new(ChaosConfig::with_seed(7));
+        let b = Chaos::new(ChaosConfig::with_seed(7));
+        for _ in 0..200 {
+            let (ja, jb) = (a.decide_job(), b.decide_job());
+            assert_eq!(ja.panic_job, jb.panic_job);
+            assert_eq!(ja.kill_worker, jb.kill_worker);
+            assert_eq!(ja.slow, jb.slow);
+            assert_eq!(a.truncate_reply(), b.truncate_reply());
+        }
+    }
+
+    #[test]
+    fn default_rates_fire_every_path() {
+        let chaos = Chaos::new(ChaosConfig::with_seed(42));
+        let (mut panics, mut kills, mut slows, mut cuts) = (0, 0, 0, 0);
+        for _ in 0..2_000 {
+            let j = chaos.decide_job();
+            panics += j.panic_job as u32;
+            kills += j.kill_worker as u32;
+            slows += j.slow.is_some() as u32;
+            cuts += chaos.truncate_reply() as u32;
+        }
+        assert!(panics > 50, "panic path never fired: {panics}");
+        assert!(kills > 20, "kill path never fired: {kills}");
+        assert!(slows > 50, "slow path never fired: {slows}");
+        assert!(cuts > 10, "truncate path never fired: {cuts}");
+    }
+}

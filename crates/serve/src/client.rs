@@ -1,0 +1,79 @@
+//! A blocking client for the serve protocol, used by the integration
+//! tests, the benchmark, and anyone embedding the daemon.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::json::{self, Value};
+use crate::protocol::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
+
+/// Why a request failed on the client side.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Framing failure (includes truncated replies from chaos mode).
+    Frame(FrameError),
+    /// The server closed the connection instead of replying.
+    Closed,
+    /// The reply frame was not valid JSON.
+    BadReply(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "frame error: {e}"),
+            ClientError::Closed => write!(f, "connection closed before reply"),
+            ClientError::BadReply(e) => write!(f, "unparseable reply: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// One connection to a `clara serve` daemon. Requests are serial per
+/// connection (the protocol has no multiplexing); open more clients
+/// for concurrency.
+pub struct Client {
+    stream: TcpStream,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connect with a sane default I/O timeout (10 s).
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        Client::connect_timeout(addr, Duration::from_secs(10))
+    }
+
+    /// Connect with explicit connect/read/write timeouts.
+    pub fn connect_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream, max_frame: DEFAULT_MAX_FRAME })
+    }
+
+    /// Send one JSON request and wait for the parsed reply.
+    pub fn request(&mut self, body: &str) -> Result<Value, ClientError> {
+        write_frame(&mut self.stream, body.as_bytes())
+            .map_err(|e| ClientError::Frame(FrameError::Io(e)))?;
+        let frame = read_frame(&mut self.stream, self.max_frame)
+            .map_err(ClientError::Frame)?
+            .ok_or(ClientError::Closed)?;
+        let text = String::from_utf8_lossy(&frame);
+        json::parse(&text).map_err(ClientError::BadReply)
+    }
+
+    pub fn ping(&mut self) -> Result<Value, ClientError> {
+        self.request(r#"{"op":"ping"}"#)
+    }
+
+    pub fn stats(&mut self) -> Result<Value, ClientError> {
+        self.request(r#"{"op":"stats"}"#)
+    }
+
+    pub fn shutdown(&mut self) -> Result<Value, ClientError> {
+        self.request(r#"{"op":"shutdown"}"#)
+    }
+}

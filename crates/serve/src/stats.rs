@@ -1,0 +1,191 @@
+//! Server counters: every degradation the daemon can take is counted,
+//! so overload and fault behavior is observable from the `stats` op and
+//! from the telemetry report flushed at drain.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::json::ObjBuilder;
+use clara_telemetry::TelemetryReport;
+
+/// Monotonic counters, updated lock-free from connection and worker
+/// threads.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Connections accepted.
+    pub conns_accepted: AtomicU64,
+    /// Connections turned away at the accept loop (connection cap).
+    pub conns_rejected: AtomicU64,
+    /// Frames that parsed into a request (any op).
+    pub requests: AtomicU64,
+    /// Work jobs admitted to the queue.
+    pub accepted: AtomicU64,
+    /// Work jobs that completed with code `ok`.
+    pub completed: AtomicU64,
+    /// Work jobs shed by admission control (queue full).
+    pub shed: AtomicU64,
+    /// Work jobs that hit their deadline (before or during the job).
+    pub timed_out: AtomicU64,
+    /// Work jobs whose worker panicked (chaos or organic).
+    pub panicked: AtomicU64,
+    /// Worker threads respawned by the supervisor.
+    pub workers_respawned: AtomicU64,
+    /// Frames rejected as protocol errors (bad JSON, bad fields).
+    pub protocol_errors: AtomicU64,
+    /// Requests refused because the daemon was draining.
+    pub shutdown_rejects: AtomicU64,
+    /// Replies deliberately cut short by chaos mode.
+    pub chaos_truncated_replies: AtomicU64,
+    /// Sum of service times of completed jobs, microseconds. Feeds the
+    /// `retry_after_ms` hint.
+    pub service_us_total: AtomicU64,
+}
+
+/// A coherent-enough copy of the counters (individually atomic reads;
+/// the fleet-level numbers don't need a global snapshot).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub conns_accepted: u64,
+    pub conns_rejected: u64,
+    pub requests: u64,
+    pub accepted: u64,
+    pub completed: u64,
+    pub shed: u64,
+    pub timed_out: u64,
+    pub panicked: u64,
+    pub workers_respawned: u64,
+    pub protocol_errors: u64,
+    pub shutdown_rejects: u64,
+    pub chaos_truncated_replies: u64,
+    pub service_us_total: u64,
+    /// Session-cache aggregates, filled in by the server.
+    pub sessions: u64,
+    pub prepared_hits: u64,
+    pub prepared_misses: u64,
+    pub quarantined: u64,
+}
+
+impl ServeStats {
+    pub fn add(&self, counter: &AtomicU64, delta: u64) {
+        counter.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn bump(&self, counter: &AtomicU64) {
+        self.add(counter, 1);
+    }
+
+    /// Read every counter (cache fields are zero; the server overlays
+    /// them from its session map).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        StatsSnapshot {
+            conns_accepted: get(&self.conns_accepted),
+            conns_rejected: get(&self.conns_rejected),
+            requests: get(&self.requests),
+            accepted: get(&self.accepted),
+            completed: get(&self.completed),
+            shed: get(&self.shed),
+            timed_out: get(&self.timed_out),
+            panicked: get(&self.panicked),
+            workers_respawned: get(&self.workers_respawned),
+            protocol_errors: get(&self.protocol_errors),
+            shutdown_rejects: get(&self.shutdown_rejects),
+            chaos_truncated_replies: get(&self.chaos_truncated_replies),
+            service_us_total: get(&self.service_us_total),
+            sessions: 0,
+            prepared_hits: 0,
+            prepared_misses: 0,
+            quarantined: 0,
+        }
+    }
+
+    /// Average service time of completed jobs, microseconds (a prior of
+    /// 25 ms before any job completes, so the first overload replies
+    /// still carry a sane hint).
+    pub fn avg_service_us(&self) -> u64 {
+        let done = self.completed.load(Ordering::Relaxed);
+        self.service_us_total
+            .load(Ordering::Relaxed)
+            .checked_div(done)
+            .unwrap_or(25_000)
+    }
+}
+
+impl StatsSnapshot {
+    /// Fields for the `stats` reply and BENCH output.
+    pub fn fill(&self, body: ObjBuilder) -> ObjBuilder {
+        body.uint("conns_accepted", self.conns_accepted)
+            .uint("conns_rejected", self.conns_rejected)
+            .uint("requests", self.requests)
+            .uint("accepted", self.accepted)
+            .uint("completed", self.completed)
+            .uint("shed", self.shed)
+            .uint("timed_out", self.timed_out)
+            .uint("panicked", self.panicked)
+            .uint("workers_respawned", self.workers_respawned)
+            .uint("protocol_errors", self.protocol_errors)
+            .uint("shutdown_rejects", self.shutdown_rejects)
+            .uint("chaos_truncated_replies", self.chaos_truncated_replies)
+            .uint("sessions", self.sessions)
+            .uint("prepared_hits", self.prepared_hits)
+            .uint("prepared_misses", self.prepared_misses)
+            .uint("quarantined", self.quarantined)
+    }
+
+    /// Export the counters into a telemetry report (flushed at drain).
+    pub fn into_report(&self) -> TelemetryReport {
+        let mut report = TelemetryReport::default()
+            .with_context("component", "clara-serve");
+        report.counters = vec![
+            ("serve.accepted".into(), self.accepted),
+            ("serve.chaos_truncated_replies".into(), self.chaos_truncated_replies),
+            ("serve.completed".into(), self.completed),
+            ("serve.conns_accepted".into(), self.conns_accepted),
+            ("serve.conns_rejected".into(), self.conns_rejected),
+            ("serve.panicked".into(), self.panicked),
+            ("serve.prepared_hits".into(), self.prepared_hits),
+            ("serve.prepared_misses".into(), self.prepared_misses),
+            ("serve.protocol_errors".into(), self.protocol_errors),
+            ("serve.quarantined".into(), self.quarantined),
+            ("serve.requests".into(), self.requests),
+            ("serve.sessions".into(), self.sessions),
+            ("serve.shed".into(), self.shed),
+            ("serve.shutdown_rejects".into(), self.shutdown_rejects),
+            ("serve.timed_out".into(), self.timed_out),
+            ("serve.workers_respawned".into(), self.workers_respawned),
+        ];
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reads_what_was_bumped() {
+        let s = ServeStats::default();
+        s.bump(&s.shed);
+        s.bump(&s.shed);
+        s.bump(&s.completed);
+        s.add(&s.service_us_total, 10_000);
+        let snap = s.snapshot();
+        assert_eq!(snap.shed, 2);
+        assert_eq!(snap.completed, 1);
+        assert_eq!(s.avg_service_us(), 10_000);
+    }
+
+    #[test]
+    fn avg_service_has_a_prior_before_any_completion() {
+        let s = ServeStats::default();
+        assert_eq!(s.avg_service_us(), 25_000);
+    }
+
+    #[test]
+    fn telemetry_counters_are_sorted_by_name() {
+        let report = StatsSnapshot::default().into_report();
+        let names: Vec<&str> = report.counters.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+}

@@ -1,0 +1,228 @@
+//! Protocol-level daemon tests: these exercise framing, admission
+//! control, deadlines, and drain without ever touching the predictor
+//! (requests use an unknown NIC, which resolves — fast — to a `usage`
+//! reply after passing through the full queue/worker machinery). The
+//! heavyweight end-to-end chaos test lives in the workspace-root
+//! `tests/serve_chaos.rs`.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use clara_serve::json::Value;
+use clara_serve::{ChaosConfig, Client, ClientError, ServeConfig, Server};
+
+fn quick_config() -> ServeConfig {
+    ServeConfig {
+        workers: 1,
+        queue_cap: 1,
+        read_timeout_ms: 1_000,
+        ..ServeConfig::default()
+    }
+}
+
+/// Chaos that only slows jobs down: used to hold a worker busy
+/// deterministically without touching the panic paths.
+fn slow_only(slow_ms: u64) -> ChaosConfig {
+    ChaosConfig {
+        panic_per_mille: 0,
+        kill_per_mille: 0,
+        slow_per_mille: 1_000,
+        truncate_per_mille: 0,
+        slow_ms,
+        ..ChaosConfig::with_seed(1)
+    }
+}
+
+fn code_of(reply: &Value) -> u64 {
+    reply.get("code").and_then(Value::as_u64).expect("reply has a code")
+}
+
+#[test]
+fn ping_and_stats_round_trip() {
+    let server = Server::start(quick_config()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let pong = client.ping().unwrap();
+    assert_eq!(code_of(&pong), 0);
+    assert_eq!(pong.get("draining").and_then(Value::as_bool), Some(false));
+
+    let stats = client.stats().unwrap();
+    assert_eq!(code_of(&stats), 0);
+    assert_eq!(stats.get("requests").and_then(Value::as_u64), Some(2));
+    assert_eq!(stats.get("queue_capacity").and_then(Value::as_u64), Some(1));
+    assert_eq!(stats.get("workers").and_then(Value::as_u64), Some(1));
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn bad_json_is_a_protocol_error_and_the_connection_survives() {
+    let server = Server::start(quick_config()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let reply = client.request("this is not json").unwrap();
+    assert_eq!(code_of(&reply), u64::from(clara_serve::reply_codes::PROTOCOL));
+    assert_eq!(reply.get("ok").and_then(Value::as_bool), Some(false));
+
+    // A malformed *body* in a well-formed frame must not poison the
+    // connection.
+    assert_eq!(code_of(&client.ping().unwrap()), 0);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn oversized_frame_is_refused_with_a_structured_reply() {
+    let config = ServeConfig { max_frame: 256, ..quick_config() };
+    let server = Server::start(config).unwrap();
+
+    // Hand-roll the frame: a header declaring 1 MiB.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.write_all(&(1u32 << 20).to_be_bytes()).unwrap();
+    stream.write_all(b"doesn't matter").unwrap();
+    let reply = clara_serve::read_frame(&mut stream, 1 << 20).unwrap().unwrap();
+    let value = clara_serve::json::parse(std::str::from_utf8(&reply).unwrap()).unwrap();
+    assert_eq!(code_of(&value), u64::from(clara_serve::reply_codes::FRAME_TOO_LARGE));
+
+    server.shutdown();
+    let stats = server.join();
+    assert!(stats.protocol_errors >= 1);
+}
+
+#[test]
+fn unknown_op_and_unknown_nic_map_to_usage() {
+    let server = Server::start(quick_config()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let reply = client.request(r#"{"op":"transmogrify"}"#).unwrap();
+    assert_eq!(code_of(&reply), 2);
+
+    let reply = client
+        .request(r#"{"op":"predict","nf":"nat","nic":"quantum-nic"}"#)
+        .unwrap();
+    assert_eq!(code_of(&reply), 2);
+    let detail = reply.get("detail").and_then(Value::as_str).unwrap();
+    assert!(detail.contains("quantum-nic"), "{detail}");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn expired_deadline_is_reported_without_running_the_job() {
+    let server = Server::start(quick_config()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let reply = client
+        .request(r#"{"op":"predict","nf":"nat","deadline_ms":0}"#)
+        .unwrap();
+    assert_eq!(code_of(&reply), u64::from(clara_serve::reply_codes::DEADLINE));
+    assert_eq!(
+        reply.get("error").and_then(Value::as_str),
+        Some("deadline-exceeded")
+    );
+
+    server.shutdown();
+    let stats = server.join();
+    assert_eq!(stats.timed_out, 1);
+}
+
+#[test]
+fn overload_sheds_with_a_retry_hint() {
+    let config = ServeConfig {
+        chaos: Some(slow_only(400)),
+        ..quick_config()
+    };
+    let server = Server::start(config).unwrap();
+    let addr = server.addr();
+
+    // One worker asleep for 400 ms per job, queue of 1: firing 6
+    // concurrent requests must shed some of them immediately.
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let started = Instant::now();
+                let reply = client
+                    .request(r#"{"op":"predict","nf":"nat","nic":"no-such-nic"}"#)
+                    .unwrap();
+                (code_of(&reply), reply, started.elapsed())
+            })
+        })
+        .collect();
+    let replies: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let shed: Vec<_> = replies.iter().filter(|(code, ..)| *code == 20).collect();
+    assert!(!shed.is_empty(), "no request was shed: {replies:?}");
+    for (_, reply, elapsed) in &shed {
+        // Shedding is immediate — it must not wait behind the queue.
+        assert!(*elapsed < Duration::from_millis(350), "shed took {elapsed:?}");
+        assert!(
+            reply.get("retry_after_ms").and_then(Value::as_u64).unwrap() >= 1,
+            "{reply:?}"
+        );
+    }
+    // And at least one request made it through to a worker.
+    assert!(replies.iter().any(|(code, ..)| *code == 2), "{replies:?}");
+
+    server.shutdown();
+    let stats = server.join();
+    assert!(stats.shed >= 1, "{stats:?}");
+    assert_eq!(stats.shed + stats.accepted, 6, "{stats:?}");
+}
+
+#[test]
+fn shutdown_drains_inflight_work_and_refuses_late_arrivals() {
+    let config = ServeConfig {
+        workers: 1,
+        queue_cap: 4,
+        read_timeout_ms: 1_000,
+        chaos: Some(slow_only(400)),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(config).unwrap();
+    let addr = server.addr();
+
+    // An in-flight job that outlives the shutdown call.
+    let inflight = thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        let reply = client
+            .request(r#"{"op":"predict","nf":"nat","nic":"no-such-nic"}"#)
+            .unwrap();
+        code_of(&reply)
+    });
+    thread::sleep(Duration::from_millis(100));
+
+    let mut client = Client::connect(addr).unwrap();
+    let reply = client.shutdown().unwrap();
+    assert_eq!(reply.get("draining").and_then(Value::as_bool), Some(true));
+
+    // The admitted job still completes with its real reply.
+    assert_eq!(inflight.join().unwrap(), 2, "in-flight job was dropped");
+
+    // New connections are refused once the accept loop exits.
+    let deadline = Instant::now() + Duration::from_secs(3);
+    loop {
+        match Client::connect_timeout(addr, Duration::from_millis(200)) {
+            Err(_) => break,
+            Ok(mut late) => {
+                // Accept loop may still be mid-poll; a late request on a
+                // fresh connection must at least be refused.
+                match late.request(r#"{"op":"predict","nf":"nat"}"#) {
+                    Ok(v) => assert_eq!(code_of(&v), 25, "{v:?}"),
+                    Err(ClientError::Frame(_) | ClientError::Closed) => {}
+                    Err(e) => panic!("unexpected client error: {e}"),
+                }
+            }
+        }
+        assert!(Instant::now() < deadline, "listener never closed");
+        thread::sleep(Duration::from_millis(50));
+    }
+
+    let stats = server.join();
+    assert_eq!(stats.accepted, 1, "{stats:?}");
+}

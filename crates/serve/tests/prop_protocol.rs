@@ -1,0 +1,118 @@
+//! Property tests for the wire layer: the frame codec and request
+//! parser sit directly on attacker-controllable bytes, so the
+//! properties are about *containment* — garbage in, typed error out,
+//! never a panic, never an unbounded allocation.
+
+use std::io::Cursor;
+
+use clara_serve::json;
+use clara_serve::{parse_request, read_frame, reply_codes, write_frame, FrameError};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    /// Any body round-trips through the codec bit-exactly.
+    #[test]
+    fn frame_codec_round_trips(body in vec(any::<u8>(), 0..2048)) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &body).unwrap();
+        let got = read_frame(&mut Cursor::new(&wire), 1 << 20).unwrap().unwrap();
+        prop_assert_eq!(got, body);
+    }
+
+    /// Cutting a frame anywhere strictly inside it yields `Truncated`
+    /// (and cutting at zero is a clean end-of-stream), never a panic or
+    /// a bogus success.
+    #[test]
+    fn truncation_is_always_a_typed_error(
+        body in vec(any::<u8>(), 1..512),
+        cut_seed in any::<u16>(),
+    ) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &body).unwrap();
+        let cut = 1 + (cut_seed as usize) % (wire.len() - 1);
+        match read_frame(&mut Cursor::new(&wire[..cut]), 1 << 20) {
+            Err(FrameError::Truncated) => {}
+            other => return Err(TestCaseError::fail(format!(
+                "cut at {cut}/{}: {other:?}", wire.len()
+            ))),
+        }
+    }
+
+    /// A header declaring more than the cap is rejected before any
+    /// body allocation, whatever follows it.
+    #[test]
+    fn oversize_declarations_are_rejected(
+        declared in 1025u32..u32::MAX,
+        tail in vec(any::<u8>(), 0..32),
+    ) {
+        let mut wire = declared.to_be_bytes().to_vec();
+        wire.extend_from_slice(&tail);
+        match read_frame(&mut Cursor::new(&wire), 1024) {
+            Err(FrameError::TooLarge { declared: d, max }) => {
+                prop_assert_eq!(d, declared as usize);
+                prop_assert_eq!(max, 1024);
+            }
+            other => return Err(TestCaseError::fail(format!("{other:?}"))),
+        }
+    }
+
+    /// Arbitrary garbage through the reader never panics, whatever it
+    /// returns.
+    #[test]
+    fn reader_never_panics_on_garbage(bytes in vec(any::<u8>(), 0..64)) {
+        let _ = read_frame(&mut Cursor::new(&bytes), 1024);
+    }
+
+    /// Arbitrary bytes through the request parser either parse or map
+    /// to a protocol-layer reply code — no panics, no mystery codes.
+    #[test]
+    fn request_parser_contains_garbage(bytes in vec(any::<u8>(), 0..256)) {
+        if let Err(e) = parse_request(&bytes) {
+            prop_assert!(
+                matches!(
+                    e.code,
+                    reply_codes::PROTOCOL | reply_codes::USAGE | reply_codes::WORKLOAD
+                ),
+                "unexpected code {} for {:?}", e.code, bytes
+            );
+        }
+    }
+
+    /// A garbage prefix in front of valid JSON is still a clean
+    /// protocol error (framing never resynchronizes mid-frame).
+    #[test]
+    fn garbage_prefix_is_a_protocol_error(prefix in vec(1u8..=255, 1..16)) {
+        // A leading non-JSON byte makes the body unparseable; prefix
+        // bytes exclude 0 so the result can't accidentally be valid.
+        let mut bytes = prefix;
+        if matches!(bytes[0], b' ' | b'\t' | b'\n' | b'\r' | b'{' | b'[' | b'"'
+            | b'0'..=b'9' | b'-' | b'+' | b'.' | b't' | b'f' | b'n' | b'e' | b'E') {
+            bytes[0] = b'!';
+        }
+        bytes.extend_from_slice(br#"{"op":"ping"}"#);
+        let err = parse_request(&bytes).unwrap_err();
+        prop_assert_eq!(err.code, reply_codes::PROTOCOL);
+    }
+
+    /// The JSON parser never panics on arbitrary (possibly invalid)
+    /// UTF-8 input.
+    #[test]
+    fn json_parser_never_panics(bytes in vec(any::<u8>(), 0..512)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = json::parse(&text);
+    }
+
+    /// Whatever the parser accepts, it re-serializes to something it
+    /// accepts again, identically (canonical form is a fixed point).
+    #[test]
+    fn accepted_json_round_trips_canonically(bytes in vec(any::<u8>(), 0..256)) {
+        let text = String::from_utf8_lossy(&bytes);
+        if let Ok(v) = json::parse(&text) {
+            let once = v.to_json();
+            let again = json::parse(&once).map_err(TestCaseError::fail)?;
+            prop_assert_eq!(&again.to_json(), &once);
+            prop_assert_eq!(again, v);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! End-to-end chaos test for the `clara serve` daemon: real predictions
+//! over the wire while chaos slows every job and kills the worker after
+//! each reply. The properties under test are the PR's acceptance bar:
+//!
+//! * overload at well past queue capacity sheds with a structured
+//!   `overloaded` reply and a retry hint, never by blocking;
+//! * killed workers are respawned by the supervisor and service
+//!   continues;
+//! * a poisoned (panicking) request gets a structured `worker-panicked`
+//!   reply, and the *next* healthy request for the same workload class
+//!   still answers correctly off the quarantined-then-rebuilt cache;
+//! * every healthy reply is bit-identical to the one-shot
+//!   [`Clara::predict`] path on the same inputs;
+//! * shutdown drains in-flight work and refuses late arrivals.
+//!
+//! Chaos truncation is deliberately off here (it is covered by the
+//! serve crate's own tests): this test reads every reply, and a
+//! truncated frame would turn a deterministic assertion into a coin
+//! flip.
+
+use std::sync::{Arc, OnceLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use clara_core::serve::json::Value;
+use clara_core::serve::{
+    reply_codes, ChaosConfig, Client, ClientError, ServeConfig, Server,
+};
+use clara_core::{profiles, Clara, NicParameters, Prediction, WorkloadProfile};
+
+/// One extraction for the whole test binary: parameters are
+/// deterministic, and extraction dominates the test's cost.
+fn params() -> Arc<NicParameters> {
+    static P: OnceLock<Arc<NicParameters>> = OnceLock::new();
+    Arc::clone(P.get_or_init(|| {
+        Arc::new(clara_core::extract_parameters(&profiles::netronome_agilio_cx40()))
+    }))
+}
+
+/// Deterministic chaos: every job sleeps, every reply is followed by a
+/// worker kill, panics come only from explicit `inject_panic` requests.
+fn kill_and_slow(slow_ms: u64) -> ChaosConfig {
+    ChaosConfig {
+        panic_per_mille: 0,
+        kill_per_mille: 1_000,
+        slow_per_mille: 1_000,
+        truncate_per_mille: 0,
+        slow_ms,
+        ..ChaosConfig::with_seed(42)
+    }
+}
+
+fn code_of(reply: &Value) -> u64 {
+    reply.get("code").and_then(Value::as_u64).expect("reply has a code")
+}
+
+fn f64_field(reply: &Value, key: &str) -> f64 {
+    reply
+        .get(key)
+        .and_then(Value::as_f64)
+        .unwrap_or_else(|| panic!("reply missing f64 `{key}`: {reply:?}"))
+}
+
+/// The wire serializes f64 with `{:?}` and the parser round-trips it
+/// through `str::parse`, so a healthy reply must match the one-shot
+/// pipeline bit for bit — not approximately.
+fn assert_bit_identical(reply: &Value, direct: &Prediction) {
+    for (key, want) in [
+        ("avg_latency_cycles", direct.avg_latency_cycles),
+        ("avg_latency_ns", direct.avg_latency_ns),
+        ("throughput_pps", direct.throughput_pps),
+        ("energy_nj_per_packet", direct.energy_nj_per_packet),
+    ] {
+        let got = f64_field(reply, key);
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "`{key}` drifted over the wire: served {got:?}, one-shot {want:?}",
+        );
+    }
+    let classes = reply.get("per_class").and_then(Value::as_arr).unwrap();
+    assert_eq!(classes.len(), direct.per_class.len());
+    for (cell, want) in classes.iter().zip(&direct.per_class) {
+        assert_eq!(
+            f64_field(cell, "latency_cycles").to_bits(),
+            want.latency_cycles.to_bits(),
+            "per-class latency drifted for `{}`",
+            want.name,
+        );
+    }
+    assert_eq!(
+        reply.get("bottleneck").and_then(Value::as_str),
+        Some(direct.bottleneck.as_str())
+    );
+}
+
+#[test]
+fn chaos_daemon_sheds_respawns_and_stays_bit_identical() {
+    let params = params();
+    let lnic = profiles::netronome_agilio_cx40();
+    let nat_source = clara_core::nfs::by_name("nat").expect("corpus has nat").0;
+    let direct = Clara::with_params((*params).clone())
+        .predict(&nat_source, &WorkloadProfile::paper_default())
+        .expect("one-shot prediction succeeds");
+
+    let config = ServeConfig {
+        workers: 1,
+        queue_cap: 2,
+        read_timeout_ms: 10_000,
+        chaos: Some(kill_and_slow(300)),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(config).unwrap();
+    server.seed_target("netronome", lnic, Arc::clone(&params));
+    let addr = server.addr();
+
+    // Phase 1: a healthy request through the full daemon path (framed,
+    // queued, chaos-slowed, worker killed after the reply) must answer
+    // exactly what the library answers.
+    let mut client = Client::connect(addr).unwrap();
+    let reply = client.request(r#"{"op":"predict","nf":"nat"}"#).unwrap();
+    assert_eq!(code_of(&reply), 0, "{reply:?}");
+    assert_bit_identical(&reply, &direct);
+
+    // Phase 2: overload. One worker asleep 300 ms per job behind a
+    // queue of 2; ten concurrent requests are >3x the system's
+    // capacity, so some must shed immediately with a retry hint while
+    // the admitted ones still answer correctly.
+    let handles: Vec<_> = (0..10)
+        .map(|_| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let started = Instant::now();
+                let reply = client.request(r#"{"op":"predict","nf":"nat"}"#).unwrap();
+                (reply, started.elapsed())
+            })
+        })
+        .collect();
+    let replies: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let (mut shed, mut served) = (0, 0);
+    for (reply, elapsed) in &replies {
+        match code_of(reply) {
+            code if code == u64::from(reply_codes::OVERLOADED) => {
+                shed += 1;
+                // Shedding is admission-time: it must not wait in line.
+                assert!(*elapsed < Duration::from_millis(250), "shed took {elapsed:?}");
+                assert!(
+                    reply.get("retry_after_ms").and_then(Value::as_u64).unwrap() >= 1,
+                    "{reply:?}"
+                );
+            }
+            0 => {
+                served += 1;
+                assert_bit_identical(reply, &direct);
+            }
+            other => panic!("unexpected reply code {other}: {reply:?}"),
+        }
+    }
+    assert!(shed >= 1, "no shed under 10 concurrent requests: {replies:?}");
+    assert!(served >= 1, "nothing served under overload: {replies:?}");
+
+    // Phase 3: a poisoned request panics mid-prediction. The worker
+    // survives it (per-job isolation), the client gets a structured
+    // reply, and the quarantined cache entry is rebuilt transparently
+    // for the next healthy request.
+    let reply = client
+        .request(r#"{"op":"predict","nf":"nat","inject_panic":true}"#)
+        .unwrap();
+    assert_eq!(code_of(&reply), u64::from(reply_codes::PANICKED), "{reply:?}");
+    assert_eq!(reply.get("error").and_then(Value::as_str), Some("worker-panicked"));
+    let reply = client.request(r#"{"op":"predict","nf":"nat"}"#).unwrap();
+    assert_eq!(code_of(&reply), 0, "{reply:?}");
+    assert_bit_identical(&reply, &direct);
+
+    // Phase 4: drain with work in flight. The admitted job completes
+    // with its real (still bit-identical) reply; late arrivals are
+    // refused once the listener closes.
+    let inflight = thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.request(r#"{"op":"predict","nf":"nat"}"#).unwrap()
+    });
+    thread::sleep(Duration::from_millis(100));
+    let shutdown = client.shutdown().unwrap();
+    assert_eq!(shutdown.get("draining").and_then(Value::as_bool), Some(true));
+    let reply = inflight.join().unwrap();
+    assert_eq!(code_of(&reply), 0, "in-flight job dropped during drain: {reply:?}");
+    assert_bit_identical(&reply, &direct);
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match Client::connect_timeout(addr, Duration::from_millis(200)) {
+            Err(_) => break,
+            Ok(mut late) => match late.request(r#"{"op":"ping"}"#) {
+                Ok(v) => {
+                    // The accept loop may still be mid-poll; anything it
+                    // answers while draining must say so.
+                    let code = code_of(&v);
+                    assert!(
+                        code == 0 || code == u64::from(reply_codes::SHUTTING_DOWN),
+                        "{v:?}"
+                    );
+                }
+                Err(ClientError::Frame(_) | ClientError::Closed) => {}
+                Err(e) => panic!("unexpected client error: {e}"),
+            },
+        }
+        assert!(Instant::now() < deadline, "listener never closed");
+        thread::sleep(Duration::from_millis(50));
+    }
+
+    let stats = server.join();
+    // Every completed job killed its worker; the supervisor must have
+    // respawned at least the ones before the drain.
+    assert!(stats.workers_respawned >= 3, "{stats:?}");
+    assert!(stats.shed >= 1, "{stats:?}");
+    assert_eq!(stats.panicked, 1, "{stats:?}");
+    assert!(stats.completed >= 4, "{stats:?}");
+    // The session cache did its job: one prepare per healthy class plus
+    // one rebuild after quarantine; everything else hit.
+    assert!(stats.prepared_hits >= 2, "{stats:?}");
+    assert_eq!(stats.quarantined, 1, "{stats:?}");
+}
