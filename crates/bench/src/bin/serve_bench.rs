@@ -1,25 +1,35 @@
 //! `clara serve` daemon benchmark, emitted as `BENCH_serve.json`.
 //!
-//! Two phases against an in-process server with a pre-seeded target:
+//! Three phases against in-process servers with pre-seeded targets:
 //!
 //! 1. **steady** — N clients issue sequential `predict` requests over
 //!    the wire and every reply is checked bit-identical to the one-shot
 //!    [`clara_core::Clara::predict`] path. Reports throughput and p50/p95/p99
 //!    request latency plus the session cache's hit rate (after the
 //!    first request per workload class, everything should hit).
-//! 2. **overload** — a deliberately tiny server (one worker, chaos
+//! 2. **validate reuse** — one client issues repeated `validate` jobs
+//!    for the same (NF, NIC) pair. The session-owned shared
+//!    [`CostCache`](clara_core::sim::CostCache) means only the very
+//!    first cell of the very first request pays the pure stage costs;
+//!    every later cell — across requests — replays them. Asserts the
+//!    steady-state `sim_memo_hit_rate` clears 0.9 and that every served
+//!    cell is bit-identical to a local
+//!    [`clara_core::run_validation_sweep`] with the same pinned
+//!    configuration.
+//! 3. **overload** — a deliberately tiny server (one worker, chaos
 //!    slowing every job) is offered 2x its queue capacity in concurrent
 //!    clients. Reports the shed rate and asserts it is nonzero: a
 //!    benchmark where admission control never fires is measuring the
 //!    wrong thing.
 //!
 //! ```text
-//! serve_bench [--quick] [-o BENCH_serve.json]
+//! serve_bench [--quick] [-o BENCH_serve.json] [--threads N]
 //! ```
 //!
 //! `--quick` shrinks request counts for CI smoke. Any correctness
-//! failure (wire drift, zero shed, non-ok replies) panics, so the exit
-//! code is nonzero exactly when the numbers are untrustworthy.
+//! failure (wire drift, memo-rate collapse, zero shed, non-ok replies)
+//! panics, so the exit code is nonzero exactly when the numbers are
+//! untrustworthy.
 
 use std::sync::Arc;
 use std::thread;
@@ -27,7 +37,9 @@ use std::time::Instant;
 
 use clara_core::serve::json::Value;
 use clara_core::serve::{reply_codes, ChaosConfig, Client, ServeConfig, Server};
-use clara_core::{Prediction, WorkloadProfile};
+use clara_core::{
+    run_validation_sweep, Prediction, ValidationConfig, ValidationResult, WorkloadProfile,
+};
 
 fn code_of(reply: &Value) -> u64 {
     reply.get("code").and_then(Value::as_u64).expect("reply has a code")
@@ -69,6 +81,18 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
         .unwrap_or("BENCH_serve.json");
+    // Worker-thread override for the steady server. The recorded value
+    // lands in the JSON so a reader can tell a 1-CPU container run from
+    // a 16-core workstation run without guessing (the overload server
+    // keeps its pinned single worker — that phase is about admission
+    // control, not parallelism).
+    let threads_override = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse::<usize>().expect("--threads takes a number"));
+    let threads_available = thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let recorded_with_threads = threads_override.unwrap_or(threads_available);
 
     eprintln!("serve_bench: extracting NIC parameters...");
     let clara = clara_bench::clara();
@@ -82,6 +106,7 @@ fn main() {
     let clients = if quick { 2 } else { 4 };
     let per_client = if quick { 15 } else { 150 };
     let server = Server::start(ServeConfig {
+        workers: threads_override.unwrap_or(0),
         queue_cap: 64,
         read_timeout_ms: 30_000,
         ..ServeConfig::default()
@@ -137,7 +162,137 @@ fn main() {
     );
     eprintln!("  every reply bit-identical to the one-shot pipeline: yes");
 
-    // --- 2. overload -----------------------------------------------------
+    // --- 2. validate reuse -----------------------------------------------
+    // Repeated validate jobs for the same (NF, NIC) against one server.
+    // Each request is a whole validation sweep (one simulated cell per
+    // rate); the NfSession's shared CostCache carries the pure stage
+    // costs across requests, so only the first cell of the first request
+    // computes them. Integer rates round-trip the wire exactly, keeping
+    // the served grid bit-identical to the local reference sweep. DPI
+    // with the automaton in uncached IMEM is the workload class where
+    // re-costing would hurt most: payload-pure signatures that each walk
+    // the memory model O(payload) deep.
+    let v_requests = if quick { 3 } else { 6 };
+    let v_rates: Vec<u64> = if quick {
+        vec![20_000, 40_000, 60_000, 80_000]
+    } else {
+        (1..=8).map(|i| i * 15_000).collect()
+    };
+    let v_packets = if quick { 300usize } else { 1_500 };
+    let v_seed = 42u64;
+    let (nf_text, v_program) = clara_core::nfs::by_name("dpi-imem").expect("corpus has dpi-imem");
+    let v_module = clara.analyze(&nf_text).expect("dpi-imem compiles").module;
+    let v_grid: Vec<WorkloadProfile> = v_rates
+        .iter()
+        .map(|&rate| {
+            let mut wl = WorkloadProfile::paper_default();
+            wl.rate_pps = rate as f64;
+            wl
+        })
+        .collect();
+    // The server's validate path pins threads: 1 and attaches the
+    // session cache; the reference run pins the same knobs (a fresh
+    // cache — shared-layer reuse must not be needed for the numbers).
+    let v_config = ValidationConfig {
+        threads: 1,
+        packets: v_packets,
+        seed: v_seed,
+        ..ValidationConfig::default()
+    };
+    let local = run_validation_sweep(
+        &v_module,
+        &params,
+        clara_bench::netronome(),
+        &v_program,
+        &v_grid,
+        &v_config,
+    );
+    let local_cells: Vec<_> = local
+        .cells
+        .iter()
+        .map(|c| match c {
+            ValidationResult::Ok(cell) => cell,
+            ValidationResult::Failed(why) => panic!("local reference cell failed: {why}"),
+        })
+        .collect();
+
+    let server = Server::start(ServeConfig {
+        queue_cap: 64,
+        read_timeout_ms: 60_000,
+        ..ServeConfig::default()
+    })
+    .expect("validate server starts");
+    server.seed_target("netronome", clara_bench::netronome().clone(), Arc::clone(&params));
+    let addr = server.addr();
+    eprintln!(
+        "validate: {v_requests} requests x {} cells x {v_packets} packets on {addr}",
+        v_rates.len()
+    );
+    let rates_json =
+        v_rates.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+    let request = format!(
+        r#"{{"op":"validate","nf":"dpi-imem","rates":[{rates_json}],"packets":{v_packets},"seed":{v_seed}}}"#
+    );
+    let started = Instant::now();
+    let mut client = Client::connect(addr).expect("validate client connects");
+    for _ in 0..v_requests {
+        let reply = client.request(&request).expect("validate request succeeds");
+        assert_eq!(code_of(&reply), 0, "{reply:?}");
+        let cells = reply
+            .get("cells")
+            .and_then(Value::as_arr)
+            .expect("validate reply has cells");
+        assert_eq!(cells.len(), local_cells.len(), "cell count drifted");
+        for (served, want) in cells.iter().zip(&local_cells) {
+            assert_eq!(served.get("ok").and_then(Value::as_bool), Some(true), "{served:?}");
+            for (key, want_bits) in [
+                ("predicted_cycles", want.predicted_cycles.to_bits()),
+                ("actual_cycles", want.actual_cycles.to_bits()),
+            ] {
+                let got = served
+                    .get(key)
+                    .and_then(Value::as_f64)
+                    .unwrap_or_else(|| panic!("cell missing `{key}`: {served:?}"));
+                assert_eq!(
+                    got.to_bits(),
+                    want_bits,
+                    "served `{key}` diverged from the local sweep at rate {}",
+                    want.rate_pps
+                );
+            }
+        }
+    }
+    let validate_wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    server.shutdown();
+    let vstats = server.join();
+    let sim_lookups = vstats.sim_memo_hits + vstats.sim_memo_misses;
+    let sim_memo_hit_rate =
+        if sim_lookups == 0 { 0.0 } else { vstats.sim_memo_hits as f64 / sim_lookups as f64 };
+    assert!(
+        sim_memo_hit_rate > 0.9,
+        "cross-request stage-cost reuse collapsed: {} hits / {} misses (rate {:.3})",
+        vstats.sim_memo_hits,
+        vstats.sim_memo_misses,
+        sim_memo_hit_rate
+    );
+    assert!(
+        vstats.sim_cost_views >= 1,
+        "no fingerprint view interned by the validate session: {vstats:?}"
+    );
+    eprintln!(
+        "  {} cells over {validate_wall_ms:.0} ms  sim memo {}/{} shared (rate {:.3}, {} view(s))",
+        v_requests * v_rates.len(),
+        vstats.sim_memo_hits,
+        sim_lookups,
+        sim_memo_hit_rate,
+        vstats.sim_cost_views
+    );
+    eprintln!("  every served cell bit-identical to the local sweep: yes");
+    let v_cells = v_rates.len();
+    let (v_hits, v_misses, v_views) =
+        (vstats.sim_memo_hits, vstats.sim_memo_misses, vstats.sim_cost_views);
+
+    // --- 3. overload -----------------------------------------------------
     // One worker, every job slowed 25 ms by chaos, queue of 4: offering
     // 2x the queue capacity in concurrent clients (each firing
     // back-to-back) must shed. Panic/kill/truncate chaos stays off so
@@ -222,12 +377,12 @@ fn main() {
          (rate {shed_rate:.3}), median retry hint {hint_p50} ms"
     );
 
-    let threads = thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let json = format!(
         r#"{{
   "bench": "serve",
   "quick": {quick},
-  "threads_available": {threads},
+  "threads_available": {threads_available},
+  "recorded_with_threads": {recorded_with_threads},
   "steady": {{
     "clients": {clients},
     "requests": {total},
@@ -238,6 +393,17 @@ fn main() {
     "latency_p99_us": {p99},
     "prepared_hit_rate": {hit_rate:.4},
     "bit_identical_to_oneshot": true
+  }},
+  "validate": {{
+    "requests": {v_requests},
+    "cells_per_request": {v_cells},
+    "packets_per_cell": {v_packets},
+    "wall_ms": {validate_wall_ms:.1},
+    "sim_memo_hits": {v_hits},
+    "sim_memo_misses": {v_misses},
+    "sim_memo_hit_rate": {sim_memo_hit_rate:.4},
+    "sim_cost_views": {v_views},
+    "bit_identical_to_local_sweep": true
   }},
   "overload": {{
     "workers": 1,

@@ -52,6 +52,7 @@
 //! ```
 
 mod batch;
+pub mod costcache;
 pub mod engine;
 pub mod fault;
 pub mod memory;
@@ -60,6 +61,7 @@ pub mod watchdog;
 
 pub use clara_lnic::AccelKind;
 pub use clara_telemetry::{SimStats, StageTimeline};
+pub use costcache::CostCache;
 pub use engine::{
     simulate, simulate_configured, simulate_instrumented, simulate_streamed,
     simulate_streamed_instrumented, simulate_supervised, simulate_with_faults, SimConfig, SimError,

@@ -2,8 +2,8 @@
 
 use clara_lnic::profiles;
 use clara_nicsim::{
-    simulate, simulate_configured, AccelKind, FaultPlan, MicroOp, NicProgram, SimConfig, SimError,
-    SimResult, Stage, StageUnit, TableCfg, Watchdog,
+    simulate, simulate_configured, simulate_streamed, AccelKind, CostCache, FaultPlan, MicroOp,
+    NicProgram, SimConfig, SimError, SimResult, SimScratch, Stage, StageUnit, TableCfg, Watchdog,
 };
 use clara_workload::{SizeDist, Trace, TraceGenerator};
 use proptest::prelude::*;
@@ -390,6 +390,65 @@ proptest! {
         let seq = simulate_configured(&nic, &prog, &trace, &faults, &wd, &SimConfig::default());
         let par = simulate_configured(&nic, &prog, &trace, &faults, &wd, &SimConfig::islands());
         prop_assert!(identical(&par, &seq), "islands != sequential");
+    }
+
+    /// The shared cost cache is invisible in results: workers racing on
+    /// one [`CostCache`] while simulating the same random (program,
+    /// trace, fault-plan, watchdog) case agree bit-for-bit with the
+    /// per-run-memo path and the exact path — and a warm-cache rerun
+    /// (pure cross-run reuse, local memo empty) agrees too.
+    #[test]
+    fn shared_cost_cache_bit_exact(
+        stages in proptest::collection::vec(proptest::collection::vec(arb_op(), 1..4), 1..3),
+        seed in any::<u64>(),
+        packets in 50usize..250,
+        flows in 1usize..300,
+        payload in 0usize..1500,
+        rate in 10_000.0f64..2_000_000.0,
+        fault_knobs in (
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+            0u64..5,
+            0u64..5,
+            0usize..500,
+        ),
+        caps in (
+            prop_oneof![Just(None), (1usize..32).prop_map(Some)],
+            prop_oneof![Just(None), (10_000u64..500_000).prop_map(Some)],
+        ),
+    ) {
+        let (prog, trace, faults, wd) =
+            build_case(stages, seed, packets, flows, payload, rate, fault_knobs, caps);
+        let nic = profiles::netronome_agilio_cx40();
+        let memo = simulate_configured(&nic, &prog, &trace, &faults, &wd, &SimConfig::default());
+        let exact = simulate_configured(&nic, &prog, &trace, &faults, &wd, &SimConfig::exact());
+        prop_assert!(identical(&memo, &exact), "per-run memo != exact");
+
+        let cache = std::sync::Arc::new(CostCache::new());
+        let run_shared = |cache: &std::sync::Arc<CostCache>| {
+            let mut scratch = SimScratch::new();
+            scratch.attach_cost_cache(std::sync::Arc::clone(cache));
+            simulate_streamed(
+                &nic, &prog, trace.iter().cloned(), &faults, &wd,
+                &SimConfig::default(), &mut scratch,
+            )
+            .map(|mut r| {
+                r.latencies = scratch.latencies().to_vec();
+                r
+            })
+        };
+        let results: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..3).map(|_| s.spawn(|| run_shared(&cache))).collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+        for r in &results {
+            prop_assert!(identical(r, &memo), "shared-cache worker != per-run memo");
+        }
+        // Rerun against the warm cache: every pure signature resolves
+        // from the shared layer while the run-local memo starts empty.
+        let warm = run_shared(&cache);
+        prop_assert!(identical(&warm, &memo), "warm shared-cache rerun != per-run memo");
     }
 
     /// Determinism: identical runs produce identical results.

@@ -39,6 +39,7 @@ use crate::predictor::{
 use clara_cir::CirModule;
 use clara_map::RunDeadline;
 use clara_microbench::NicParameters;
+use clara_nicsim::CostCache;
 use clara_workload::WorkloadProfile;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -82,6 +83,15 @@ pub struct SessionStats {
     pub prepared_misses: u64,
     /// Class entries evicted by [`NfSession::quarantine`].
     pub quarantined: u64,
+    /// Simulator stage costs resolved from the session's shared
+    /// [`CostCache`] (cross-request reuse; see `SimStats::memo_hits`).
+    pub sim_memo_hits: u64,
+    /// Simulator stage costs computed (then published) by requests over
+    /// this session.
+    pub sim_memo_misses: u64,
+    /// Fingerprint views currently interned in the session's cost cache
+    /// (drops to 0 after a quarantine purge).
+    pub sim_cost_views: u64,
 }
 
 /// A long-lived prediction pipeline for one `(NF, target)` pair: the
@@ -92,6 +102,11 @@ pub struct NfSession {
     module: CirModule,
     params: Arc<NicParameters>,
     preps: Mutex<HashMap<ClassKey, Arc<Prepared>>>,
+    /// Shared simulator stage-cost cache for validate requests over this
+    /// session: repeated requests for the same `(NF, NIC)` replay pure
+    /// stage costs instead of re-costing. Keyed internally by post-fault
+    /// run fingerprints, so sharing never changes simulated bits.
+    sim_costs: Arc<CostCache>,
     hits: AtomicU64,
     misses: AtomicU64,
     quarantined: AtomicU64,
@@ -116,6 +131,7 @@ impl NfSession {
             module,
             params,
             preps: Mutex::new(HashMap::new()),
+            sim_costs: Arc::new(CostCache::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
@@ -130,6 +146,14 @@ impl NfSession {
     /// The session's NIC parameters.
     pub fn params(&self) -> &NicParameters {
         &self.params
+    }
+
+    /// The session's shared simulator cost cache. Pass it as
+    /// `ValidationConfig::cost_cache` (or attach it to a `SimScratch`)
+    /// so validate requests over this session reuse each other's pure
+    /// stage costs.
+    pub fn cost_cache(&self) -> &Arc<CostCache> {
+        &self.sim_costs
     }
 
     /// Predict under `workload`, reusing the class's cached `Prepared`
@@ -181,6 +205,13 @@ impl NfSession {
         if evicted {
             self.quarantined.fetch_add(1, Ordering::Relaxed);
         }
+        // The simulator cost cache is evicted wholesale: its views are
+        // keyed by run fingerprint, not workload class, so there is no
+        // per-class entry to target — and stage costs are cheap to
+        // recompute relative to trusting state a panicking request may
+        // have touched. Hit/miss history survives (it describes the
+        // past, not the contents).
+        self.sim_costs.purge();
     }
 
     /// Number of distinct workload classes currently cached.
@@ -194,6 +225,9 @@ impl NfSession {
             prepared_hits: self.hits.load(Ordering::Relaxed),
             prepared_misses: self.misses.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
+            sim_memo_hits: self.sim_costs.hits(),
+            sim_memo_misses: self.sim_costs.misses(),
+            sim_cost_views: self.sim_costs.views() as u64,
         }
     }
 }
@@ -289,6 +323,65 @@ mod tests {
         assert_eq!(session.stats().quarantined, 1);
         let after = session.predict(&wl, &PredictOptions::default(), &d).unwrap();
         assert_eq!(before.avg_latency_cycles.to_bits(), after.avg_latency_cycles.to_bits());
+    }
+
+    #[test]
+    fn quarantine_purges_sim_cost_cache() {
+        use crate::validate::{run_validation_sweep, validation_grid, ValidationConfig};
+        use clara_nicsim::{MicroOp, NicProgram, Stage, StageUnit, TableCfg};
+        let session = NfSession::from_source(SRC, params()).unwrap();
+        // Multi-stage program: the parse stage is Fixed and the checksum
+        // stage PayloadPure, so validate runs intern views in the
+        // session's cache.
+        let program = NicProgram {
+            name: "nat".into(),
+            tables: vec![TableCfg {
+                name: "flow_table".into(),
+                mem: "emem".into(),
+                entry_bytes: 16,
+                entries: 65_536,
+                use_flow_cache: true,
+            }],
+            stages: vec![
+                Stage {
+                    name: "parse".into(),
+                    unit: StageUnit::Npu,
+                    ops: vec![MicroOp::ParseHeader, MicroOp::Hash { count: 1 }],
+                },
+                Stage {
+                    name: "lookup".into(),
+                    unit: StageUnit::Npu,
+                    ops: vec![MicroOp::TableLookup { table: 0 }],
+                },
+                Stage {
+                    name: "checksum".into(),
+                    unit: StageUnit::Npu,
+                    ops: vec![MicroOp::ChecksumSw],
+                },
+            ],
+        };
+        let nic = profiles::netronome_agilio_cx40();
+        let cfg = ValidationConfig {
+            threads: 1,
+            packets: 400,
+            cost_cache: Some(Arc::clone(session.cost_cache())),
+            ..ValidationConfig::default()
+        };
+        run_validation_sweep(
+            session.module(),
+            session.params(),
+            &nic,
+            &program,
+            &validation_grid(1),
+            &cfg,
+        );
+        let st = session.stats();
+        assert!(st.sim_cost_views > 0, "validate runs must intern views: {st:?}");
+        assert!(st.sim_memo_misses > 0, "first runs publish, not hit: {st:?}");
+        session.quarantine(&WorkloadProfile::paper_default());
+        let st = session.stats();
+        assert_eq!(st.sim_cost_views, 0, "quarantine evicts the cost cache wholesale");
+        assert!(st.sim_memo_misses > 0, "hit/miss history survives the purge");
     }
 
     #[test]

@@ -27,14 +27,14 @@ use clara_lnic::Lnic;
 use clara_map::{IlpSeed, RunDeadline};
 use clara_microbench::NicParameters;
 use clara_nicsim::{
-    simulate_streamed, simulate_streamed_instrumented, FaultPlan, NicProgram, SimConfig,
+    simulate_streamed, simulate_streamed_instrumented, CostCache, FaultPlan, NicProgram, SimConfig,
     SimInstruments, SimScratch, Watchdog,
 };
 use clara_telemetry::{SimStats, SolveStats};
 use clara_workload::WorkloadProfile;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Policy knobs for one validation sweep.
 #[derive(Debug, Clone)]
@@ -63,6 +63,13 @@ pub struct ValidationConfig {
     /// bit-identical to uninstrumented ones (telemetry never feeds back),
     /// so this only adds observation cost.
     pub telemetry: bool,
+    /// Shared stage-cost cache attached to every worker's scratch.
+    /// `None` (the default) makes the sweep create one internally, so
+    /// cells still share costs with each other; pass a session-owned
+    /// cache to also share across requests. Shared values are replayed
+    /// bit-identically (they are keyed by the post-fault run
+    /// fingerprint), so attaching a cache never changes results.
+    pub cost_cache: Option<Arc<CostCache>>,
 }
 
 impl Default for ValidationConfig {
@@ -75,6 +82,7 @@ impl Default for ValidationConfig {
             options: PredictOptions::default(),
             watchdog: Watchdog::new(),
             telemetry: false,
+            cost_cache: None,
         }
     }
 }
@@ -268,6 +276,12 @@ pub fn run_validation_sweep(
     };
     let faults = FaultPlan::none();
     let watchdog = config.watchdog.clone();
+    // One shared cost cache per sweep (donated like the ILP warm-start
+    // seed below): the first cell to cost a pure (stage, unit[, len])
+    // signature publishes it and every later cell — on any worker —
+    // replays it instead of recomputing.
+    let cost_cache: Arc<CostCache> =
+        config.cost_cache.clone().unwrap_or_else(|| Arc::new(CostCache::new()));
 
     // Star-topology cross-cell warm start, mirroring the prediction
     // sweep: the first grid cell is the seed donor for every other
@@ -364,6 +378,7 @@ pub fn run_validation_sweep(
     let slots: Vec<OnceLock<ValidationResult>> = (0..grid.len()).map(|_| OnceLock::new()).collect();
     if threads <= 1 || grid.len() <= 1 {
         let mut scratch = SimScratch::new();
+        scratch.attach_cost_cache(Arc::clone(&cost_cache));
         for (i, slot) in slots.iter().enumerate() {
             let _ = slot.set(run_one(i, &mut scratch));
         }
@@ -372,6 +387,7 @@ pub fn run_validation_sweep(
             for _ in 0..threads.min(grid.len()) {
                 s.spawn(|| {
                     let mut scratch = SimScratch::new();
+                    scratch.attach_cost_cache(Arc::clone(&cost_cache));
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= grid.len() {
@@ -457,6 +473,81 @@ mod tests {
 
     fn small_config(threads: usize) -> ValidationConfig {
         ValidationConfig { threads, packets: 600, ..ValidationConfig::default() }
+    }
+
+    /// Like [`nat_program`] but split into per-op stages, so the parse
+    /// stage classifies Fixed and the checksum stage PayloadPure — the
+    /// shapes the shared cost cache actually interns. The single-stage
+    /// variant is one Live stage and never touches the cache.
+    fn staged_nat_program() -> NicProgram {
+        NicProgram {
+            name: "nat-staged".into(),
+            tables: vec![TableCfg {
+                name: "flow_table".into(),
+                mem: "emem".into(),
+                entry_bytes: 16,
+                entries: 65_536,
+                use_flow_cache: true,
+            }],
+            stages: vec![
+                Stage {
+                    name: "parse".into(),
+                    unit: StageUnit::Npu,
+                    ops: vec![MicroOp::ParseHeader, MicroOp::Hash { count: 1 }],
+                },
+                Stage {
+                    name: "lookup".into(),
+                    unit: StageUnit::Npu,
+                    ops: vec![MicroOp::TableLookup { table: 0 }, MicroOp::MetadataMod { count: 3 }],
+                },
+                Stage {
+                    name: "checksum".into(),
+                    unit: StageUnit::Npu,
+                    ops: vec![MicroOp::ChecksumSw],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn shared_cost_cache_across_sweeps_is_bit_identical_and_reused() {
+        let nic = profiles::netronome_agilio_cx40();
+        let params = extract_parameters(&nic);
+        let module = nat_module();
+        let program = staged_nat_program();
+        let grid = validation_grid(2);
+        // Baseline: sweep-internal cache (the default path).
+        let baseline =
+            run_validation_sweep(&module, &params, &nic, &program, &grid, &small_config(1));
+        // Caller-owned cache shared across two whole sweeps.
+        let cache = Arc::new(CostCache::new());
+        let shared_cfg =
+            ValidationConfig { cost_cache: Some(Arc::clone(&cache)), ..small_config(1) };
+        let first =
+            run_validation_sweep(&module, &params, &nic, &program, &grid, &shared_cfg);
+        let misses_after_first = cache.misses();
+        assert!(misses_after_first > 0, "first sweep must publish pure stage costs");
+        assert!(cache.views() >= 1, "at least one fingerprint view interned");
+        let second =
+            run_validation_sweep(&module, &params, &nic, &program, &grid, &shared_cfg);
+        assert!(cache.hits() > 0, "second sweep must resolve from the shared cache");
+        assert_eq!(
+            cache.misses(),
+            misses_after_first,
+            "an identical sweep recomputes no pure signature"
+        );
+        for (a, b) in baseline.cells.iter().zip(first.cells.iter().zip(&second.cells)) {
+            let (ValidationResult::Ok(a), (ValidationResult::Ok(b), ValidationResult::Ok(c))) =
+                (a, b)
+            else {
+                panic!("expected all Ok")
+            };
+            assert_eq!(a.predicted_cycles.to_bits(), b.predicted_cycles.to_bits());
+            assert_eq!(a.actual_cycles.to_bits(), b.actual_cycles.to_bits());
+            assert_eq!(b.actual_cycles.to_bits(), c.actual_cycles.to_bits());
+            assert_eq!(a.completed, b.completed);
+            assert_eq!(b.completed, c.completed);
+        }
     }
 
     #[test]

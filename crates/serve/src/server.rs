@@ -737,6 +737,11 @@ fn process_job(shared: &Shared, job: &Job, chaos_panic: bool) -> Reply {
                     ..PredictOptions::default()
                 },
                 watchdog: job.watchdog(),
+                // Session-owned cost cache: repeated validate requests
+                // for the same (NF, NIC) replay pure stage costs instead
+                // of re-costing every cell. Bit-identical by the cache's
+                // fingerprint contract.
+                cost_cache: Some(Arc::clone(session.cost_cache())),
                 ..ValidationConfig::default()
             };
             let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -938,6 +943,9 @@ fn snapshot_with_cache(shared: &Shared) -> StatsSnapshot {
         snap.prepared_hits += s.prepared_hits;
         snap.prepared_misses += s.prepared_misses;
         snap.quarantined += s.quarantined;
+        snap.sim_memo_hits += s.sim_memo_hits;
+        snap.sim_memo_misses += s.sim_memo_misses;
+        snap.sim_cost_views += s.sim_cost_views;
     }
     snap
 }

@@ -62,6 +62,12 @@ pub struct StatsSnapshot {
     pub prepared_hits: u64,
     pub prepared_misses: u64,
     pub quarantined: u64,
+    /// Simulator stage-cost cache aggregates across sessions: shared
+    /// resolutions (hits), computed-and-published signatures (misses),
+    /// and currently interned fingerprint views.
+    pub sim_memo_hits: u64,
+    pub sim_memo_misses: u64,
+    pub sim_cost_views: u64,
 }
 
 impl ServeStats {
@@ -95,6 +101,9 @@ impl ServeStats {
             prepared_hits: 0,
             prepared_misses: 0,
             quarantined: 0,
+            sim_memo_hits: 0,
+            sim_memo_misses: 0,
+            sim_cost_views: 0,
         }
     }
 
@@ -129,6 +138,9 @@ impl StatsSnapshot {
             .uint("prepared_hits", self.prepared_hits)
             .uint("prepared_misses", self.prepared_misses)
             .uint("quarantined", self.quarantined)
+            .uint("sim_memo_hits", self.sim_memo_hits)
+            .uint("sim_memo_misses", self.sim_memo_misses)
+            .uint("sim_cost_views", self.sim_cost_views)
     }
 
     /// Export the counters into a telemetry report (flushed at drain).
@@ -150,6 +162,9 @@ impl StatsSnapshot {
             ("serve.sessions".into(), self.sessions),
             ("serve.shed".into(), self.shed),
             ("serve.shutdown_rejects".into(), self.shutdown_rejects),
+            ("serve.sim_cost_views".into(), self.sim_cost_views),
+            ("serve.sim_memo_hits".into(), self.sim_memo_hits),
+            ("serve.sim_memo_misses".into(), self.sim_memo_misses),
             ("serve.timed_out".into(), self.timed_out),
             ("serve.workers_respawned".into(), self.workers_respawned),
         ];

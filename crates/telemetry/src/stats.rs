@@ -147,6 +147,17 @@ pub struct SimStats {
     /// Packets whose per-thread schedule was computed island-parallel
     /// (subset of `batch_packets`; 0 unless islands mode engaged).
     pub island_packets: u64,
+    /// Packets completed by the partial-run batch kernel (Live stages
+    /// present; pure stages columnized, live ones replayed). Disjoint
+    /// from `batch_packets` — a run takes one kernel or the other.
+    pub batch_partial_packets: u64,
+    /// Pure stage costs resolved from a shared cross-run cost cache
+    /// (`clara-nicsim`'s `CostCache`): run-local memo misses answered
+    /// without recomputation. Zero when no cache is attached.
+    pub memo_hits: u64,
+    /// Pure stage costs that had to be computed by the exact path this
+    /// run (then published when a shared cache was attached).
+    pub memo_misses: u64,
     /// Per-island thread occupancy.
     pub islands: Vec<IslandStats>,
     /// Per-memory-level access counts.
@@ -176,7 +187,7 @@ impl SimStats {
     /// kernel covers whole runs, islands mode a subset of batched ones).
     pub fn conserved(&self) -> bool {
         self.injected == self.completed + self.dropped_total()
-            && self.batch_packets <= self.completed
+            && self.batch_packets + self.batch_partial_packets <= self.completed
             && self.island_packets <= self.batch_packets
     }
 
@@ -204,6 +215,9 @@ impl SimStats {
         self.watchdog_trips += other.watchdog_trips;
         self.batch_packets += other.batch_packets;
         self.island_packets += other.island_packets;
+        self.batch_partial_packets += other.batch_partial_packets;
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
         self.emem_cache_hits += other.emem_cache_hits;
         self.emem_cache_misses += other.emem_cache_misses;
         self.switch_transfers += other.switch_transfers;
@@ -258,6 +272,12 @@ impl SimStats {
         if self.island_packets > 0 {
             s += &format!(" islands={}", self.island_packets);
         }
+        if self.batch_partial_packets > 0 {
+            s += &format!(" partial={}", self.batch_partial_packets);
+        }
+        if self.memo_hits + self.memo_misses > 0 {
+            s += &format!(" memo={}/{}", self.memo_hits, self.memo_hits + self.memo_misses);
+        }
         s
     }
 }
@@ -280,6 +300,38 @@ mod tests {
         assert!(s.conserved());
         let bad = SimStats { completed: 89, ..s };
         assert!(!bad.conserved());
+    }
+
+    #[test]
+    fn partial_and_memo_counters_conserve_merge_and_summarize() {
+        let mut a = SimStats {
+            injected: 10,
+            completed: 10,
+            batch_partial_packets: 10,
+            memo_hits: 3,
+            memo_misses: 1,
+            ..SimStats::default()
+        };
+        assert!(a.conserved());
+        // Full and partial kernels are disjoint: together they can never
+        // claim more packets than completed.
+        let double = SimStats { batch_packets: 1, ..a.clone() };
+        assert!(!double.conserved());
+        let b = SimStats {
+            injected: 5,
+            completed: 5,
+            batch_partial_packets: 5,
+            memo_hits: 2,
+            memo_misses: 0,
+            ..SimStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.batch_partial_packets, 15);
+        assert_eq!((a.memo_hits, a.memo_misses), (5, 1));
+        assert!(a.conserved());
+        let s = a.summary();
+        assert!(s.contains("partial=15"), "{s}");
+        assert!(s.contains("memo=5/6"), "{s}");
     }
 
     #[test]

@@ -94,6 +94,106 @@ fn assert_bit_identical(reply: &Value, direct: &Prediction) {
     );
 }
 
+/// Validate requests over one session share its simulator cost cache:
+/// the first request interns pure stage costs, an identical second
+/// request resolves them (without changing a single served bit), and a
+/// panicking request over the same session purges the whole shard along
+/// with the quarantined class entry.
+#[test]
+fn validate_requests_share_the_session_cost_cache_until_quarantine() {
+    let params = params();
+    let lnic = profiles::netronome_agilio_cx40();
+    let config = ServeConfig {
+        workers: 1,
+        queue_cap: 4,
+        read_timeout_ms: 30_000,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(config).unwrap();
+    server.seed_target("netronome", lnic.clone(), Arc::clone(&params));
+    let addr = server.addr();
+    let mut client = Client::connect(addr).unwrap();
+    let get = |s: &Value, k: &str| {
+        s.get(k)
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| panic!("stats missing `{k}`: {s:?}"))
+    };
+
+    // `dpi-imem` is the corpus variant whose stages are all
+    // signature-pure (uncached automaton), so its validate runs intern
+    // views in the session's shared cost cache.
+    let req = r#"{"op":"validate","nf":"dpi-imem","rates":[20000.0,60000.0],"packets":400}"#;
+    let first = client.request(req).unwrap();
+    assert_eq!(code_of(&first), 0, "{first:?}");
+    let stats = client.stats().unwrap();
+    assert!(get(&stats, "sim_cost_views") > 0, "{stats:?}");
+    assert!(get(&stats, "sim_memo_misses") > 0, "{stats:?}");
+
+    // An identical request resolves pure costs from the shared cache —
+    // and serves exactly the same bits.
+    let second = client.request(req).unwrap();
+    assert_eq!(code_of(&second), 0, "{second:?}");
+    assert_eq!(
+        first.get("cells"),
+        second.get("cells"),
+        "cache reuse changed served bits"
+    );
+    let stats = client.stats().unwrap();
+    assert!(get(&stats, "sim_memo_hits") > 0, "{stats:?}");
+
+    // The served cells match a local sweep on the same inputs bit for
+    // bit (wire f64s are `{:?}`-serialized, so exact comparison holds).
+    let (src, program) = clara_core::nfs::by_name("dpi-imem").unwrap();
+    let module = clara_core::analyze_source(&src).unwrap().module;
+    let grid: Vec<WorkloadProfile> = [20_000.0, 60_000.0]
+        .into_iter()
+        .map(|rate| WorkloadProfile { rate_pps: rate, ..WorkloadProfile::paper_default() })
+        .collect();
+    let local_cfg = clara_core::ValidationConfig {
+        threads: 1,
+        packets: 400,
+        ..clara_core::ValidationConfig::default()
+    };
+    let local =
+        clara_core::run_validation_sweep(&module, &params, &lnic, &program, &grid, &local_cfg);
+    let cells = first.get("cells").and_then(Value::as_arr).unwrap();
+    assert_eq!(cells.len(), local.cells.len());
+    for (cell, want) in cells.iter().zip(&local.cells) {
+        let clara_core::ValidationResult::Ok(want) = want else {
+            panic!("local cell failed: {want:?}")
+        };
+        assert_eq!(
+            f64_field(cell, "actual_cycles").to_bits(),
+            want.actual_cycles.to_bits(),
+            "served actual_cycles drifted from the local sweep"
+        );
+        assert_eq!(
+            f64_field(cell, "predicted_cycles").to_bits(),
+            want.predicted_cycles.to_bits(),
+            "served predicted_cycles drifted from the local sweep"
+        );
+    }
+
+    // A panicking request over the same session quarantines it: the
+    // prepared entry and the whole cost-cache shard are evicted
+    // together, while the hit/miss history survives.
+    let reply = client
+        .request(r#"{"op":"predict","nf":"dpi-imem","inject_panic":true}"#)
+        .unwrap();
+    assert_eq!(code_of(&reply), u64::from(reply_codes::PANICKED), "{reply:?}");
+    let stats = client.stats().unwrap();
+    assert_eq!(get(&stats, "quarantined"), 1, "{stats:?}");
+    assert_eq!(
+        get(&stats, "sim_cost_views"),
+        0,
+        "quarantine must purge the session cost cache: {stats:?}"
+    );
+    assert!(get(&stats, "sim_memo_hits") > 0, "history survives the purge: {stats:?}");
+
+    server.shutdown();
+    server.join();
+}
+
 #[test]
 fn chaos_daemon_sheds_respawns_and_stays_bit_identical() {
     let params = params();
