@@ -147,6 +147,48 @@ fn main() {
         percentile_us(&latencies, 0.95),
         percentile_us(&latencies, 0.99),
     );
+    // Server-side view of the same phase, from the daemon's own
+    // service-time histogram (the `stats` op). Client latency = queue
+    // wait + service + wire overhead, so the server-side p50/p99 must
+    // sit at or below the client-side numbers (modulo the histogram's
+    // documented 6.25% bucket error plus a fixed 500 µs scheduling
+    // allowance) while still accounting for a meaningful share of them.
+    let mut stats_client = Client::connect(addr).expect("stats client connects");
+    let stats_reply = stats_client.request(r#"{"op":"stats"}"#).expect("stats op succeeds");
+    let hist_u64 = |hist: &str, field: &str| -> u64 {
+        stats_reply
+            .get(hist)
+            .and_then(|h| h.get(field))
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| panic!("stats reply missing `{hist}.{field}`: {stats_reply:?}"))
+    };
+    let server_p50 = hist_u64("service_us", "p50");
+    let server_p99 = hist_u64("service_us", "p99");
+    let queue_p50 = hist_u64("queue_wait_us", "p50");
+    assert_eq!(
+        hist_u64("service_us", "count"),
+        total as u64,
+        "service histogram missed jobs: {stats_reply:?}"
+    );
+    let bound = |client_side: u64| (client_side as f64 * 1.0625) as u64 + 500;
+    assert!(
+        server_p50 <= bound(p50) && server_p99 <= bound(p99),
+        "server-side percentiles exceed the client view: \
+         server p50 {server_p50} / p99 {server_p99} vs client p50 {p50} / p99 {p99} (µs)"
+    );
+    // The converse bound only makes sense while the client p50 is
+    // service-dominated; loopback TCP artifacts (delayed-ACK clusters
+    // around tens of ms) can dominate small-request tails on loaded
+    // machines, and those milliseconds are not the server's to explain.
+    if p50 < 10_000 {
+        assert!(
+            (server_p50 + queue_p50) * 4 + 2_000 >= p50,
+            "server-side p50 ({server_p50} µs service + {queue_p50} µs queue wait) explains \
+             under a quarter of the client p50 ({p50} µs) — the histogram is measuring the wrong thing"
+        );
+    } else {
+        eprintln!("  note: client p50 {p50} µs is wire-dominated; skipping the lower-bound agreement check");
+    }
     server.shutdown();
     let steady = server.join();
     let lookups = steady.prepared_hits + steady.prepared_misses;
@@ -159,6 +201,10 @@ fn main() {
     eprintln!(
         "  {total} requests in {wall_ms:.0} ms  ({throughput_rps:.0} req/s)  \
          p50 {p50} us  p95 {p95} us  p99 {p99} us  cache hit rate {hit_rate:.3}"
+    );
+    eprintln!(
+        "  server-side view: service p50 {server_p50} us  p99 {server_p99} us  \
+         queue wait p50 {queue_p50} us (agrees with the client view)"
     );
     eprintln!("  every reply bit-identical to the one-shot pipeline: yes");
 
@@ -391,6 +437,10 @@ fn main() {
     "latency_p50_us": {p50},
     "latency_p95_us": {p95},
     "latency_p99_us": {p99},
+    "server_service_p50_us": {server_p50},
+    "server_service_p99_us": {server_p99},
+    "server_queue_wait_p50_us": {queue_p50},
+    "server_client_agreement": true,
     "prepared_hit_rate": {hit_rate:.4},
     "bit_identical_to_oneshot": true
   }},

@@ -33,6 +33,7 @@ USAGE:
   clara validate <nf> [--nic <profile>] [validate flags]
   clara profile <nf> [--nic <profile>] [profile flags]
   clara serve   [--nic <profile> | --params <file>] [serve flags]
+  clara top     [--addr <host:port>] [top flags]
 
 NIC PROFILES:
   netronome | soc | asic        (built-in LNIC models)
@@ -89,9 +90,25 @@ SERVE FLAGS (a long-lived prediction daemon over length-prefixed JSON):
   --chaos <seed>      inject worker panics, slow-downs, and truncated
                       replies, deterministically from the seed
   --telemetry <file>  flush server counters here on drain
+  --metrics-addr <host:port>
+                      serve a Prometheus text exposition over HTTP at
+                      GET /metrics on this address (port 0 = any)
+  --flight-capacity <n>
+                      flight-recorder ring size in events (default 256;
+                      0 disables recording)
+  --flight-path <file>
+                      dump the flight recorder as JSONL here on worker
+                      panics and at drain
   Drain with SIGTERM/SIGINT or a `{\"op\":\"shutdown\"}` request: the
   daemon stops accepting, finishes (or deadlines out) admitted jobs,
   flushes telemetry, and exits 0.
+
+TOP FLAGS (a live terminal dashboard polling a daemon's `stats` op):
+  --addr <host:port>  daemon address (default 127.0.0.1:7421)
+  --interval <ms>     poll period (default 1000)
+  --iterations <n>    number of polls; 0 = until interrupted (default 0)
+  --raw               print each stats reply as raw JSON, one per line
+                      (`--iterations 1 --raw` = a one-shot scrape)
 
 TELEMETRY (predict | sweep | validate | profile):
   --telemetry <file>  collect pipeline spans plus solver/simulator counters
@@ -185,6 +202,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "validate" => validate(&args[1..]),
         "profile" => profile(&args[1..]),
         "serve" => serve(&args[1..]),
+        "top" => top(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -1007,6 +1025,11 @@ fn serve(args: &[String]) -> Result<(), CliError> {
         config.chaos = Some(ChaosConfig::with_seed(parse_num(v, "--chaos seed")?));
     }
     config.telemetry_path = flag_value(args, "--telemetry").map(Into::into);
+    if let Some(v) = flag_value(args, "--flight-capacity") {
+        config.flight_capacity = parse_num(v, "--flight-capacity")? as usize;
+    }
+    config.flight_path = flag_value(args, "--flight-path").map(Into::into);
+    config.metrics_addr = flag_value(args, "--metrics-addr").map(Into::into);
 
     // Resolve the default target up front so the first request doesn't
     // pay for parameter extraction. `--params` skips extraction; the
@@ -1053,6 +1076,9 @@ fn serve(args: &[String]) -> Result<(), CliError> {
         server.addr(),
         if workers == 0 { "auto".to_string() } else { workers.to_string() },
     );
+    if let Some(maddr) = server.metrics_addr() {
+        eprintln!("clara serve: Prometheus exposition at http://{maddr}/metrics");
+    }
     eprintln!("clara serve: drain with SIGTERM or a {{\"op\":\"shutdown\"}} request");
     let stats = server.join();
     eprintln!(
@@ -1061,4 +1087,191 @@ fn serve(args: &[String]) -> Result<(), CliError> {
         stats.workers_respawned, stats.prepared_hits,
     );
     Ok(())
+}
+
+/// Render a microsecond value with a unit that keeps 3-ish significant
+/// digits readable.
+fn fmt_us(us: u64) -> String {
+    if us >= 10_000_000 {
+        format!("{:.1} s", us as f64 / 1e6)
+    } else if us >= 10_000 {
+        format!("{:.1} ms", us as f64 / 1e3)
+    } else {
+        format!("{us} µs")
+    }
+}
+
+/// One dashboard frame from a `stats` reply (and, when available, an
+/// `events` reply). Pure string building so it is unit-testable without
+/// a daemon.
+fn render_top(addr: &str, stats: &clara_core::serve::json::Value, events: Option<&clara_core::serve::json::Value>) -> String {
+    use clara_core::serve::json::Value;
+
+    let u = |key: &str| stats.get(key).and_then(Value::as_u64).unwrap_or(0);
+    let rate = |key: &str| -> f64 {
+        stats
+            .get("rates")
+            .and_then(|r| r.get(key))
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0)
+    };
+    let mut out = String::with_capacity(2048);
+    out.push_str(&format!(
+        "clara top — {addr}   up {}s   workers {}/{}   queue {}/{}   in-flight {}\n",
+        u("uptime_s"),
+        u("workers_live"),
+        u("workers"),
+        u("queue_depth"),
+        u("queue_capacity"),
+        u("inflight"),
+    ));
+    out.push_str(&format!(
+        "totals: {} requests  {} completed  {} shed  {} timed out  {} panicked  {} errored\n",
+        u("requests"),
+        u("completed"),
+        u("shed"),
+        u("timed_out"),
+        u("panicked"),
+        u("errored"),
+    ));
+    out.push_str(&format!(
+        "cache : {} sessions  prepared {}/{}  sim memo {}/{}  quarantined {}\n\n",
+        u("sessions"),
+        u("prepared_hits"),
+        u("prepared_hits") + u("prepared_misses"),
+        u("sim_memo_hits"),
+        u("sim_memo_hits") + u("sim_memo_misses"),
+        u("quarantined"),
+    ));
+    out.push_str(&format!("{:<12} {:>9} {:>9} {:>9}\n", "rates", "1s", "10s", "60s"));
+    for (label, stem) in
+        [("req/s", "req_per_s"), ("shed/s", "shed_per_s"), ("done/s", "complete_per_s")]
+    {
+        out.push_str(&format!(
+            "{:<12} {:>9.1} {:>9.1} {:>9.1}\n",
+            label,
+            rate(&format!("{stem}_1s")),
+            rate(&format!("{stem}_10s")),
+            rate(&format!("{stem}_60s")),
+        ));
+    }
+    let memo = |key: &str| -> String {
+        match stats.get("rates").and_then(|r| r.get(key)).and_then(Value::as_f64) {
+            Some(f) => format!("{:.0}%", f * 100.0),
+            None => "-".to_string(),
+        }
+    };
+    out.push_str(&format!(
+        "{:<12} {:>9} {:>9} {:>9}\n\n",
+        "memo hit",
+        memo("sim_memo_hit_rate_1s"),
+        memo("sim_memo_hit_rate_10s"),
+        memo("sim_memo_hit_rate_60s"),
+    ));
+    out.push_str(&format!(
+        "{:<12} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+        "latency", "count", "p50", "p90", "p99", "max"
+    ));
+    for (label, key) in [
+        ("service", "service_us"),
+        ("queue wait", "queue_wait_us"),
+        ("solve", "solve_us"),
+        ("sim", "sim_us"),
+    ] {
+        let h = |field: &str| {
+            stats.get(key).and_then(|h| h.get(field)).and_then(Value::as_u64).unwrap_or(0)
+        };
+        out.push_str(&format!(
+            "{:<12} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+            label,
+            h("count"),
+            fmt_us(h("p50")),
+            fmt_us(h("p90")),
+            fmt_us(h("p99")),
+            fmt_us(h("max")),
+        ));
+    }
+    if let Some(list) = events.and_then(|e| e.get("events")).and_then(Value::as_arr) {
+        if !list.is_empty() {
+            out.push_str("\nrecent events:\n");
+            for ev in list {
+                let g = |k: &str| ev.get(k).and_then(Value::as_u64).unwrap_or(0);
+                out.push_str(&format!(
+                    "  #{:<6} +{:<12} {:<10} req {:<6} val {}\n",
+                    g("seq"),
+                    fmt_us(g("ts_us")),
+                    ev.get("event").and_then(Value::as_str).unwrap_or("?"),
+                    g("req"),
+                    g("val"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// `clara top`: a terminal dashboard over a running daemon, polled from
+/// the same `stats` and `events` ops any client can issue — nothing
+/// here is privileged, the dashboard is just one more protocol client.
+fn top(args: &[String]) -> Result<(), CliError> {
+    use clara_core::serve::Client;
+    use std::io::IsTerminal;
+    use std::net::ToSocketAddrs;
+
+    let parse_num = |v: &str, what: &str| -> Result<u64, CliError> {
+        v.parse().map_err(|_| CliError::Usage(format!("bad {what} `{v}`")))
+    };
+    let addr_s = flag_value(args, "--addr").unwrap_or("127.0.0.1:7421").to_string();
+    let addr = addr_s
+        .to_socket_addrs()
+        .map_err(|e| CliError::Usage(format!("bad --addr `{addr_s}`: {e}")))?
+        .next()
+        .ok_or_else(|| CliError::Usage(format!("bad --addr `{addr_s}`")))?;
+    let interval_ms = match flag_value(args, "--interval") {
+        Some(v) => parse_num(v, "--interval")?,
+        None => 1_000,
+    };
+    let iterations = match flag_value(args, "--iterations") {
+        Some(v) => parse_num(v, "--iterations")?,
+        None => 0,
+    };
+    let raw = args.iter().any(|a| a == "--raw");
+    // Only a real terminal gets the clear-screen dance; a pipe gets
+    // appended frames (and `--raw` gets plain JSON lines either way).
+    let clear = std::io::stdout().is_terminal();
+
+    let mut client = Client::connect(addr)
+        .map_err(|e| CliError::Serve(format!("cannot connect to {addr_s}: {e}")))?;
+    let mut polls: u64 = 0;
+    loop {
+        let stats = match client.stats() {
+            Ok(v) => v,
+            Err(first_err) => {
+                // The daemon may have dropped the idle connection
+                // between polls; retry once on a fresh one.
+                client = Client::connect(addr).map_err(|_| {
+                    CliError::Serve(format!("lost daemon at {addr_s}: {first_err}"))
+                })?;
+                client
+                    .stats()
+                    .map_err(|e| CliError::Serve(format!("stats poll failed: {e}")))?
+            }
+        };
+        if raw {
+            println!("{}", stats.to_json());
+        } else {
+            let events = client.request(r#"{"op":"events","limit":8}"#).ok();
+            if clear {
+                print!("\x1b[2J\x1b[H");
+            }
+            print!("{}", render_top(&addr_s, &stats, events.as_ref()));
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        polls += 1;
+        if iterations != 0 && polls >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
 }

@@ -23,7 +23,12 @@
 //!   deadline-out in-flight work, flush telemetry,
 //! * a built-in chaos mode (`--chaos <seed>`) that injects worker
 //!   panics, slow-downs, and truncated reply frames so all of the
-//!   above actually runs in CI.
+//!   above actually runs in CI,
+//! * a live-observability layer ([`obs::ServeObs`]): wait-free latency
+//!   histograms and trailing-window rates in every `stats` reply, a
+//!   flight recorder queryable via the `events` op and dumped as JSONL
+//!   around worker panics and drains, and a Prometheus exposition via
+//!   the `metrics` op or an optional `--metrics-addr` HTTP sidecar.
 //!
 //! Every degradation is a distinct structured reply code
 //! ([`protocol::reply_codes`]) mirroring the CLI's exit codes.
@@ -35,6 +40,8 @@
 pub mod chaos;
 pub mod client;
 pub mod json;
+pub mod metrics;
+pub mod obs;
 pub mod protocol;
 pub mod server;
 pub mod stats;
@@ -42,6 +49,7 @@ pub mod stats;
 pub use chaos::{Chaos, ChaosConfig, JobChaos};
 pub use client::{Client, ClientError};
 pub use json::Value;
+pub use obs::ServeObs;
 pub use protocol::{
     parse_request, read_frame, reply_codes, write_frame, FrameError, Reply, Request, Source,
     DEFAULT_MAX_FRAME,

@@ -1,0 +1,151 @@
+//! Prometheus text exposition (version 0.0.4) for the daemon.
+//!
+//! The whole metrics surface renders from one [`StatsSnapshot`] — the
+//! same struct behind the `stats` op — so the `metrics` op, the
+//! `--metrics-addr` HTTP sidecar, and the JSON stats can never
+//! disagree about what a counter means. There is no separate registry
+//! object to keep in sync; the snapshot *is* the registry.
+//!
+//! Conventions follow the exposition format:
+//! * counters end in `_total`,
+//! * latency summaries are emitted as `summary` families in seconds
+//!   (`{quantile="0.5"}` samples plus `_sum`/`_count`), converted from
+//!   the microsecond histograms,
+//! * trailing-window rates are gauges with a `window` label.
+
+use std::fmt::Write as _;
+
+use crate::stats::StatsSnapshot;
+use clara_telemetry::HistSummary;
+
+/// The HTTP `Content-Type` for this exposition.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+fn counter(out: &mut String, name: &str, help: &str, v: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    let _ = writeln!(out, "{name} {v}");
+}
+
+fn gauge(out: &mut String, name: &str, help: &str, v: f64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {v}");
+}
+
+/// A gauge family with one sample per trailing window.
+fn windowed_gauge(out: &mut String, name: &str, help: &str, per_window: &[(u64, f64)]) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    for (window_s, v) in per_window {
+        let _ = writeln!(out, "{name}{{window=\"{window_s}s\"}} {v}");
+    }
+}
+
+fn seconds(us: u64) -> f64 {
+    us as f64 / 1e6
+}
+
+/// A summary family from a microsecond histogram summary.
+fn summary(out: &mut String, name: &str, help: &str, h: &HistSummary) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} summary");
+    for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99), ("1", h.max)] {
+        let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {}", seconds(v));
+    }
+    let _ = writeln!(out, "{name}_sum {}", seconds(h.sum));
+    let _ = writeln!(out, "{name}_count {}", h.count);
+}
+
+/// Render the full exposition text.
+pub fn render(snap: &StatsSnapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    counter(&mut out, "clara_serve_conns_accepted_total", "Connections accepted.", snap.conns_accepted);
+    counter(&mut out, "clara_serve_conns_rejected_total", "Connections refused at the cap.", snap.conns_rejected);
+    counter(&mut out, "clara_serve_requests_total", "Parsed request frames, any op.", snap.requests);
+    counter(&mut out, "clara_serve_accepted_total", "Jobs admitted to the queue.", snap.accepted);
+    counter(&mut out, "clara_serve_completed_total", "Jobs completed with code ok.", snap.completed);
+    counter(&mut out, "clara_serve_shed_total", "Jobs shed by admission control.", snap.shed);
+    counter(&mut out, "clara_serve_timed_out_total", "Jobs that hit their deadline.", snap.timed_out);
+    counter(&mut out, "clara_serve_panicked_total", "Jobs whose worker panicked.", snap.panicked);
+    counter(&mut out, "clara_serve_errored_total", "Jobs that finished with any other non-ok reply.", snap.errored);
+    counter(&mut out, "clara_serve_workers_respawned_total", "Workers respawned by the supervisor.", snap.workers_respawned);
+    counter(&mut out, "clara_serve_protocol_errors_total", "Frames rejected as protocol errors.", snap.protocol_errors);
+    counter(&mut out, "clara_serve_shutdown_rejects_total", "Requests refused while draining.", snap.shutdown_rejects);
+    counter(&mut out, "clara_serve_chaos_truncated_replies_total", "Replies cut short by chaos mode.", snap.chaos_truncated_replies);
+    counter(&mut out, "clara_serve_prepared_hits_total", "Session prepared-state cache hits.", snap.prepared_hits);
+    counter(&mut out, "clara_serve_prepared_misses_total", "Session prepared-state cache misses.", snap.prepared_misses);
+    counter(&mut out, "clara_serve_quarantined_total", "Session cache entries quarantined after panics.", snap.quarantined);
+    counter(&mut out, "clara_serve_sim_memo_hits_total", "Stage-cost memo hits across sessions.", snap.sim_memo_hits);
+    counter(&mut out, "clara_serve_sim_memo_misses_total", "Stage-cost memo misses across sessions.", snap.sim_memo_misses);
+    gauge(&mut out, "clara_serve_sessions", "Live (NF, NIC) sessions.", snap.sessions as f64);
+    gauge(&mut out, "clara_serve_sim_cost_views", "Interned stage-cost fingerprint views.", snap.sim_cost_views as f64);
+    gauge(&mut out, "clara_serve_queue_depth", "Jobs currently queued.", snap.queue_depth as f64);
+    gauge(&mut out, "clara_serve_queue_capacity", "Bounded queue capacity.", snap.queue_capacity as f64);
+    gauge(&mut out, "clara_serve_workers", "Configured worker slots.", snap.workers as f64);
+    gauge(&mut out, "clara_serve_workers_live", "Worker threads currently alive.", snap.workers_live as f64);
+    gauge(&mut out, "clara_serve_inflight", "Jobs currently being processed.", snap.inflight as f64);
+    gauge(&mut out, "clara_serve_uptime_seconds", "Seconds since the daemon started.", snap.uptime_s as f64);
+    let windows = |per: &[f64; 3]| -> Vec<(u64, f64)> {
+        vec![(1, per[0]), (10, per[1]), (60, per[2])]
+    };
+    windowed_gauge(&mut out, "clara_serve_req_rate", "Requests per second over the trailing window.", &windows(&snap.req_per_s));
+    windowed_gauge(&mut out, "clara_serve_shed_rate", "Sheds per second over the trailing window.", &windows(&snap.shed_per_s));
+    windowed_gauge(&mut out, "clara_serve_complete_rate", "Completions per second over the trailing window.", &windows(&snap.complete_per_s));
+    let memo: Vec<(u64, f64)> = [(1u64, 0usize), (10, 1), (60, 2)]
+        .iter()
+        .filter_map(|&(w, i)| snap.memo_hit_rate[i].map(|f| (w, f)))
+        .collect();
+    if !memo.is_empty() {
+        windowed_gauge(&mut out, "clara_serve_sim_memo_hit_rate", "Sim-memo hit fraction over the trailing window.", &memo);
+    }
+    summary(&mut out, "clara_serve_service_time_seconds", "Worker wall time per job.", &snap.service_us);
+    summary(&mut out, "clara_serve_queue_wait_seconds", "Admission-to-dequeue wait per job.", &snap.queue_wait_us);
+    summary(&mut out, "clara_serve_solve_time_seconds", "ILP solve time per prediction.", &snap.solve_us);
+    summary(&mut out, "clara_serve_sim_time_seconds", "Validation simulator time per job.", &snap.sim_us);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_has_the_core_families_and_parses_line_wise() {
+        let snap = StatsSnapshot {
+            requests: 7,
+            completed: 3,
+            queue_depth: 2,
+            req_per_s: [1.0, 0.5, 0.1],
+            memo_hit_rate: [None, Some(0.9), None],
+            service_us: HistSummary { count: 3, sum: 3_000_000, p50: 900_000, p90: 1_100_000, p99: 1_100_000, max: 1_200_000 },
+            ..StatsSnapshot::default()
+        };
+        let text = render(&snap);
+        assert!(text.contains("clara_serve_requests_total 7\n"));
+        assert!(text.contains("clara_serve_queue_depth 2\n"));
+        assert!(text.contains("clara_serve_req_rate{window=\"1s\"} 1\n"));
+        assert!(text.contains("clara_serve_sim_memo_hit_rate{window=\"10s\"} 0.9\n"));
+        assert!(text.contains("clara_serve_service_time_seconds{quantile=\"0.5\"} 0.9\n"));
+        assert!(text.contains("clara_serve_service_time_seconds_count 3\n"));
+        // Every non-comment line is `name[{labels}] value` with a
+        // parseable float value — the shape the CI checker relies on.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (metric, value) = line.rsplit_once(' ').expect("space-separated sample");
+            assert!(!metric.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
+        }
+        // Each TYPE is declared at most once per family.
+        let mut types: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("# TYPE "))
+            .collect();
+        let before = types.len();
+        types.sort_unstable();
+        types.dedup();
+        assert_eq!(types.len(), before, "duplicate TYPE lines");
+    }
+}

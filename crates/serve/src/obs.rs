@@ -1,0 +1,152 @@
+//! Live observability state for the daemon: latency histograms,
+//! trailing-window rates, and the flight recorder.
+//!
+//! One [`ServeObs`] lives in the server's shared state. Everything in
+//! it is recorded wait-free from connection and worker threads
+//! (relaxed atomics, no locks — see `clara_telemetry::hist`,
+//! `rates`, and `flight` for the per-structure guarantees), and read
+//! by the `stats` / `events` / `metrics` ops and the drain-time
+//! telemetry flush. None of it feeds back into predictions: an
+//! instrumented daemon serves bit-identical results (re-asserted by
+//! the chaos suite with full instrumentation on).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use clara_telemetry::{EventKind, FlightRecorder, Histogram, RateWindows};
+
+/// The daemon's live instrumentation. All recording is wait-free.
+pub struct ServeObs {
+    started: Instant,
+    /// Wall time a worker spent on a job, µs — *every* job a worker
+    /// ran, whatever its reply code (an errored job occupies a worker
+    /// just the same, and the `retry_after_ms` hint is about queue
+    /// drain speed). The `completed`-only mean lives in `ServeStats`.
+    pub service_us: Histogram,
+    /// Admission → dequeue wait, µs.
+    pub queue_wait_us: Histogram,
+    /// Time inside the ILP solve path (predict/sweep cells), µs.
+    pub solve_us: Histogram,
+    /// Time inside the validation simulator, µs.
+    pub sim_us: Histogram,
+    /// Parsed request frames (any op), for trailing req/s.
+    pub req_rate: RateWindows,
+    /// Jobs shed by admission control, for trailing shed/s.
+    pub shed_rate: RateWindows,
+    /// Jobs completed OK, for trailing complete/s.
+    pub complete_rate: RateWindows,
+    /// Sim-memo hits/misses, sampled as deltas of the cumulative
+    /// session totals at snapshot time (see [`ServeObs::sample_memo`]).
+    pub memo_hit_rate: RateWindows,
+    pub memo_miss_rate: RateWindows,
+    memo_hits_seen: AtomicU64,
+    memo_misses_seen: AtomicU64,
+    /// The event ring; capacity 0 when disabled.
+    pub recorder: FlightRecorder,
+    req_ids: AtomicU64,
+}
+
+impl std::fmt::Debug for ServeObs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeObs")
+            .field("recorder", &self.recorder)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeObs {
+    pub fn new(flight_capacity: usize) -> Self {
+        ServeObs {
+            started: Instant::now(),
+            service_us: Histogram::new(),
+            queue_wait_us: Histogram::new(),
+            solve_us: Histogram::new(),
+            sim_us: Histogram::new(),
+            req_rate: RateWindows::new(),
+            shed_rate: RateWindows::new(),
+            complete_rate: RateWindows::new(),
+            memo_hit_rate: RateWindows::new(),
+            memo_miss_rate: RateWindows::new(),
+            memo_hits_seen: AtomicU64::new(0),
+            memo_misses_seen: AtomicU64::new(0),
+            recorder: FlightRecorder::new(flight_capacity),
+            req_ids: AtomicU64::new(0),
+        }
+    }
+
+    /// Unique id for a work request (flight-recorder correlation key).
+    pub fn next_req_id(&self) -> u64 {
+        self.req_ids.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    pub fn uptime_s(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// Feed the memo-rate windows from the *cumulative* session totals:
+    /// the delta since the last sample is credited to the current
+    /// second. Called wherever the totals are already being summed (the
+    /// stats/metrics snapshot path), so the hot path never pays for it;
+    /// between samples the deltas simply batch up.
+    pub fn sample_memo(&self, hits_total: u64, misses_total: u64) {
+        let prev = self.memo_hits_seen.swap(hits_total, Ordering::Relaxed);
+        if hits_total > prev {
+            self.memo_hit_rate.record(hits_total - prev);
+        }
+        let prev = self.memo_misses_seen.swap(misses_total, Ordering::Relaxed);
+        if misses_total > prev {
+            self.memo_miss_rate.record(misses_total - prev);
+        }
+    }
+
+    /// Shorthand used by the serving layer's instrumentation points.
+    #[inline]
+    pub fn event(&self, kind: EventKind, code: u8, req: u64, val: u64) {
+        self.recorder.record(kind, code as u16, req, val);
+    }
+}
+
+/// Sim-memo hit fraction over a trailing window, from the two sampled
+/// rate rings. `None` when the window saw no memo traffic.
+pub fn memo_hit_fraction(obs: &ServeObs, window_s: u64) -> Option<f64> {
+    let hits = obs.memo_hit_rate.count(window_s);
+    let misses = obs.memo_miss_rate.count(window_s);
+    let total = hits + misses;
+    if total == 0 {
+        None
+    } else {
+        Some(hits as f64 / total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn req_ids_are_unique_and_nonzero() {
+        let obs = ServeObs::new(0);
+        let a = obs.next_req_id();
+        let b = obs.next_req_id();
+        assert!(a > 0 && b > a);
+    }
+
+    #[test]
+    fn memo_sampling_credits_deltas_once() {
+        let obs = ServeObs::new(0);
+        obs.sample_memo(10, 2);
+        obs.sample_memo(10, 2); // no change: no new events
+        obs.sample_memo(25, 3);
+        // All samples land in the current second; windows see totals.
+        assert_eq!(obs.memo_hit_rate.count(60), 25);
+        assert_eq!(obs.memo_miss_rate.count(60), 3);
+        let frac = memo_hit_fraction(&obs, 60).unwrap();
+        assert!((frac - 25.0 / 28.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memo_fraction_is_none_without_traffic() {
+        let obs = ServeObs::new(0);
+        assert_eq!(memo_hit_fraction(&obs, 60), None);
+    }
+}

@@ -175,6 +175,11 @@ pub enum Request {
     Ping,
     /// Server counter snapshot, answered inline.
     Stats,
+    /// The last `limit` flight-recorder events, answered inline.
+    Events { limit: usize },
+    /// Prometheus text exposition of the metrics registry, answered
+    /// inline (the same text the `--metrics-addr` sidecar serves).
+    Metrics,
     /// Begin a graceful drain, answered inline.
     Shutdown,
     /// One prediction of `source` on `nic` under `workload`.
@@ -246,7 +251,14 @@ impl Request {
     /// Whether this request is answered inline by the connection
     /// thread (no queue admission).
     pub fn is_inline(&self) -> bool {
-        matches!(self, Request::Ping | Request::Stats | Request::Shutdown)
+        matches!(
+            self,
+            Request::Ping
+                | Request::Stats
+                | Request::Events { .. }
+                | Request::Metrics
+                | Request::Shutdown
+        )
     }
 }
 
@@ -278,6 +290,18 @@ pub fn parse_request(bytes: &[u8]) -> Result<Request, ProtoError> {
     match op {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
+        "events" => {
+            let limit = value
+                .get("limit")
+                .and_then(Value::as_u64)
+                .unwrap_or(64)
+                .min(4_096) as usize;
+            if limit == 0 {
+                return Err(ProtoError::new(reply_codes::USAGE, "`limit` must be > 0"));
+            }
+            Ok(Request::Events { limit })
+        }
+        "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         "predict" => {
             let source = parse_source(&value)?;
@@ -517,6 +541,7 @@ mod tests {
             (br#"{"op":"sweep","nf":"nat","rates":[]}"#, reply_codes::USAGE),
             (br#"{"op":"validate","rates":[1.0]}"#, reply_codes::USAGE),
             (br#"{"op":"validate","nf":"nat","packets":0}"#, reply_codes::USAGE),
+            (br#"{"op":"events","limit":0}"#, reply_codes::USAGE),
         ];
         for (bytes, want) in cases {
             match parse_request(bytes) {
@@ -524,6 +549,18 @@ mod tests {
                 Ok(r) => panic!("accepted {:?} as {r:?}", String::from_utf8_lossy(bytes)),
             }
         }
+    }
+
+    #[test]
+    fn events_and_metrics_parse_as_inline_ops() {
+        let req = parse_request(br#"{"op":"events"}"#).unwrap();
+        assert!(matches!(req, Request::Events { limit: 64 }));
+        assert!(req.is_inline());
+        let req = parse_request(br#"{"op":"events","limit":999999}"#).unwrap();
+        assert!(matches!(req, Request::Events { limit: 4_096 }));
+        let req = parse_request(br#"{"op":"metrics"}"#).unwrap();
+        assert!(matches!(req, Request::Metrics));
+        assert!(req.is_inline());
     }
 
     #[test]

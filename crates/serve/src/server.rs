@@ -29,7 +29,7 @@
 //!   flushes counters to telemetry.
 
 use std::collections::{HashMap, VecDeque};
-use std::io::Write as _;
+use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -39,10 +39,13 @@ use std::time::{Duration, Instant};
 
 use crate::chaos::{Chaos, ChaosConfig};
 use crate::json::{ObjBuilder, Value};
+use crate::metrics;
+use crate::obs::{memo_hit_fraction, ServeObs};
 use crate::protocol::{
     self, read_frame, reply_codes, write_frame, FrameError, Reply, Request, Source,
 };
 use crate::stats::{ServeStats, StatsSnapshot};
+use clara_telemetry::EventKind;
 use clara_lnic::{profiles, Lnic};
 use clara_microbench::{extract_parameters, NicParameters};
 use clara_nicsim::Watchdog;
@@ -79,6 +82,16 @@ pub struct ServeConfig {
     /// Install a SIGTERM/SIGINT handler that triggers graceful drain
     /// (the CLI sets this; in-process tests don't).
     pub handle_sigterm: bool,
+    /// Flight-recorder ring capacity in events; `0` disables recording
+    /// entirely (the `record` call returns without touching memory).
+    pub flight_capacity: usize,
+    /// Where to dump the flight recorder as JSONL on a worker panic
+    /// and at drain. `None` keeps the ring queryable via the `events`
+    /// op but never writes a file.
+    pub flight_path: Option<std::path::PathBuf>,
+    /// Optional HTTP/1.1 sidecar serving `GET /metrics` (Prometheus
+    /// text exposition) on this address; port 0 picks a free port.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -94,6 +107,9 @@ impl Default for ServeConfig {
             chaos: None,
             telemetry_path: None,
             handle_sigterm: false,
+            flight_capacity: 256,
+            flight_path: None,
+            metrics_addr: None,
         }
     }
 }
@@ -117,8 +133,12 @@ impl std::error::Error for ServeError {}
 
 /// One admitted unit of work.
 struct Job {
+    /// Flight-recorder correlation id, unique per work request.
+    id: u64,
     request: Request,
     reply_tx: mpsc::Sender<Reply>,
+    /// Admission time, for the queue-wait histogram.
+    enqueued_at: Instant,
     /// Wall-clock deadline armed at admission (`None` = unlimited).
     deadline_at: Option<Instant>,
     /// Shared force-cancel token (raised only on hard abort).
@@ -240,21 +260,43 @@ struct Shared {
     config: ServeConfig,
     queue: JobQueue,
     stats: ServeStats,
+    obs: ServeObs,
     chaos: Option<Chaos>,
     draining: AtomicBool,
     force_cancel: Arc<AtomicBool>,
     conns: AtomicUsize,
     workers: usize,
+    workers_live: AtomicUsize,
+    inflight: AtomicUsize,
     targets: Mutex<HashMap<String, Arc<Target>>>,
     sessions: Mutex<HashMap<(String, String), Arc<NfSession>>>,
+}
+
+/// Decrements a gauge on drop, so worker deaths (including panics
+/// unwinding past the loop) keep `workers_live` honest.
+struct GaugeGuard<'a>(&'a AtomicUsize);
+
+impl<'a> GaugeGuard<'a> {
+    fn enter(gauge: &'a AtomicUsize) -> Self {
+        gauge.fetch_add(1, Ordering::SeqCst);
+        GaugeGuard(gauge)
+    }
+}
+
+impl Drop for GaugeGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// A running daemon. Dropping without [`Server::join`] leaves threads
 /// running until process exit; the CLI always joins.
 pub struct Server {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
     acceptor: Option<thread::JoinHandle<()>>,
+    metrics_thread: Option<thread::JoinHandle<()>>,
     slots: Vec<thread::JoinHandle<()>>,
 }
 
@@ -275,14 +317,24 @@ impl Server {
                 .unwrap_or(2),
             n => n,
         };
+        let metrics_listener = match &config.metrics_addr {
+            Some(addr) => Some(
+                TcpListener::bind(addr).map_err(|e| ServeError::Bind(addr.clone(), e))?,
+            ),
+            None => None,
+        };
+        let metrics_addr = metrics_listener.as_ref().and_then(|l| l.local_addr().ok());
         let shared = Arc::new(Shared {
             queue: JobQueue::new(config.queue_cap),
             stats: ServeStats::default(),
+            obs: ServeObs::new(config.flight_capacity),
             chaos: config.chaos.clone().map(Chaos::new),
             draining: AtomicBool::new(false),
             force_cancel: Arc::new(AtomicBool::new(false)),
             conns: AtomicUsize::new(0),
             workers,
+            workers_live: AtomicUsize::new(0),
+            inflight: AtomicUsize::new(0),
             targets: Mutex::new(HashMap::new()),
             sessions: Mutex::new(HashMap::new()),
             config,
@@ -303,12 +355,31 @@ impl Server {
                 .spawn(move || accept_loop(shared, listener))
                 .expect("spawn acceptor")
         };
-        Ok(Server { addr, shared, acceptor: Some(acceptor), slots })
+        let metrics_thread = metrics_listener.map(|listener| {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("clara-serve-metrics".to_string())
+                .spawn(move || metrics_loop(shared, listener))
+                .expect("spawn metrics sidecar")
+        });
+        Ok(Server {
+            addr,
+            metrics_addr,
+            shared,
+            acceptor: Some(acceptor),
+            metrics_thread,
+            slots,
+        })
     }
 
     /// The bound address (resolves port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The metrics sidecar's bound address, when one was configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Pre-populate the target cache under the protocol name requests
@@ -347,6 +418,11 @@ impl Server {
         for slot in self.slots.drain(..) {
             let _ = slot.join();
         }
+        // The sidecar polls the draining flag, so it exits promptly
+        // once the acceptor has.
+        if let Some(metrics) = self.metrics_thread.take() {
+            let _ = metrics.join();
+        }
         // Connection threads unwind on their own (replies written, then
         // the drain check closes them); read timeouts bound the wait.
         let grace = Duration::from_millis(self.shared.config.read_timeout_ms.max(250) * 2);
@@ -354,6 +430,7 @@ impl Server {
         while self.shared.conns.load(Ordering::SeqCst) > 0 && waited.elapsed() < grace {
             thread::sleep(Duration::from_millis(5));
         }
+        dump_flight(&self.shared);
         let snapshot = snapshot_with_cache(&self.shared);
         if let Some(path) = &self.shared.config.telemetry_path {
             let report = snapshot.into_report();
@@ -369,7 +446,24 @@ impl Server {
 /// queue drain, let the accept loop exit.
 fn initiate_drain(shared: &Shared) {
     if !shared.draining.swap(true, Ordering::SeqCst) {
+        shared.obs.event(EventKind::Drain, 0, shared.queue.depth() as u64, 0);
         shared.queue.close();
+    }
+}
+
+/// Write the flight-recorder ring as JSONL (temp file + rename, like
+/// the telemetry flush), if a dump path is configured. Called on every
+/// worker-panic reply and at drain; the last write wins, which is the
+/// one with the most history.
+fn dump_flight(shared: &Shared) {
+    let Some(path) = &shared.config.flight_path else { return };
+    let tmp = path.with_extension("tmp");
+    if let Err(e) = std::fs::write(&tmp, shared.obs.recorder.to_jsonl()) {
+        eprintln!("clara-serve: flight dump to {} failed: {e}", tmp.display());
+        return;
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        eprintln!("clara-serve: flight dump rename to {} failed: {e}", path.display());
     }
 }
 
@@ -434,6 +528,7 @@ fn serve_connection(shared: Arc<Shared>, mut stream: TcpStream) {
             Err(FrameError::Io(_)) => break,
             Ok(Some(bytes)) => {
                 shared.stats.bump(&shared.stats.requests);
+                shared.obs.req_rate.record(1);
                 match protocol::parse_request(&bytes) {
                     Err(e) => {
                         shared.stats.bump(&shared.stats.protocol_errors);
@@ -494,11 +589,42 @@ fn inline_reply(shared: &Shared, request: &Request) -> Reply {
             Reply::ok(
                 snap.fill(ObjBuilder::new())
                     .str("op", "stats")
-                    .uint("queue_depth", shared.queue.depth() as u64)
-                    .uint("queue_capacity", shared.queue.capacity as u64)
-                    .uint("workers", shared.workers as u64)
                     .uint("avg_service_us", shared.stats.avg_service_us())
                     .bool("draining", shared.draining.load(Ordering::SeqCst)),
+            )
+        }
+        Request::Events { limit } => {
+            let events: Vec<Value> = shared
+                .obs
+                .recorder
+                .tail(*limit)
+                .iter()
+                .map(|e| {
+                    ObjBuilder::new()
+                        .uint("seq", e.seq)
+                        .uint("ts_us", e.ts_us)
+                        .str("event", e.kind.name())
+                        .uint("code", u64::from(e.code))
+                        .uint("req", e.a)
+                        .uint("val", e.b)
+                        .build()
+                })
+                .collect();
+            Reply::ok(
+                ObjBuilder::new()
+                    .str("op", "events")
+                    .uint("recorded", shared.obs.recorder.recorded())
+                    .uint("capacity", shared.obs.recorder.capacity() as u64)
+                    .put("events", Value::Arr(events)),
+            )
+        }
+        Request::Metrics => {
+            let snap = snapshot_with_cache(shared);
+            Reply::ok(
+                ObjBuilder::new()
+                    .str("op", "metrics")
+                    .str("content_type", metrics::CONTENT_TYPE)
+                    .str("text", &metrics::render(&snap)),
             )
         }
         Request::Shutdown => {
@@ -516,31 +642,48 @@ fn admit_and_wait(shared: &Shared, request: Request) -> Reply {
         shared.stats.bump(&shared.stats.shutdown_rejects);
         return Reply::err(reply_codes::SHUTTING_DOWN, "daemon is draining");
     }
+    let id = shared.obs.next_req_id();
     let deadline_ms = request.deadline_ms().or(shared.config.default_deadline_ms);
     let (reply_tx, reply_rx) = mpsc::channel();
     let job = Job {
+        id,
         request,
         reply_tx,
+        enqueued_at: Instant::now(),
         deadline_at: deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
         cancel: Arc::clone(&shared.force_cancel),
     };
     match shared.queue.try_push(job) {
         Ok(()) => {
             shared.stats.bump(&shared.stats.accepted);
+            shared
+                .obs
+                .event(EventKind::Admit, 0, id, shared.queue.depth() as u64);
             match reply_rx.recv() {
                 Ok(reply) => reply,
                 // The worker died between popping the job and replying;
                 // the supervisor is respawning it.
                 Err(_) => {
                     shared.stats.bump(&shared.stats.panicked);
+                    shared.obs.event(EventKind::Panic, reply_codes::PANICKED, id, 0);
                     Reply::err(reply_codes::PANICKED, "worker lost before replying")
                 }
             }
         }
         Err(PushError::Full { capacity }) => {
             shared.stats.bump(&shared.stats.shed);
-            let backlog = (capacity as u64 + 1) * shared.stats.avg_service_us();
+            shared.obs.shed_rate.record(1);
+            // The hint is a tail estimate, not a mean: p90 of observed
+            // worker service times (25 ms prior until the histogram has
+            // its first record), scaled by the backlog a retry would
+            // land behind. A mean under-hints exactly when overload is
+            // caused by slow outliers.
+            let p90_us = shared.obs.service_us.quantile_or(0.9, 25_000);
+            let backlog = (capacity as u64 + 1) * p90_us;
             let retry_after_ms = (backlog / (shared.workers as u64).max(1) / 1_000).max(1);
+            shared
+                .obs
+                .event(EventKind::Shed, reply_codes::OVERLOADED, id, retry_after_ms);
             Reply::err_with(
                 reply_codes::OVERLOADED,
                 &format!("queue full ({capacity} queued)"),
@@ -549,6 +692,7 @@ fn admit_and_wait(shared: &Shared, request: Request) -> Reply {
         }
         Err(PushError::Closed) => {
             shared.stats.bump(&shared.stats.shutdown_rejects);
+            shared.obs.event(EventKind::Shed, reply_codes::SHUTTING_DOWN, id, 0);
             Reply::err(reply_codes::SHUTTING_DOWN, "daemon is draining")
         }
     }
@@ -562,7 +706,7 @@ fn worker_slot(shared: Arc<Shared>, slot: usize) {
         let worker_shared = Arc::clone(&shared);
         let handle = thread::Builder::new()
             .name(format!("clara-serve-worker-{slot}"))
-            .spawn(move || worker_loop(&worker_shared));
+            .spawn(move || worker_loop(&worker_shared, slot));
         let handle = match handle {
             Ok(h) => h,
             Err(_) => {
@@ -574,37 +718,63 @@ fn worker_slot(shared: Arc<Shared>, slot: usize) {
             Ok(()) => return,
             Err(_) => {
                 shared.stats.bump(&shared.stats.workers_respawned);
+                shared.obs.event(EventKind::Respawn, 0, slot as u64, 0);
             }
         }
     }
 }
 
-fn worker_loop(shared: &Arc<Shared>) {
+fn worker_loop(shared: &Arc<Shared>, slot: usize) {
+    let _live = GaugeGuard::enter(&shared.workers_live);
     while let Some(job) = shared.queue.pop() {
+        let wait_us = job.enqueued_at.elapsed().as_micros() as u64;
+        shared.obs.queue_wait_us.record(wait_us);
+        shared.obs.event(EventKind::Dequeue, 0, job.id, wait_us);
+        let inflight = GaugeGuard::enter(&shared.inflight);
         let job_chaos = shared
             .chaos
             .as_ref()
             .map(|c| c.decide_job())
             .unwrap_or_default();
+        // Service time starts before the chaos slow-down: an injected
+        // stall models a genuinely slow job, and the `retry_after_ms`
+        // hint must see it (the overload protocol test relies on this).
+        let started = Instant::now();
         if let Some(delay) = job_chaos.slow {
             thread::sleep(delay);
         }
-        let started = Instant::now();
         let reply = process_job(shared, &job, job_chaos.panic_job);
         let code = reply.code;
         let _ = job.reply_tx.send(reply);
+        let service_us = started.elapsed().as_micros() as u64;
+        // Every worker-run job lands in the service histogram — an
+        // errored job occupies a worker just the same; only the legacy
+        // mean stays completed-only.
+        shared.obs.service_us.record(service_us);
         match code {
             reply_codes::OK => {
                 shared.stats.bump(&shared.stats.completed);
-                shared.stats.add(
-                    &shared.stats.service_us_total,
-                    started.elapsed().as_micros() as u64,
-                );
+                shared.stats.add(&shared.stats.service_us_total, service_us);
+                shared.obs.complete_rate.record(1);
+                shared.obs.event(EventKind::Complete, 0, job.id, service_us);
             }
-            reply_codes::DEADLINE => shared.stats.bump(&shared.stats.timed_out),
-            reply_codes::PANICKED => shared.stats.bump(&shared.stats.panicked),
-            _ => {}
+            reply_codes::DEADLINE => {
+                shared.stats.bump(&shared.stats.timed_out);
+                shared.obs.event(EventKind::Timeout, code, job.id, service_us);
+            }
+            reply_codes::PANICKED => {
+                shared.stats.bump(&shared.stats.panicked);
+                shared.obs.event(EventKind::Panic, code, job.id, slot as u64);
+                // A panic is exactly when the recent event history is
+                // wanted on disk: dump the ring now, not only at drain.
+                dump_flight(shared);
+            }
+            other => {
+                shared.stats.bump(&shared.stats.errored);
+                shared.obs.event(EventKind::Complete, other, job.id, service_us);
+            }
         }
+        drop(inflight);
         if job_chaos.kill_worker {
             // Deliberately outside the per-job catch: the reply is
             // already sent; this exercises the supervisor respawn path.
@@ -628,14 +798,20 @@ fn process_job(shared: &Shared, job: &Job, chaos_panic: bool) -> Reply {
                 ..PredictOptions::default()
             };
             let deadline = job.run_deadline();
+            let solve_started = Instant::now();
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 session.predict(workload, &options, &deadline)
             }));
+            shared
+                .obs
+                .solve_us
+                .record(solve_started.elapsed().as_micros() as u64);
             match outcome {
                 Ok(Ok(prediction)) => predict_reply(source, nic, workload, &prediction),
                 Ok(Err(e)) => predict_error_reply(&e),
                 Err(payload) => {
                     session.quarantine(workload);
+                    shared.obs.event(EventKind::Quarantine, 0, job.id, 0);
                     Reply::err(reply_codes::PANICKED, &panic_text(payload.as_ref()))
                 }
             }
@@ -663,9 +839,14 @@ fn process_job(shared: &Shared, job: &Job, chaos_panic: bool) -> Reply {
                     );
                     continue;
                 }
+                let solve_started = Instant::now();
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     session.predict(&wl, &options, &deadline)
                 }));
+                shared
+                    .obs
+                    .solve_us
+                    .record(solve_started.elapsed().as_micros() as u64);
                 match outcome {
                     Ok(Ok(p)) => {
                         ok += 1;
@@ -686,6 +867,7 @@ fn process_job(shared: &Shared, job: &Job, chaos_panic: bool) -> Reply {
                     Err(payload) => {
                         failed += 1;
                         session.quarantine(&wl);
+                        shared.obs.event(EventKind::Quarantine, 0, job.id, 0);
                         cells.push(
                             cell.bool("ok", false)
                                 .str("error", &format!(
@@ -744,6 +926,7 @@ fn process_job(shared: &Shared, job: &Job, chaos_panic: bool) -> Reply {
                 cost_cache: Some(Arc::clone(session.cost_cache())),
                 ..ValidationConfig::default()
             };
+            let sim_started = Instant::now();
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 run_validation_sweep(
                     session.module(),
@@ -754,10 +937,17 @@ fn process_job(shared: &Shared, job: &Job, chaos_panic: bool) -> Reply {
                     &config,
                 )
             }));
+            // Validation is simulator-dominated; the whole sweep lands
+            // in the sim histogram (per-stage split is future work).
+            shared
+                .obs
+                .sim_us
+                .record(sim_started.elapsed().as_micros() as u64);
             let sweep = match outcome {
                 Ok(sweep) => sweep,
                 Err(payload) => {
                     session.quarantine(workload);
+                    shared.obs.event(EventKind::Quarantine, 0, job.id, 0);
                     return Reply::err(reply_codes::PANICKED, &panic_text(payload.as_ref()));
                 }
             };
@@ -936,18 +1126,99 @@ fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
 
 fn snapshot_with_cache(shared: &Shared) -> StatsSnapshot {
     let mut snap = shared.stats.snapshot();
-    let sessions = shared.sessions.lock().unwrap_or_else(|e| e.into_inner());
-    snap.sessions = sessions.len() as u64;
-    for session in sessions.values() {
-        let s = session.stats();
-        snap.prepared_hits += s.prepared_hits;
-        snap.prepared_misses += s.prepared_misses;
-        snap.quarantined += s.quarantined;
-        snap.sim_memo_hits += s.sim_memo_hits;
-        snap.sim_memo_misses += s.sim_memo_misses;
-        snap.sim_cost_views += s.sim_cost_views;
+    {
+        let sessions = shared.sessions.lock().unwrap_or_else(|e| e.into_inner());
+        snap.sessions = sessions.len() as u64;
+        for session in sessions.values() {
+            let s = session.stats();
+            snap.prepared_hits += s.prepared_hits;
+            snap.prepared_misses += s.prepared_misses;
+            snap.quarantined += s.quarantined;
+            snap.sim_memo_hits += s.sim_memo_hits;
+            snap.sim_memo_misses += s.sim_memo_misses;
+            snap.sim_cost_views += s.sim_cost_views;
+        }
+    }
+    let obs = &shared.obs;
+    // Credit memo deltas since the last snapshot to the rate rings
+    // (sampled here, where the totals were just summed anyway, so the
+    // job hot path never walks the session map).
+    obs.sample_memo(snap.sim_memo_hits, snap.sim_memo_misses);
+    snap.queue_depth = shared.queue.depth() as u64;
+    snap.queue_capacity = shared.queue.capacity as u64;
+    snap.workers = shared.workers as u64;
+    snap.workers_live = shared.workers_live.load(Ordering::SeqCst) as u64;
+    snap.inflight = shared.inflight.load(Ordering::SeqCst) as u64;
+    snap.uptime_s = obs.uptime_s();
+    snap.service_us = obs.service_us.summary();
+    snap.queue_wait_us = obs.queue_wait_us.summary();
+    snap.solve_us = obs.solve_us.summary();
+    snap.sim_us = obs.sim_us.summary();
+    for (i, w) in [1u64, 10, 60].into_iter().enumerate() {
+        snap.req_per_s[i] = obs.req_rate.rate(w);
+        snap.shed_per_s[i] = obs.shed_rate.rate(w);
+        snap.complete_per_s[i] = obs.complete_rate.rate(w);
+        snap.memo_hit_rate[i] = memo_hit_fraction(obs, w);
     }
     snap
+}
+
+/// The `--metrics-addr` sidecar: a minimal HTTP/1.1 responder for
+/// `GET /metrics`, one request per connection (`Connection: close`).
+/// Read-only — it renders the same snapshot the `stats` op does and
+/// exits when the daemon drains.
+fn metrics_loop(shared: Arc<Shared>, listener: TcpListener) {
+    let _ = listener.set_nonblocking(true);
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(1_000)));
+                answer_metrics_http(&shared, &mut stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn answer_metrics_http(shared: &Shared, stream: &mut TcpStream) {
+    // Read the request head (bounded; anything longer is not a scrape).
+    let mut buf = [0u8; 4096];
+    let mut len = 0;
+    while len < buf.len() {
+        match stream.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                len += n;
+                if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, body) = if method == "GET" && path == "/metrics" {
+        ("200 OK", metrics::render(&snapshot_with_cache(shared)))
+    } else {
+        ("404 Not Found", "only GET /metrics is served\n".to_string())
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        metrics::CONTENT_TYPE,
+        body.len()
+    );
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
 }
 
 /// SIGTERM/SIGINT → graceful drain. Declared against libc's `signal`

@@ -1,11 +1,16 @@
 //! Server counters: every degradation the daemon can take is counted,
 //! so overload and fault behavior is observable from the `stats` op and
-//! from the telemetry report flushed at drain.
+//! from the telemetry report flushed at drain. Since the observability
+//! layer landed, the snapshot also carries distribution summaries
+//! (service/queue-wait/solve/sim time histograms), trailing-window
+//! rates, and live gauges (queue depth, live workers, in-flight jobs,
+//! uptime) — the `stats` reply and the Prometheus exposition both
+//! render from this one struct.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::json::ObjBuilder;
-use clara_telemetry::TelemetryReport;
+use crate::json::{ObjBuilder, Value};
+use clara_telemetry::{HistSummary, TelemetryReport};
 
 /// Monotonic counters, updated lock-free from connection and worker
 /// threads.
@@ -27,6 +32,11 @@ pub struct ServeStats {
     pub timed_out: AtomicU64,
     /// Work jobs whose worker panicked (chaos or organic).
     pub panicked: AtomicU64,
+    /// Work jobs that finished with any other non-OK reply (bad NF,
+    /// failed sweeps, ...). Closes the admission conservation
+    /// invariant: once idle,
+    /// `accepted == completed + timed_out + panicked + errored`.
+    pub errored: AtomicU64,
     /// Worker threads respawned by the supervisor.
     pub workers_respawned: AtomicU64,
     /// Frames rejected as protocol errors (bad JSON, bad fields).
@@ -35,14 +45,14 @@ pub struct ServeStats {
     pub shutdown_rejects: AtomicU64,
     /// Replies deliberately cut short by chaos mode.
     pub chaos_truncated_replies: AtomicU64,
-    /// Sum of service times of completed jobs, microseconds. Feeds the
-    /// `retry_after_ms` hint.
+    /// Sum of service times of completed jobs, microseconds.
     pub service_us_total: AtomicU64,
 }
 
 /// A coherent-enough copy of the counters (individually atomic reads;
-/// the fleet-level numbers don't need a global snapshot).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// the fleet-level numbers don't need a global snapshot), plus the
+/// gauges, histogram summaries, and trailing rates the server overlays.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StatsSnapshot {
     pub conns_accepted: u64,
     pub conns_rejected: u64,
@@ -52,6 +62,7 @@ pub struct StatsSnapshot {
     pub shed: u64,
     pub timed_out: u64,
     pub panicked: u64,
+    pub errored: u64,
     pub workers_respawned: u64,
     pub protocol_errors: u64,
     pub shutdown_rejects: u64,
@@ -68,6 +79,25 @@ pub struct StatsSnapshot {
     pub sim_memo_hits: u64,
     pub sim_memo_misses: u64,
     pub sim_cost_views: u64,
+    /// Live gauges (point-in-time, filled by the server).
+    pub queue_depth: u64,
+    pub queue_capacity: u64,
+    pub workers: u64,
+    pub workers_live: u64,
+    pub inflight: u64,
+    pub uptime_s: u64,
+    /// Latency distribution summaries, microseconds.
+    pub service_us: HistSummary,
+    pub queue_wait_us: HistSummary,
+    pub solve_us: HistSummary,
+    pub sim_us: HistSummary,
+    /// Trailing-window rates over [1 s, 10 s, 60 s], events/second.
+    pub req_per_s: [f64; 3],
+    pub shed_per_s: [f64; 3],
+    pub complete_per_s: [f64; 3],
+    /// Sim-memo hit fraction over the same windows; `None` = no memo
+    /// traffic in that window.
+    pub memo_hit_rate: [Option<f64>; 3],
 }
 
 impl ServeStats {
@@ -79,8 +109,8 @@ impl ServeStats {
         self.add(counter, 1);
     }
 
-    /// Read every counter (cache fields are zero; the server overlays
-    /// them from its session map).
+    /// Read every counter (gauge/cache/hist fields are zero; the server
+    /// overlays them from its live state).
     pub fn snapshot(&self) -> StatsSnapshot {
         let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
         StatsSnapshot {
@@ -92,24 +122,20 @@ impl ServeStats {
             shed: get(&self.shed),
             timed_out: get(&self.timed_out),
             panicked: get(&self.panicked),
+            errored: get(&self.errored),
             workers_respawned: get(&self.workers_respawned),
             protocol_errors: get(&self.protocol_errors),
             shutdown_rejects: get(&self.shutdown_rejects),
             chaos_truncated_replies: get(&self.chaos_truncated_replies),
             service_us_total: get(&self.service_us_total),
-            sessions: 0,
-            prepared_hits: 0,
-            prepared_misses: 0,
-            quarantined: 0,
-            sim_memo_hits: 0,
-            sim_memo_misses: 0,
-            sim_cost_views: 0,
+            ..StatsSnapshot::default()
         }
     }
 
     /// Average service time of completed jobs, microseconds (a prior of
-    /// 25 ms before any job completes, so the first overload replies
-    /// still carry a sane hint).
+    /// 25 ms before any job completes). Kept for the `stats` reply;
+    /// the `retry_after_ms` hint now uses the histogram's p90 (the
+    /// mean hides exactly the tail that makes retries fail).
     pub fn avg_service_us(&self) -> u64 {
         let done = self.completed.load(Ordering::Relaxed);
         self.service_us_total
@@ -119,9 +145,43 @@ impl ServeStats {
     }
 }
 
+/// Render a histogram summary as a JSON object value.
+fn hist_value(h: &HistSummary) -> Value {
+    ObjBuilder::new()
+        .uint("count", h.count)
+        .uint("mean", h.mean())
+        .uint("p50", h.p50)
+        .uint("p90", h.p90)
+        .uint("p99", h.p99)
+        .uint("max", h.max)
+        .build()
+}
+
+fn opt_frac(v: Option<f64>) -> Value {
+    match v {
+        Some(f) if f.is_finite() => Value::Num(f),
+        _ => Value::Null,
+    }
+}
+
 impl StatsSnapshot {
-    /// Fields for the `stats` reply and BENCH output.
+    /// Fields for the `stats` reply and BENCH output: flat counters,
+    /// live gauges, nested histogram summaries, and a nested `rates`
+    /// object keyed by trailing window.
     pub fn fill(&self, body: ObjBuilder) -> ObjBuilder {
+        let rates = ObjBuilder::new()
+            .num("req_per_s_1s", self.req_per_s[0])
+            .num("req_per_s_10s", self.req_per_s[1])
+            .num("req_per_s_60s", self.req_per_s[2])
+            .num("shed_per_s_1s", self.shed_per_s[0])
+            .num("shed_per_s_10s", self.shed_per_s[1])
+            .num("shed_per_s_60s", self.shed_per_s[2])
+            .num("complete_per_s_1s", self.complete_per_s[0])
+            .num("complete_per_s_10s", self.complete_per_s[1])
+            .num("complete_per_s_60s", self.complete_per_s[2])
+            .put("sim_memo_hit_rate_1s", opt_frac(self.memo_hit_rate[0]))
+            .put("sim_memo_hit_rate_10s", opt_frac(self.memo_hit_rate[1]))
+            .put("sim_memo_hit_rate_60s", opt_frac(self.memo_hit_rate[2]));
         body.uint("conns_accepted", self.conns_accepted)
             .uint("conns_rejected", self.conns_rejected)
             .uint("requests", self.requests)
@@ -130,6 +190,7 @@ impl StatsSnapshot {
             .uint("shed", self.shed)
             .uint("timed_out", self.timed_out)
             .uint("panicked", self.panicked)
+            .uint("errored", self.errored)
             .uint("workers_respawned", self.workers_respawned)
             .uint("protocol_errors", self.protocol_errors)
             .uint("shutdown_rejects", self.shutdown_rejects)
@@ -141,9 +202,21 @@ impl StatsSnapshot {
             .uint("sim_memo_hits", self.sim_memo_hits)
             .uint("sim_memo_misses", self.sim_memo_misses)
             .uint("sim_cost_views", self.sim_cost_views)
+            .uint("queue_depth", self.queue_depth)
+            .uint("queue_capacity", self.queue_capacity)
+            .uint("workers", self.workers)
+            .uint("workers_live", self.workers_live)
+            .uint("inflight", self.inflight)
+            .uint("uptime_s", self.uptime_s)
+            .put("service_us", hist_value(&self.service_us))
+            .put("queue_wait_us", hist_value(&self.queue_wait_us))
+            .put("solve_us", hist_value(&self.solve_us))
+            .put("sim_us", hist_value(&self.sim_us))
+            .put("rates", rates.build())
     }
 
-    /// Export the counters into a telemetry report (flushed at drain).
+    /// Export the counters and histograms into a telemetry report
+    /// (flushed at drain).
     pub fn into_report(&self) -> TelemetryReport {
         let mut report = TelemetryReport::default()
             .with_context("component", "clara-serve");
@@ -153,6 +226,7 @@ impl StatsSnapshot {
             ("serve.completed".into(), self.completed),
             ("serve.conns_accepted".into(), self.conns_accepted),
             ("serve.conns_rejected".into(), self.conns_rejected),
+            ("serve.errored".into(), self.errored),
             ("serve.panicked".into(), self.panicked),
             ("serve.prepared_hits".into(), self.prepared_hits),
             ("serve.prepared_misses".into(), self.prepared_misses),
@@ -168,6 +242,12 @@ impl StatsSnapshot {
             ("serve.timed_out".into(), self.timed_out),
             ("serve.workers_respawned".into(), self.workers_respawned),
         ];
+        report.hists = vec![
+            ("serve.queue_wait_us".into(), self.queue_wait_us),
+            ("serve.service_us".into(), self.service_us),
+            ("serve.sim_us".into(), self.sim_us),
+            ("serve.solve_us".into(), self.solve_us),
+        ];
         report
     }
 }
@@ -182,10 +262,12 @@ mod tests {
         s.bump(&s.shed);
         s.bump(&s.shed);
         s.bump(&s.completed);
+        s.bump(&s.errored);
         s.add(&s.service_us_total, 10_000);
         let snap = s.snapshot();
         assert_eq!(snap.shed, 2);
         assert_eq!(snap.completed, 1);
+        assert_eq!(snap.errored, 1);
         assert_eq!(s.avg_service_us(), 10_000);
     }
 
@@ -202,5 +284,39 @@ mod tests {
         let mut sorted = names.clone();
         sorted.sort_unstable();
         assert_eq!(names, sorted);
+        let hist_names: Vec<&str> = report.hists.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = hist_names.clone();
+        sorted.sort_unstable();
+        assert_eq!(hist_names, sorted);
+    }
+
+    #[test]
+    fn fill_nests_histograms_and_rates() {
+        let snap = StatsSnapshot {
+            service_us: HistSummary { count: 2, sum: 300, p50: 100, p90: 200, p99: 200, max: 210 },
+            req_per_s: [3.0, 1.5, 0.25],
+            memo_hit_rate: [None, Some(0.75), Some(0.5)],
+            queue_depth: 4,
+            workers_live: 2,
+            inflight: 1,
+            uptime_s: 9,
+            ..StatsSnapshot::default()
+        };
+        let v = snap.fill(ObjBuilder::new()).build();
+        assert_eq!(
+            v.get("service_us").and_then(|h| h.get("p90")).and_then(Value::as_u64),
+            Some(200)
+        );
+        let rates = v.get("rates").expect("rates object");
+        assert_eq!(rates.get("req_per_s_1s").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(rates.get("sim_memo_hit_rate_1s"), Some(&Value::Null));
+        assert_eq!(
+            rates.get("sim_memo_hit_rate_10s").and_then(Value::as_f64),
+            Some(0.75)
+        );
+        assert_eq!(v.get("queue_depth").and_then(Value::as_u64), Some(4));
+        assert_eq!(v.get("workers_live").and_then(Value::as_u64), Some(2));
+        assert_eq!(v.get("inflight").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("uptime_s").and_then(Value::as_u64), Some(9));
     }
 }

@@ -176,6 +176,182 @@ fn overload_sheds_with_a_retry_hint() {
 }
 
 #[test]
+fn stats_reports_gauges_histograms_and_rates() {
+    let server = Server::start(quick_config()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // One job through the worker path (unknown NIC resolves fast but
+    // still transits admit -> queue -> worker -> reply).
+    let reply = client
+        .request(r#"{"op":"predict","nf":"nat","nic":"no-such-nic"}"#)
+        .unwrap();
+    assert_eq!(code_of(&reply), 2);
+
+    let stats = client.stats().unwrap();
+    let get = |k: &str| stats.get(k).and_then(Value::as_u64).unwrap_or_else(|| panic!("stats missing `{k}`: {stats:?}"));
+    assert_eq!(get("workers_live"), 1);
+    assert_eq!(get("inflight"), 0);
+    assert_eq!(get("queue_depth"), 0);
+    assert!(stats.get("uptime_s").and_then(Value::as_u64).is_some());
+    // The errored counter closes the conservation invariant at idle.
+    assert_eq!(get("accepted"), get("completed") + get("timed_out") + get("panicked") + get("errored"));
+    assert_eq!(get("errored"), 1);
+    // The job landed in the service and queue-wait histograms.
+    let hist_count = |name: &str| {
+        stats.get(name).and_then(|h| h.get("count")).and_then(Value::as_u64).unwrap()
+    };
+    assert_eq!(hist_count("service_us"), 1, "{stats:?}");
+    assert_eq!(hist_count("queue_wait_us"), 1, "{stats:?}");
+    // Both requests of this test are inside the trailing minute.
+    let req_60s = stats
+        .get("rates")
+        .and_then(|r| r.get("req_per_s_60s"))
+        .and_then(Value::as_f64)
+        .unwrap();
+    assert!(req_60s > 0.0, "{stats:?}");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn events_op_returns_the_request_lifecycle() {
+    let server = Server::start(quick_config()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let reply = client
+        .request(r#"{"op":"predict","nf":"nat","nic":"no-such-nic"}"#)
+        .unwrap();
+    assert_eq!(code_of(&reply), 2);
+
+    let reply = client.request(r#"{"op":"events","limit":64}"#).unwrap();
+    assert_eq!(code_of(&reply), 0, "{reply:?}");
+    let events = reply.get("events").and_then(Value::as_arr).expect("events array");
+    assert!(reply.get("recorded").and_then(Value::as_u64).unwrap() >= events.len() as u64);
+    // The one job shows up as admit -> dequeue -> complete under a
+    // single request id, in sequence order.
+    let find = |kind: &str| {
+        events.iter().find(|e| e.get("event").and_then(Value::as_str) == Some(kind)).unwrap_or_else(|| panic!("no `{kind}` event: {reply:?}"))
+    };
+    let (admit, dequeue, complete) = (find("admit"), find("dequeue"), find("complete"));
+    let req = |e: &Value| e.get("req").and_then(Value::as_u64).unwrap();
+    let seq = |e: &Value| e.get("seq").and_then(Value::as_u64).unwrap();
+    assert_eq!(req(admit), req(dequeue));
+    assert_eq!(req(admit), req(complete));
+    assert!(seq(admit) < seq(dequeue) && seq(dequeue) < seq(complete));
+    // An errored job's complete event carries its reply code.
+    assert_eq!(complete.get("code").and_then(Value::as_u64), Some(2));
+
+    // limit is respected.
+    let reply = client.request(r#"{"op":"events","limit":1}"#).unwrap();
+    assert_eq!(reply.get("events").and_then(Value::as_arr).unwrap().len(), 1);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn metrics_op_returns_a_prometheus_exposition() {
+    let server = Server::start(quick_config()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    assert_eq!(code_of(&client.ping().unwrap()), 0);
+
+    let reply = client.request(r#"{"op":"metrics"}"#).unwrap();
+    assert_eq!(code_of(&reply), 0, "{reply:?}");
+    assert_eq!(
+        reply.get("content_type").and_then(Value::as_str),
+        Some("text/plain; version=0.0.4")
+    );
+    let text = reply.get("text").and_then(Value::as_str).expect("exposition text");
+    // The ping and this metrics request are both counted by the time
+    // the snapshot renders.
+    assert!(text.contains("clara_serve_requests_total 2\n"), "{text}");
+    assert!(text.contains("# TYPE clara_serve_service_time_seconds summary\n"), "{text}");
+    assert!(text.contains("clara_serve_workers_live 1\n"), "{text}");
+
+    server.shutdown();
+    server.join();
+}
+
+/// The `retry_after_ms` hint is p90-service-time based: before any job
+/// has run it falls back to a 25 ms prior, and once chaos slows real
+/// jobs down the hint must grow to match the observed drain speed.
+#[test]
+fn retry_hint_grows_under_induced_slowdowns() {
+    let config = ServeConfig {
+        chaos: Some(slow_only(400)),
+        ..quick_config()
+    };
+    let server = Server::start(config).unwrap();
+    let addr = server.addr();
+
+    let fire = |n: usize| -> Vec<(u64, Value)> {
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                thread::spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let reply = client
+                        .request(r#"{"op":"predict","nf":"nat","nic":"no-such-nic"}"#)
+                        .unwrap();
+                    (code_of(&reply), reply)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    };
+    let hints = |replies: &[(u64, Value)]| -> Vec<u64> {
+        replies
+            .iter()
+            .filter(|(code, _)| *code == 20)
+            .map(|(_, r)| r.get("retry_after_ms").and_then(Value::as_u64).unwrap())
+            .collect()
+    };
+
+    // Phase 1: six concurrent requests against a worker that sleeps
+    // 400 ms per job. Sheds are immediate, so they all happen before
+    // the first job completes — every hint comes from the prior.
+    let early = fire(6);
+    let early_hints = hints(&early);
+    assert!(!early_hints.is_empty(), "nothing shed: {early:?}");
+
+    // Wait out the queue so the service histogram now holds only
+    // chaos-slowed (>= 400 ms) observations.
+    let mut client = Client::connect(addr).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = client.stats().unwrap();
+        let idle = stats.get("inflight").and_then(Value::as_u64) == Some(0)
+            && stats.get("queue_depth").and_then(Value::as_u64) == Some(0);
+        if idle {
+            break;
+        }
+        assert!(Instant::now() < deadline, "queue never drained: {stats:?}");
+        thread::sleep(Duration::from_millis(50));
+    }
+
+    // Phase 2: overload again; the hint must now reflect the observed
+    // p90 and dwarf every prior-based hint.
+    let late = fire(6);
+    let late_hints = hints(&late);
+    assert!(!late_hints.is_empty(), "nothing shed in phase 2: {late:?}");
+    // Compare against the *smallest* early hint: the first sheds are
+    // guaranteed prior-based even if a straggler in phase 1 raced past
+    // the first completion.
+    let early_min = *early_hints.iter().min().unwrap();
+    let late_min = *late_hints.iter().min().unwrap();
+    assert!(
+        late_min > early_min,
+        "hint did not grow under slow-downs: early {early_hints:?}, late {late_hints:?}"
+    );
+    // And it is in the right ballpark: (queue+1) * p90 / workers with
+    // p90 >= 400 ms gives >= 800 ms.
+    assert!(late_min >= 400, "late hint implausibly small: {late_hints:?}");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
 fn shutdown_drains_inflight_work_and_refuses_late_arrivals() {
     let config = ServeConfig {
         workers: 1,

@@ -1,0 +1,340 @@
+//! A lock-free log-linear histogram for latency-style values.
+//!
+//! The serving layer needs tail latency, not averages, and it needs it
+//! recorded from many worker threads without a lock on the hot path.
+//! [`Histogram`] is a fixed table of atomic buckets indexed by a
+//! log-linear scheme (HdrHistogram-style, dependency-free):
+//!
+//! * Values below 2^[`SUB_BITS`] (= 16) get one exact bucket each.
+//! * Above that, each power-of-two octave is split into 16 linear
+//!   sub-buckets, so the bucket width at magnitude `2^e` is `2^(e-4)`.
+//!
+//! That bounds the *relative* quantization error: a bucket's
+//! representative value (its lower bound) satisfies
+//! `rep <= v < rep + v/16`, i.e. a recorded value is reproduced to
+//! within **6.25 %** regardless of magnitude — microsecond queue waits
+//! and multi-second solver stalls share one 976-bucket table (~8 KiB).
+//! A property test pins this bound.
+//!
+//! `record` is wait-free: one index computation plus four relaxed
+//! atomic RMWs (bucket, count, sum, max), no CAS loops, no locks.
+//! Recording is monotonic-only, so concurrent readers can take a
+//! merely *coherent-enough* snapshot: quantiles are computed over a
+//! bucket-by-bucket relaxed copy, which is exact once writers quiesce
+//! and at worst a few in-flight records stale under load.
+//!
+//! Histograms are mergeable ([`Histogram::merge_from`], used by
+//! fan-out workers) and summarizable ([`HistSummary`]) with
+//! nearest-rank quantiles — no interpolation, so a quantile is always
+//! a value that was actually (up to bucket width) observed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-bucket bits per octave: 16 sub-buckets, ≤ 6.25 % error.
+pub const SUB_BITS: u32 = 4;
+const SUBS: usize = 1 << SUB_BITS;
+/// Octaves above the linear range (`u64` exponents 4..=63).
+const OCTAVES: usize = 64 - SUB_BITS as usize;
+/// Total bucket count: 16 exact low buckets + 60 octaves × 16.
+pub const BUCKETS: usize = SUBS + OCTAVES * SUBS;
+
+/// Maximum relative quantization error of a bucket representative.
+pub const MAX_REL_ERROR: f64 = 1.0 / SUBS as f64;
+
+/// Bucket index for a value (total function over `u64`).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUBS as u64 {
+        v as usize
+    } else {
+        // Floor log2 is at least SUB_BITS here, so the shifts are safe.
+        let exp = 63 - v.leading_zeros();
+        let sub = ((v >> (exp - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+        SUBS + (exp - SUB_BITS) as usize * SUBS + sub
+    }
+}
+
+/// The lower bound (= representative value) of a bucket. Inverse of
+/// [`bucket_index`] up to quantization: `floor(i) <= v` for every `v`
+/// with `bucket_index(v) == i`.
+#[inline]
+pub fn bucket_floor(index: usize) -> u64 {
+    if index < SUBS {
+        index as u64
+    } else {
+        let oct = (index - SUBS) / SUBS;
+        let sub = ((index - SUBS) % SUBS) as u64;
+        let exp = oct as u32 + SUB_BITS;
+        (1u64 << exp) + (sub << (exp - SUB_BITS))
+    }
+}
+
+/// A lock-free log-linear histogram of `u64` values (unit-agnostic;
+/// the serving layer records microseconds).
+pub struct Histogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .field("sum", &self.sum.load(Ordering::Relaxed))
+            .field("max", &self.max.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        // `AtomicU64` isn't Copy; build the boxed array through a Vec.
+        let v: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; BUCKETS]> =
+            v.into_boxed_slice().try_into().expect("bucket count is fixed");
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value. Wait-free: relaxed atomics only.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total records so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Fold another histogram's counts into this one (bucket-wise adds;
+    /// associative and commutative, pinned by property tests).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket table for quantile queries.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let buckets: Vec<u64> =
+            self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        HistSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Convenience: the compact summary most callers want.
+    pub fn summary(&self) -> HistSummary {
+        self.snapshot().summary()
+    }
+
+    /// Nearest-rank quantile, or `default` while the histogram is
+    /// empty (the serving layer keeps its 25 ms prior this way).
+    pub fn quantile_or(&self, q: f64, default: u64) -> u64 {
+        let snap = self.snapshot();
+        if snap.count == 0 {
+            default
+        } else {
+            snap.quantile(q)
+        }
+    }
+}
+
+/// An owned copy of a histogram's state; all queries are answered here
+/// so a set of quantiles reads the buckets exactly once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl HistSnapshot {
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The exact (not quantized) largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Per-bucket (floor, count) pairs for non-empty buckets, in
+    /// ascending value order — the dashboard's sparkline input.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (bucket_floor(i), n))
+            .collect()
+    }
+
+    /// Nearest-rank quantile (`q` clamped to `[0, 1]`): the
+    /// representative of the bucket holding the `ceil(q·count)`-th
+    /// smallest record; `q == 1` returns the exact max. Returns 0 for
+    /// an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // The top bucket's floor can quantize above the true
+                // max (which is tracked exactly); never report past it.
+                return bucket_floor(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.count,
+            sum: self.sum,
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            max: self.max,
+        }
+    }
+}
+
+/// The compact quantile summary surfaced by the `stats` op, the
+/// drain-time telemetry report, and `BENCH_serve.json`. All fields are
+/// in the recorded unit (microseconds in the serving layer).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistSummary {
+    pub count: u64,
+    pub sum: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    pub max: u64,
+}
+
+impl HistSummary {
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_values_are_exact_and_buckets_are_contiguous() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_floor(bucket_index(v)), v);
+        }
+        // Index is monotone and floors invert indices everywhere.
+        let mut last = 0;
+        for i in 0..BUCKETS {
+            let f = bucket_floor(i);
+            assert!(i == 0 || f > last, "floor not increasing at {i}");
+            assert_eq!(bucket_index(f), i, "floor of {i} maps back");
+            last = f;
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_of_a_known_stream() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.max(), 100);
+        // Nearest-rank p50 of 1..=100 is 50; the bucket holding 50
+        // spans [50, 52), so the representative is exactly 50.
+        assert_eq!(s.quantile(0.50), 50);
+        assert_eq!(s.quantile(1.0), 100);
+        assert!(s.quantile(0.99) <= 100 && s.quantile(0.99) >= 93);
+        let sum: u64 = (1..=100).sum();
+        assert_eq!(s.sum(), sum);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(10);
+        b.record(1_000_000);
+        a.merge_from(&b);
+        let s = a.summary();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, 1_000_000);
+        assert_eq!(s.p50, 10);
+    }
+
+    #[test]
+    fn empty_histogram_uses_the_default() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile_or(0.9, 25_000), 25_000);
+        h.record(7);
+        assert_eq!(h.quantile_or(0.9, 25_000), 7);
+    }
+
+    #[test]
+    fn concurrent_records_conserve_count() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1_000 + i % 997);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 40_000);
+        let bucket_total: u64 = s.nonzero_buckets().iter().map(|(_, n)| n).sum();
+        assert_eq!(bucket_total, 40_000);
+    }
+}

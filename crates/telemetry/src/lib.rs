@@ -29,17 +29,31 @@
 //! * [`StageTimeline`] / [`ChromeTrace`] — an opt-in per-packet stage
 //!   timeline that exports Chrome trace-event JSON, viewable in Perfetto
 //!   or `chrome://tracing`.
+//! * [`Histogram`] — a lock-free log-linear latency histogram (atomic
+//!   buckets, mergeable, nearest-rank quantiles, ≤ 6.25 % relative
+//!   error) for tail-latency reporting from the serving layer.
+//! * [`RateWindows`] — trailing-window rate gauges (req/s, shed/s over
+//!   1 s / 10 s / 60 s) over an epoch ring of atomic counters.
+//! * [`FlightRecorder`] — a fixed-capacity lock-free ring of structured
+//!   events (admit/shed/dequeue/complete/panic/...) with monotonic
+//!   sequence numbers, dumped as JSONL around faults and drains.
 //!
 //! Telemetry is strictly *read-only* with respect to results: nothing in
 //! this crate feeds back into solver or simulator decisions, so an
 //! instrumented run is bit-identical to an uninstrumented one (asserted
 //! by tests and the benchmark harness across the workspace).
 
+pub mod flight;
+pub mod hist;
+pub mod rates;
 pub mod report;
 pub mod sink;
 pub mod stats;
 pub mod trace;
 
+pub use flight::{EventKind, FlightEvent, FlightRecorder};
+pub use hist::{HistSnapshot, HistSummary, Histogram};
+pub use rates::RateWindows;
 pub use report::{json_escape, TelemetryReport};
 pub use sink::{MemorySink, Sink, SpanRecord};
 pub use stats::{AccelStats, IslandStats, MemLevelStats, SimStats, SolveStats};

@@ -1,0 +1,212 @@
+//! Rolling-window rate gauges over an epoch ring of atomic counters.
+//!
+//! The serving layer wants "req/s over the last 1 s / 10 s / 60 s"
+//! without timestamping every event. [`RateWindows`] keeps a ring of
+//! per-second slots; each slot is an `(epoch, count)` pair of atomics.
+//! Recording maps the current wall-second onto a slot, claims the slot
+//! for that second with a CAS on the epoch (the winner resets the
+//! count), and then does a relaxed `fetch_add`. Reading sums the slots
+//! whose epoch falls inside the trailing window.
+//!
+//! The ring holds [`SLOTS`] = 128 seconds, comfortably more than the
+//! longest supported window (60 s), so a slot is never reused while it
+//! can still be read. The structure is monitoring-grade, not
+//! accounting-grade: a record racing the second boundary can land in
+//! either adjacent second, and a reader concurrent with a slot reset
+//! can over- or under-count that one slot by the in-flight deltas.
+//! Totals in `ServeStats` remain the source of truth for conservation
+//! invariants; these gauges answer "how fast *right now*".
+//!
+//! Time is injected: callers use [`RateWindows::record`] /
+//! [`RateWindows::rate`] for wall-clock behavior (seconds since the
+//! gauge was created, via a private [`Instant`] anchor), while tests
+//! drive [`RateWindows::record_at`] / [`RateWindows::rate_at`] with
+//! explicit epochs for determinism.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Ring capacity in seconds. Must exceed the largest queried window.
+pub const SLOTS: usize = 128;
+
+/// Trailing windows surfaced by the serving layer, in seconds.
+pub const WINDOWS_S: [u64; 3] = [1, 10, 60];
+
+struct Slot {
+    /// Wall-second this slot currently represents, offset by 1 so that
+    /// 0 means "never written" (distinguishes an untouched ring from
+    /// second 0).
+    epoch: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A set of per-second counters answering trailing-window rate queries.
+pub struct RateWindows {
+    slots: Vec<Slot>,
+    anchor: Instant,
+}
+
+impl Default for RateWindows {
+    fn default() -> Self {
+        RateWindows::new()
+    }
+}
+
+impl std::fmt::Debug for RateWindows {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RateWindows").finish_non_exhaustive()
+    }
+}
+
+impl RateWindows {
+    pub fn new() -> Self {
+        RateWindows {
+            slots: (0..SLOTS)
+                .map(|_| Slot { epoch: AtomicU64::new(0), count: AtomicU64::new(0) })
+                .collect(),
+            anchor: Instant::now(),
+        }
+    }
+
+    fn now_s(&self) -> u64 {
+        self.anchor.elapsed().as_secs()
+    }
+
+    /// Record `n` events at the current wall-second. Lock-free; at most
+    /// one CAS per second-boundary crossing per slot.
+    #[inline]
+    pub fn record(&self, n: u64) {
+        self.record_at(self.now_s(), n);
+    }
+
+    /// Record `n` events at an explicit second (test hook; also the
+    /// implementation of [`RateWindows::record`]).
+    pub fn record_at(&self, now_s: u64, n: u64) {
+        let slot = &self.slots[(now_s as usize) % SLOTS];
+        let want = now_s + 1;
+        let cur = slot.epoch.load(Ordering::Relaxed);
+        if cur != want {
+            // Claim the slot for this second; the single winner resets
+            // the stale count. Losers (same second) just add below; a
+            // loser from an older second re-reads and retries once via
+            // recursion-free fallthrough — the CAS winner has already
+            // installed `want`, so their add lands in the right slot.
+            if slot
+                .epoch
+                .compare_exchange(cur, want, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                slot.count.store(0, Ordering::Relaxed);
+            }
+        }
+        slot.count.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Events per second over the trailing `window_s` seconds (the
+    /// current partial second included).
+    pub fn rate(&self, window_s: u64) -> f64 {
+        self.rate_at(window_s, self.now_s())
+    }
+
+    /// Raw event count over the trailing `window_s` seconds ending now.
+    pub fn count(&self, window_s: u64) -> u64 {
+        self.count_at(window_s, self.now_s())
+    }
+
+    /// Raw event count over the trailing `window_s` seconds ending at
+    /// `now_s` inclusive.
+    pub fn count_at(&self, window_s: u64, now_s: u64) -> u64 {
+        let window_s = window_s.clamp(1, SLOTS as u64 - 1);
+        let oldest = now_s.saturating_sub(window_s - 1);
+        self.slots
+            .iter()
+            .map(|slot| {
+                let epoch = slot.epoch.load(Ordering::Acquire);
+                if epoch == 0 {
+                    return 0; // never written
+                }
+                let sec = epoch - 1;
+                if sec >= oldest && sec <= now_s {
+                    slot.count.load(Ordering::Relaxed)
+                } else {
+                    0
+                }
+            })
+            .sum()
+    }
+
+    /// Events per second over the trailing window ending at `now_s`.
+    pub fn rate_at(&self, window_s: u64, now_s: u64) -> f64 {
+        let window_s = window_s.clamp(1, SLOTS as u64 - 1);
+        self.count_at(window_s, now_s) as f64 / window_s as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_second_rate() {
+        let r = RateWindows::new();
+        r.record_at(100, 5);
+        assert_eq!(r.count_at(1, 100), 5);
+        assert!((r.rate_at(1, 100) - 5.0).abs() < 1e-9);
+        // One second later the 1s window no longer covers it.
+        assert_eq!(r.count_at(1, 101), 0);
+        // ...but the 10s window still does.
+        assert!((r.rate_at(10, 101) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windows_cover_exactly_their_trailing_span() {
+        let r = RateWindows::new();
+        for s in 0..60u64 {
+            r.record_at(s, 2);
+        }
+        assert_eq!(r.count_at(60, 59), 120);
+        assert!((r.rate_at(60, 59) - 2.0).abs() < 1e-9);
+        assert_eq!(r.count_at(10, 59), 20);
+        assert_eq!(r.count_at(1, 59), 2);
+        // Advance 30s with no traffic: half the minute window remains.
+        assert_eq!(r.count_at(60, 89), 60);
+    }
+
+    #[test]
+    fn slot_reuse_resets_stale_counts() {
+        let r = RateWindows::new();
+        r.record_at(5, 10);
+        // SLOTS seconds later the same slot index recurs.
+        r.record_at(5 + SLOTS as u64, 3);
+        assert_eq!(r.count_at(1, 5 + SLOTS as u64), 3);
+        // The old second is out of every supported window by then.
+        assert_eq!(r.count_at(60, 5 + SLOTS as u64), 3);
+    }
+
+    #[test]
+    fn second_zero_is_recordable() {
+        let r = RateWindows::new();
+        r.record_at(0, 7);
+        assert_eq!(r.count_at(1, 0), 7);
+        assert_eq!(r.count_at(60, 0), 7);
+    }
+
+    #[test]
+    fn concurrent_records_within_one_second_all_land() {
+        let r = std::sync::Arc::new(RateWindows::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let r = std::sync::Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        r.record_at(42, 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(r.count_at(1, 42), 40_000);
+    }
+}

@@ -5,6 +5,7 @@
 //! string building with a shared escaper, verified by a scanner-style
 //! validity check in tests.
 
+use crate::hist::HistSummary;
 use crate::sink::{Sink, SpanRecord};
 use crate::stats::{SimStats, SolveStats};
 use std::fmt::Write as _;
@@ -50,6 +51,9 @@ pub struct TelemetryReport {
     pub spans: Vec<SpanRecord>,
     /// Named counters from the sink, sorted by name.
     pub counters: Vec<(String, u64)>,
+    /// Latency-histogram summaries (name, quantiles), sorted by name.
+    /// Values are in the unit the histogram recorded (µs for serve).
+    pub hists: Vec<(String, HistSummary)>,
     /// Aggregated ILP solver stats, when any solve ran.
     pub solver: Option<SolveStats>,
     /// Aggregated simulator stats, when any simulation ran.
@@ -105,6 +109,22 @@ impl TelemetryReport {
                 "{}\"{}\": {v}",
                 if i == 0 { "" } else { ", " },
                 json_escape(k)
+            );
+        }
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (name, h)) in self.hists.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\"{}\": {{\"count\": {}, \"sum\": {}, \"p50\": {}, \"p90\": {}, \
+                 \"p99\": {}, \"max\": {}}}",
+                if i == 0 { "" } else { ", " },
+                json_escape(name),
+                h.count,
+                h.sum,
+                h.p50,
+                h.p90,
+                h.p99,
+                h.max
             );
         }
         out.push_str("},\n");
@@ -329,6 +349,23 @@ mod tests {
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
+    }
+
+    #[test]
+    fn histogram_summaries_serialize_under_their_names() {
+        let report = TelemetryReport {
+            hists: vec![(
+                "serve.service_us".into(),
+                HistSummary { count: 3, sum: 600, p50: 100, p90: 300, p99: 300, max: 310 },
+            )],
+            ..TelemetryReport::default()
+        };
+        let json = report.to_json();
+        assert_valid_json(&json);
+        assert!(json.contains(
+            "\"serve.service_us\": {\"count\": 3, \"sum\": 600, \"p50\": 100, \
+             \"p90\": 300, \"p99\": 300, \"max\": 310}"
+        ));
     }
 
     #[test]

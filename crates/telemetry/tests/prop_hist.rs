@@ -1,0 +1,131 @@
+//! Property tests for the log-linear histogram: the serving layer's
+//! tail-latency numbers are only trustworthy if the histogram conserves
+//! every record, merges like a commutative monoid, reports monotone
+//! quantiles, and stays inside its documented quantization error.
+
+use clara_telemetry::hist::{bucket_floor, bucket_index, MAX_REL_ERROR};
+use clara_telemetry::{HistSnapshot, Histogram};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Value streams spanning the full dynamic range: mixing small exact
+/// values with values from arbitrary octaves exercises both halves of
+/// the bucket scheme.
+fn values() -> impl Strategy<Value = Vec<u64>> {
+    vec(
+        prop_oneof![
+            0u64..64,                 // exact + first octaves
+            1_000u64..10_000_000,     // µs-scale latencies
+            any::<u64>(),             // anything, incl. u64::MAX
+        ],
+        0..256,
+    )
+}
+
+/// Same, but guaranteed non-empty (the vendored proptest stub has no
+/// `prop_assume`, so emptiness is excluded at generation time).
+fn nonempty_values() -> impl Strategy<Value = Vec<u64>> {
+    vec(
+        prop_oneof![0u64..64, 1_000u64..10_000_000, any::<u64>()],
+        1..256,
+    )
+}
+
+fn build(vals: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in vals {
+        h.record(v);
+    }
+    h
+}
+
+fn snapshot(vals: &[u64]) -> HistSnapshot {
+    build(vals).snapshot()
+}
+
+proptest! {
+    /// Conservation: every record lands in exactly one bucket —
+    /// `sum(buckets) == records`, and the tracked sum matches the
+    /// wrapping sum of the inputs.
+    #[test]
+    fn recorded_count_is_conserved(vals in values()) {
+        let s = snapshot(&vals);
+        prop_assert_eq!(s.count(), vals.len() as u64);
+        let bucket_total: u64 = s.nonzero_buckets().iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(bucket_total, vals.len() as u64);
+        let expect_sum = vals.iter().fold(0u64, |acc, &v| acc.wrapping_add(v));
+        prop_assert_eq!(s.sum(), expect_sum);
+    }
+
+    /// Merge is commutative: fold(a) ∪ fold(b) == fold(b) ∪ fold(a),
+    /// and both equal the histogram of the concatenated stream.
+    #[test]
+    fn merge_is_commutative(a in values(), b in values()) {
+        let ab = build(&a);
+        ab.merge_from(&build(&b));
+        let ba = build(&b);
+        ba.merge_from(&build(&a));
+        let both: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(ab.snapshot(), ba.snapshot());
+        prop_assert_eq!(ab.snapshot(), snapshot(&both));
+    }
+
+    /// Merge is associative: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+    #[test]
+    fn merge_is_associative(a in values(), b in values(), c in values()) {
+        let left = build(&a);
+        left.merge_from(&build(&b));
+        left.merge_from(&build(&c));
+        let bc = build(&b);
+        bc.merge_from(&build(&c));
+        let right = build(&a);
+        right.merge_from(&bc);
+        prop_assert_eq!(left.snapshot(), right.snapshot());
+    }
+
+    /// Quantiles are monotone in q, bracketed by [min-bucket, max], and
+    /// q=1 is the exact max.
+    #[test]
+    fn quantiles_are_monotone(vals in nonempty_values()) {
+        let s = snapshot(&vals);
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0];
+        let mut last = 0u64;
+        for (i, &q) in qs.iter().enumerate() {
+            let v = s.quantile(q);
+            prop_assert!(i == 0 || v >= last, "q={q}: {v} < {last}");
+            prop_assert!(v <= s.max());
+            last = v;
+        }
+        prop_assert_eq!(s.quantile(1.0), *vals.iter().max().unwrap());
+    }
+
+    /// The bucket representative (floor) under-reports a value by at
+    /// most the documented relative error: floor <= v and
+    /// v - floor <= MAX_REL_ERROR * v (exact below 2^SUB_BITS).
+    #[test]
+    fn bucket_error_is_within_the_documented_bound(v in any::<u64>()) {
+        let floor = bucket_floor(bucket_index(v));
+        prop_assert!(floor <= v, "floor {floor} above value {v}");
+        let err = v - floor;
+        // Integer form of err <= v/16 avoids f64 precision loss at the
+        // top of the u64 range; the bound itself is MAX_REL_ERROR.
+        prop_assert!(
+            (err as f64) <= MAX_REL_ERROR * (v as f64) + f64::EPSILON,
+            "value {v}: floor {floor}, err {err} exceeds {MAX_REL_ERROR}"
+        );
+        prop_assert!(err <= v / 16, "value {v}: err {err} > v/16");
+    }
+
+    /// Every reported quantile is the floor of a bucket some recorded
+    /// value occupies — within 6.25 % below an actually-observed value.
+    #[test]
+    fn quantiles_are_near_observed_values(vals in nonempty_values(), q in 0.0f64..1.0) {
+        let s = snapshot(&vals);
+        let got = s.quantile(q);
+        let witnessed = vals.iter().any(|&v| {
+            let f = bucket_floor(bucket_index(v));
+            got == f || got == f.min(s.max())
+        });
+        prop_assert!(witnessed, "quantile {got} matches no recorded bucket");
+    }
+}

@@ -10,7 +10,11 @@
 //!   reply, and the *next* healthy request for the same workload class
 //!   still answers correctly off the quarantined-then-rebuilt cache;
 //! * every healthy reply is bit-identical to the one-shot
-//!   [`Clara::predict`] path on the same inputs;
+//!   [`Clara::predict`] path on the same inputs — with the full
+//!   observability layer (histograms, rates, flight recorder + JSONL
+//!   dump) enabled, proving instrumentation never perturbs results;
+//! * the flight dump left behind reconstructs the poisoned request's
+//!   admit -> dequeue -> panic lifecycle in sequence order;
 //! * shutdown drains in-flight work and refuses late arrivals.
 //!
 //! Chaos truncation is deliberately off here (it is covered by the
@@ -203,11 +207,20 @@ fn chaos_daemon_sheds_respawns_and_stays_bit_identical() {
         .predict(&nat_source, &WorkloadProfile::paper_default())
         .expect("one-shot prediction succeeds");
 
+    // Full instrumentation on: the default flight recorder plus a JSONL
+    // dump path. The bit-identity assertions below double as the proof
+    // that observability never perturbs served predictions.
+    let flight_path = std::env::temp_dir().join(format!(
+        "clara_chaos_flight_{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&flight_path);
     let config = ServeConfig {
         workers: 1,
         queue_cap: 2,
         read_timeout_ms: 10_000,
         chaos: Some(kill_and_slow(300)),
+        flight_path: Some(flight_path.clone()),
         ..ServeConfig::default()
     };
     let server = Server::start(config).unwrap();
@@ -319,4 +332,42 @@ fn chaos_daemon_sheds_respawns_and_stays_bit_identical() {
     // one rebuild after quarantine; everything else hit.
     assert!(stats.prepared_hits >= 2, "{stats:?}");
     assert_eq!(stats.quarantined, 1, "{stats:?}");
+
+    // The flight dump exists (written at the panic and refreshed at
+    // drain) and its events reconstruct the poisoned request's life:
+    // admit -> dequeue -> panic, in sequence order, under one req id.
+    let dump = std::fs::read_to_string(&flight_path)
+        .unwrap_or_else(|e| panic!("no flight dump at {}: {e}", flight_path.display()));
+    let events: Vec<Value> = dump
+        .lines()
+        .map(|line| clara_core::serve::json::parse(line).expect("flight dump line parses as JSON"))
+        .collect();
+    assert!(!events.is_empty(), "empty flight dump");
+    let field = |e: &Value, k: &str| {
+        e.get(k).and_then(Value::as_u64).unwrap_or_else(|| panic!("event missing `{k}`: {e:?}"))
+    };
+    let kind = |e: &Value| e.get("event").and_then(Value::as_str).unwrap().to_string();
+    let panic_ev = events
+        .iter()
+        .find(|e| kind(e) == "panic")
+        .unwrap_or_else(|| panic!("no panic event in the dump: {dump}"));
+    let poisoned_req = field(panic_ev, "req");
+    let seq_of = |want: &str| {
+        events
+            .iter()
+            .find(|e| kind(e) == want && field(e, "req") == poisoned_req)
+            .map(|e| field(e, "seq"))
+            .unwrap_or_else(|| panic!("poisoned request {poisoned_req} has no `{want}` event"))
+    };
+    let (admit_seq, dequeue_seq, panic_seq) = (seq_of("admit"), seq_of("dequeue"), seq_of("panic"));
+    assert!(
+        admit_seq < dequeue_seq && dequeue_seq < panic_seq,
+        "poisoned request's lifecycle out of order: admit {admit_seq}, dequeue {dequeue_seq}, panic {panic_seq}"
+    );
+    // Quarantine and respawn made it into the record too, and the drain
+    // itself is the trailing part of the story.
+    assert!(events.iter().any(|e| kind(e) == "quarantine" && field(e, "req") == poisoned_req));
+    assert!(events.iter().any(|e| kind(e) == "respawn"));
+    assert!(events.iter().any(|e| kind(e) == "drain"), "{dump}");
+    let _ = std::fs::remove_file(&flight_path);
 }
